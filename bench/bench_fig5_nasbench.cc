@@ -1,0 +1,67 @@
+// Figure 5: validation error of tuning architectures on the three
+// NAS-Bench-201 datasets (cifar10-valid, cifar100, imagenet16-120) with
+// 8 workers and budgets of 24 / 48 / 120 hours. Also prints the §5.2
+// headline speedups of Hyper-Tune over BOHB and A-BOHB.
+//
+// Methods: the paper's ten baselines + A-REA + Hyper-Tune.
+// Knobs: HYPERTUNE_BENCH_SEEDS (default 3), HYPERTUNE_BENCH_SCALE.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/problems/nas_bench.h"
+
+namespace hypertune {
+namespace {
+
+using bench::BenchConfig;
+
+void RunDataset(NasDataset dataset, double budget_hours,
+                const BenchConfig& config) {
+  SyntheticNasBench problem(NasBenchOptions{dataset, 2022});
+  const double budget = budget_hours * 3600.0 * config.budget_scale;
+  const int workers = 8;
+  std::vector<double> grid = bench::LogTimeGrid(budget, 14);
+
+  std::printf("\n=== Figure 5: %s (8 workers, %.0f h budget, optimum %.3f%%)"
+              " ===\n",
+              problem.name().c_str(), budget_hours * config.budget_scale,
+              problem.optimum());
+
+  std::vector<Method> methods = PaperMethods();
+  methods.push_back(Method::kARea);
+  std::vector<bench::MethodResult> results;
+  for (Method method : methods) {
+    results.push_back(bench::RunMethodOnProblem(problem, method, workers,
+                                                budget, grid, config));
+    std::fprintf(stderr, "  done %s\n", MethodName(method));
+  }
+  bench::PrintCurves(problem.name(), grid, results);
+  bench::PrintFinalTable(problem.name(), results);
+
+  double vs_bohb = bench::MeanSpeedup(problem, Method::kBohb,
+                                      Method::kHyperTune, workers, budget,
+                                      config);
+  double vs_abohb = bench::MeanSpeedup(problem, Method::kABohb,
+                                       Method::kHyperTune, workers, budget,
+                                       config);
+  std::printf("speedup,%s,Hyper-Tune_vs_BOHB,%.2fx\n",
+              problem.name().c_str(), vs_bohb);
+  std::printf("speedup,%s,Hyper-Tune_vs_A-BOHB,%.2fx\n",
+              problem.name().c_str(), vs_abohb);
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  BenchConfig config = BenchConfig::FromEnv();
+  std::printf("bench_fig5_nasbench: seeds=%d scale=%.2f\n", config.seeds,
+              config.budget_scale);
+  RunDataset(NasDataset::kCifar10Valid, 24.0, config);
+  RunDataset(NasDataset::kCifar100, 48.0, config);
+  RunDataset(NasDataset::kImageNet16, 120.0, config);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6: validation error of tuning XGBoost on four large datasets
+// (Pokerhand 2 h, Covertype 3 h, Hepmass 6 h, Higgs 6 h) with 8 workers,
+// subset-fraction fidelity (1/27 .. 1).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/problems/xgboost_surface.h"
+
+namespace hypertune {
+namespace {
+
+using bench::BenchConfig;
+
+void RunDataset(XgbDataset dataset, double budget_hours,
+                const BenchConfig& config) {
+  SyntheticXgboost problem(XgbOptions{dataset, 2022});
+  const double budget = budget_hours * 3600.0 * config.budget_scale;
+  const int workers = 8;
+  std::vector<double> grid = bench::LogTimeGrid(budget, 12);
+
+  auto [manual_val, manual_test] =
+      bench::ManualBaseline(problem, problem.ManualConfiguration(), config);
+  std::printf("\n=== Figure 6: %s (8 workers, %.1f h budget) ===\n",
+              problem.name().c_str(), budget_hours * config.budget_scale);
+  std::printf("manual,%s,validation=%.4f,test=%.4f\n",
+              problem.name().c_str(), manual_val, manual_test);
+
+  std::vector<bench::MethodResult> results;
+  for (Method method : PaperMethods()) {
+    results.push_back(bench::RunMethodOnProblem(problem, method, workers,
+                                                budget, grid, config));
+    std::fprintf(stderr, "  done %s\n", MethodName(method));
+  }
+  bench::PrintCurves(problem.name(), grid, results);
+  bench::PrintFinalTable(problem.name(), results);
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  BenchConfig config = BenchConfig::FromEnv();
+  std::printf("bench_fig6_xgboost: seeds=%d scale=%.2f\n", config.seeds,
+              config.budget_scale);
+  RunDataset(XgbDataset::kPokerhand, 2.0, config);
+  RunDataset(XgbDataset::kCovertype, 3.0, config);
+  RunDataset(XgbDataset::kHepmass, 6.0, config);
+  RunDataset(XgbDataset::kHiggs, 6.0, config);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 7: (a) perplexity of tuning a 3-layer LSTM on Penn Treebank and
+// (b) validation error of tuning ResNet on CIFAR-10; 4 workers, 48 h.
+// The paper's Table 2 marks BO / A-BO / A-Random as "/" for these deep
+// learning tasks, so the partial-evaluation methods are compared.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/problems/curve_problems.h"
+
+namespace hypertune {
+namespace {
+
+using bench::BenchConfig;
+
+const std::vector<Method>& DeepLearningMethods() {
+  static const std::vector<Method> methods = {
+      Method::kSha,   Method::kHyperband, Method::kBohb,
+      Method::kMfesHb, Method::kAsha,     Method::kAHyperband,
+      Method::kABohb, Method::kHyperTune};
+  return methods;
+}
+
+void RunProblem(const TuningProblem& problem, const Configuration& manual,
+                const BenchConfig& config) {
+  const double budget = 48.0 * 3600.0 * config.budget_scale;
+  const int workers = 4;
+  std::vector<double> grid = bench::LogTimeGrid(budget, 12);
+
+  auto [manual_val, manual_test] =
+      bench::ManualBaseline(problem, manual, config);
+  std::printf("\n=== Figure 7: %s (4 workers, %.0f h budget, %s) ===\n",
+              problem.name().c_str(), 48.0 * config.budget_scale,
+              problem.metric_name().c_str());
+  std::printf("manual,%s,validation=%.4f,test=%.4f\n",
+              problem.name().c_str(), manual_val, manual_test);
+
+  std::vector<bench::MethodResult> results;
+  for (Method method : DeepLearningMethods()) {
+    results.push_back(bench::RunMethodOnProblem(problem, method, workers,
+                                                budget, grid, config));
+    std::fprintf(stderr, "  done %s\n", MethodName(method));
+  }
+  bench::PrintCurves(problem.name(), grid, results);
+  bench::PrintFinalTable(problem.name(), results);
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  BenchConfig config = BenchConfig::FromEnv();
+  std::printf("bench_fig7_lstm_resnet: seeds=%d scale=%.2f\n", config.seeds,
+              config.budget_scale);
+  {
+    SyntheticLstm lstm;
+    RunProblem(lstm, lstm.ManualConfiguration(), config);
+  }
+  {
+    SyntheticResNet resnet;
+    RunProblem(resnet, resnet.ManualConfiguration(), config);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 8: component ablations on NAS-Bench-201/cifar100 and
+// XGBoost/Covertype.
+//   (a, b) bracket selection:   A-Hyperband ± BS, async BOHB ± BS,
+//                               Hyper-Tune w/o BS vs Hyper-Tune;
+//          sampler comparison:  random (A-HB+BS) vs high-fidelity BO
+//                               (A-BOHB+BS) vs multi-fidelity (Hyper-Tune);
+//   (c, d) D-ASHA:              ASHA vs D-ASHA, A-Hyperband ± D-ASHA,
+//                               async BOHB ± D-ASHA,
+//                               Hyper-Tune w/o D-ASHA vs Hyper-Tune.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/problems/nas_bench.h"
+#include "src/problems/xgboost_surface.h"
+
+namespace hypertune {
+namespace {
+
+using bench::BenchConfig;
+
+void RunGroup(const char* label, const TuningProblem& problem,
+              const std::vector<Method>& methods, double budget_hours,
+              const BenchConfig& config) {
+  const double budget = budget_hours * 3600.0 * config.budget_scale;
+  const int workers = 8;
+  std::vector<double> grid = bench::LogTimeGrid(budget, 12);
+  std::printf("\n=== Figure 8 (%s): %s (8 workers, %.1f h) ===\n", label,
+              problem.name().c_str(), budget_hours * config.budget_scale);
+  std::vector<bench::MethodResult> results;
+  for (Method method : methods) {
+    results.push_back(bench::RunMethodOnProblem(problem, method, workers,
+                                                budget, grid, config));
+    std::fprintf(stderr, "  done %s\n", MethodName(method));
+  }
+  std::string task = std::string(label) + "/" + problem.name();
+  bench::PrintCurves(task, grid, results);
+  bench::PrintFinalTable(task, results);
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  BenchConfig config = BenchConfig::FromEnv();
+  std::printf("bench_fig8_ablation: seeds=%d scale=%.2f\n", config.seeds,
+              config.budget_scale);
+
+  const std::vector<Method> bracket_selection = {
+      Method::kAHyperband, Method::kAHyperbandBs,
+      Method::kABohb,      Method::kABohbBs,
+      Method::kHyperTuneNoBs, Method::kHyperTune};
+  const std::vector<Method> dasha = {
+      Method::kAsha,  Method::kDasha,
+      Method::kAHyperband, Method::kAHyperbandDasha,
+      Method::kABohb, Method::kABohbDasha,
+      Method::kHyperTuneNoDasha, Method::kHyperTune};
+  const std::vector<Method> sampler = {
+      Method::kAHyperbandBs,  // random sampling + BS
+      Method::kABohbBs,       // high-fidelity BO + BS
+      Method::kHyperTune};    // multi-fidelity optimizer + BS
+
+  SyntheticNasBench nas(NasBenchOptions{NasDataset::kCifar100, 2022});
+  SyntheticXgboost xgb(XgbOptions{XgbDataset::kCovertype, 2022});
+
+  RunGroup("bracket-selection", nas, bracket_selection, 48.0, config);
+  RunGroup("bracket-selection", xgb, bracket_selection, 3.0, config);
+  RunGroup("d-asha", nas, dasha, 48.0, config);
+  RunGroup("d-asha", xgb, dasha, 3.0, config);
+  RunGroup("sampler", nas, sampler, 48.0, config);
+  RunGroup("sampler", xgb, sampler, 3.0, config);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 9: scalability of Hyper-Tune with the number of workers.
+//   (a) counting-ones benchmark, workers up to 256;
+//   (b) XGBoost on Covertype, workers up to 64.
+// Prints the anytime curve per worker count plus the speedup of each
+// worker count over sequential Hyper-Tune measured as time-to-target (the
+// paper reports 145.7x at 256 workers and 18.0x at 64).
+//
+// Budgets shrink with the worker count (time-to-target is the metric, so
+// large fleets do not need the sequential run's full virtual horizon).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/statistics.h"
+#include "src/problems/counting_ones.h"
+#include "src/problems/xgboost_surface.h"
+
+namespace hypertune {
+namespace {
+
+using bench::BenchConfig;
+
+RunResult RunWithWorkers(const TuningProblem& problem, int workers,
+                         double budget, uint64_t seed) {
+  TunerFactoryOptions factory;
+  factory.method = Method::kHyperTune;
+  factory.seed = seed;
+  factory.batch_size = workers;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  ClusterOptions cluster;
+  cluster.num_workers = workers;
+  cluster.time_budget_seconds = budget;
+  cluster.seed = seed;
+  return tuner->Run(problem, cluster);
+}
+
+/// Budget for `workers`: the sequential budget, scaled down with the fleet
+/// size but never below 8x the base budget / max workers (headroom so the
+/// target is always reachable).
+double BudgetFor(double sequential_budget, int workers) {
+  double scaled = sequential_budget * 8.0 / static_cast<double>(workers);
+  return std::min(sequential_budget, scaled);
+}
+
+void RunScalability(const TuningProblem& problem,
+                    const std::vector<int>& worker_counts,
+                    double sequential_budget, double target_quantile,
+                    const BenchConfig& config) {
+  std::printf("\n=== Figure 9: %s (Hyper-Tune, sequential budget %.0f s) ===\n",
+              problem.name().c_str(), sequential_budget);
+
+  std::vector<std::vector<double>> reach_times(worker_counts.size());
+  std::vector<double> final_best(worker_counts.size(), 0.0);
+
+  for (int s = 0; s < config.seeds; ++s) {
+    uint64_t seed = static_cast<uint64_t>(s) * 7919 + 23;
+    RunResult sequential =
+        RunWithWorkers(problem, worker_counts.front(),
+                       BudgetFor(sequential_budget, worker_counts.front()),
+                       seed);
+    double target =
+        sequential.history.BestObjectiveAt(sequential_budget *
+                                           target_quantile);
+    for (size_t w = 0; w < worker_counts.size(); ++w) {
+      double budget = BudgetFor(sequential_budget, worker_counts[w]);
+      RunResult run = w == 0 ? std::move(sequential)
+                             : RunWithWorkers(problem, worker_counts[w],
+                                              budget, seed);
+      double t = run.history.TimeToReach(target);
+      if (std::isfinite(t) && t > 0.0) reach_times[w].push_back(t);
+      final_best[w] += run.history.best_objective() / config.seeds;
+      if (s == 0) {
+        for (double g : bench::LogTimeGrid(budget, 10)) {
+          double best = run.history.BestObjectiveAt(g);
+          if (std::isfinite(best)) {
+            std::printf("series,%s,workers=%d,%.1f,%.6f\n",
+                        problem.name().c_str(), worker_counts[w], g, best);
+          }
+        }
+      }
+    }
+    std::fprintf(stderr, "  done seed %d\n", s);
+  }
+
+  double base_time = Mean(reach_times.front());
+  for (size_t w = 0; w < worker_counts.size(); ++w) {
+    double t = Mean(reach_times[w]);
+    double speedup = (t > 0.0 && base_time > 0.0) ? base_time / t : 0.0;
+    std::printf("scalability,%s,workers=%d,time_to_target=%.1f,"
+                "speedup=%.1fx,final_best=%.5f\n",
+                problem.name().c_str(), worker_counts[w], t, speedup,
+                final_best[w]);
+  }
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  BenchConfig config = BenchConfig::FromEnv();
+  std::printf("bench_fig9_scalability: seeds=%d scale=%.2f\n", config.seeds,
+              config.budget_scale);
+
+  {
+    // Counting-ones, 16 + 16 dimensions; 10 s per MC sample so a full
+    // evaluation costs ~2 h like a real training job.
+    CountingOnesOptions options;
+    options.num_categorical = 16;
+    options.num_continuous = 16;
+    options.max_samples = 729.0;
+    options.seconds_per_sample = 10.0;
+    CountingOnes problem(options);
+    RunScalability(problem, {1, 4, 16, 64, 256},
+                   400000.0 * config.budget_scale, 0.9, config);
+  }
+  {
+    SyntheticXgboost problem(XgbOptions{XgbDataset::kCovertype, 2022});
+    RunScalability(problem, {1, 4, 16, 64},
+                   24.0 * 3600.0 * config.budget_scale, 0.9, config);
+  }
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Microbenchmarks (google-benchmark) for the computational kernels of the
+// library: surrogate fitting/prediction, acquisition maximization, ranking
+// loss / fidelity weights, measurement-store operations, and end-to-end
+// simulator throughput. These back the DESIGN.md claims about per-sample
+// optimizer overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "src/allocator/fidelity_weights.h"
+#include "src/allocator/ranking_loss.h"
+#include "src/common/rng.h"
+#include "src/core/tuner_factory.h"
+#include "src/optimizer/bo_sampler.h"
+#include "src/optimizer/mfes_sampler.h"
+#include "src/problems/counting_ones.h"
+#include "src/problems/nas_bench.h"
+#include "src/surrogate/gaussian_process.h"
+#include "src/surrogate/random_forest.h"
+
+namespace hypertune {
+namespace {
+
+ConfigurationSpace MakeSpace(size_t dims) {
+  ConfigurationSpace space;
+  for (size_t i = 0; i < dims; ++i) {
+    (void)space.Add(Parameter::Float("x" + std::to_string(i), 0.0, 1.0));
+  }
+  return space;
+}
+
+void FillData(size_t n, size_t dims, std::vector<std::vector<double>>* x,
+              std::vector<double>* y) {
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(dims);
+    double target = 0.0;
+    for (size_t d = 0; d < dims; ++d) {
+      row[d] = rng.Uniform();
+      target += (row[d] - 0.5) * (row[d] - 0.5);
+    }
+    x->push_back(std::move(row));
+    y->push_back(target + 0.01 * rng.Gaussian());
+  }
+}
+
+void BM_GpFit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  FillData(n, 6, &x, &y);
+  GaussianProcessOptions options;
+  options.num_restarts = 8;
+  for (auto _ : state) {
+    GaussianProcess gp(options);
+    benchmark::DoNotOptimize(gp.Fit(x, y));
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(25)->Arg(50)->Arg(100)->Iterations(5);
+
+void BM_GpPredict(benchmark::State& state) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  FillData(100, 6, &x, &y);
+  GaussianProcess gp;
+  (void)gp.Fit(x, y);
+  std::vector<double> query(6, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.Predict(query));
+  }
+}
+BENCHMARK(BM_GpPredict);
+
+void BM_RfFit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  FillData(n, 9, &x, &y);
+  for (auto _ : state) {
+    RandomForest rf;
+    benchmark::DoNotOptimize(rf.Fit(x, y));
+  }
+}
+BENCHMARK(BM_RfFit)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_RfPredict(benchmark::State& state) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  FillData(400, 9, &x, &y);
+  RandomForest rf;
+  (void)rf.Fit(x, y);
+  std::vector<double> query(9, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.Predict(query));
+  }
+}
+BENCHMARK(BM_RfPredict);
+
+void BM_RankingLoss(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<double> pred(n), truth(n);
+  for (size_t i = 0; i < n; ++i) {
+    pred[i] = rng.Uniform();
+    truth[i] = rng.Uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountMisrankedPairs(pred, truth));
+  }
+}
+BENCHMARK(BM_RankingLoss)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_FidelityWeights(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(6);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    MeasurementStore store(4);
+    for (int i = 0; i < 200; ++i) {
+      Configuration c = space.Sample(&rng);
+      double y = (c[0] - 0.5) * (c[0] - 0.5);
+      store.Add(1 + i % 4, c, y);
+    }
+    FidelityWeightsOptions options;
+    FidelityWeights weights(&space, options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(weights.ComputeTheta(store));
+  }
+}
+BENCHMARK(BM_FidelityWeights);
+
+void BM_MfesSample(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(6);
+  MeasurementStore store(4);
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    Configuration c = space.Sample(&rng);
+    double y = (c[0] - 0.5) * (c[0] - 0.5) + 0.01 * rng.Gaussian();
+    store.Add(1 + i % 4, c, y);
+  }
+  MfesSamplerOptions options;
+  options.bo.random_fraction = 0.0;
+  MfesSampler sampler(&space, &store, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(1));
+  }
+}
+BENCHMARK(BM_MfesSample);
+
+void BM_BoSample(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(6);
+  MeasurementStore store(1);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, (c[0] - 0.5) * (c[0] - 0.5));
+  }
+  BoSamplerOptions options;
+  options.random_fraction = 0.0;
+  BoSampler sampler(&space, &store, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(1));
+  }
+}
+BENCHMARK(BM_BoSample);
+
+void BM_NasEvaluate(benchmark::State& state) {
+  SyntheticNasBench problem;
+  Rng rng(6);
+  Configuration c = problem.space().Sample(&rng);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.Evaluate(c, 200.0, ++seed));
+  }
+}
+BENCHMARK(BM_NasEvaluate);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  // Full end-to-end virtual-time run: measures scheduler + store + sampler
+  // overhead per completed trial for asynchronous random search.
+  CountingOnesOptions options;
+  options.num_categorical = 4;
+  options.num_continuous = 4;
+  CountingOnes problem(options);
+  int64_t trials = 0;
+  for (auto _ : state) {
+    TunerFactoryOptions factory;
+    factory.method = Method::kARandom;
+    factory.seed = static_cast<uint64_t>(trials);
+    std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+    ClusterOptions cluster;
+    cluster.num_workers = 8;
+    cluster.time_budget_seconds = 1e7;
+    cluster.max_trials = 1000;
+    RunResult run = tuner->Run(problem, cluster);
+    trials += static_cast<int64_t>(run.history.num_trials());
+  }
+  state.SetItemsProcessed(trials);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_HyperTuneEndToEnd(benchmark::State& state) {
+  CountingOnes problem;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    TunerFactoryOptions factory;
+    factory.method = Method::kHyperTune;
+    factory.seed = ++seed;
+    std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+    ClusterOptions cluster;
+    cluster.num_workers = 8;
+    cluster.time_budget_seconds = 1e6;
+    cluster.max_trials = 200;
+    benchmark::DoNotOptimize(tuner->Run(problem, cluster));
+  }
+}
+BENCHMARK(BM_HyperTuneEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+}  // namespace hypertune
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Reproduces Table 1 of the paper: the (n_i, r_i) schedule of every
+// Hyperband bracket for R = 27, eta = 3, and prints the resource ladders
+// the framework derives for each evaluation task.
+
+#include <cstdio>
+
+#include "src/problems/counting_ones.h"
+#include "src/problems/curve_problems.h"
+#include "src/problems/nas_bench.h"
+#include "src/problems/xgboost_surface.h"
+#include "src/scheduler/bracket.h"
+
+namespace hypertune {
+namespace {
+
+void PrintHyperbandTable(double max_resource, double eta) {
+  ResourceLadder ladder = ResourceLadder::Make(1.0, max_resource, eta);
+  std::printf("Table 1: Hyperband brackets for R=%.0f, eta=%.0f (K=%d)\n",
+              max_resource, eta, ladder.num_levels);
+  std::printf("%-4s", "i");
+  for (int b = 1; b <= ladder.num_levels; ++b) {
+    std::printf(" | Bracket-%d (n_i, r_i)", b);
+  }
+  std::printf("\n");
+
+  // Simulate the rung schedule of each bracket.
+  for (int row = 1; row <= ladder.num_levels; ++row) {
+    std::printf("%-4d", row);
+    for (int b = 1; b <= ladder.num_levels; ++b) {
+      int rungs = ladder.num_levels - b + 1;
+      if (row > rungs) {
+        std::printf(" | %-20s", "");
+        continue;
+      }
+      BracketOptions options;
+      options.index = b;
+      options.ladder = ladder;
+      Bracket bracket(options);
+      // Rung `row` of bracket b evaluates n configs with r resources.
+      int64_t n = bracket.DefaultWidth();
+      for (int i = 1; i < row; ++i) n /= static_cast<int64_t>(eta);
+      if (n < 1) n = 1;
+      double r = ladder.ResourceAt(b + row - 1);
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "(%lld, %.0f)",
+                    static_cast<long long>(n), r);
+      std::printf(" | %-20s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void PrintProblemLadder(const TuningProblem& problem) {
+  ResourceLadder ladder = ResourceLadder::Make(
+      problem.min_resource(), problem.max_resource(), 3.0, 4);
+  std::printf("ladder,%s:", problem.name().c_str());
+  for (double r : ladder.LevelResources()) std::printf(" %.4f", r);
+  std::printf("  (K=%d)\n", ladder.num_levels);
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  PrintHyperbandTable(27.0, 3.0);
+
+  std::printf("Resource ladders derived for the evaluation tasks "
+              "(eta=3, max 4 brackets):\n");
+  PrintProblemLadder(SyntheticNasBench());
+  PrintProblemLadder(SyntheticXgboost());
+  PrintProblemLadder(SyntheticResNet());
+  PrintProblemLadder(SyntheticLstm());
+  PrintProblemLadder(CountingOnes());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table 2: converged *test* performance on six benchmarks — accuracy (%)
+// for XGBoost (Covertype, Pokerhand, Hepmass, Higgs) and ResNet/CIFAR-10,
+// perplexity for LSTM/Penn Treebank — as mean ± std over repetitions, for
+// the manual setting and every method. BO / A-BO / A-Random are reported
+// only for XGBoost, matching the paper's "/" entries.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/common/statistics.h"
+#include "src/problems/curve_problems.h"
+#include "src/problems/xgboost_surface.h"
+
+namespace hypertune {
+namespace {
+
+using bench::BenchConfig;
+
+struct Task {
+  std::unique_ptr<TuningProblem> problem;
+  Configuration manual;
+  double budget_hours;
+  int workers;
+  bool full_fidelity_methods;  // include BO / A-BO / A-Random
+  bool report_accuracy;        // 100 - error, else raw (perplexity)
+};
+
+void RunTask(const Task& task, const BenchConfig& config) {
+  const TuningProblem& problem = *task.problem;
+  const double budget = task.budget_hours * 3600.0 * config.budget_scale;
+  std::vector<double> grid = {budget};
+
+  std::printf("\n=== Table 2: %s (%s, %d workers, %.1f h) ===\n",
+              problem.name().c_str(),
+              task.report_accuracy ? "test accuracy %" : "test perplexity",
+              task.workers, task.budget_hours * config.budget_scale);
+
+  auto report = [&](const char* name, double mean, double stddev) {
+    std::printf("table2,%s,%s,%.2f,%.2f\n", problem.name().c_str(), name,
+                mean, stddev);
+  };
+
+  auto [manual_val, manual_test] =
+      bench::ManualBaseline(problem, task.manual, config);
+  (void)manual_val;
+  report("Manual",
+         task.report_accuracy ? 100.0 - manual_test : manual_test, 0.0);
+
+  for (Method method : PaperMethods()) {
+    bool is_full_fidelity =
+        method == Method::kBatchBo || method == Method::kABo ||
+        method == Method::kARandom;
+    if (is_full_fidelity && !task.full_fidelity_methods) {
+      std::printf("table2,%s,%s,/,/\n", problem.name().c_str(),
+                  MethodName(method));
+      continue;
+    }
+    bench::MethodResult result = bench::RunMethodOnProblem(
+        problem, method, task.workers, budget, grid, config);
+    std::vector<double> test = result.final_test;
+    if (task.report_accuracy) {
+      for (double& v : test) v = 100.0 - v;
+    }
+    report(MethodName(method), Mean(test), StdDev(test));
+    std::fprintf(stderr, "  done %s / %s\n", problem.name().c_str(),
+                 MethodName(method));
+  }
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main() {
+  using namespace hypertune;
+  BenchConfig config = BenchConfig::FromEnv();
+  std::printf("bench_table2_test_perf: seeds=%d scale=%.2f\n", config.seeds,
+              config.budget_scale);
+
+  std::vector<Task> tasks;
+  for (auto [dataset, hours] :
+       {std::pair{XgbDataset::kCovertype, 3.0},
+        std::pair{XgbDataset::kPokerhand, 2.0},
+        std::pair{XgbDataset::kHepmass, 6.0},
+        std::pair{XgbDataset::kHiggs, 6.0}}) {
+    auto problem = std::make_unique<SyntheticXgboost>(
+        XgbOptions{dataset, 2022});
+    Configuration manual = problem->ManualConfiguration();
+    tasks.push_back(Task{std::move(problem), manual, hours, 8,
+                         /*full_fidelity_methods=*/true,
+                         /*report_accuracy=*/true});
+  }
+  {
+    auto resnet = std::make_unique<SyntheticResNet>();
+    Configuration manual = resnet->ManualConfiguration();
+    tasks.push_back(Task{std::move(resnet), manual, 48.0, 4, false, true});
+  }
+  {
+    auto lstm = std::make_unique<SyntheticLstm>();
+    Configuration manual = lstm->ManualConfiguration();
+    tasks.push_back(Task{std::move(lstm), manual, 48.0, 4, false, false});
+  }
+
+  for (const Task& task : tasks) RunTask(task, config);
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+#include "src/common/statistics.h"
+
+namespace hypertune {
+namespace bench {
+
+BenchConfig BenchConfig::FromEnv() {
+  BenchConfig config;
+  if (const char* seeds = std::getenv("HYPERTUNE_BENCH_SEEDS")) {
+    int value = std::atoi(seeds);
+    if (value > 0) config.seeds = value;
+  }
+  if (const char* scale = std::getenv("HYPERTUNE_BENCH_SCALE")) {
+    double value = std::atof(scale);
+    if (value > 0.0) config.budget_scale = value;
+  }
+  return config;
+}
+
+std::vector<double> LogTimeGrid(double budget_seconds, int points,
+                                double denom) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<size_t>(points));
+  double lo = budget_seconds / denom;
+  double ratio = std::pow(denom, 1.0 / (points - 1));
+  double t = lo;
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(std::min(t, budget_seconds));
+    t *= ratio;
+  }
+  grid.back() = budget_seconds;
+  return grid;
+}
+
+MethodResult RunMethodOnProblem(const TuningProblem& problem, Method method,
+                                int workers, double budget_seconds,
+                                const std::vector<double>& grid,
+                                const BenchConfig& config,
+                                double straggler_sigma) {
+  MethodResult out;
+  out.method = method;
+  out.curve_mean.assign(grid.size(), 0.0);
+  std::vector<int> curve_counts(grid.size(), 0);
+
+  for (int s = 0; s < config.seeds; ++s) {
+    TunerFactoryOptions factory;
+    factory.method = method;
+    factory.seed = static_cast<uint64_t>(s) * 7919 + 17;
+    factory.batch_size = workers;
+    std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+    ClusterOptions cluster;
+    cluster.num_workers = workers;
+    cluster.time_budget_seconds = budget_seconds;
+    cluster.seed = factory.seed;
+    cluster.straggler_sigma = straggler_sigma;
+    RunResult run = tuner->Run(problem, cluster);
+
+    for (size_t i = 0; i < grid.size(); ++i) {
+      double best = run.history.BestObjectiveAt(grid[i]);
+      if (std::isfinite(best)) {
+        out.curve_mean[i] += best;
+        ++curve_counts[i];
+      }
+    }
+    out.final_validation.push_back(run.history.best_objective());
+    // Deployment protocol (§5.1): "the best configurations are then applied
+    // to the test dataset" — re-evaluate the incumbent configuration at
+    // full training resource and report its test metric.
+    const TrialRecord* best = nullptr;
+    for (const TrialRecord& trial : run.history.trials()) {
+      if (best == nullptr ||
+          trial.result.objective < best->result.objective) {
+        best = &trial;
+      }
+    }
+    if (best != nullptr) {
+      EvalOutcome deploy = problem.Evaluate(
+          best->job.config, problem.max_resource(),
+          CombineSeeds(cluster.seed, 0xDE9107ULL));
+      out.final_test.push_back(deploy.test_objective);
+    } else {
+      out.final_test.push_back(run.history.incumbent_test());
+    }
+    out.utilization += run.utilization;
+    out.trials += static_cast<double>(run.history.num_trials());
+  }
+  for (size_t i = 0; i < grid.size(); ++i) {
+    out.curve_mean[i] = curve_counts[i] > 0
+                            ? out.curve_mean[i] / curve_counts[i]
+                            : std::nan("");
+  }
+  out.utilization /= config.seeds;
+  out.trials /= config.seeds;
+  return out;
+}
+
+void PrintCurves(const std::string& task, const std::vector<double>& grid,
+                 const std::vector<MethodResult>& results) {
+  std::printf("# series,%s  (columns: method,time_s,mean_best_objective)\n",
+              task.c_str());
+  for (const MethodResult& r : results) {
+    for (size_t i = 0; i < grid.size(); ++i) {
+      if (std::isnan(r.curve_mean[i])) continue;
+      std::printf("series,%s,%s,%.1f,%.6f\n", task.c_str(),
+                  MethodName(r.method), grid[i], r.curve_mean[i]);
+    }
+  }
+}
+
+void PrintFinalTable(const std::string& task,
+                     const std::vector<MethodResult>& results) {
+  std::printf(
+      "# final,%s  (columns: method,val_mean,val_std,test_mean,test_std,"
+      "utilization,trials)\n",
+      task.c_str());
+  for (const MethodResult& r : results) {
+    std::printf("final,%s,%s,%.4f,%.4f,%.4f,%.4f,%.3f,%.0f\n", task.c_str(),
+                MethodName(r.method), Mean(r.final_validation),
+                StdDev(r.final_validation), Mean(r.final_test),
+                StdDev(r.final_test), r.utilization, r.trials);
+  }
+}
+
+double Speedup(const RunResult& slow, const RunResult& fast) {
+  // Common target both runs provably reached: the worse of the two finals.
+  double target = std::max(slow.history.best_objective(),
+                           fast.history.best_objective());
+  double slow_time = slow.history.TimeToReach(target);
+  double fast_time = fast.history.TimeToReach(target);
+  if (!std::isfinite(fast_time) || fast_time <= 0.0) return 0.0;
+  if (!std::isfinite(slow_time)) return 0.0;
+  return slow_time / fast_time;
+}
+
+double MeanSpeedup(const TuningProblem& problem, Method slow_method,
+                   Method fast_method, int workers, double budget_seconds,
+                   const BenchConfig& config) {
+  std::vector<double> speedups;
+  for (int s = 0; s < config.seeds; ++s) {
+    uint64_t seed = static_cast<uint64_t>(s) * 7919 + 17;
+    auto run = [&](Method method) {
+      TunerFactoryOptions factory;
+      factory.method = method;
+      factory.seed = seed;
+      factory.batch_size = workers;
+      std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+      ClusterOptions cluster;
+      cluster.num_workers = workers;
+      cluster.time_budget_seconds = budget_seconds;
+      cluster.seed = seed;
+      return tuner->Run(problem, cluster);
+    };
+    double value = Speedup(run(slow_method), run(fast_method));
+    if (value > 0.0) speedups.push_back(value);
+  }
+  return Mean(speedups);
+}
+
+std::pair<double, double> ManualBaseline(const TuningProblem& problem,
+                                         const Configuration& manual,
+                                         const BenchConfig& config) {
+  std::vector<double> validation, test;
+  for (int s = 0; s < config.seeds; ++s) {
+    EvalOutcome outcome = problem.Evaluate(
+        manual, problem.max_resource(), static_cast<uint64_t>(s) * 131 + 7);
+    validation.push_back(outcome.objective);
+    test.push_back(outcome.test_objective);
+  }
+  return {Mean(validation), Mean(test)};
+}
+
+}  // namespace bench
+}  // namespace hypertune

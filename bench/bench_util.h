@@ -1,0 +1,83 @@
+#ifndef HYPERTUNE_BENCH_BENCH_UTIL_H_
+#define HYPERTUNE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/problem.h"
+#include "src/runtime/simulated_cluster.h"
+
+namespace hypertune {
+namespace bench {
+
+/// Experiment-wide knobs, read from the environment so every harness can be
+/// scaled without recompiling:
+///   HYPERTUNE_BENCH_SEEDS  — repetitions per (method, task); default 3
+///                            (the paper uses 10; raise for tighter bands).
+///   HYPERTUNE_BENCH_SCALE  — multiplier on the paper's time budgets;
+///                            default 1.0.
+struct BenchConfig {
+  int seeds = 3;
+  double budget_scale = 1.0;
+
+  static BenchConfig FromEnv();
+};
+
+/// One method's aggregate over repetitions on one task.
+struct MethodResult {
+  Method method;
+  /// Anytime curve sampled at `grid` times, averaged over seeds
+  /// (validation objective, lower is better).
+  std::vector<double> curve_mean;
+  /// Final validation objective per seed.
+  std::vector<double> final_validation;
+  /// Final test objective (of the incumbent) per seed.
+  std::vector<double> final_test;
+  /// Mean worker utilization across seeds.
+  double utilization = 0.0;
+  /// Mean completed trials across seeds.
+  double trials = 0.0;
+};
+
+/// Runs `method` on `problem` for each seed and aggregates.
+MethodResult RunMethodOnProblem(const TuningProblem& problem, Method method,
+                                int workers, double budget_seconds,
+                                const std::vector<double>& grid,
+                                const BenchConfig& config,
+                                double straggler_sigma = 0.0);
+
+/// Log-spaced time grid from budget/denom to budget with `points` points.
+std::vector<double> LogTimeGrid(double budget_seconds, int points,
+                                double denom = 64.0);
+
+/// Prints a CSV block "series,<task>" with one row per (method, time).
+void PrintCurves(const std::string& task,
+                 const std::vector<double>& grid,
+                 const std::vector<MethodResult>& results);
+
+/// Prints "final,<task>" rows: method, mean/std of final validation and
+/// test objectives, utilization, trials.
+void PrintFinalTable(const std::string& task,
+                     const std::vector<MethodResult>& results);
+
+/// Anytime speedup of `fast` over `slow`: both runs' time to reach the
+/// common target max(final_slow, final_fast) — which both provably
+/// reached — divided slow/fast. Returns 0 on degenerate histories.
+double Speedup(const RunResult& slow, const RunResult& fast);
+
+/// Mean speedup across seeds of `fast_method` vs `slow_method`.
+double MeanSpeedup(const TuningProblem& problem, Method slow_method,
+                   Method fast_method, int workers, double budget_seconds,
+                   const BenchConfig& config);
+
+/// Evaluates the manual configuration at full fidelity (averaged over the
+/// bench seeds) and returns {validation, test}.
+std::pair<double, double> ManualBaseline(const TuningProblem& problem,
+                                         const Configuration& manual,
+                                         const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_BENCH_BENCH_UTIL_H_

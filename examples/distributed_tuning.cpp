@@ -1,0 +1,74 @@
+// Real-concurrency demonstration: the exact same scheduler/optimizer stack
+// that runs on the virtual-time simulator here drives a pool of OS worker
+// threads (ThreadCluster). Evaluation costs from the problem's cost model
+// are turned into real sleeps, so asynchronous scheduling visibly
+// out-utilizes the synchronous baseline on wall-clock time.
+//
+//   ./build/examples/distributed_tuning [wall_seconds=4] [workers=8]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+
+namespace {
+
+void RunBackend(const char* label, hypertune::Method method,
+                const hypertune::TuningProblem& problem, double wall_seconds,
+                int workers) {
+  using namespace hypertune;
+  TunerFactoryOptions factory;
+  factory.method = method;
+  factory.seed = 5;
+  factory.batch_size = workers;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+  ThreadClusterOptions cluster;
+  cluster.num_workers = workers;
+  cluster.time_budget_seconds = wall_seconds;
+  cluster.seed = 5;
+  // 1 simulated second -> 1 ms of real sleep, so evaluations take real time
+  // and stragglers/barriers manifest on the wall clock.
+  cluster.cost_sleep_scale = 1e-3;
+  RunResult run = tuner->RunOnThreads(problem, cluster);
+
+  std::map<int, int> per_worker;
+  for (const TrialRecord& trial : run.history.trials()) {
+    ++per_worker[trial.worker];
+  }
+  std::printf("%-12s best=%.4f trials=%zu utilization=%.0f%% per-worker:",
+              label, run.history.best_objective(), run.history.num_trials(),
+              100.0 * run.utilization);
+  for (const auto& [worker, count] : per_worker) {
+    std::printf(" w%d:%d", worker, count);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hypertune;
+  double wall_seconds = argc > 1 ? std::atof(argv[1]) : 4.0;
+  int workers = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  CountingOnesOptions options;
+  options.num_categorical = 8;
+  options.num_continuous = 8;
+  options.max_samples = 729.0;
+  CountingOnes problem(options);
+
+  std::printf("counting-ones on %d REAL worker threads, %.1f s wall budget\n"
+              "(optimum -1.0; evaluation sleeps = simulated cost x 1ms)\n\n",
+              workers, wall_seconds);
+  RunBackend("Hyperband", Method::kHyperband, problem, wall_seconds, workers);
+  RunBackend("ASHA", Method::kAsha, problem, wall_seconds, workers);
+  RunBackend("Hyper-Tune", Method::kHyperTune, problem, wall_seconds, workers);
+  std::printf("\nNote the utilization gap: the synchronous method idles at "
+              "rung barriers,\nthe asynchronous ones keep every thread "
+              "busy (Figure 1 / Figure 4 of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "src/allocator/fidelity_weights.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/surrogate/random_forest.h"
+
+namespace hypertune {
+namespace {
+
+/// Caps `data` at `max_points` by keeping the best half and most recent
+/// half (measurements arrive in completion order).
+std::vector<Measurement> CapMeasurements(const std::vector<Measurement>& data,
+                                         size_t max_points) {
+  if (data.size() <= max_points) return data;
+  std::vector<size_t> by_value(data.size());
+  for (size_t i = 0; i < data.size(); ++i) by_value[i] = i;
+  std::sort(by_value.begin(), by_value.end(), [&](size_t a, size_t b) {
+    return data[a].objective < data[b].objective;
+  });
+  std::vector<bool> selected(data.size(), false);
+  size_t kept = 0;
+  for (size_t i = 0; i < max_points / 2; ++i) {
+    selected[by_value[i]] = true;
+    ++kept;
+  }
+  for (size_t i = data.size(); i > 0 && kept < max_points; --i) {
+    if (!selected[i - 1]) {
+      selected[i - 1] = true;
+      ++kept;
+    }
+  }
+  std::vector<Measurement> out;
+  out.reserve(kept);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (selected[i]) out.push_back(data[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FidelityWeights::FidelityWeights(const ConfigurationSpace* space,
+                                 FidelityWeightsOptions options)
+    : space_(space), options_(options) {
+  HT_CHECK(space_ != nullptr) << "FidelityWeights needs a space";
+  uint64_t seed = options_.seed;
+  const ConfigurationSpace* sp = space_;
+  factory_ = [seed, sp]() -> std::unique_ptr<Surrogate> {
+    RandomForestOptions rf;
+    rf.seed = seed;
+    auto forest = std::make_unique<RandomForest>(rf);
+    std::vector<bool> categorical(sp->size(), false);
+    for (size_t i = 0; i < sp->size(); ++i) {
+      categorical[i] = sp->parameter(i).is_categorical();
+    }
+    forest->SetCategoricalFeatures(std::move(categorical));
+    return forest;
+  };
+}
+
+const std::vector<double>& FidelityWeights::ComputeTheta(
+    const MeasurementStore& store) {
+  const int num_levels = store.num_levels();
+  const auto& high_group = store.group(num_levels);
+  // Reuse the cache unless the data changed enough: a fresh estimate is
+  // forced when the ladder changed, and otherwise only after
+  // `refresh_interval` new measurements or new high-fidelity data.
+  if (cached_levels_ == num_levels && !cached_theta_.empty()) {
+    bool high_grown = high_group.size() >= cached_high_size_ + 4;
+    bool stale =
+        store.data_version() >= cached_version_ + options_.refresh_interval;
+    if (!high_grown && !stale) return cached_theta_;
+  }
+
+  std::vector<double> theta(static_cast<size_t>(num_levels), 0.0);
+  used_ranking_loss_ = false;
+
+  if (high_group.size() < options_.min_points_high || num_levels == 1) {
+    // Data-availability fallback: uniform over levels that have data.
+    size_t with_data = 0;
+    for (int level = 1; level <= num_levels; ++level) {
+      if (store.group(level).size() >= options_.min_points_low) ++with_data;
+    }
+    for (int level = 1; level <= num_levels; ++level) {
+      if (with_data > 0) {
+        theta[static_cast<size_t>(level - 1)] =
+            store.group(level).size() >= options_.min_points_low
+                ? 1.0 / static_cast<double>(with_data)
+                : 0.0;
+      } else {
+        theta[static_cast<size_t>(level - 1)] =
+            1.0 / static_cast<double>(num_levels);
+      }
+    }
+  } else {
+    Rng rng(CombineSeeds(options_.seed, store.data_version()));
+
+    // Evaluation subset of D_K (caps the O(S n^2) pair counting).
+    std::vector<Measurement> eval_at;
+    if (high_group.size() <= options_.max_eval_points) {
+      eval_at = high_group;
+    } else {
+      std::vector<size_t> pick = rng.SampleWithoutReplacement(
+          high_group.size(), options_.max_eval_points);
+      eval_at.reserve(pick.size());
+      for (size_t idx : pick) eval_at.push_back(high_group[idx]);
+    }
+    std::vector<double> truths;
+    truths.reserve(eval_at.size());
+    for (const Measurement& m : eval_at) truths.push_back(m.objective);
+
+    // Predictions of each base surrogate at the evaluation subset.
+    std::vector<std::vector<double>> predictions(
+        static_cast<size_t>(num_levels));
+    for (int level = 1; level < num_levels; ++level) {
+      std::vector<Measurement> fit_on =
+          CapMeasurements(store.group(level), options_.max_fit_points);
+      predictions[static_cast<size_t>(level - 1)] =
+          FitAndPredict(*space_, fit_on, eval_at, factory_);
+    }
+    predictions[static_cast<size_t>(num_levels - 1)] =
+        CrossValidationPredictions(*space_, eval_at, options_.cv_folds,
+                                   factory_, options_.seed);
+
+    // Bootstrap "MCMC" estimate of Eq. (2): resample the evaluation
+    // subset; the surrogate with minimum loss on a resample collects a
+    // vote; theta_i is its vote share.
+    size_t n = eval_at.size();
+    int votes_total = 0;
+    std::vector<int> votes(static_cast<size_t>(num_levels), 0);
+    for (int s = 0; s < options_.bootstrap_samples; ++s) {
+      std::vector<size_t> subset(n);
+      for (size_t i = 0; i < n; ++i) {
+        subset[i] = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      }
+      int64_t best_loss = std::numeric_limits<int64_t>::max();
+      std::vector<int> winners;
+      for (int level = 1; level <= num_levels; ++level) {
+        const auto& preds = predictions[static_cast<size_t>(level - 1)];
+        if (preds.empty()) continue;
+        int64_t loss = CountMisrankedPairsOnSubset(preds, truths, subset);
+        if (loss < best_loss) {
+          best_loss = loss;
+          winners.assign(1, level);
+        } else if (loss == best_loss) {
+          winners.push_back(level);
+        }
+      }
+      if (winners.empty()) continue;
+      int winner = winners[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(winners.size()) - 1))];
+      ++votes[static_cast<size_t>(winner - 1)];
+      ++votes_total;
+    }
+
+    if (votes_total > 0) {
+      used_ranking_loss_ = true;
+      for (int level = 1; level <= num_levels; ++level) {
+        theta[static_cast<size_t>(level - 1)] =
+            static_cast<double>(votes[static_cast<size_t>(level - 1)]) /
+            static_cast<double>(votes_total);
+      }
+    } else {
+      // Every surrogate failed to produce predictions: trust D_K only.
+      theta[static_cast<size_t>(num_levels - 1)] = 1.0;
+    }
+  }
+
+  cached_theta_ = std::move(theta);
+  cached_version_ = store.data_version();
+  cached_high_size_ = high_group.size();
+  cached_levels_ = num_levels;
+  return cached_theta_;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,82 @@
+#ifndef HYPERTUNE_ALLOCATOR_FIDELITY_WEIGHTS_H_
+#define HYPERTUNE_ALLOCATOR_FIDELITY_WEIGHTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/allocator/ranking_loss.h"
+#include "src/config/space.h"
+#include "src/runtime/measurement_store.h"
+
+namespace hypertune {
+
+/// Options for the theta estimation of §4.1.
+struct FidelityWeightsOptions {
+  /// Bootstrap samples S drawn in the MCMC estimate of Eq. (2).
+  int bootstrap_samples = 50;
+  /// Folds for M_K's cross-validated ranking loss.
+  int cv_folds = 5;
+  /// Minimum measurements a low-fidelity group needs before its surrogate
+  /// participates.
+  size_t min_points_low = 3;
+  /// Minimum |D_K| before ranking losses are meaningful; below this a
+  /// data-availability fallback is used.
+  size_t min_points_high = 5;
+  /// Ranking losses are evaluated on at most this many D_K points (a
+  /// seeded random subset) to bound the O(S * n^2) pair counting.
+  size_t max_eval_points = 64;
+  /// Low-fidelity base surrogates are fitted on at most this many points.
+  size_t max_fit_points = 400;
+  /// Recompute theta only after this many new measurements arrived since
+  /// the last estimate (1 = every completion). Amortizes the surrogate
+  /// refits; theta drifts slowly, so a small lag is harmless.
+  uint64_t refresh_interval = 8;
+  uint64_t seed = 0;
+};
+
+/// Estimates theta_1..K — the probability that base surrogate M_i (trained
+/// on measurement group D_i) ranks configurations most consistently with
+/// the ground-truth high-fidelity group D_K (Eq. 1 + Eq. 2).
+///
+/// Procedure (per §4.1): fit M_i on D_i for i < K and take its predictive
+/// ranking on D_K's configurations; for M_K use 5-fold cross-validation.
+/// Then draw S bootstrap resamples of D_K; sample s yields losses
+/// l_{i,s}; theta_i is the fraction of samples in which M_i attains the
+/// minimum loss (ties split uniformly at random).
+///
+/// Fallback before |D_K| >= min_points_high: theta is uniform over the
+/// levels that already have min_points_low measurements (so early search is
+/// guided by whatever fidelity has data), or uniform over all levels when
+/// none do.
+///
+/// Results are cached by store version; recomputation happens only when new
+/// measurements arrive. theta is shared by the two consumers in the paper:
+/// the MFES ensemble surrogate (Eq. 3) and the bracket selector (w = c o
+/// theta).
+class FidelityWeights {
+ public:
+  FidelityWeights(const ConfigurationSpace* space,
+                  FidelityWeightsOptions options);
+
+  /// Returns theta (size = store.num_levels(), sums to 1).
+  const std::vector<double>& ComputeTheta(const MeasurementStore& store);
+
+  /// True when the last ComputeTheta used ranking losses (not the
+  /// data-availability fallback). For tests and diagnostics.
+  bool used_ranking_loss() const { return used_ranking_loss_; }
+
+ private:
+  const ConfigurationSpace* space_;
+  FidelityWeightsOptions options_;
+  SurrogateFactory factory_;
+
+  std::vector<double> cached_theta_;
+  uint64_t cached_version_ = ~uint64_t{0};
+  size_t cached_high_size_ = 0;
+  int cached_levels_ = 0;
+  bool used_ranking_loss_ = false;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_ALLOCATOR_FIDELITY_WEIGHTS_H_

@@ -1,0 +1,51 @@
+#ifndef HYPERTUNE_ALLOCATOR_RANKING_LOSS_H_
+#define HYPERTUNE_ALLOCATOR_RANKING_LOSS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/config/space.h"
+#include "src/runtime/measurement_store.h"
+#include "src/surrogate/surrogate.h"
+
+namespace hypertune {
+
+/// Factory producing fresh, unfitted surrogates (one per base model fit).
+using SurrogateFactory = std::function<std::unique_ptr<Surrogate>()>;
+
+/// Eq. (1): number of mis-ranked pairs between `predictions` and ground
+/// truth `truths` over all ordered pairs (j, k):
+///   L = sum_j sum_k 1[(pred_j < pred_k) XOR (y_j < y_k)].
+/// Requires equal sizes.
+int64_t CountMisrankedPairs(const std::vector<double>& predictions,
+                            const std::vector<double>& truths);
+
+/// Like CountMisrankedPairs but restricted to the index multiset `subset`
+/// (a bootstrap resample of [0, n)); used by the MCMC estimate of theta
+/// (Eq. 2).
+int64_t CountMisrankedPairsOnSubset(const std::vector<double>& predictions,
+                                    const std::vector<double>& truths,
+                                    const std::vector<size_t>& subset);
+
+/// Fits a fresh surrogate on `fit_on` and returns its mean predictions at
+/// the configurations of `eval_at`. Returns an empty vector when `fit_on`
+/// is too small (< 2) or the fit fails.
+std::vector<double> FitAndPredict(const ConfigurationSpace& space,
+                                  const std::vector<Measurement>& fit_on,
+                                  const std::vector<Measurement>& eval_at,
+                                  const SurrogateFactory& factory);
+
+/// K-fold cross-validated predictions of a surrogate on its own data
+/// (§4.1: "for the base surrogate M_K trained on D_K directly, we adopt
+/// 5-fold cross-validation"). Element i is the prediction for data[i] from
+/// the fold that held it out. Returns an empty vector when |data| < folds
+/// or a fold fit fails.
+std::vector<double> CrossValidationPredictions(
+    const ConfigurationSpace& space, const std::vector<Measurement>& data,
+    int folds, const SurrogateFactory& factory, uint64_t seed);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_ALLOCATOR_RANKING_LOSS_H_

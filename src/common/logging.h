@@ -1,0 +1,68 @@
+#ifndef HYPERTUNE_COMMON_LOGGING_H_
+#define HYPERTUNE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hypertune {
+
+/// Log severities, ordered; messages below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted (default: kWarning, so
+/// library internals stay quiet in tests and benchmarks).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global log threshold.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: HT_LOG(kInfo) << "fitted surrogate on " << n << " points";
+#define HT_LOG(severity)                                        \
+  ::hypertune::internal::LogMessage(                            \
+      ::hypertune::LogLevel::severity, __FILE__, __LINE__)
+
+/// Fatal check macro: aborts with a message when `cond` is false. Used for
+/// internal invariants (programming errors), not user-facing validation.
+#define HT_CHECK(cond)                                                    \
+  if (!(cond))                                                            \
+  ::hypertune::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+/// Aborts the process after streaming a failure message.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_COMMON_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef HYPERTUNE_COMMON_STATISTICS_H_
+#define HYPERTUNE_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hypertune {
+
+/// Arithmetic mean; returns 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double StdDev(const std::vector<double>& values);
+
+/// Population variance (n denominator); returns 0 for empty input.
+double Variance(const std::vector<double>& values);
+
+/// Median (average of the two middle elements for even n); 0 for empty input.
+double Median(std::vector<double> values);
+
+/// Linear-interpolated quantile, q in [0, 1]; 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Smallest and largest element; returns {0, 0} for empty input.
+std::pair<double, double> MinMax(const std::vector<double>& values);
+
+/// Spearman rank correlation between two equally-sized vectors.
+/// Ties receive average ranks. Returns 0 when either input is constant
+/// or shorter than 2 elements.
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// Kendall tau-a rank correlation (pairwise concordance). Returns 0 for
+/// fewer than 2 elements.
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Ranks of `values` (0 = smallest), ties broken by average rank.
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+/// Standard normal probability density function.
+double NormalPdf(double x);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_COMMON_STATISTICS_H_

@@ -1,0 +1,52 @@
+#ifndef HYPERTUNE_COMMON_THREAD_POOL_H_
+#define HYPERTUNE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hypertune {
+
+/// A fixed-size thread pool with a FIFO task queue.
+///
+/// Used by ThreadCluster (the real-concurrency execution backend) and for
+/// parallel surrogate fitting. Tasks are void() callables; result plumbing
+/// is the caller's responsibility (e.g. via shared state + WaitIdle()).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` worker threads (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,21 @@
+#include "src/config/configuration.h"
+
+#include <cstring>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+
+uint64_t Configuration::Hash() const {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis as a starting state
+  for (double v : values_) {
+    if (v == 0.0) v = 0.0;  // normalize -0.0
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = CombineSeeds(h, bits);
+  }
+  return h;
+}
+
+}  // namespace hypertune

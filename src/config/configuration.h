@@ -1,0 +1,56 @@
+#ifndef HYPERTUNE_CONFIG_CONFIGURATION_H_
+#define HYPERTUNE_CONFIG_CONFIGURATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hypertune {
+
+class ConfigurationSpace;
+
+/// A point in a ConfigurationSpace: one stored double per parameter
+/// (numeric value for float/int, choice index for categorical/ordinal).
+///
+/// Configurations are plain values: cheap to copy, hashable, comparable.
+/// They carry no pointer to their space; interpretation (names, formatting,
+/// encoding) always goes through the owning ConfigurationSpace.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<double>& values() const { return values_; }
+
+  bool operator==(const Configuration& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const Configuration& other) const {
+    return !(*this == other);
+  }
+
+  /// Stable 64-bit hash of the stored values (bit-pattern based; -0.0 is
+  /// normalized to 0.0 so equal configurations hash equally).
+  uint64_t Hash() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// std::hash adapter so Configuration can key unordered containers.
+struct ConfigurationHash {
+  size_t operator()(const Configuration& c) const {
+    return static_cast<size_t>(c.Hash());
+  }
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_CONFIG_CONFIGURATION_H_

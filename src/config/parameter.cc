@@ -1,0 +1,193 @@
+#include "src/config/parameter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/statistics.h"
+
+namespace hypertune {
+
+Parameter::Parameter(std::string name, ParameterType type)
+    : name_(std::move(name)), type_(type) {}
+
+Parameter Parameter::Float(std::string name, double low, double high,
+                           bool log_scale) {
+  HT_CHECK(low < high) << "Float parameter '" << name << "': low >= high";
+  HT_CHECK(!log_scale || low > 0.0)
+      << "Float parameter '" << name << "': log scale requires low > 0";
+  Parameter p(std::move(name), ParameterType::kFloat);
+  p.low_ = low;
+  p.high_ = high;
+  p.log_scale_ = log_scale;
+  return p;
+}
+
+Parameter Parameter::Int(std::string name, int64_t low, int64_t high,
+                         bool log_scale) {
+  HT_CHECK(low <= high) << "Int parameter '" << name << "': low > high";
+  HT_CHECK(!log_scale || low > 0) << "Int parameter '" << name
+                                  << "': log scale requires low > 0";
+  Parameter p(std::move(name), ParameterType::kInt);
+  p.low_ = static_cast<double>(low);
+  p.high_ = static_cast<double>(high);
+  p.log_scale_ = log_scale;
+  return p;
+}
+
+Parameter Parameter::Categorical(std::string name,
+                                 std::vector<std::string> choices) {
+  HT_CHECK(!choices.empty()) << "Categorical parameter '" << name
+                             << "' needs at least one choice";
+  Parameter p(std::move(name), ParameterType::kCategorical);
+  p.low_ = 0.0;
+  p.high_ = static_cast<double>(choices.size() - 1);
+  p.choices_ = std::move(choices);
+  return p;
+}
+
+Parameter Parameter::Ordinal(std::string name,
+                             std::vector<std::string> choices) {
+  HT_CHECK(!choices.empty()) << "Ordinal parameter '" << name
+                             << "' needs at least one choice";
+  Parameter p(std::move(name), ParameterType::kOrdinal);
+  p.low_ = 0.0;
+  p.high_ = static_cast<double>(choices.size() - 1);
+  p.choices_ = std::move(choices);
+  return p;
+}
+
+Status Parameter::Validate(double value) const {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("parameter '" + name_ +
+                                   "': value is not finite");
+  }
+  if (value < low_ || value > high_) {
+    return Status::OutOfRange("parameter '" + name_ + "': value " +
+                              std::to_string(value) + " outside [" +
+                              std::to_string(low_) + ", " +
+                              std::to_string(high_) + "]");
+  }
+  if (is_discrete() && value != std::round(value)) {
+    return Status::InvalidArgument("parameter '" + name_ +
+                                   "': discrete value must be integral");
+  }
+  return Status::Ok();
+}
+
+double Parameter::SampleValue(Rng* rng) const {
+  switch (type_) {
+    case ParameterType::kFloat:
+      if (log_scale_) {
+        return std::exp(rng->Uniform(std::log(low_), std::log(high_)));
+      }
+      return rng->Uniform(low_, high_);
+    case ParameterType::kInt:
+      if (log_scale_) {
+        double v = std::exp(rng->Uniform(std::log(low_), std::log(high_ + 1.0)));
+        return Clamp(std::floor(v), low_, high_);
+      }
+      return static_cast<double>(rng->UniformInt(
+          static_cast<int64_t>(low_), static_cast<int64_t>(high_)));
+    case ParameterType::kCategorical:
+    case ParameterType::kOrdinal:
+      return static_cast<double>(
+          rng->UniformInt(0, static_cast<int64_t>(choices_.size()) - 1));
+  }
+  return low_;
+}
+
+double Parameter::ToUnit(double value) const {
+  switch (type_) {
+    case ParameterType::kFloat:
+    case ParameterType::kInt: {
+      double lo = low_, hi = high_, v = value;
+      if (log_scale_) {
+        lo = std::log(low_);
+        hi = std::log(high_);
+        v = std::log(std::max(value, low_));
+      }
+      if (hi <= lo) return 0.5;
+      return Clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    }
+    case ParameterType::kCategorical:
+    case ParameterType::kOrdinal: {
+      double n = static_cast<double>(choices_.size());
+      return (value + 0.5) / n;
+    }
+  }
+  return 0.5;
+}
+
+double Parameter::FromUnit(double unit) const {
+  unit = Clamp(unit, 0.0, 1.0);
+  switch (type_) {
+    case ParameterType::kFloat: {
+      if (log_scale_) {
+        double lo = std::log(low_), hi = std::log(high_);
+        return std::exp(lo + unit * (hi - lo));
+      }
+      return low_ + unit * (high_ - low_);
+    }
+    case ParameterType::kInt: {
+      double v;
+      if (log_scale_) {
+        double lo = std::log(low_), hi = std::log(high_);
+        v = std::exp(lo + unit * (hi - lo));
+      } else {
+        v = low_ + unit * (high_ - low_);
+      }
+      return Clamp(std::round(v), low_, high_);
+    }
+    case ParameterType::kCategorical:
+    case ParameterType::kOrdinal: {
+      double n = static_cast<double>(choices_.size());
+      double idx = std::floor(unit * n);
+      return Clamp(idx, 0.0, n - 1.0);
+    }
+  }
+  return low_;
+}
+
+double Parameter::Neighbor(double value, double scale, Rng* rng) const {
+  if (type_ == ParameterType::kCategorical) {
+    if (choices_.size() <= 1) return value;
+    // Uniform over the other choices.
+    int64_t cur = static_cast<int64_t>(value);
+    int64_t pick =
+        rng->UniformInt(0, static_cast<int64_t>(choices_.size()) - 2);
+    if (pick >= cur) ++pick;
+    return static_cast<double>(pick);
+  }
+  // Numeric / ordinal: Gaussian step in unit space, redrawn until it moves
+  // for discrete parameters (bounded retries keep this total).
+  double u = ToUnit(value);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    double cand = Clamp(u + rng->Gaussian(0.0, scale), 0.0, 1.0);
+    double v = FromUnit(cand);
+    if (!is_discrete() || v != value || (high_ - low_) < 1.0) return v;
+  }
+  return value;
+}
+
+std::string Parameter::FormatValue(double value) const {
+  switch (type_) {
+    case ParameterType::kFloat: {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+    case ParameterType::kInt:
+      return std::to_string(static_cast<int64_t>(value));
+    case ParameterType::kCategorical:
+    case ParameterType::kOrdinal: {
+      size_t idx = static_cast<size_t>(value);
+      if (idx < choices_.size()) return choices_[idx];
+      return "<invalid:" + std::to_string(value) + ">";
+    }
+  }
+  return std::to_string(value);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,95 @@
+#ifndef HYPERTUNE_CONFIG_PARAMETER_H_
+#define HYPERTUNE_CONFIG_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace hypertune {
+
+/// Kinds of tunable hyper-parameters supported by the search space.
+enum class ParameterType {
+  kFloat,        ///< continuous value in [low, high], optionally log-scaled
+  kInt,          ///< integer value in [low, high], optionally log-scaled
+  kCategorical,  ///< unordered finite choice set
+  kOrdinal,      ///< ordered finite choice set (distance-aware neighbors)
+};
+
+/// Definition of a single hyper-parameter.
+///
+/// Values are represented as doubles inside Configuration: the numeric value
+/// for kFloat/kInt and the choice index for kCategorical/kOrdinal. The
+/// parameter provides sampling, validation, unit-cube encoding (for
+/// surrogate models) and neighbor generation (for local acquisition search).
+class Parameter {
+ public:
+  /// Continuous parameter on [low, high]; when `log_scale`, sampling and
+  /// encoding are uniform in log-space (requires low > 0).
+  static Parameter Float(std::string name, double low, double high,
+                         bool log_scale = false);
+
+  /// Integer parameter on [low, high] inclusive.
+  static Parameter Int(std::string name, int64_t low, int64_t high,
+                       bool log_scale = false);
+
+  /// Unordered categorical parameter over `choices` (size >= 1).
+  static Parameter Categorical(std::string name,
+                               std::vector<std::string> choices);
+
+  /// Ordered discrete parameter over `choices` (size >= 1).
+  static Parameter Ordinal(std::string name, std::vector<std::string> choices);
+
+  const std::string& name() const { return name_; }
+  ParameterType type() const { return type_; }
+  double low() const { return low_; }
+  double high() const { return high_; }
+  bool log_scale() const { return log_scale_; }
+  const std::vector<std::string>& choices() const { return choices_; }
+
+  /// Number of discrete choices; 0 for continuous parameters.
+  size_t num_choices() const { return choices_.size(); }
+
+  /// True for kCategorical (surrogates must not assume an ordering).
+  bool is_categorical() const { return type_ == ParameterType::kCategorical; }
+
+  /// True for kInt/kOrdinal/kCategorical.
+  bool is_discrete() const { return type_ != ParameterType::kFloat; }
+
+  /// Validates that `value` is a legal stored value for this parameter.
+  Status Validate(double value) const;
+
+  /// Draws a uniform random value (log-uniform when log-scaled).
+  double SampleValue(Rng* rng) const;
+
+  /// Maps a stored value to [0, 1] for surrogate features. Categorical
+  /// parameters map index i to (i + 0.5) / num_choices.
+  double ToUnit(double value) const;
+
+  /// Inverse of ToUnit; discrete results are rounded/clamped to legal values.
+  double FromUnit(double unit) const;
+
+  /// Returns a perturbed legal value near `value`: a truncated-Gaussian step
+  /// of relative scale `scale` in unit space for numeric/ordinal parameters,
+  /// or a uniformly random *different* choice for categorical ones (when
+  /// more than one choice exists).
+  double Neighbor(double value, double scale, Rng* rng) const;
+
+  /// Human-readable rendering of a stored value ("0.01", "relu", ...).
+  std::string FormatValue(double value) const;
+
+ private:
+  Parameter(std::string name, ParameterType type);
+
+  std::string name_;
+  ParameterType type_;
+  double low_ = 0.0;
+  double high_ = 1.0;
+  bool log_scale_ = false;
+  std::vector<std::string> choices_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_CONFIG_PARAMETER_H_

@@ -1,0 +1,83 @@
+#include "src/core/hyper_tune.h"
+
+namespace hypertune {
+namespace {
+
+TuningOutcome MakeOutcome(RunResult run) {
+  TuningOutcome outcome;
+  const TrialRecord* best = BestTrial(run);
+  if (best != nullptr) {
+    outcome.best_config = best->job.config;
+    outcome.best_objective = best->result.objective;
+    outcome.test_objective = best->result.test_objective;
+    outcome.best_resource = best->job.resource;
+  }
+  outcome.run = std::move(run);
+  return outcome;
+}
+
+}  // namespace
+
+Method HyperTune::MethodFor(const HyperTuneOptions& options) {
+  // The full framework, or the closest single-component ablation. Multiple
+  // disabled components degrade towards A-Hyperband.
+  if (options.bracket_selection && options.delayed_promotion &&
+      options.multi_fidelity_sampler) {
+    return Method::kHyperTune;
+  }
+  if (!options.bracket_selection && options.delayed_promotion &&
+      options.multi_fidelity_sampler) {
+    return Method::kHyperTuneNoBs;
+  }
+  if (options.bracket_selection && !options.delayed_promotion &&
+      options.multi_fidelity_sampler) {
+    return Method::kHyperTuneNoDasha;
+  }
+  if (options.bracket_selection && options.delayed_promotion &&
+      !options.multi_fidelity_sampler) {
+    return Method::kHyperTuneNoMfes;
+  }
+  return Method::kAHyperband;
+}
+
+TuningOutcome HyperTune::Optimize(const TuningProblem& problem,
+                                  const HyperTuneOptions& options) {
+  TunerFactoryOptions factory;
+  factory.method = MethodFor(options);
+  factory.eta = options.eta;
+  factory.max_brackets = options.max_brackets;
+  factory.batch_size = options.num_workers;
+  factory.surrogate = options.surrogate;
+  factory.seed = options.seed;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+  ClusterOptions cluster;
+  cluster.num_workers = options.num_workers;
+  cluster.time_budget_seconds = options.time_budget_seconds;
+  cluster.seed = options.seed;
+  cluster.straggler_sigma = options.straggler_sigma;
+  return MakeOutcome(tuner->Run(problem, cluster));
+}
+
+TuningOutcome HyperTune::OptimizeOnThreads(const TuningProblem& problem,
+                                           const HyperTuneOptions& options,
+                                           double wall_budget_seconds,
+                                           double cost_sleep_scale) {
+  TunerFactoryOptions factory;
+  factory.method = MethodFor(options);
+  factory.eta = options.eta;
+  factory.max_brackets = options.max_brackets;
+  factory.batch_size = options.num_workers;
+  factory.surrogate = options.surrogate;
+  factory.seed = options.seed;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+  ThreadClusterOptions cluster;
+  cluster.num_workers = options.num_workers;
+  cluster.time_budget_seconds = wall_budget_seconds;
+  cluster.seed = options.seed;
+  cluster.cost_sleep_scale = cost_sleep_scale;
+  return MakeOutcome(tuner->RunOnThreads(problem, cluster));
+}
+
+}  // namespace hypertune

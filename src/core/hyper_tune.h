@@ -1,0 +1,81 @@
+#ifndef HYPERTUNE_CORE_HYPER_TUNE_H_
+#define HYPERTUNE_CORE_HYPER_TUNE_H_
+
+#include <cstdint>
+
+#include "src/core/tuner.h"
+#include "src/core/tuner_factory.h"
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// User-facing options of the Hyper-Tune framework (§4): the tuning task,
+/// time budget and parallelism, plus toggles for the three core components
+/// so ablations are first-class.
+struct HyperTuneOptions {
+  /// Parallel workers evaluating configurations.
+  int num_workers = 8;
+  /// Total budget in seconds (virtual time on the simulator backend).
+  double time_budget_seconds = 3600.0;
+  /// Discard proportion eta of the HB substrate.
+  double eta = 3.0;
+  /// Cap on the number of brackets / resource levels K.
+  int max_brackets = 4;
+  /// Component 1 (§4.1): learned bracket selection (off = round robin).
+  bool bracket_selection = true;
+  /// Component 2 (§4.2): D-ASHA delayed promotion (off = plain ASHA).
+  bool delayed_promotion = true;
+  /// Component 3 (§4.3): multi-fidelity ensemble sampler (off =
+  /// high-fidelity BO).
+  bool multi_fidelity_sampler = true;
+  /// Surrogate family for the model-based sampler.
+  SurrogateKind surrogate = SurrogateKind::kRandomForest;
+  /// Log-normal straggler noise applied to evaluation times (simulator).
+  double straggler_sigma = 0.0;
+  uint64_t seed = 0;
+};
+
+/// Result of a HyperTune::Optimize call.
+struct TuningOutcome {
+  /// Best configuration found (by validation objective, any fidelity).
+  Configuration best_config;
+  /// Its validation objective.
+  double best_objective = 0.0;
+  /// Test metric of the incumbent's trial.
+  double test_objective = 0.0;
+  /// Training resource the incumbent was evaluated with.
+  double best_resource = 0.0;
+  /// Full execution trace (anytime curve, utilization, all trials).
+  RunResult run;
+};
+
+/// The Hyper-Tune framework facade: takes a tuning task and a time budget,
+/// returns the best configuration found (§4, "Framework Overview").
+///
+///   SyntheticXgboost problem({XgbDataset::kCovertype});
+///   HyperTuneOptions options;
+///   options.num_workers = 8;
+///   options.time_budget_seconds = 3 * 3600.0;
+///   TuningOutcome outcome = HyperTune::Optimize(problem, options);
+///
+/// Disable individual components via the options to reproduce the paper's
+/// ablations (Table 3 / Figure 8).
+class HyperTune {
+ public:
+  /// Runs the full framework on the virtual-time simulator backend.
+  static TuningOutcome Optimize(const TuningProblem& problem,
+                                const HyperTuneOptions& options);
+
+  /// Runs on real worker threads; `wall_budget_seconds` is wall-clock.
+  static TuningOutcome OptimizeOnThreads(const TuningProblem& problem,
+                                         const HyperTuneOptions& options,
+                                         double wall_budget_seconds,
+                                         double cost_sleep_scale = 0.0);
+
+  /// Maps the component toggles onto the corresponding Method.
+  static Method MethodFor(const HyperTuneOptions& options);
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_CORE_HYPER_TUNE_H_

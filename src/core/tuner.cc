@@ -1,0 +1,46 @@
+#include "src/core/tuner.h"
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+Tuner::Tuner(std::string method_name, std::unique_ptr<MeasurementStore> store,
+             std::unique_ptr<Sampler> sampler,
+             std::unique_ptr<FidelityWeights> weights,
+             std::unique_ptr<SchedulerInterface> scheduler)
+    : method_name_(std::move(method_name)),
+      store_(std::move(store)),
+      sampler_(std::move(sampler)),
+      weights_(std::move(weights)),
+      scheduler_(std::move(scheduler)) {
+  HT_CHECK(store_ != nullptr && sampler_ != nullptr && scheduler_ != nullptr)
+      << "Tuner requires store, sampler, and scheduler";
+}
+
+RunResult Tuner::Run(const TuningProblem& problem,
+                     const ClusterOptions& options) {
+  HT_CHECK(!used_) << "Tuner instances are single-use; build a fresh one";
+  used_ = true;
+  SimulatedCluster cluster(options);
+  return cluster.Run(scheduler_.get(), problem);
+}
+
+RunResult Tuner::RunOnThreads(const TuningProblem& problem,
+                              const ThreadClusterOptions& options) {
+  HT_CHECK(!used_) << "Tuner instances are single-use; build a fresh one";
+  used_ = true;
+  ThreadCluster cluster(options);
+  return cluster.Run(scheduler_.get(), problem);
+}
+
+const TrialRecord* BestTrial(const RunResult& result) {
+  const TrialRecord* best = nullptr;
+  for (const TrialRecord& trial : result.history.trials()) {
+    if (best == nullptr || trial.result.objective < best->result.objective) {
+      best = &trial;
+    }
+  }
+  return best;
+}
+
+}  // namespace hypertune

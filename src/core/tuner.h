@@ -1,0 +1,58 @@
+#ifndef HYPERTUNE_CORE_TUNER_H_
+#define HYPERTUNE_CORE_TUNER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/allocator/fidelity_weights.h"
+#include "src/optimizer/sampler.h"
+#include "src/runtime/measurement_store.h"
+#include "src/runtime/scheduler_interface.h"
+#include "src/runtime/simulated_cluster.h"
+#include "src/runtime/thread_cluster.h"
+
+namespace hypertune {
+
+/// A fully wired tuning method: measurement store + sampler (+ fidelity
+/// weights) + scheduler, ready to run against a TuningProblem on either
+/// execution backend. Build instances with TunerFactory (or the HyperTune
+/// facade); a Tuner is single-use — schedulers accumulate state, so create
+/// a fresh one per run.
+class Tuner {
+ public:
+  Tuner(std::string method_name, std::unique_ptr<MeasurementStore> store,
+        std::unique_ptr<Sampler> sampler,
+        std::unique_ptr<FidelityWeights> weights,
+        std::unique_ptr<SchedulerInterface> scheduler);
+
+  Tuner(const Tuner&) = delete;
+  Tuner& operator=(const Tuner&) = delete;
+
+  /// Runs on the virtual-time simulator until the budget is exhausted.
+  RunResult Run(const TuningProblem& problem, const ClusterOptions& options);
+
+  /// Runs on real worker threads (wall-clock budget).
+  RunResult RunOnThreads(const TuningProblem& problem,
+                         const ThreadClusterOptions& options);
+
+  const std::string& method_name() const { return method_name_; }
+  MeasurementStore* store() { return store_.get(); }
+  Sampler* sampler() { return sampler_.get(); }
+  SchedulerInterface* scheduler() { return scheduler_.get(); }
+
+ private:
+  std::string method_name_;
+  std::unique_ptr<MeasurementStore> store_;
+  std::unique_ptr<Sampler> sampler_;
+  std::unique_ptr<FidelityWeights> weights_;
+  std::unique_ptr<SchedulerInterface> scheduler_;
+  bool used_ = false;
+};
+
+/// The trial with the lowest validation objective in `result`, or nullptr
+/// when the run recorded no trials.
+const TrialRecord* BestTrial(const RunResult& result);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_CORE_TUNER_H_

@@ -1,0 +1,72 @@
+#ifndef HYPERTUNE_CORE_TUNER_FACTORY_H_
+#define HYPERTUNE_CORE_TUNER_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/tuner.h"
+#include "src/optimizer/bo_sampler.h"
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// Every tuning method the paper evaluates (§5.1) plus the ablation and
+/// add-on variants of §5.7.
+enum class Method {
+  // --- complete-evaluation baselines ---
+  kARandom,  ///< asynchronous random search
+  kBatchBo,  ///< synchronous batch BO
+  kABo,      ///< asynchronous batch BO (median imputation)
+  kARea,     ///< asynchronous regularized evolution (Figure 5)
+  // --- partial-evaluation baselines ---
+  kSha,         ///< synchronous successive halving (bracket 1 repeated)
+  kAsha,        ///< asynchronous successive halving
+  kDasha,       ///< D-ASHA alone (Algorithm 1, single bracket)
+  kHyperband,   ///< synchronous Hyperband (round-robin brackets)
+  kAHyperband,  ///< asynchronous Hyperband (ASHA brackets, round robin)
+  kBohb,        ///< Hyperband + BO sampling
+  kABohb,       ///< asynchronous BOHB (ASHA brackets + high-fidelity BO)
+  kMfesHb,      ///< Hyperband + multi-fidelity ensemble BO
+  // --- the proposed framework ---
+  kHyperTune,  ///< bracket selection + D-ASHA + MFES sampler
+  // --- ablations (Table 3): Hyper-Tune minus one component ---
+  kHyperTuneNoBs,     ///< round-robin brackets instead of learned selection
+  kHyperTuneNoDasha,  ///< plain ASHA promotion instead of delayed
+  kHyperTuneNoMfes,   ///< high-fidelity BO instead of the MFES ensemble
+  // --- component add-ons to baselines (Figure 8) ---
+  kAHyperbandBs,     ///< A-Hyperband + bracket selection
+  kABohbBs,          ///< async BOHB + bracket selection
+  kAHyperbandDasha,  ///< A-Hyperband with delayed promotion
+  kABohbDasha,       ///< async BOHB with delayed promotion
+};
+
+/// Canonical display name ("Hyper-Tune", "A-BOHB", ...).
+const char* MethodName(Method method);
+
+/// The ten baselines + Hyper-Tune, in the paper's §5.1 order.
+std::vector<Method> PaperMethods();
+
+/// Knobs shared by all methods.
+struct TunerFactoryOptions {
+  Method method = Method::kHyperTune;
+  /// Discard proportion eta of the HB family.
+  double eta = 3.0;
+  /// Cap on the number of resource levels / brackets K (the paper uses 4).
+  int max_brackets = 4;
+  /// Batch size of synchronous batch BO (set to the worker count).
+  int batch_size = 8;
+  /// Surrogate for all model-based samplers.
+  SurrogateKind surrogate = SurrogateKind::kRandomForest;
+  uint64_t seed = 0;
+};
+
+/// Builds a fully wired single-use Tuner for `problem`. The resource
+/// ladder is derived from the problem's min/max resource and `eta`, capped
+/// at `max_brackets` levels.
+std::unique_ptr<Tuner> CreateTuner(const TuningProblem& problem,
+                                   const TunerFactoryOptions& options);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_CORE_TUNER_FACTORY_H_

@@ -1,0 +1,90 @@
+#include "src/linalg/cholesky.h"
+
+#include <cmath>
+
+namespace hypertune {
+
+Status Cholesky::Factorize(const Matrix& a) {
+  factored_ = false;
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  size_t n = a.rows();
+  l_ = Matrix(n, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status::FailedPrecondition(
+          "matrix is not positive definite at pivot " + std::to_string(j));
+    }
+    double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / ljj;
+    }
+  }
+  factored_ = true;
+  return Status::Ok();
+}
+
+Vector Cholesky::SolveLower(const Vector& b) const {
+  HT_CHECK(factored_) << "SolveLower before successful Factorize";
+  HT_CHECK(b.size() == l_.rows()) << "SolveLower: size mismatch";
+  size_t n = b.size();
+  Vector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::SolveLowerTransposed(const Vector& b) const {
+  HT_CHECK(factored_) << "SolveLowerTransposed before successful Factorize";
+  HT_CHECK(b.size() == l_.rows()) << "SolveLowerTransposed: size mismatch";
+  size_t n = b.size();
+  Vector x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double acc = b[i];
+    for (size_t k = i + 1; k < n; ++k) acc -= l_(k, i) * x[k];
+    x[i] = acc / l_(i, i);
+  }
+  return x;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  return SolveLowerTransposed(SolveLower(b));
+}
+
+double Cholesky::LogDeterminant() const {
+  HT_CHECK(factored_) << "LogDeterminant before successful Factorize";
+  double acc = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Status CholeskyWithJitter(const Matrix& a, Cholesky* chol, double* jitter_used,
+                          double initial_jitter, int max_attempts) {
+  if (jitter_used != nullptr) *jitter_used = 0.0;
+  Status last = chol->Factorize(a);
+  if (last.ok()) return last;
+  double jitter = initial_jitter;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Matrix jittered = a;
+    jittered.AddDiagonal(jitter);
+    last = chol->Factorize(jittered);
+    if (last.ok()) {
+      if (jitter_used != nullptr) *jitter_used = jitter;
+      return last;
+    }
+    jitter *= 10.0;
+  }
+  return last;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,52 @@
+#ifndef HYPERTUNE_LINALG_CHOLESKY_H_
+#define HYPERTUNE_LINALG_CHOLESKY_H_
+
+#include "src/common/status.h"
+#include "src/linalg/matrix.h"
+
+namespace hypertune {
+
+/// Lower-triangular Cholesky factorization of a symmetric positive-definite
+/// matrix, with the solves a Gaussian process needs on top of it.
+///
+/// Factorize() may be retried by callers with increasing diagonal jitter when
+/// the input is only positive semi-definite (see CholeskyWithJitter).
+class Cholesky {
+ public:
+  /// Factorizes A = L L^T. Returns InvalidArgument for non-square input and
+  /// FailedPrecondition when A is not positive definite.
+  Status Factorize(const Matrix& a);
+
+  /// True once Factorize succeeded.
+  bool ok() const { return factored_; }
+
+  size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// Solves L y = b (forward substitution).
+  Vector SolveLower(const Vector& b) const;
+
+  /// Solves L^T x = b (back substitution).
+  Vector SolveLowerTransposed(const Vector& b) const;
+
+  /// Solves A x = b via the two triangular solves.
+  Vector Solve(const Vector& b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)). Requires ok().
+  double LogDeterminant() const;
+
+ private:
+  Matrix l_;
+  bool factored_ = false;
+};
+
+/// Factorizes `a` with escalating diagonal jitter (starting at
+/// `initial_jitter`, multiplied by 10 up to `max_attempts` times) until the
+/// factorization succeeds. Returns the jitter actually used through
+/// `*jitter_used` (may be 0). Fails only if every attempt fails.
+Status CholeskyWithJitter(const Matrix& a, Cholesky* chol, double* jitter_used,
+                          double initial_jitter = 1e-10, int max_attempts = 8);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_LINALG_CHOLESKY_H_

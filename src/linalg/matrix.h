@@ -1,0 +1,66 @@
+#ifndef HYPERTUNE_LINALG_MATRIX_H_
+#define HYPERTUNE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+/// A dense column vector backed by std::vector<double>.
+using Vector = std::vector<double>;
+
+/// Dot product. Requires equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm(const Vector& v);
+
+/// A dense row-major matrix of doubles, sized at construction.
+///
+/// This is intentionally a minimal numeric container: just what the
+/// Gaussian-process surrogate needs (element access, mat-vec, Cholesky in
+/// cholesky.h). No expression templates, no views.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n);
+
+  /// Matrix-vector product. Requires x.size() == cols().
+  Vector MatVec(const Vector& x) const;
+
+  /// Transposed matrix-vector product (A^T x). Requires x.size() == rows().
+  Vector TransposeMatVec(const Vector& x) const;
+
+  /// Matrix-matrix product. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Adds `value` to each diagonal element (in place). Requires square.
+  void AddDiagonal(double value);
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_LINALG_MATRIX_H_

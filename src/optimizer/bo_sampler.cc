@@ -1,0 +1,149 @@
+#include "src/optimizer/bo_sampler.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/optimizer/median_imputation.h"
+#include "src/optimizer/random_sampler.h"
+#include "src/surrogate/gaussian_process.h"
+#include "src/surrogate/random_forest.h"
+
+namespace hypertune {
+
+std::optional<Configuration> MaximizeAcquisition(
+    const ConfigurationSpace& space, const MeasurementStore& store,
+    const Surrogate& model, double best_objective, int seed_level,
+    const AcquisitionMaximizerOptions& options, Rng* rng) {
+  // Hash set of everything already measured or pending, to avoid duplicate
+  // proposals in small discrete spaces.
+  std::unordered_set<uint64_t> known;
+  for (int level = 1; level <= store.num_levels(); ++level) {
+    for (const Measurement& m : store.group(level)) {
+      known.insert(m.config.Hash());
+    }
+  }
+  for (const Configuration& pending : store.PendingConfigs()) {
+    known.insert(pending.Hash());
+  }
+
+  std::vector<Configuration> candidates;
+  candidates.reserve(static_cast<size_t>(options.num_candidates) +
+                     static_cast<size_t>(options.num_local_seeds *
+                                         options.neighbors_per_seed));
+  for (int i = 0; i < options.num_candidates; ++i) {
+    candidates.push_back(space.Sample(rng));
+  }
+  if (seed_level >= 1 && seed_level <= store.num_levels()) {
+    const auto& group = store.group(seed_level);
+    std::vector<size_t> order(group.size());
+    for (size_t i = 0; i < group.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return group[a].objective < group[b].objective;
+    });
+    size_t num_seeds = std::min<size_t>(
+        order.size(), static_cast<size_t>(options.num_local_seeds));
+    for (size_t s = 0; s < num_seeds; ++s) {
+      const Configuration& seed_config = group[order[s]].config;
+      for (int n = 0; n < options.neighbors_per_seed; ++n) {
+        candidates.push_back(space.Neighbor(seed_config, 0.2, 1, rng));
+      }
+    }
+  }
+
+  double best_acq = -std::numeric_limits<double>::infinity();
+  const Configuration* best = nullptr;
+  for (const Configuration& candidate : candidates) {
+    if (known.count(candidate.Hash()) > 0) continue;
+    Prediction p = model.Predict(space.Encode(candidate));
+    double acq = AcquisitionValue(p, best_objective, options.acquisition);
+    if (acq > best_acq) {
+      best_acq = acq;
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+BoSampler::BoSampler(const ConfigurationSpace* space,
+                     const MeasurementStore* store, BoSamplerOptions options)
+    : space_(space), store_(store), options_(options), rng_(options.seed) {
+  HT_CHECK(space_ != nullptr && store_ != nullptr)
+      << "BoSampler needs a space and a store";
+  if (options_.min_points == 0) {
+    options_.min_points = std::max<size_t>(space_->size() + 1, 6);
+  }
+}
+
+std::string BoSampler::name() const {
+  return options_.surrogate == SurrogateKind::kRandomForest ? "bo-rf" : "bo-gp";
+}
+
+std::unique_ptr<Surrogate> BoSampler::MakeSurrogate() const {
+  if (options_.surrogate == SurrogateKind::kGaussianProcess) {
+    GaussianProcessOptions gp;
+    gp.seed = options_.seed;
+    return std::make_unique<GaussianProcess>(gp);
+  }
+  RandomForestOptions rf;
+  rf.seed = options_.seed;
+  auto forest = std::make_unique<RandomForest>(rf);
+  std::vector<bool> categorical(space_->size(), false);
+  for (size_t i = 0; i < space_->size(); ++i) {
+    categorical[i] = space_->parameter(i).is_categorical();
+  }
+  forest->SetCategoricalFeatures(std::move(categorical));
+  return forest;
+}
+
+bool BoSampler::EnsureModel() {
+  int level = store_->HighestLevelWith(options_.min_points);
+  if (level == 0) return false;
+
+  if (model_ != nullptr && fitted_version_ == store_->version() &&
+      last_fit_level_ == level) {
+    return true;
+  }
+
+  SurrogateData data =
+      options_.impute_pending
+          ? BuildSurrogateDataWithPendingMedian(*space_, *store_, level)
+          : BuildSurrogateData(*space_, *store_, level);
+  auto model = MakeSurrogate();
+  if (!model->Fit(data.x, data.y).ok()) return false;
+
+  model_ = std::move(model);
+  fitted_version_ = store_->version();
+  last_fit_level_ = level;
+  fit_best_ = store_->BestObjective(level);
+  return true;
+}
+
+Configuration BoSampler::ProposeFromModel() {
+  AcquisitionMaximizerOptions opts;
+  opts.acquisition = options_.acquisition;
+  opts.num_candidates = options_.num_candidates;
+  opts.num_local_seeds = options_.num_local_seeds;
+  opts.neighbors_per_seed = options_.neighbors_per_seed;
+  std::optional<Configuration> proposal = MaximizeAcquisition(
+      *space_, *store_, *model_, fit_best_, last_fit_level_, opts, &rng_);
+  if (proposal.has_value()) return *std::move(proposal);
+  // Every candidate was a duplicate: fall back to (deduplicated) random.
+  RandomSampler fallback(space_, store_,
+                         CombineSeeds(options_.seed, store_->version()));
+  return fallback.Sample(last_fit_level_);
+}
+
+Configuration BoSampler::Sample(int target_level) {
+  bool explore = rng_.Bernoulli(options_.random_fraction);
+  if (explore || !EnsureModel()) {
+    RandomSampler random(space_, store_,
+                         CombineSeeds(options_.seed, rng_.engine()()));
+    return random.Sample(target_level);
+  }
+  return ProposeFromModel();
+}
+
+}  // namespace hypertune

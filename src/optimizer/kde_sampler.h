@@ -1,0 +1,80 @@
+#ifndef HYPERTUNE_OPTIMIZER_KDE_SAMPLER_H_
+#define HYPERTUNE_OPTIMIZER_KDE_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/optimizer/sampler.h"
+
+namespace hypertune {
+
+/// Options for the TPE/KDE sampler.
+struct KdeSamplerOptions {
+  /// Fraction gamma of observations forming the "good" density l(x).
+  double good_fraction = 0.15;
+  /// Observations required before the model engages; 0 = dim + 2.
+  size_t min_points = 0;
+  /// Candidates drawn from l(x) and scored by l(x)/g(x).
+  int num_candidates = 64;
+  /// Uniform-random interleaving fraction (BOHB's rho).
+  double random_fraction = 0.25;
+  /// Scott's-rule bandwidth multiplier.
+  double bandwidth_factor = 1.0;
+  /// Minimum bandwidth in unit space (avoids collapsing onto duplicates).
+  double min_bandwidth = 0.02;
+  uint64_t seed = 0;
+};
+
+/// Tree-structured Parzen estimator sampler — the model BOHB actually uses
+/// (Falkner et al. 2018; Bergstra et al. 2011). Implemented as an
+/// alternative to the RF/GP-based BoSampler behind the same Sampler
+/// interface, exercising the paper's claim that the optimizer module makes
+/// sampling algorithms drop-in replaceable (§4.3).
+///
+/// Fit: split the highest measurement group with enough data into the best
+/// gamma-fraction ("good", density l) and the rest ("bad", density g),
+/// model each with per-dimension kernel densities in unit space (Gaussian
+/// kernels for numeric dimensions with Scott's-rule bandwidths, smoothed
+/// categorical histograms for discrete ones). Propose: draw candidates by
+/// perturbing good observations, return argmax of l(x)/g(x).
+class KdeSampler : public Sampler {
+ public:
+  KdeSampler(const ConfigurationSpace* space, const MeasurementStore* store,
+             KdeSamplerOptions options);
+
+  Configuration Sample(int target_level) override;
+  std::string name() const override { return "kde"; }
+
+  /// Level the model used for its last proposal (0 = random fallback).
+  int last_fit_level() const { return last_fit_level_; }
+
+ private:
+  /// Per-dimension kernel density over unit-space values.
+  struct Density {
+    /// Unit-space centers (numeric dims) or category counts (discrete).
+    std::vector<std::vector<double>> numeric_centers;   // per dim
+    std::vector<double> numeric_bandwidths;             // per dim
+    std::vector<std::vector<double>> category_weights;  // per discrete dim
+  };
+
+  /// Builds a density from encoded configurations.
+  Density FitDensity(const std::vector<std::vector<double>>& unit_rows) const;
+
+  /// log density of `unit` under `density`.
+  double LogDensity(const Density& density,
+                    const std::vector<double>& unit) const;
+
+  /// Draws a candidate by sampling a kernel of the good density.
+  std::vector<double> SampleFromDensity(const Density& density);
+
+  const ConfigurationSpace* space_;
+  const MeasurementStore* store_;
+  KdeSamplerOptions options_;
+  Rng rng_;
+  int last_fit_level_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OPTIMIZER_KDE_SAMPLER_H_

@@ -1,0 +1,33 @@
+#include "src/optimizer/median_imputation.h"
+
+namespace hypertune {
+
+SurrogateData BuildSurrogateData(const ConfigurationSpace& space,
+                                 const MeasurementStore& store, int level) {
+  SurrogateData data;
+  const auto& group = store.group(level);
+  data.x.reserve(group.size());
+  data.y.reserve(group.size());
+  for (const Measurement& m : group) {
+    data.x.push_back(space.Encode(m.config));
+    data.y.push_back(m.objective);
+  }
+  data.num_real = group.size();
+  return data;
+}
+
+SurrogateData BuildSurrogateDataWithPendingMedian(
+    const ConfigurationSpace& space, const MeasurementStore& store,
+    int level) {
+  SurrogateData data = BuildSurrogateData(space, store, level);
+  if (data.num_real == 0) return data;  // no median to impute with
+  double median = store.MedianObjective(level);
+  for (const Configuration& pending : store.PendingConfigs()) {
+    data.x.push_back(space.Encode(pending));
+    data.y.push_back(median);
+    ++data.num_imputed;
+  }
+  return data;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,35 @@
+#ifndef HYPERTUNE_OPTIMIZER_MEDIAN_IMPUTATION_H_
+#define HYPERTUNE_OPTIMIZER_MEDIAN_IMPUTATION_H_
+
+#include <vector>
+
+#include "src/config/space.h"
+#include "src/runtime/measurement_store.h"
+
+namespace hypertune {
+
+/// Training data for a surrogate: encoded design matrix plus targets.
+struct SurrogateData {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  size_t num_real = 0;     ///< measurements (prefix of x/y)
+  size_t num_imputed = 0;  ///< imputed pending evaluations (suffix)
+};
+
+/// Builds surrogate training data from measurement group `level` of
+/// `store`, encoded through `space`.
+SurrogateData BuildSurrogateData(const ConfigurationSpace& space,
+                                 const MeasurementStore& store, int level);
+
+/// Algorithm 2 (lines 1–3), the algorithm-agnostic parallel sampling
+/// device: augments group `level` with every pending configuration imputed
+/// at the group's median objective. The imputed points act as a local
+/// penalty around busy workers' configurations, steering the acquisition
+/// away from repeated or near-duplicate evaluations without modifying the
+/// underlying sequential optimizer.
+SurrogateData BuildSurrogateDataWithPendingMedian(
+    const ConfigurationSpace& space, const MeasurementStore& store, int level);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OPTIMIZER_MEDIAN_IMPUTATION_H_

@@ -1,0 +1,38 @@
+#include "src/optimizer/random_sampler.h"
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+bool IsKnownConfiguration(const MeasurementStore& store,
+                          const Configuration& config) {
+  for (int level = 1; level <= store.num_levels(); ++level) {
+    for (const Measurement& m : store.group(level)) {
+      if (m.config == config) return true;
+    }
+  }
+  for (const Configuration& pending : store.PendingConfigs()) {
+    if (pending == config) return true;
+  }
+  return false;
+}
+
+RandomSampler::RandomSampler(const ConfigurationSpace* space,
+                             const MeasurementStore* store, uint64_t seed)
+    : space_(space), store_(store), rng_(seed) {
+  HT_CHECK(space_ != nullptr) << "RandomSampler needs a space";
+}
+
+Configuration RandomSampler::Sample(int /*target_level*/) {
+  constexpr int kMaxAttempts = 16;
+  Configuration config = space_->Sample(&rng_);
+  if (store_ == nullptr) return config;
+  for (int attempt = 0;
+       attempt < kMaxAttempts && IsKnownConfiguration(*store_, config);
+       ++attempt) {
+    config = space_->Sample(&rng_);
+  }
+  return config;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,37 @@
+#ifndef HYPERTUNE_OPTIMIZER_RANDOM_SAMPLER_H_
+#define HYPERTUNE_OPTIMIZER_RANDOM_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/optimizer/sampler.h"
+
+namespace hypertune {
+
+/// Uniform random search over the configuration space (Bergstra & Bengio
+/// 2012). With a store attached, re-proposing an already-measured or
+/// pending configuration is avoided by bounded rejection sampling — this
+/// matters for small discrete spaces like NAS benchmarks.
+class RandomSampler : public Sampler {
+ public:
+  /// `store` may be null (no deduplication).
+  RandomSampler(const ConfigurationSpace* space, const MeasurementStore* store,
+                uint64_t seed);
+
+  Configuration Sample(int target_level) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  const ConfigurationSpace* space_;
+  const MeasurementStore* store_;
+  Rng rng_;
+};
+
+/// Returns true when `config` already appears in any measurement group or
+/// in the pending set of `store`. Shared by all deduplicating samplers.
+bool IsKnownConfiguration(const MeasurementStore& store,
+                          const Configuration& config);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OPTIMIZER_RANDOM_SAMPLER_H_

@@ -1,0 +1,62 @@
+#ifndef HYPERTUNE_OPTIMIZER_REA_SAMPLER_H_
+#define HYPERTUNE_OPTIMIZER_REA_SAMPLER_H_
+
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/optimizer/sampler.h"
+
+namespace hypertune {
+
+/// Options for regularized evolution.
+struct ReaSamplerOptions {
+  /// Population size P (oldest individuals age out).
+  size_t population_size = 20;
+  /// Tournament sample size S.
+  size_t tournament_size = 5;
+  /// Parameters mutated per child.
+  int mutations_per_child = 1;
+  /// Only observations at this level or above enter the population
+  /// (0 = any level; the paper's A-REA uses full-fidelity evaluations).
+  int min_level = 0;
+  uint64_t seed = 0;
+};
+
+/// Regularized evolution (REA, Real et al. 2019), the strongest reported
+/// method on NAS-Bench-201, extended to the asynchronous setting as A-REA
+/// exactly as the paper does for its Figure 5 comparison: proposals are
+/// generated on demand for every idle worker, and completed evaluations
+/// join the population via OnObservation.
+///
+/// Behaviour: while the population is below `population_size`, proposals
+/// are random; afterwards each proposal mutates the fittest member of a
+/// random tournament. The oldest member ages out when the population
+/// exceeds its cap ("regularization").
+class ReaSampler : public Sampler {
+ public:
+  ReaSampler(const ConfigurationSpace* space, const MeasurementStore* store,
+             ReaSamplerOptions options);
+
+  Configuration Sample(int target_level) override;
+  void OnObservation(const Configuration& config, double objective,
+                     int level) override;
+  std::string name() const override { return "rea"; }
+
+  size_t population_size() const { return population_.size(); }
+
+ private:
+  struct Individual {
+    Configuration config;
+    double fitness = 0.0;  // objective, lower is better
+  };
+
+  const ConfigurationSpace* space_;
+  const MeasurementStore* store_;
+  ReaSamplerOptions options_;
+  Rng rng_;
+  std::deque<Individual> population_;  // front = oldest
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OPTIMIZER_REA_SAMPLER_H_

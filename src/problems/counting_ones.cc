@@ -1,0 +1,86 @@
+#include "src/problems/counting_ones.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/statistics.h"
+#include "src/problems/learning_curve.h"
+
+namespace hypertune {
+
+CountingOnes::CountingOnes(CountingOnesOptions options) : options_(options) {
+  HT_CHECK(options_.num_categorical >= 0 && options_.num_continuous >= 0 &&
+           options_.num_categorical + options_.num_continuous > 0)
+      << "counting-ones needs at least one dimension";
+  for (int i = 0; i < options_.num_categorical; ++i) {
+    HT_CHECK(space_
+                 .Add(Parameter::Categorical("cat" + std::to_string(i),
+                                             {"0", "1"}))
+                 .ok());
+  }
+  for (int i = 0; i < options_.num_continuous; ++i) {
+    HT_CHECK(space_
+                 .Add(Parameter::Float("cont" + std::to_string(i), 0.0, 1.0))
+                 .ok());
+  }
+}
+
+double CountingOnes::ExactValue(const Configuration& config) const {
+  double total = 0.0;
+  for (int i = 0; i < options_.num_categorical; ++i) {
+    total += config[static_cast<size_t>(i)];  // choice index 0 or 1
+  }
+  for (int j = 0; j < options_.num_continuous; ++j) {
+    total += config[static_cast<size_t>(options_.num_categorical + j)];
+  }
+  double d =
+      static_cast<double>(options_.num_categorical + options_.num_continuous);
+  return -total / d;
+}
+
+EvalOutcome CountingOnes::Evaluate(const Configuration& config,
+                                   double resource,
+                                   uint64_t noise_seed) const {
+  HT_CHECK(space_.Validate(config).ok()) << "invalid configuration";
+  int64_t samples = std::max<int64_t>(1, static_cast<int64_t>(resource));
+  double total = 0.0;
+  for (int i = 0; i < options_.num_categorical; ++i) {
+    total += config[static_cast<size_t>(i)];
+  }
+  for (int j = 0; j < options_.num_continuous; ++j) {
+    double p = config[static_cast<size_t>(options_.num_categorical + j)];
+    uint64_t key = CombineSeeds(noise_seed, static_cast<uint64_t>(j));
+    // Estimate p from `samples` Bernoulli draws. For large sample counts,
+    // use the exact-moment normal approximation of the binomial mean.
+    double estimate;
+    if (samples >= 64) {
+      double sigma = std::sqrt(p * (1.0 - p) / static_cast<double>(samples));
+      estimate =
+          p + sigma * SeededGaussian(key, static_cast<uint64_t>(samples), 1);
+      estimate = Clamp(estimate, 0.0, 1.0);
+    } else {
+      Rng rng(CombineSeeds(key, static_cast<uint64_t>(samples)));
+      int64_t successes = 0;
+      for (int64_t s = 0; s < samples; ++s) {
+        if (rng.Bernoulli(p)) ++successes;
+      }
+      estimate =
+          static_cast<double>(successes) / static_cast<double>(samples);
+    }
+    total += estimate;
+  }
+  double d =
+      static_cast<double>(options_.num_categorical + options_.num_continuous);
+  EvalOutcome outcome;
+  outcome.objective = -total / d;
+  outcome.test_objective = ExactValue(config);
+  return outcome;
+}
+
+double CountingOnes::EvaluationCost(const Configuration& /*config*/,
+                                    double resource) const {
+  return std::max(resource, 0.0) * options_.seconds_per_sample;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,55 @@
+#ifndef HYPERTUNE_PROBLEMS_COUNTING_ONES_H_
+#define HYPERTUNE_PROBLEMS_COUNTING_ONES_H_
+
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// Options for the counting-ones benchmark.
+struct CountingOnesOptions {
+  /// Number of categorical {0,1} dimensions.
+  int num_categorical = 8;
+  /// Number of continuous [0,1] dimensions.
+  int num_continuous = 8;
+  /// Maximum Monte-Carlo samples per continuous dimension (the resource R).
+  double max_samples = 729.0;
+  /// Seconds charged per MC sample (cost model: cost = resource * this).
+  double seconds_per_sample = 1.0;
+};
+
+/// The counting-ones toy benchmark from the BOHB paper (used here for the
+/// Figure 9 scalability study): minimize
+///
+///   f(x) = -(1/d) * (sum_cat x_i + sum_cont p_j)
+///
+/// where the continuous dimensions are Bernoulli success probabilities
+/// whose contribution is *estimated* from `resource` Monte-Carlo samples —
+/// the training resource is the number of samples, so partial evaluations
+/// are cheap but noisy exactly as in the original benchmark. The optimum is
+/// f = -1 (all ones). The test objective reports the noiseless value.
+class CountingOnes : public TuningProblem {
+ public:
+  explicit CountingOnes(CountingOnesOptions options = {});
+
+  std::string name() const override { return "counting-ones"; }
+  const ConfigurationSpace& space() const override { return space_; }
+  double min_resource() const override { return 1.0; }
+  double max_resource() const override { return options_.max_samples; }
+  EvalOutcome Evaluate(const Configuration& config, double resource,
+                       uint64_t noise_seed) const override;
+  double EvaluationCost(const Configuration& config,
+                        double resource) const override;
+  double optimum() const override { return -1.0; }
+  std::string metric_name() const override { return "negative ones fraction"; }
+
+  /// Noiseless objective (for tests).
+  double ExactValue(const Configuration& config) const;
+
+ private:
+  CountingOnesOptions options_;
+  ConfigurationSpace space_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_PROBLEMS_COUNTING_ONES_H_

@@ -1,0 +1,83 @@
+#ifndef HYPERTUNE_PROBLEMS_CURVE_PROBLEMS_H_
+#define HYPERTUNE_PROBLEMS_CURVE_PROBLEMS_H_
+
+#include <vector>
+
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// Synthetic stand-in for tuning ResNet on CIFAR-10 (§5.4, Figure 7b):
+/// six hyper-parameters (batch size, SGD learning rate, momentum, learning
+/// rate decay, weight decay, Nesterov flag), epoch-fidelity learning curves
+/// over 200 epochs, classification error (%) objective.
+///
+/// Key modeled phenomena: a learning-rate sweet spot with divergence for
+/// aggressive lr+momentum combinations, and convergence speed that *rises*
+/// with learning rate while final quality peaks at moderate values — so
+/// 1-epoch rankings systematically favor configurations that are not the
+/// best at 200 epochs (the noisy-low-fidelity failure mode §5.4 attributes
+/// to SHA/ASHA).
+class SyntheticResNet : public TuningProblem {
+ public:
+  explicit SyntheticResNet(uint64_t table_seed = 2022);
+
+  std::string name() const override { return "resnet/cifar10"; }
+  const ConfigurationSpace& space() const override { return space_; }
+  double min_resource() const override { return 1.0; }
+  double max_resource() const override { return 200.0; }
+  EvalOutcome Evaluate(const Configuration& config, double resource,
+                       uint64_t noise_seed) const override;
+  double EvaluationCost(const Configuration& config,
+                        double resource) const override;
+  double optimum() const override { return 6.4; }
+  std::string metric_name() const override { return "validation error (%)"; }
+
+  /// Noiseless epoch-200 validation error.
+  double FinalError(const Configuration& config) const;
+
+  /// A typical hand-tuned baseline (Table 2 "Manual": ~91.88% accuracy).
+  Configuration ManualConfiguration() const;
+
+ private:
+  uint64_t table_seed_;
+  ConfigurationSpace space_;
+  std::vector<double> optimum_point_;
+  std::vector<double> curvature_;
+};
+
+/// Synthetic stand-in for tuning a 3-layer LSTM on Penn Treebank (§5.4,
+/// Figure 7a): nine hyper-parameters (batch size, hidden size, learning
+/// rate, weight decay, five dropouts), epoch-fidelity curves over 200
+/// epochs, word-level perplexity objective.
+class SyntheticLstm : public TuningProblem {
+ public:
+  explicit SyntheticLstm(uint64_t table_seed = 2022);
+
+  std::string name() const override { return "lstm/ptb"; }
+  const ConfigurationSpace& space() const override { return space_; }
+  double min_resource() const override { return 1.0; }
+  double max_resource() const override { return 200.0; }
+  EvalOutcome Evaluate(const Configuration& config, double resource,
+                       uint64_t noise_seed) const override;
+  double EvaluationCost(const Configuration& config,
+                        double resource) const override;
+  double optimum() const override { return 62.0; }
+  std::string metric_name() const override { return "perplexity"; }
+
+  /// Noiseless epoch-200 perplexity.
+  double FinalPerplexity(const Configuration& config) const;
+
+  /// A typical hand-tuned baseline (Table 2 "Manual": perplexity ~107).
+  Configuration ManualConfiguration() const;
+
+ private:
+  uint64_t table_seed_;
+  ConfigurationSpace space_;
+  std::vector<double> optimum_point_;
+  std::vector<double> curvature_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_PROBLEMS_CURVE_PROBLEMS_H_

@@ -1,0 +1,37 @@
+#include "src/problems/learning_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+
+double LearningCurve::Value(double resource) const {
+  double r = std::max(resource, 0.0);
+  return asymptote + range * std::exp(-rate * r / r_max);
+}
+
+double PowerLawCurve::Value(double resource) const {
+  double r = std::max(resource, 0.0);
+  return asymptote + range * std::pow(1.0 + r / r_scale, -alpha);
+}
+
+double FidelityNoiseSigma(double resource, double r_max, double sigma_full,
+                          double boost) {
+  double r = std::max(resource, 1e-9);
+  double inflation = std::sqrt(r_max / r) - 1.0;
+  return sigma_full * (1.0 + boost * std::max(inflation, 0.0));
+}
+
+double SeededGaussian(uint64_t a, uint64_t b, uint64_t c) {
+  Rng rng(CombineSeeds(CombineSeeds(a, b), c));
+  return rng.Gaussian();
+}
+
+double SeededUniform(uint64_t a, uint64_t b, uint64_t c) {
+  Rng rng(CombineSeeds(CombineSeeds(a, b), c));
+  return rng.Uniform();
+}
+
+}  // namespace hypertune

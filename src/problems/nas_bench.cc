@@ -1,0 +1,256 @@
+#include "src/problems/nas_bench.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/statistics.h"
+#include "src/problems/learning_curve.h"
+
+namespace hypertune {
+namespace {
+
+/// Canonical per-operation quality and relative cost, mirroring the
+/// qualitative behaviour of NAS-Bench-201's operation set.
+constexpr const char* kOpNames[SyntheticNasBench::kNumOps] = {
+    "none", "skip_connect", "avg_pool_3x3", "nor_conv_1x1", "nor_conv_3x3"};
+constexpr double kOpQuality[SyntheticNasBench::kNumOps] = {-1.0, 0.25, -0.2,
+                                                           0.6, 1.0};
+constexpr double kOpCost[SyntheticNasBench::kNumOps] = {0.0, 0.01, 0.04, 0.09,
+                                                        0.2};
+
+uint64_t DatasetId(NasDataset d) { return static_cast<uint64_t>(d) + 101; }
+
+}  // namespace
+
+const char* NasDatasetName(NasDataset dataset) {
+  switch (dataset) {
+    case NasDataset::kCifar10Valid:
+      return "cifar10-valid";
+    case NasDataset::kCifar100:
+      return "cifar100";
+    case NasDataset::kImageNet16:
+      return "imagenet16-120";
+  }
+  return "unknown";
+}
+
+SyntheticNasBench::SyntheticNasBench(NasBenchOptions options)
+    : options_(options) {
+  std::vector<std::string> choices(kOpNames, kOpNames + kNumOps);
+  for (int e = 0; e < kNumEdges; ++e) {
+    HT_CHECK(space_
+                 .Add(Parameter::Categorical("edge" + std::to_string(e),
+                                             choices))
+                 .ok());
+  }
+
+  // Ground-truth tables, deterministic in (table_seed, dataset).
+  uint64_t seed = CombineSeeds(options_.table_seed, DatasetId(options_.dataset));
+  Rng rng(seed);
+  utility_.resize(kNumEdges * kNumOps);
+  for (int e = 0; e < kNumEdges; ++e) {
+    double edge_weight = rng.Uniform(0.6, 1.4);
+    for (int op = 0; op < kNumOps; ++op) {
+      utility_[static_cast<size_t>(e * kNumOps + op)] =
+          kOpQuality[op] * edge_weight + rng.Gaussian(0.0, 0.15);
+    }
+  }
+  interaction_.assign(
+      static_cast<size_t>(kNumEdges * kNumEdges * kNumOps * kNumOps), 0.0);
+  for (int e1 = 0; e1 < kNumEdges; ++e1) {
+    for (int e2 = e1 + 1; e2 < kNumEdges; ++e2) {
+      if (!rng.Bernoulli(0.35)) continue;  // sparse interactions
+      double strength = rng.Gaussian(0.0, 0.12);
+      for (int o1 = 0; o1 < kNumOps; ++o1) {
+        for (int o2 = 0; o2 < kNumOps; ++o2) {
+          size_t idx = static_cast<size_t>(
+              ((e1 * kNumEdges) + e2) * kNumOps * kNumOps + o1 * kNumOps + o2);
+          interaction_[idx] = strength * kOpQuality[o1] * kOpQuality[o2];
+        }
+      }
+    }
+  }
+}
+
+std::string SyntheticNasBench::name() const {
+  return std::string("nasbench/") + NasDatasetName(options_.dataset);
+}
+
+double SyntheticNasBench::base_error() const {
+  switch (options_.dataset) {
+    case NasDataset::kCifar10Valid:
+      return 8.5;
+    case NasDataset::kCifar100:
+      return 26.5;
+    case NasDataset::kImageNet16:
+      return 53.2;
+  }
+  return 10.0;
+}
+
+double SyntheticNasBench::error_spread() const {
+  switch (options_.dataset) {
+    case NasDataset::kCifar10Valid:
+      return 35.0;
+    case NasDataset::kCifar100:
+      return 45.0;
+    case NasDataset::kImageNet16:
+      return 35.0;
+  }
+  return 30.0;
+}
+
+double SyntheticNasBench::initial_error() const {
+  switch (options_.dataset) {
+    case NasDataset::kCifar10Valid:
+      return 90.0;
+    case NasDataset::kCifar100:
+      return 99.0;
+    case NasDataset::kImageNet16:
+      return 99.2;
+  }
+  return 90.0;
+}
+
+double SyntheticNasBench::noise_sigma_full() const {
+  switch (options_.dataset) {
+    case NasDataset::kCifar10Valid:
+      return 0.20;
+    case NasDataset::kCifar100:
+      return 0.35;
+    case NasDataset::kImageNet16:
+      return 0.55;
+  }
+  return 0.25;
+}
+
+double SyntheticNasBench::base_epoch_seconds() const {
+  switch (options_.dataset) {
+    case NasDataset::kCifar10Valid:
+      return 35.0;
+    case NasDataset::kCifar100:
+      return 70.0;
+    case NasDataset::kImageNet16:
+      return 175.0;
+  }
+  return 35.0;
+}
+
+SyntheticNasBench::ArchTraits SyntheticNasBench::Traits(
+    const Configuration& config) const {
+  HT_CHECK(config.size() == kNumEdges) << "NAS config must have 6 edges";
+  double utility = 0.0;
+  double cost_factor = 1.0;
+  for (int e = 0; e < kNumEdges; ++e) {
+    int op = static_cast<int>(config[static_cast<size_t>(e)]);
+    utility += utility_[static_cast<size_t>(e * kNumOps + op)];
+    cost_factor += kOpCost[op];
+  }
+  for (int e1 = 0; e1 < kNumEdges; ++e1) {
+    int o1 = static_cast<int>(config[static_cast<size_t>(e1)]);
+    for (int e2 = e1 + 1; e2 < kNumEdges; ++e2) {
+      int o2 = static_cast<int>(config[static_cast<size_t>(e2)]);
+      utility += interaction_[static_cast<size_t>(
+          ((e1 * kNumEdges) + e2) * kNumOps * kNumOps + o1 * kNumOps + o2)];
+    }
+  }
+
+  // Architecture-keyed deterministic idiosyncrasies (independent of runs).
+  uint64_t arch_key = CombineSeeds(
+      CombineSeeds(options_.table_seed, DatasetId(options_.dataset)),
+      config.Hash());
+
+  ArchTraits traits;
+  // Map utility (roughly [-7, 7]) through a sigmoid onto the error range.
+  double s = 1.0 / (1.0 + std::exp(utility / 1.8));
+  traits.final_error = base_error() + error_spread() * s +
+                       0.4 * SeededGaussian(arch_key, 11, 0);
+  traits.final_error =
+      Clamp(traits.final_error, base_error() * 0.97, initial_error());
+  traits.initial_error = initial_error();
+  // Convergence-speed heterogeneity: log-normal power-law exponent =>
+  // crossing curves (fast starters are not always the best finishers).
+  traits.rate =
+      Clamp(std::exp(0.15 + 0.5 * SeededGaussian(arch_key, 13, 0)), 0.6, 1.8);
+  traits.epoch_seconds = base_epoch_seconds() * cost_factor *
+                         (0.9 + 0.2 * SeededUniform(arch_key, 17, 0));
+  traits.test_shift = 0.35 + 0.25 * SeededGaussian(arch_key, 19, 0);
+  return traits;
+}
+
+double SyntheticNasBench::FinalValidationError(
+    const Configuration& config) const {
+  return Traits(config).final_error;
+}
+
+double SyntheticNasBench::FinalTestError(const Configuration& config) const {
+  ArchTraits traits = Traits(config);
+  return Clamp(traits.final_error + traits.test_shift, 0.0, 100.0);
+}
+
+double SyntheticNasBench::EpochSeconds(const Configuration& config) const {
+  return Traits(config).epoch_seconds;
+}
+
+EvalOutcome SyntheticNasBench::Evaluate(const Configuration& config,
+                                        double resource,
+                                        uint64_t noise_seed) const {
+  ArchTraits traits = Traits(config);
+  double epochs = Clamp(resource, min_resource(), max_resource());
+
+  PowerLawCurve curve;
+  curve.asymptote = traits.final_error;
+  // Normalize so the curve actually reaches the tabulated final error at
+  // epoch 200 (the raw power law leaves a small residual).
+  double residual = std::pow(1.0 + max_resource() / 4.0, -traits.rate);
+  curve.range =
+      (traits.initial_error - traits.final_error) / (1.0 - residual);
+  curve.asymptote -= curve.range * residual;
+  curve.alpha = traits.rate;
+  curve.r_scale = 4.0;
+  double value = curve.Value(epochs);
+
+  double sigma = FidelityNoiseSigma(epochs, max_resource(),
+                                    noise_sigma_full(), 0.4);
+  uint64_t epoch_key = static_cast<uint64_t>(std::llround(epochs * 16.0));
+  double noise =
+      sigma * Clamp(SeededGaussian(noise_seed, epoch_key, 23), -2.0, 2.5);
+
+  EvalOutcome outcome;
+  outcome.objective = Clamp(value + noise, 0.0, 100.0);
+  double test_noise =
+      0.5 * sigma *
+      Clamp(SeededGaussian(noise_seed, epoch_key, 29), -2.5, 2.5);
+  outcome.test_objective =
+      Clamp(value + traits.test_shift + test_noise, 0.0, 100.0);
+  return outcome;
+}
+
+double SyntheticNasBench::EvaluationCost(const Configuration& config,
+                                         double resource) const {
+  double epochs = Clamp(resource, 0.0, max_resource());
+  return epochs * Traits(config).epoch_seconds;
+}
+
+double SyntheticNasBench::optimum() const {
+  if (cached_optimum_ >= 0.0) return cached_optimum_;
+  double best = initial_error();
+  std::vector<double> values(kNumEdges, 0.0);
+  // Exhaustive scan of all kNumOps^kNumEdges architectures.
+  int64_t total = 1;
+  for (int e = 0; e < kNumEdges; ++e) total *= kNumOps;
+  for (int64_t idx = 0; idx < total; ++idx) {
+    int64_t rest = idx;
+    for (int e = 0; e < kNumEdges; ++e) {
+      values[static_cast<size_t>(e)] = static_cast<double>(rest % kNumOps);
+      rest /= kNumOps;
+    }
+    double err = FinalValidationError(Configuration(values));
+    if (err < best) best = err;
+  }
+  cached_optimum_ = best;
+  return cached_optimum_;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,98 @@
+#ifndef HYPERTUNE_PROBLEMS_NAS_BENCH_H_
+#define HYPERTUNE_PROBLEMS_NAS_BENCH_H_
+
+#include <vector>
+
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// The three NAS-Bench-201 datasets the paper evaluates on (Figure 5).
+enum class NasDataset { kCifar10Valid, kCifar100, kImageNet16 };
+
+/// Returns "cifar10-valid" / "cifar100" / "imagenet16-120".
+const char* NasDatasetName(NasDataset dataset);
+
+/// Options for the synthetic NAS benchmark generator.
+struct NasBenchOptions {
+  NasDataset dataset = NasDataset::kCifar10Valid;
+  /// Seed of the benchmark *table* (architecture ground truth). Runs with
+  /// different run seeds share the same table, like the real NAS-Bench-201.
+  uint64_t table_seed = 2022;
+};
+
+/// Synthetic stand-in for the NAS-Bench-201 tabular benchmark (see
+/// DESIGN.md §1 for the substitution rationale).
+///
+/// Search space: 6 categorical cell-edge operations with 5 choices each
+/// (|X| = 15,625, matching NAS-Bench-201). For every architecture the
+/// generator derives, deterministically from the table seed:
+///   * a ground-truth final validation error — operation utilities per
+///     edge plus pairwise edge interactions, mapped through a sigmoid to
+///     the dataset's error range;
+///   * a learning curve over 200 epochs (saturating exponential whose rate
+///     varies per architecture, so early-epoch rankings are imperfect);
+///   * a per-epoch training time depending on the chosen operations
+///     (convolutions cost more).
+/// Evaluation adds fidelity-dependent observation noise: low-epoch results
+/// are noisier, as in the real benchmark.
+class SyntheticNasBench : public TuningProblem {
+ public:
+  explicit SyntheticNasBench(NasBenchOptions options = {});
+
+  std::string name() const override;
+  const ConfigurationSpace& space() const override { return space_; }
+  double min_resource() const override { return 1.0; }
+  double max_resource() const override { return 200.0; }
+  EvalOutcome Evaluate(const Configuration& config, double resource,
+                       uint64_t noise_seed) const override;
+  double EvaluationCost(const Configuration& config,
+                        double resource) const override;
+  /// Exact minimum final validation error over all 15,625 architectures
+  /// (computed lazily by exhaustive scan of the ground-truth table).
+  double optimum() const override;
+  std::string metric_name() const override { return "validation error (%)"; }
+
+  /// Ground-truth final (epoch-200, noiseless) validation error.
+  double FinalValidationError(const Configuration& config) const;
+
+  /// Ground-truth final test error.
+  double FinalTestError(const Configuration& config) const;
+
+  /// Per-epoch training seconds for this architecture.
+  double EpochSeconds(const Configuration& config) const;
+
+  static constexpr int kNumEdges = 6;
+  static constexpr int kNumOps = 5;
+
+ private:
+  struct ArchTraits {
+    double final_error = 0.0;  // noiseless epoch-200 validation error (%)
+    double initial_error = 0.0;
+    double rate = 5.0;           // learning-curve decay
+    double epoch_seconds = 0.0;  // training cost per epoch
+    double test_shift = 0.0;     // test = validation + shift
+  };
+
+  ArchTraits Traits(const Configuration& config) const;
+
+  /// Dataset-dependent constants.
+  double base_error() const;
+  double error_spread() const;
+  double initial_error() const;
+  double noise_sigma_full() const;
+  double base_epoch_seconds() const;
+
+  NasBenchOptions options_;
+  ConfigurationSpace space_;
+  /// utility_[edge * kNumOps + op]: contribution of choosing `op` on `edge`.
+  std::vector<double> utility_;
+  /// interaction_[((e1*kNumEdges)+e2)*kNumOps*kNumOps + o1*kNumOps + o2]
+  /// for e1 < e2: pairwise interaction bonus.
+  std::vector<double> interaction_;
+  mutable double cached_optimum_ = -1.0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_PROBLEMS_NAS_BENCH_H_

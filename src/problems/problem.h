@@ -1,0 +1,66 @@
+#ifndef HYPERTUNE_PROBLEMS_PROBLEM_H_
+#define HYPERTUNE_PROBLEMS_PROBLEM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "src/config/configuration.h"
+#include "src/config/space.h"
+
+namespace hypertune {
+
+/// Validation and test metrics produced by one (partial) evaluation.
+struct EvalOutcome {
+  /// Validation objective, lower is better.
+  double objective = 0.0;
+  /// Test metric of the same model (lower is better; reported only).
+  double test_objective = 0.0;
+};
+
+/// A hyper-parameter tuning task: the black-box f(x) of §3, extended with a
+/// training-resource axis for partial evaluations and a cost model.
+///
+/// Determinism contract: Evaluate(config, resource, seed) is a pure
+/// function — the same arguments always return the same outcome. Execution
+/// backends derive `noise_seed` from the run seed and the configuration so
+/// repeated runs are reproducible and promotions continue a consistent
+/// trajectory.
+class TuningProblem {
+ public:
+  virtual ~TuningProblem() = default;
+
+  /// Short identifier ("nasbench/cifar100", "xgboost/covertype", ...).
+  virtual std::string name() const = 0;
+
+  /// The hyper-parameter search space X.
+  virtual const ConfigurationSpace& space() const = 0;
+
+  /// Smallest meaningful training resource (e.g. 1 epoch, 1/27 subset).
+  virtual double min_resource() const = 0;
+
+  /// The full training resource R.
+  virtual double max_resource() const = 0;
+
+  /// Trains `config` with `resource` units and returns validation/test
+  /// metrics. `noise_seed` drives evaluation stochasticity.
+  virtual EvalOutcome Evaluate(const Configuration& config, double resource,
+                               uint64_t noise_seed) const = 0;
+
+  /// Cumulative wall-clock cost in seconds of training `config` from scratch
+  /// up to `resource` units. Backends charge incremental cost on resume:
+  /// EvaluationCost(c, r2) - EvaluationCost(c, r1).
+  virtual double EvaluationCost(const Configuration& config,
+                                double resource) const = 0;
+
+  /// Known global optimum of the validation objective at full resource, or
+  /// NaN when unknown. Used by tests and regret reporting.
+  virtual double optimum() const { return NAN; }
+
+  /// Name of the reported metric ("validation error (%)", "perplexity", ...).
+  virtual std::string metric_name() const { return "objective"; }
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_PROBLEMS_PROBLEM_H_

@@ -1,0 +1,163 @@
+#include "src/problems/xgboost_surface.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/statistics.h"
+#include "src/problems/learning_curve.h"
+
+namespace hypertune {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t DatasetId(XgbDataset d) { return static_cast<uint64_t>(d) + 211; }
+
+}  // namespace
+
+const char* XgbDatasetName(XgbDataset dataset) {
+  switch (dataset) {
+    case XgbDataset::kPokerhand:
+      return "pokerhand";
+    case XgbDataset::kCovertype:
+      return "covertype";
+    case XgbDataset::kHepmass:
+      return "hepmass";
+    case XgbDataset::kHiggs:
+      return "higgs";
+  }
+  return "unknown";
+}
+
+SyntheticXgboost::SyntheticXgboost(XgbOptions options) : options_(options) {
+  // The paper's 9-dimensional XGBoost space.
+  HT_CHECK(space_.Add(Parameter::Float("learning_rate", 1e-3, 0.5, true)).ok());
+  HT_CHECK(space_.Add(Parameter::Int("n_estimators", 50, 500)).ok());
+  HT_CHECK(space_.Add(Parameter::Int("max_depth", 3, 12)).ok());
+  HT_CHECK(space_.Add(Parameter::Float("min_child_weight", 1.0, 30.0, true)).ok());
+  HT_CHECK(space_.Add(Parameter::Float("subsample", 0.3, 1.0)).ok());
+  HT_CHECK(space_.Add(Parameter::Float("colsample_bytree", 0.3, 1.0)).ok());
+  HT_CHECK(space_.Add(Parameter::Float("gamma", 1e-4, 10.0, true)).ok());
+  HT_CHECK(space_.Add(Parameter::Float("reg_alpha", 1e-4, 10.0, true)).ok());
+  HT_CHECK(space_.Add(Parameter::Float("reg_lambda", 1e-4, 10.0, true)).ok());
+
+  switch (options_.dataset) {
+    case XgbDataset::kPokerhand:
+      best_error_ = 0.05;
+      error_range_ = 5.0;
+      base_trial_seconds_ = 650.0;
+      noise_sigma_full_ = 0.05;
+      lowfid_bias_ = 1.6;
+      break;
+    case XgbDataset::kCovertype:
+      best_error_ = 5.9;
+      error_range_ = 10.0;
+      base_trial_seconds_ = 900.0;  // ~15 minutes per full trial (§5.3)
+      noise_sigma_full_ = 0.08;
+      lowfid_bias_ = 2.2;
+      break;
+    case XgbDataset::kHepmass:
+      best_error_ = 12.45;
+      error_range_ = 2.5;
+      base_trial_seconds_ = 2100.0;
+      noise_sigma_full_ = 0.02;
+      lowfid_bias_ = 0.8;
+      break;
+    case XgbDataset::kHiggs:
+      best_error_ = 24.40;
+      error_range_ = 3.0;
+      base_trial_seconds_ = 2100.0;
+      noise_sigma_full_ = 0.03;
+      lowfid_bias_ = 0.9;
+      break;
+  }
+
+  // Dataset-seeded surface geometry.
+  Rng rng(CombineSeeds(options_.table_seed, DatasetId(options_.dataset)));
+  const size_t d = space_.size();
+  optimum_point_.resize(d);
+  curvature_.resize(d);
+  ruggedness_.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    optimum_point_[i] = rng.Uniform(0.2, 0.8);
+    curvature_[i] = rng.Uniform(0.4, 2.4);
+    ruggedness_[i] = rng.Uniform(0.0, 1.0) < 0.5 ? 0.0 : rng.Uniform(0.2, 1.0);
+  }
+}
+
+std::string SyntheticXgboost::name() const {
+  return std::string("xgboost/") + XgbDatasetName(options_.dataset);
+}
+
+double SyntheticXgboost::TrueError(const Configuration& config) const {
+  std::vector<double> u = space_.Encode(config);
+  // Learning-rate/boosting-rounds coupling: more rounds want a lower rate.
+  double u0 = u[0] + 0.45 * (u[1] - optimum_point_[1]);
+
+  double t = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    double ui = (i == 0) ? u0 : u[i];
+    double diff = ui - optimum_point_[i];
+    t += curvature_[i] * diff * diff;
+  }
+  // Depth/regularization interaction: deep trees need regularization.
+  t += 1.2 * std::max(0.0, u[2] - 0.6) * std::max(0.0, 0.5 - u[8]);
+
+  double shape = 1.0 - std::exp(-1.6 * t);  // saturating bowl
+  double rugged = 0.0;
+  for (size_t i = 0; i < u.size(); ++i) {
+    rugged += ruggedness_[i] * std::sin(5.0 * kPi * u[i]);
+  }
+  double error =
+      best_error_ + error_range_ * Clamp(shape + 0.03 * rugged, 0.0, 1.2);
+  return error;
+}
+
+EvalOutcome SyntheticXgboost::Evaluate(const Configuration& config,
+                                       double resource,
+                                       uint64_t noise_seed) const {
+  double fraction = Clamp(resource, min_resource(), max_resource());
+  double full_error = TrueError(config);
+
+  std::vector<double> u = space_.Encode(config);
+  // Overfitting pressure on small subsets: deep trees with little
+  // regularization degrade more, so partial rankings are imperfect.
+  double overfit = 0.5 + 0.9 * u[2] * (1.0 - 0.5 * u[3]) * (1.0 - 0.5 * u[8]);
+  double bias = lowfid_bias_ * std::pow(1.0 - fraction, 1.3) * overfit;
+
+  double sigma = FidelityNoiseSigma(fraction, 1.0, noise_sigma_full_, 1.5);
+  uint64_t frac_key = static_cast<uint64_t>(std::llround(fraction * 81.0));
+  double noise =
+      sigma * Clamp(SeededGaussian(noise_seed, frac_key, 37), -2.5, 2.5);
+
+  EvalOutcome outcome;
+  outcome.objective = Clamp(full_error + bias + noise, 0.0, 100.0);
+  double test_noise = 0.7 * sigma * SeededGaussian(noise_seed, frac_key, 41);
+  double test_shift =
+      0.1 * noise_sigma_full_ * SeededGaussian(config.Hash(), 43, 0);
+  outcome.test_objective =
+      Clamp(full_error + bias + test_shift + test_noise, 0.0, 100.0);
+  return outcome;
+}
+
+double SyntheticXgboost::EvaluationCost(const Configuration& config,
+                                        double resource) const {
+  double fraction = Clamp(resource, 0.0, max_resource());
+  std::vector<double> u = space_.Encode(config);
+  // Cost scales with boosting rounds (u[1]) and depth (u[2]).
+  double trial = base_trial_seconds_ * (0.35 + 0.9 * u[1]) * (0.5 + 0.8 * u[2]);
+  return fraction * trial;
+}
+
+Configuration SyntheticXgboost::ManualConfiguration() const {
+  // Typical hand-set defaults: lr 0.1, 150 rounds, depth 6, mcw 1,
+  // subsample 1.0, colsample 1.0, gamma ~0, alpha ~0, lambda 1.
+  std::vector<double> values = {0.1, 150.0, 6.0, 1.0, 1.0,
+                                1.0, 1e-4,  1e-4, 1.0};
+  Configuration config(std::move(values));
+  HT_CHECK(space_.Validate(config).ok()) << "manual configuration invalid";
+  return config;
+}
+
+}  // namespace hypertune

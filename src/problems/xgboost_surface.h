@@ -1,0 +1,79 @@
+#ifndef HYPERTUNE_PROBLEMS_XGBOOST_SURFACE_H_
+#define HYPERTUNE_PROBLEMS_XGBOOST_SURFACE_H_
+
+#include <vector>
+
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// The four large OpenML datasets of §5.3 (Figure 6 / Table 2).
+enum class XgbDataset { kPokerhand, kCovertype, kHepmass, kHiggs };
+
+/// Returns "pokerhand" / "covertype" / "hepmass" / "higgs".
+const char* XgbDatasetName(XgbDataset dataset);
+
+/// Options for the synthetic XGBoost response surface.
+struct XgbOptions {
+  XgbDataset dataset = XgbDataset::kCovertype;
+  uint64_t table_seed = 2022;
+};
+
+/// Synthetic stand-in for tuning XGBoost on a large tabular dataset (see
+/// DESIGN.md §1): a 9-dimensional response surface over the paper's
+/// hyper-parameter space, with *training-subset size* as the resource axis
+/// (fractions 1/27 .. 1, exactly the paper's partial-evaluation design).
+///
+/// The surface is a seeded anisotropic bowl with parameter interactions
+/// (e.g. the optimal learning rate shifts with the number of boosting
+/// rounds) plus mild ruggedness. Partial evaluations are biased — deep,
+/// weakly-regularized trees overfit small subsets, so low-fidelity
+/// rankings are informative but imperfect — and carry sample-size-dependent
+/// noise. The cost model scales with subset fraction, boosting rounds and
+/// tree depth, calibrated so a full Covertype trial averages ~15 minutes as
+/// reported in §5.3.
+///
+/// Objective is classification error in percent (accuracy = 100 - error).
+class SyntheticXgboost : public TuningProblem {
+ public:
+  explicit SyntheticXgboost(XgbOptions options = {});
+
+  std::string name() const override;
+  const ConfigurationSpace& space() const override { return space_; }
+  double min_resource() const override { return 1.0 / 27.0; }
+  double max_resource() const override { return 1.0; }
+  EvalOutcome Evaluate(const Configuration& config, double resource,
+                       uint64_t noise_seed) const override;
+  double EvaluationCost(const Configuration& config,
+                        double resource) const override;
+  double optimum() const override { return best_error_; }
+  std::string metric_name() const override {
+    return "classification error (%)";
+  }
+
+  /// The enterprise partner's hand-tuned configuration (Table 2 "Manual").
+  Configuration ManualConfiguration() const;
+
+  /// Noiseless full-data validation error of a configuration.
+  double TrueError(const Configuration& config) const;
+
+ private:
+  double best_error() const { return best_error_; }
+  double error_range() const { return error_range_; }
+  double base_trial_seconds() const { return base_trial_seconds_; }
+
+  XgbOptions options_;
+  ConfigurationSpace space_;
+  std::vector<double> optimum_point_;  // u* in unit space
+  std::vector<double> curvature_;     // per-dimension bowl weights
+  std::vector<double> ruggedness_;    // sinusoidal modulation weights
+  double best_error_ = 0.0;
+  double error_range_ = 0.0;
+  double base_trial_seconds_ = 0.0;
+  double noise_sigma_full_ = 0.0;
+  double lowfid_bias_ = 0.0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_PROBLEMS_XGBOOST_SURFACE_H_

@@ -1,0 +1,109 @@
+#include "src/report/run_report.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace hypertune {
+
+RunSummary Summarize(const RunResult& result, int num_levels) {
+  RunSummary summary;
+  summary.num_trials = result.history.num_trials();
+  summary.best_objective = result.history.best_objective();
+  summary.incumbent_test = result.history.incumbent_test();
+  summary.elapsed_seconds = result.elapsed_seconds;
+  summary.utilization = result.utilization;
+  summary.total_evaluation_cost = result.history.TotalEvaluationCost();
+  summary.trials_per_level.assign(
+      static_cast<size_t>(num_levels > 0 ? num_levels : 1), 0);
+
+  size_t promotions = 0;
+  for (const TrialRecord& trial : result.history.trials()) {
+    size_t bucket = trial.job.level >= 1
+                        ? static_cast<size_t>(trial.job.level - 1)
+                        : 0;
+    if (bucket >= summary.trials_per_level.size()) {
+      bucket = summary.trials_per_level.size() - 1;
+    }
+    ++summary.trials_per_level[bucket];
+    if (trial.job.resume_from > 0.0) ++promotions;
+  }
+  if (summary.num_trials > 0) {
+    summary.promotion_fraction =
+        static_cast<double>(promotions) /
+        static_cast<double>(summary.num_trials);
+  }
+  return summary;
+}
+
+Status WriteTrialsCsv(const RunResult& result, const ConfigurationSpace& space,
+                      std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  *out << "trial,worker,bracket,level,resource,start,end,objective,test";
+  for (const Parameter& p : space.parameters()) {
+    *out << ',' << p.name();
+  }
+  *out << '\n';
+  int64_t index = 0;
+  for (const TrialRecord& trial : result.history.trials()) {
+    *out << index++ << ',' << trial.worker << ',' << trial.job.bracket << ','
+         << trial.job.level << ',' << trial.job.resource << ','
+         << trial.start_time << ',' << trial.end_time << ','
+         << trial.result.objective << ',' << trial.result.test_objective;
+    for (size_t d = 0; d < space.size() && d < trial.job.config.size(); ++d) {
+      *out << ',' << space.parameter(d).FormatValue(trial.job.config[d]);
+    }
+    *out << '\n';
+  }
+  if (!out->good()) return Status::Internal("trials CSV write failed");
+  return Status::Ok();
+}
+
+Status WriteCurveCsv(const RunResult& result, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  *out << "time,best_objective,incumbent_test\n";
+  for (const CurvePoint& point : result.history.curve()) {
+    *out << point.time << ',' << point.best_objective << ','
+         << point.incumbent_test << '\n';
+  }
+  if (!out->good()) return Status::Internal("curve CSV write failed");
+  return Status::Ok();
+}
+
+std::string FormatSummary(const RunSummary& summary) {
+  std::ostringstream os;
+  os << "trials: " << summary.num_trials
+     << "  best objective: " << summary.best_objective
+     << "  incumbent test: " << summary.incumbent_test << '\n';
+  os << "elapsed: " << summary.elapsed_seconds
+     << " s  utilization: " << summary.utilization * 100.0 << "%"
+     << "  evaluation cost: " << summary.total_evaluation_cost << " s\n";
+  os << "trials per level:";
+  for (size_t i = 0; i < summary.trials_per_level.size(); ++i) {
+    os << "  L" << (i + 1) << "=" << summary.trials_per_level[i];
+  }
+  os << "  promotions: " << summary.promotion_fraction * 100.0 << "%";
+  return os.str();
+}
+
+Status SaveRunArtifacts(const RunResult& result,
+                        const ConfigurationSpace& space,
+                        const std::string& prefix) {
+  {
+    std::ofstream trials(prefix + "_trials.csv");
+    if (!trials.is_open()) {
+      return Status::Internal("cannot open " + prefix + "_trials.csv");
+    }
+    HT_RETURN_IF_ERROR(WriteTrialsCsv(result, space, &trials));
+  }
+  {
+    std::ofstream curve(prefix + "_curve.csv");
+    if (!curve.is_open()) {
+      return Status::Internal("cannot open " + prefix + "_curve.csv");
+    }
+    HT_RETURN_IF_ERROR(WriteCurveCsv(result, &curve));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hypertune

@@ -1,0 +1,54 @@
+#ifndef HYPERTUNE_REPORT_RUN_REPORT_H_
+#define HYPERTUNE_REPORT_RUN_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/config/space.h"
+#include "src/runtime/simulated_cluster.h"
+
+namespace hypertune {
+
+/// Summary statistics of a finished run, the numbers a tuning service
+/// would surface on a dashboard.
+struct RunSummary {
+  size_t num_trials = 0;
+  double best_objective = 0.0;
+  double incumbent_test = 0.0;
+  double elapsed_seconds = 0.0;
+  double utilization = 0.0;
+  double total_evaluation_cost = 0.0;
+  /// Completed evaluations per fidelity level (index 0 <-> level 1).
+  std::vector<size_t> trials_per_level;
+  /// Share of trials that were promotions (resumed from a checkpoint).
+  double promotion_fraction = 0.0;
+};
+
+/// Computes the summary of `result`. `num_levels` sizes trials_per_level
+/// (levels above it are counted into the last bucket).
+RunSummary Summarize(const RunResult& result, int num_levels);
+
+/// Writes all completed trials as CSV:
+///   trial,worker,bracket,level,resource,start,end,objective,test,<params...>
+/// Parameter columns are named from `space`. Returns a stream error as
+/// Internal status.
+Status WriteTrialsCsv(const RunResult& result, const ConfigurationSpace& space,
+                      std::ostream* out);
+
+/// Writes the anytime curve as CSV: time,best_objective,incumbent_test.
+Status WriteCurveCsv(const RunResult& result, std::ostream* out);
+
+/// Renders the summary as a human-readable multi-line string.
+std::string FormatSummary(const RunSummary& summary);
+
+/// Convenience: writes both CSVs to `<prefix>_trials.csv` /
+/// `<prefix>_curve.csv` on disk.
+Status SaveRunArtifacts(const RunResult& result,
+                        const ConfigurationSpace& space,
+                        const std::string& prefix);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_REPORT_RUN_REPORT_H_

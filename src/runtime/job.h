@@ -1,0 +1,39 @@
+#ifndef HYPERTUNE_RUNTIME_JOB_H_
+#define HYPERTUNE_RUNTIME_JOB_H_
+
+#include <cstdint>
+
+#include "src/config/configuration.h"
+
+namespace hypertune {
+
+/// A unit of work handed to a worker: evaluate `config` with `resource`
+/// units of training resource (epochs, subset fraction, ...).
+struct Job {
+  int64_t job_id = -1;
+  Configuration config;
+  /// Resource level index in [1, K] (K = highest fidelity).
+  int level = 1;
+  /// Target training resource in problem units.
+  double resource = 0.0;
+  /// Resource this configuration has already been trained with (checkpoint
+  /// resume). The execution backend charges only the incremental cost.
+  double resume_from = 0.0;
+  /// Bracket that issued the job (-1 when bracket-less, e.g. full-fidelity
+  /// BO).
+  int bracket = -1;
+};
+
+/// Result of evaluating a Job.
+struct EvalResult {
+  /// Validation objective, lower is better (error, perplexity, -AUC, ...).
+  double objective = 0.0;
+  /// Test-set metric of the same trained model (reported, never optimized).
+  double test_objective = 0.0;
+  /// Evaluation cost in seconds (simulated or measured), incremental.
+  double cost_seconds = 0.0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_JOB_H_

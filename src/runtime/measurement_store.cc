@@ -1,0 +1,122 @@
+#include "src/runtime/measurement_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/statistics.h"
+
+namespace hypertune {
+
+MeasurementStore::MeasurementStore(int num_levels) {
+  HT_CHECK(num_levels >= 1) << "MeasurementStore requires K >= 1";
+  groups_.resize(static_cast<size_t>(num_levels));
+}
+
+void MeasurementStore::Add(int level, const Configuration& config,
+                           double objective) {
+  HT_CHECK(level >= 1 && level <= num_levels())
+      << "Add: level " << level << " outside [1, " << num_levels() << "]";
+  auto& group = groups_[static_cast<size_t>(level - 1)];
+  for (Measurement& m : group) {
+    if (m.config == config) {
+      m.objective = objective;
+      ++version_;
+      ++data_version_;
+      return;
+    }
+  }
+  group.push_back(Measurement{config, objective});
+  ++version_;
+  ++data_version_;
+}
+
+const std::vector<Measurement>& MeasurementStore::group(int level) const {
+  HT_CHECK(level >= 1 && level <= num_levels())
+      << "group: level " << level << " outside [1, " << num_levels() << "]";
+  return groups_[static_cast<size_t>(level - 1)];
+}
+
+std::vector<size_t> MeasurementStore::GroupSizes() const {
+  std::vector<size_t> sizes(groups_.size());
+  for (size_t i = 0; i < groups_.size(); ++i) sizes[i] = groups_[i].size();
+  return sizes;
+}
+
+size_t MeasurementStore::TotalSize() const {
+  size_t total = 0;
+  for (const auto& g : groups_) total += g.size();
+  return total;
+}
+
+double MeasurementStore::BestObjective(int level) const {
+  const auto& g = group(level);
+  double best = std::numeric_limits<double>::infinity();
+  for (const Measurement& m : g) best = std::min(best, m.objective);
+  return best;
+}
+
+double MeasurementStore::MedianObjective(int level) const {
+  const auto& g = group(level);
+  if (g.empty()) return 0.0;
+  std::vector<double> ys;
+  ys.reserve(g.size());
+  for (const Measurement& m : g) ys.push_back(m.objective);
+  return Median(std::move(ys));
+}
+
+int MeasurementStore::HighestLevelWith(size_t min_count) const {
+  for (int level = num_levels(); level >= 1; --level) {
+    if (groups_[static_cast<size_t>(level - 1)].size() >= min_count) {
+      return level;
+    }
+  }
+  return 0;
+}
+
+void MeasurementStore::AddPending(const Configuration& config) {
+  auto& bucket = pending_[config.Hash()];
+  for (auto& [stored, count] : bucket) {
+    if (stored == config) {
+      ++count;
+      ++num_pending_;
+      ++version_;
+      return;
+    }
+  }
+  bucket.emplace_back(config, 1);
+  ++num_pending_;
+  ++version_;
+}
+
+void MeasurementStore::RemovePending(const Configuration& config) {
+  auto it = pending_.find(config.Hash());
+  if (it == pending_.end()) return;
+  auto& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].first == config) {
+      --num_pending_;
+      ++version_;
+      if (--bucket[i].second == 0) {
+        bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
+        if (bucket.empty()) pending_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+std::vector<Configuration> MeasurementStore::PendingConfigs() const {
+  std::vector<Configuration> out;
+  out.reserve(num_pending_);
+  for (const auto& [hash, bucket] : pending_) {
+    for (const auto& [config, count] : bucket) {
+      for (int i = 0; i < count; ++i) out.push_back(config);
+    }
+  }
+  return out;
+}
+
+size_t MeasurementStore::NumPending() const { return num_pending_; }
+
+}  // namespace hypertune

@@ -1,0 +1,90 @@
+#ifndef HYPERTUNE_RUNTIME_MEASUREMENT_STORE_H_
+#define HYPERTUNE_RUNTIME_MEASUREMENT_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/config/configuration.h"
+#include "src/common/status.h"
+
+namespace hypertune {
+
+/// One observed (configuration, objective) pair at some fidelity.
+struct Measurement {
+  Configuration config;
+  double objective = 0.0;
+};
+
+/// The multi-fidelity measurement groups D_1, ..., D_K of §4 ("Basic
+/// Setting"): group D_i holds results of evaluations with r_i = eta^{i-1}
+/// units of training resource; D_K holds the high-fidelity measurements.
+///
+/// The store also tracks the *pending* configurations currently being
+/// evaluated on workers — required by the algorithm-agnostic sampling
+/// procedure (Algorithm 2, median imputation) — and a monotonically
+/// increasing version so samplers can cache fitted surrogates.
+class MeasurementStore {
+ public:
+  /// `num_levels` is K >= 1.
+  explicit MeasurementStore(int num_levels);
+
+  int num_levels() const { return static_cast<int>(groups_.size()); }
+
+  /// Records a measurement at `level` in [1, K]. If the same configuration
+  /// is re-observed at the same level, the new value replaces the old one
+  /// (a longer-trained checkpoint supersedes).
+  void Add(int level, const Configuration& config, double objective);
+
+  /// Measurements of group D_level, level in [1, K].
+  const std::vector<Measurement>& group(int level) const;
+
+  /// Convenience: group sizes |D_1| .. |D_K|.
+  std::vector<size_t> GroupSizes() const;
+
+  /// Total number of stored measurements.
+  size_t TotalSize() const;
+
+  /// Lowest objective in the group, or +inf when empty.
+  double BestObjective(int level) const;
+
+  /// Median objective of the group, or 0 when empty (Algorithm 2, line 1).
+  double MedianObjective(int level) const;
+
+  /// Highest level with at least `min_count` measurements, or 0 if none.
+  int HighestLevelWith(size_t min_count) const;
+
+  /// Marks a configuration as being evaluated on some worker.
+  void AddPending(const Configuration& config);
+
+  /// Unmarks one pending instance of `config` (no-op when absent).
+  void RemovePending(const Configuration& config);
+
+  /// Snapshot of the pending configurations (C_pending in Algorithm 2).
+  std::vector<Configuration> PendingConfigs() const;
+
+  size_t NumPending() const;
+
+  /// Version counter bumped on every mutation (Add and pending-set
+  /// changes); lets consumers cache fitted surrogates.
+  uint64_t version() const { return version_; }
+
+  /// Version counter bumped only when measurements are added — consumers
+  /// that do not depend on the pending set (fidelity weights, low-fidelity
+  /// base surrogates) cache on this instead of version().
+  uint64_t data_version() const { return data_version_; }
+
+ private:
+  std::vector<std::vector<Measurement>> groups_;  // index 0 <-> level 1
+  /// Pending multiset: config hash -> (config, count). Hash collisions are
+  /// resolved by linear scan of the bucket vector.
+  std::unordered_map<uint64_t, std::vector<std::pair<Configuration, int>>>
+      pending_;
+  size_t num_pending_ = 0;
+  uint64_t version_ = 0;
+  uint64_t data_version_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_MEASUREMENT_STORE_H_

@@ -1,0 +1,43 @@
+#ifndef HYPERTUNE_RUNTIME_SCHEDULER_INTERFACE_H_
+#define HYPERTUNE_RUNTIME_SCHEDULER_INTERFACE_H_
+
+#include <optional>
+
+#include "src/runtime/job.h"
+
+namespace hypertune {
+
+/// Pull-based scheduling contract shared by every method in this library
+/// (SHA, ASHA, D-ASHA, Hyperband variants, batch BO) and by both execution
+/// backends (SimulatedCluster and ThreadCluster).
+///
+/// The backend drives the scheduler:
+///   - when a worker becomes idle it calls NextJob();
+///   - std::nullopt means "no work right now" — for synchronous methods this
+///     *is* the synchronization barrier (the worker idles until another
+///     worker's completion unblocks a promotion round);
+///   - when an evaluation finishes the backend calls OnJobComplete().
+///
+/// Thread-safety: schedulers are NOT internally synchronized; ThreadCluster
+/// serializes calls with its own mutex, SimulatedCluster is single-threaded.
+class SchedulerInterface {
+ public:
+  virtual ~SchedulerInterface() = default;
+
+  /// Next evaluation job, or nullopt when no job can be issued yet (barrier)
+  /// or the method is exhausted (see Exhausted()).
+  virtual std::optional<Job> NextJob() = 0;
+
+  /// Reports a finished evaluation of a job previously issued by NextJob().
+  virtual void OnJobComplete(const Job& job, const EvalResult& result) = 0;
+
+  /// True when the scheduler will never issue another job regardless of
+  /// future completions (e.g. a single SHA bracket that fully drained).
+  /// Backends use this to distinguish a barrier from termination when no
+  /// evaluations are in flight.
+  virtual bool Exhausted() const { return false; }
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_SCHEDULER_INTERFACE_H_

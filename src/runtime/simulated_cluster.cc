@@ -1,0 +1,136 @@
+#include "src/runtime/simulated_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+/// An in-flight evaluation, ordered by completion time for the event queue.
+struct InFlight {
+  double end_time = 0.0;
+  double start_time = 0.0;
+  int worker = -1;
+  Job job;
+};
+
+struct LaterCompletion {
+  bool operator()(const InFlight& a, const InFlight& b) const {
+    if (a.end_time != b.end_time) return a.end_time > b.end_time;
+    return a.job.job_id > b.job.job_id;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
+                                const TuningProblem& problem) {
+  HT_CHECK(options_.num_workers >= 1) << "need at least one worker";
+  RunResult result;
+  Rng straggler_rng(CombineSeeds(options_.seed, 0x5772A667ULL));
+
+  std::priority_queue<InFlight, std::vector<InFlight>, LaterCompletion> queue;
+  std::vector<int> idle_workers;
+  for (int w = options_.num_workers - 1; w >= 0; --w) idle_workers.push_back(w);
+
+  double now = 0.0;
+  const double budget = options_.time_budget_seconds;
+  const double full_resource = problem.max_resource();
+  int64_t completed = 0;
+
+  auto try_assign = [&]() {
+    while (!idle_workers.empty() && now < budget) {
+      std::optional<Job> job = scheduler->NextJob();
+      if (!job.has_value()) break;
+      int worker = idle_workers.back();
+      idle_workers.pop_back();
+
+      double cost = problem.EvaluationCost(job->config, job->resource) -
+                    problem.EvaluationCost(job->config, job->resume_from);
+      cost = std::max(cost, 0.0);
+      if (options_.straggler_sigma > 0.0) {
+        // Log-normal multiplicative noise, mean-one (mu = -sigma^2/2).
+        double sigma = options_.straggler_sigma;
+        cost *= straggler_rng.LogNormal(-0.5 * sigma * sigma, sigma);
+      }
+      cost += options_.dispatch_overhead_seconds;
+
+      InFlight flight;
+      flight.start_time = now;
+      flight.end_time = now + cost;
+      flight.worker = worker;
+      flight.job = *job;
+      queue.push(std::move(flight));
+    }
+  };
+
+  try_assign();
+
+  while (!queue.empty()) {
+    InFlight flight = queue.top();
+    queue.pop();
+    if (flight.end_time > budget) {
+      // This evaluation would finish past the budget: the run is over. The
+      // worker time spent inside the budget still counts as busy.
+      result.busy_seconds += std::max(0.0, budget - flight.start_time);
+      while (!queue.empty()) {
+        const InFlight& other = queue.top();
+        result.busy_seconds += std::max(0.0, budget - other.start_time);
+        queue.pop();
+      }
+      now = budget;
+      break;
+    }
+
+    now = flight.end_time;
+    result.busy_seconds += flight.end_time - flight.start_time;
+
+    uint64_t noise_seed =
+        CombineSeeds(options_.seed, flight.job.config.Hash());
+    EvalOutcome outcome =
+        problem.Evaluate(flight.job.config, flight.job.resource, noise_seed);
+
+    EvalResult eval;
+    eval.objective = outcome.objective;
+    eval.test_objective = outcome.test_objective;
+    eval.cost_seconds = flight.end_time - flight.start_time;
+
+    TrialRecord record;
+    record.job = flight.job;
+    record.result = eval;
+    record.start_time = flight.start_time;
+    record.end_time = flight.end_time;
+    record.worker = flight.worker;
+    result.history.Record(record, flight.job.resource >= full_resource);
+    if (options_.observer) options_.observer(record);
+
+    scheduler->OnJobComplete(flight.job, eval);
+    idle_workers.push_back(flight.worker);
+    ++completed;
+    if (options_.max_trials > 0 && completed >= options_.max_trials) break;
+
+    try_assign();
+    // If everything is idle and the scheduler is exhausted, the run ends
+    // before the budget (e.g. a single bracket fully drained).
+    if (queue.empty() &&
+        static_cast<int>(idle_workers.size()) == options_.num_workers &&
+        scheduler->Exhausted()) {
+      break;
+    }
+  }
+
+  result.elapsed_seconds = std::min(now, budget);
+  double total_capacity =
+      result.elapsed_seconds * static_cast<double>(options_.num_workers);
+  result.idle_seconds = std::max(0.0, total_capacity - result.busy_seconds);
+  result.utilization =
+      total_capacity > 0.0 ? result.busy_seconds / total_capacity : 0.0;
+  return result;
+}
+
+}  // namespace hypertune

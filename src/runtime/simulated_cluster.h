@@ -1,0 +1,80 @@
+#ifndef HYPERTUNE_RUNTIME_SIMULATED_CLUSTER_H_
+#define HYPERTUNE_RUNTIME_SIMULATED_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/problems/problem.h"
+#include "src/runtime/scheduler_interface.h"
+#include "src/runtime/trial_history.h"
+
+namespace hypertune {
+
+/// Observer invoked after every completed trial (progress reporting,
+/// live dashboards, external early-stopping). Called on the simulator's
+/// driving thread / under the thread backend's completion lock — keep it
+/// cheap and do not call back into the cluster.
+using TrialObserver = std::function<void(const TrialRecord&)>;
+
+/// Options for a cluster run (shared by both backends).
+struct ClusterOptions {
+  int num_workers = 8;
+  /// Virtual (simulated) or wall-clock budget in seconds.
+  double time_budget_seconds = 3600.0;
+  /// Run seed: drives evaluation noise and straggler noise.
+  uint64_t seed = 0;
+  /// Log-normal sigma of multiplicative evaluation-time noise; 0 disables
+  /// straggler injection.
+  double straggler_sigma = 0.0;
+  /// Fixed per-job optimizer/dispatch overhead added to each evaluation's
+  /// duration (models configuration-sampling latency; the paper includes
+  /// "optimization overhead" in tracked wall-clock time).
+  double dispatch_overhead_seconds = 0.0;
+  /// Stop after this many completed trials (<= 0: unlimited).
+  int64_t max_trials = -1;
+  /// Optional per-completion callback.
+  TrialObserver observer;
+};
+
+/// Aggregate outcome of a cluster run.
+struct RunResult {
+  TrialHistory history;
+  /// Virtual time when the run stopped.
+  double elapsed_seconds = 0.0;
+  /// Sum over workers of busy seconds (evaluation time).
+  double busy_seconds = 0.0;
+  /// Sum over workers of idle seconds inside [0, elapsed].
+  double idle_seconds = 0.0;
+  /// Worker utilization in [0, 1]: busy / (busy + idle).
+  double utilization = 0.0;
+};
+
+/// Discrete-event distributed execution backend with a virtual clock.
+///
+/// Semantics match a real cluster of `num_workers` identical machines:
+/// an idle worker pulls a job from the scheduler; evaluation occupies the
+/// worker for the problem's (incremental) cost, optionally inflated by
+/// log-normal straggler noise; on completion the scheduler is notified and
+/// every idle worker retries. A scheduler returning nullopt leaves workers
+/// idle — which is exactly the synchronization-barrier waste of Figure 1.
+///
+/// The run stops when the virtual clock would pass the budget, when the
+/// scheduler is exhausted with no jobs in flight, or when `max_trials`
+/// completions were recorded.
+class SimulatedCluster {
+ public:
+  explicit SimulatedCluster(ClusterOptions options) : options_(options) {}
+
+  /// Executes `scheduler` against `problem`. The scheduler must be freshly
+  /// constructed (this method does not reset it).
+  RunResult Run(SchedulerInterface* scheduler, const TuningProblem& problem);
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  ClusterOptions options_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_SIMULATED_CLUSTER_H_

@@ -1,0 +1,120 @@
+#include "src/runtime/store_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hypertune {
+namespace {
+
+/// Splits a CSV line on commas (values never contain commas: they are
+/// numeric).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+Status WriteStoreCsv(const MeasurementStore& store,
+                     const ConfigurationSpace& space, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  *out << "level,objective";
+  for (const Parameter& p : space.parameters()) *out << ',' << p.name();
+  *out << '\n';
+  out->precision(17);  // round-trip doubles exactly
+  for (int level = 1; level <= store.num_levels(); ++level) {
+    for (const Measurement& m : store.group(level)) {
+      if (m.config.size() != space.size()) {
+        return Status::Internal("measurement arity mismatch with space");
+      }
+      *out << level << ',' << m.objective;
+      for (size_t d = 0; d < m.config.size(); ++d) *out << ',' << m.config[d];
+      *out << '\n';
+    }
+  }
+  if (!out->good()) return Status::Internal("store CSV write failed");
+  return Status::Ok();
+}
+
+Status ReadStoreCsv(std::istream* in, const ConfigurationSpace& space,
+                    MeasurementStore* store) {
+  if (in == nullptr || store == nullptr) {
+    return Status::InvalidArgument("null stream or store");
+  }
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("empty store CSV");
+  }
+  std::vector<std::string> header = SplitCsv(line);
+  if (header.size() != space.size() + 2 || header[0] != "level" ||
+      header[1] != "objective") {
+    return Status::InvalidArgument("store CSV header mismatch");
+  }
+  for (size_t d = 0; d < space.size(); ++d) {
+    if (header[d + 2] != space.parameter(d).name()) {
+      return Status::InvalidArgument("store CSV parameter '" + header[d + 2] +
+                                     "' does not match space parameter '" +
+                                     space.parameter(d).name() + "'");
+    }
+  }
+
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() != space.size() + 2) {
+      return Status::InvalidArgument(
+          "store CSV row " + std::to_string(line_number) + ": expected " +
+          std::to_string(space.size() + 2) + " fields");
+    }
+    char* end = nullptr;
+    long level = std::strtol(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || level < 1 ||
+        level > store->num_levels()) {
+      return Status::InvalidArgument("store CSV row " +
+                                     std::to_string(line_number) +
+                                     ": bad level '" + fields[0] + "'");
+    }
+    double objective = std::strtod(fields[1].c_str(), &end);
+    if (end == fields[1].c_str()) {
+      return Status::InvalidArgument("store CSV row " +
+                                     std::to_string(line_number) +
+                                     ": bad objective");
+    }
+    std::vector<double> values(space.size());
+    for (size_t d = 0; d < space.size(); ++d) {
+      values[d] = std::strtod(fields[d + 2].c_str(), &end);
+      if (end == fields[d + 2].c_str()) {
+        return Status::InvalidArgument("store CSV row " +
+                                       std::to_string(line_number) +
+                                       ": bad value for " +
+                                       space.parameter(d).name());
+      }
+    }
+    Configuration config(std::move(values));
+    HT_RETURN_IF_ERROR(space.Validate(config));
+    store->Add(static_cast<int>(level), config, objective);
+  }
+  return Status::Ok();
+}
+
+Status SaveStore(const MeasurementStore& store,
+                 const ConfigurationSpace& space, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::Internal("cannot open " + path);
+  return WriteStoreCsv(store, space, &out);
+}
+
+Status LoadStore(const std::string& path, const ConfigurationSpace& space,
+                 MeasurementStore* store) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  return ReadStoreCsv(&in, space, store);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,43 @@
+#ifndef HYPERTUNE_RUNTIME_STORE_IO_H_
+#define HYPERTUNE_RUNTIME_STORE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/config/space.h"
+#include "src/runtime/measurement_store.h"
+
+namespace hypertune {
+
+/// Persistence for multi-fidelity measurements, enabling warm-started
+/// tuning sessions: a finished run's store is written out and loaded into
+/// a fresh Tuner's store before the next run, so the surrogates, fidelity
+/// weights and bracket selection start from history instead of from
+/// scratch.
+///
+/// Format: CSV with header "level,objective,<param names...>"; one row per
+/// measurement, parameter values as raw stored doubles (choice indices for
+/// categorical parameters). Pending entries are intentionally not
+/// persisted — they are transient worker state.
+
+/// Writes every measurement group of `store` to `out`.
+Status WriteStoreCsv(const MeasurementStore& store,
+                     const ConfigurationSpace& space, std::ostream* out);
+
+/// Reads measurements from `in` (format above) into `store`. The header's
+/// parameter names must match `space` exactly (order included); levels
+/// outside [1, store->num_levels()] and malformed rows are rejected with
+/// InvalidArgument, leaving already-loaded rows in place.
+Status ReadStoreCsv(std::istream* in, const ConfigurationSpace& space,
+                    MeasurementStore* store);
+
+/// File-path convenience wrappers.
+Status SaveStore(const MeasurementStore& store,
+                 const ConfigurationSpace& space, const std::string& path);
+Status LoadStore(const std::string& path, const ConfigurationSpace& space,
+                 MeasurementStore* store);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_STORE_IO_H_

@@ -1,0 +1,113 @@
+#include "src/runtime/thread_cluster.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace hypertune {
+
+RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
+                             const TuningProblem& problem) {
+  HT_CHECK(options_.num_workers >= 1) << "need at least one worker";
+  RunResult result;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int in_flight = 0;
+  int64_t completed = 0;
+  bool stop = false;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  const double full_resource = problem.max_resource();
+
+  auto worker_loop = [&](int worker_id) {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          if (stop || elapsed() >= options_.time_budget_seconds) return;
+          std::optional<Job> next = scheduler->NextJob();
+          if (next.has_value()) {
+            job = *std::move(next);
+            ++in_flight;
+            break;
+          }
+          if (in_flight == 0 && scheduler->Exhausted()) {
+            stop = true;
+            cv.notify_all();
+            return;
+          }
+          // Barrier: wait for a completion (or the budget) and retry.
+          cv.wait_for(lock, std::chrono::milliseconds(2));
+        }
+      }
+
+      double job_start = elapsed();
+      uint64_t noise_seed = CombineSeeds(options_.seed, job.config.Hash());
+      EvalOutcome outcome =
+          problem.Evaluate(job.config, job.resource, noise_seed);
+      if (options_.cost_sleep_scale > 0.0) {
+        double cost = problem.EvaluationCost(job.config, job.resource) -
+                      problem.EvaluationCost(job.config, job.resume_from);
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::max(0.0, cost) * options_.cost_sleep_scale));
+      }
+      double job_end = elapsed();
+
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        EvalResult eval;
+        eval.objective = outcome.objective;
+        eval.test_objective = outcome.test_objective;
+        eval.cost_seconds = job_end - job_start;
+
+        TrialRecord record;
+        record.job = job;
+        record.result = eval;
+        record.start_time = job_start;
+        record.end_time = job_end;
+        record.worker = worker_id;
+        result.history.Record(record, job.resource >= full_resource);
+        if (options_.observer) options_.observer(record);
+        result.busy_seconds += eval.cost_seconds;
+
+        scheduler->OnJobComplete(job, eval);
+        --in_flight;
+        ++completed;
+        if (options_.max_trials > 0 && completed >= options_.max_trials) {
+          stop = true;
+        }
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  for (auto& t : threads) t.join();
+
+  // In-flight evaluations are allowed to finish past the budget, so report
+  // the true elapsed time (keeps utilization = busy/capacity <= 1).
+  result.elapsed_seconds = elapsed();
+  double capacity =
+      result.elapsed_seconds * static_cast<double>(options_.num_workers);
+  result.idle_seconds = std::max(0.0, capacity - result.busy_seconds);
+  result.utilization = capacity > 0.0 ? result.busy_seconds / capacity : 0.0;
+  return result;
+}
+
+}  // namespace hypertune

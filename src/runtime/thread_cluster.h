@@ -1,0 +1,49 @@
+#ifndef HYPERTUNE_RUNTIME_THREAD_CLUSTER_H_
+#define HYPERTUNE_RUNTIME_THREAD_CLUSTER_H_
+
+#include "src/problems/problem.h"
+#include "src/runtime/scheduler_interface.h"
+#include "src/runtime/simulated_cluster.h"
+
+namespace hypertune {
+
+/// Options for the real-concurrency backend.
+struct ThreadClusterOptions {
+  int num_workers = 4;
+  /// Wall-clock budget in seconds.
+  double time_budget_seconds = 10.0;
+  uint64_t seed = 0;
+  /// Each evaluation additionally sleeps cost_seconds * this factor, so the
+  /// synthetic problems' cost model manifests as real elapsed time (set to 0
+  /// to run evaluations back-to-back).
+  double cost_sleep_scale = 0.0;
+  /// Stop after this many completed trials (<= 0: unlimited).
+  int64_t max_trials = -1;
+  /// Optional per-completion callback (invoked under the completion lock).
+  TrialObserver observer;
+};
+
+/// Multi-threaded execution backend running one OS thread per worker.
+///
+/// Exercises exactly the same SchedulerInterface contract as
+/// SimulatedCluster, demonstrating that the schedulers are genuinely
+/// asynchronous: scheduler calls are serialized by an internal mutex while
+/// evaluations run concurrently. Trial timestamps are wall-clock seconds
+/// since the start of the run.
+class ThreadCluster {
+ public:
+  explicit ThreadCluster(ThreadClusterOptions options) : options_(options) {}
+
+  /// Blocks until the budget elapses, the trial cap is hit, or the
+  /// scheduler is exhausted with no work in flight.
+  RunResult Run(SchedulerInterface* scheduler, const TuningProblem& problem);
+
+  const ThreadClusterOptions& options() const { return options_; }
+
+ private:
+  ThreadClusterOptions options_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_THREAD_CLUSTER_H_

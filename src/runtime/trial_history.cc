@@ -1,0 +1,62 @@
+#include "src/runtime/trial_history.h"
+
+#include <algorithm>
+
+namespace hypertune {
+
+void TrialHistory::Record(const TrialRecord& trial, bool is_full_fidelity) {
+  trials_.push_back(trial);
+
+  CurvePoint point;
+  if (!curve_.empty()) point = curve_.back();
+  point.time = trial.end_time;
+  if (trial.result.objective < point.best_objective) {
+    point.best_objective = trial.result.objective;
+    point.incumbent_test = trial.result.test_objective;
+  }
+  if (is_full_fidelity &&
+      trial.result.objective < point.best_full_fidelity) {
+    point.best_full_fidelity = trial.result.objective;
+  }
+  curve_.push_back(point);
+}
+
+double TrialHistory::best_objective() const {
+  return curve_.empty() ? std::numeric_limits<double>::infinity()
+                        : curve_.back().best_objective;
+}
+
+double TrialHistory::best_full_fidelity() const {
+  return curve_.empty() ? std::numeric_limits<double>::infinity()
+                        : curve_.back().best_full_fidelity;
+}
+
+double TrialHistory::incumbent_test() const {
+  return curve_.empty() ? std::numeric_limits<double>::infinity()
+                        : curve_.back().incumbent_test;
+}
+
+double TrialHistory::BestObjectiveAt(double time) const {
+  // Curve points are ordered by completion time; find the last point at or
+  // before `time`.
+  auto it = std::upper_bound(
+      curve_.begin(), curve_.end(), time,
+      [](double t, const CurvePoint& p) { return t < p.time; });
+  if (it == curve_.begin()) return std::numeric_limits<double>::infinity();
+  return std::prev(it)->best_objective;
+}
+
+double TrialHistory::TimeToReach(double target) const {
+  for (const CurvePoint& p : curve_) {
+    if (p.best_objective <= target) return p.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double TrialHistory::TotalEvaluationCost() const {
+  double total = 0.0;
+  for (const TrialRecord& t : trials_) total += t.result.cost_seconds;
+  return total;
+}
+
+}  // namespace hypertune

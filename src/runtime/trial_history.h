@@ -1,0 +1,73 @@
+#ifndef HYPERTUNE_RUNTIME_TRIAL_HISTORY_H_
+#define HYPERTUNE_RUNTIME_TRIAL_HISTORY_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/runtime/job.h"
+
+namespace hypertune {
+
+/// A completed evaluation with its timing, as recorded by a cluster.
+struct TrialRecord {
+  Job job;
+  EvalResult result;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  int worker = -1;
+};
+
+/// One point of the anytime curve: the incumbent after some completion.
+struct CurvePoint {
+  double time = 0.0;
+  /// Best validation objective observed so far (any fidelity).
+  double best_objective = std::numeric_limits<double>::infinity();
+  /// Best validation objective among full-resource evaluations so far.
+  double best_full_fidelity = std::numeric_limits<double>::infinity();
+  /// Test metric of the incumbent (trial with best validation objective).
+  double incumbent_test = std::numeric_limits<double>::infinity();
+};
+
+/// Accumulates completed trials and exposes the anytime (best-so-far)
+/// optimization curve that the paper's figures plot, plus utilization
+/// statistics for the scheduling experiments.
+class TrialHistory {
+ public:
+  TrialHistory() = default;
+
+  /// Appends a completed trial; `is_full_fidelity` marks evaluations that
+  /// used the maximum training resource.
+  void Record(const TrialRecord& trial, bool is_full_fidelity);
+
+  const std::vector<TrialRecord>& trials() const { return trials_; }
+  const std::vector<CurvePoint>& curve() const { return curve_; }
+
+  size_t num_trials() const { return trials_.size(); }
+
+  /// Best validation objective so far, +inf when empty.
+  double best_objective() const;
+
+  /// Best full-fidelity validation objective so far, +inf when none.
+  double best_full_fidelity() const;
+
+  /// Test metric of the incumbent, +inf when empty.
+  double incumbent_test() const;
+
+  /// Incumbent's anytime value at `time` (smallest best_objective among
+  /// points with point.time <= time); +inf before the first completion.
+  double BestObjectiveAt(double time) const;
+
+  /// First time at which best_objective() <= target; +inf if never reached.
+  double TimeToReach(double target) const;
+
+  /// Sum of evaluation cost over all recorded trials (worker busy seconds).
+  double TotalEvaluationCost() const;
+
+ private:
+  std::vector<TrialRecord> trials_;
+  std::vector<CurvePoint> curve_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_TRIAL_HISTORY_H_

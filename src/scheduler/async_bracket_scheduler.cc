@@ -1,0 +1,126 @@
+#include "src/scheduler/async_bracket_scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+namespace {
+
+/// Only brackets the selector can actually pick need to exist. With the
+/// kFixed policy that is a single bracket (plain ASHA/D-ASHA); otherwise
+/// all K.
+bool UsesSingleBracket(const BracketSchedulerOptions& options) {
+  return options.selector.policy == BracketPolicy::kFixed;
+}
+
+}  // namespace
+
+AsyncBracketScheduler::AsyncBracketScheduler(const ConfigurationSpace* space,
+                                             MeasurementStore* store,
+                                             Sampler* sampler,
+                                             FidelityWeights* weights,
+                                             BracketSchedulerOptions options)
+    : space_(space),
+      store_(store),
+      sampler_(sampler),
+      options_(options),
+      selector_(options.ladder.num_levels, options.ladder.LevelResources(),
+                weights,
+                [&options] {
+                  BracketSelectorOptions selector = options.selector;
+                  if (selector.init_widths.empty() &&
+                      selector.policy != BracketPolicy::kFixed) {
+                    // The async analogue of "executing each bracket once
+                    // in round-robin order": one pass admits each
+                    // bracket's Hyperband width n1.
+                    ResourceLadder ladder = options.ladder;
+                    for (int b = 1; b <= ladder.num_levels; ++b) {
+                      BracketOptions probe;
+                      probe.index = b;
+                      probe.ladder = ladder;
+                      selector.init_widths.push_back(
+                          Bracket(probe).DefaultWidth());
+                    }
+                  }
+                  return selector;
+                }()) {
+  HT_CHECK(space_ != nullptr && store_ != nullptr && sampler_ != nullptr)
+      << "AsyncBracketScheduler needs space, store, and sampler";
+  HT_CHECK(store_->num_levels() == options_.ladder.num_levels)
+      << "store level count must match the resource ladder";
+
+  const int num_brackets =
+      UsesSingleBracket(options_) ? 1 : options_.ladder.num_levels;
+  for (int i = 0; i < num_brackets; ++i) {
+    BracketOptions bracket_options;
+    bracket_options.index =
+        UsesSingleBracket(options_) ? options_.selector.fixed_bracket : i + 1;
+    bracket_options.ladder = options_.ladder;
+    bracket_options.synchronous = false;
+    bracket_options.delayed_promotion = options_.delayed_promotion;
+    bracket_options.base_quota = -1;  // persistent, ever-growing rungs
+    brackets_.push_back(std::make_unique<Bracket>(bracket_options));
+  }
+}
+
+std::optional<Job> AsyncBracketScheduler::NextJob() {
+  // 1. Promotions anywhere (Algorithm 1, lines 5-11). Brackets with the
+  // cheapest base level are scanned first; within a bracket the scan is
+  // top-rung-down.
+  for (auto& bracket : brackets_) {
+    std::optional<Job> promotion = bracket->NextPromotion(next_job_id_);
+    if (promotion.has_value()) {
+      inflight_[next_job_id_] = bracket.get();
+      ++next_job_id_;
+      ++promotions_issued_;
+      store_->AddPending(promotion->config);
+      return promotion;
+    }
+  }
+
+  // 2. New configuration at the base level of the selected bracket
+  // (Algorithm 1, lines 13-14; the selector is §4.1's resource allocator).
+  int index = selector_.Select(*store_);
+  Bracket* bracket = nullptr;
+  for (auto& b : brackets_) {
+    if (b->index() == index) {
+      bracket = b.get();
+      break;
+    }
+  }
+  HT_CHECK(bracket != nullptr) << "selector chose unknown bracket " << index;
+  Configuration config = sampler_->Sample(bracket->base_level());
+  Job job = bracket->AdmitConfig(config, next_job_id_);
+  inflight_[next_job_id_] = bracket;
+  ++next_job_id_;
+  store_->AddPending(config);
+  return job;
+}
+
+void AsyncBracketScheduler::OnJobComplete(const Job& job,
+                                          const EvalResult& result) {
+  auto it = inflight_.find(job.job_id);
+  HT_CHECK(it != inflight_.end()) << "completion for unknown job "
+                                  << job.job_id;
+  Bracket* bracket = it->second;
+  inflight_.erase(it);
+
+  store_->RemovePending(job.config);
+  store_->Add(job.level, job.config, result.objective);
+  bracket->OnJobComplete(job, result.objective);
+  sampler_->OnObservation(job.config, result.objective, job.level);
+}
+
+std::vector<int64_t> AsyncBracketScheduler::admissions_per_bracket() const {
+  std::vector<int64_t> out;
+  out.reserve(brackets_.size());
+  for (const auto& bracket : brackets_) {
+    // Nothing is ever promoted *into* a base level, so base-level issues
+    // are exactly the sampler admissions.
+    out.push_back(bracket->IssuedAt(bracket->base_level()));
+  }
+  return out;
+}
+
+}  // namespace hypertune

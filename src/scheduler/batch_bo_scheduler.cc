@@ -1,0 +1,48 @@
+#include "src/scheduler/batch_bo_scheduler.h"
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+BatchBoScheduler::BatchBoScheduler(MeasurementStore* store, Sampler* sampler,
+                                   BatchBoSchedulerOptions options)
+    : store_(store), sampler_(sampler), options_(options) {
+  HT_CHECK(store_ != nullptr && sampler_ != nullptr)
+      << "BatchBoScheduler needs a store and a sampler";
+  HT_CHECK(options_.level >= 1 && options_.level <= store_->num_levels())
+      << "record level outside store range";
+  HT_CHECK(options_.batch_size >= 1) << "batch size must be positive";
+}
+
+std::optional<Job> BatchBoScheduler::NextJob() {
+  if (options_.synchronous) {
+    // Barrier: a new batch starts only when the previous fully completed.
+    if (issued_in_batch_ >= options_.batch_size) {
+      if (outstanding_ > 0) return std::nullopt;
+      issued_in_batch_ = 0;
+    }
+    ++issued_in_batch_;
+  }
+
+  Configuration config = sampler_->Sample(options_.level);
+  Job job;
+  job.job_id = next_job_id_++;
+  job.config = config;
+  job.level = options_.level;
+  job.resource = options_.resource;
+  job.resume_from = 0.0;
+  job.bracket = -1;
+  store_->AddPending(config);
+  ++outstanding_;
+  return job;
+}
+
+void BatchBoScheduler::OnJobComplete(const Job& job,
+                                     const EvalResult& result) {
+  --outstanding_;
+  store_->RemovePending(job.config);
+  store_->Add(job.level, job.config, result.objective);
+  sampler_->OnObservation(job.config, result.objective, job.level);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,48 @@
+#ifndef HYPERTUNE_SCHEDULER_BATCH_BO_SCHEDULER_H_
+#define HYPERTUNE_SCHEDULER_BATCH_BO_SCHEDULER_H_
+
+#include "src/optimizer/sampler.h"
+#include "src/runtime/measurement_store.h"
+#include "src/runtime/scheduler_interface.h"
+
+namespace hypertune {
+
+/// Options for the complete-evaluation schedulers.
+struct BatchBoSchedulerOptions {
+  /// Synchronous batch mode: issue `batch_size` evaluations, then barrier
+  /// until all of them finish (the Batch-BO baseline). Asynchronous mode
+  /// hands a new configuration to every idle worker immediately
+  /// (A-Random / A-BO / A-REA baselines).
+  bool synchronous = false;
+  int batch_size = 8;
+  /// The full training resource R charged per evaluation.
+  double resource = 1.0;
+  /// Measurement-store level results are recorded at (use K).
+  int level = 1;
+};
+
+/// Scheduler for complete-evaluation methods: every configuration is
+/// trained with the full resource R; the sampler (random, BO, REA, ...)
+/// supplies configurations. Parallel proposals rely on the sampler's
+/// median-imputation handling of pending configurations (Algorithm 2).
+class BatchBoScheduler : public SchedulerInterface {
+ public:
+  BatchBoScheduler(MeasurementStore* store, Sampler* sampler,
+                   BatchBoSchedulerOptions options);
+
+  std::optional<Job> NextJob() override;
+  void OnJobComplete(const Job& job, const EvalResult& result) override;
+  bool Exhausted() const override { return false; }
+
+ private:
+  MeasurementStore* store_;
+  Sampler* sampler_;
+  BatchBoSchedulerOptions options_;
+  int64_t next_job_id_ = 0;
+  int issued_in_batch_ = 0;
+  int outstanding_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SCHEDULER_BATCH_BO_SCHEDULER_H_

@@ -1,0 +1,247 @@
+#include "src/scheduler/bracket.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+double ResourceLadder::ResourceAt(int level) const {
+  HT_CHECK(level >= 1 && level <= num_levels)
+      << "level " << level << " outside ladder [1, " << num_levels << "]";
+  return max_resource * std::pow(eta, level - num_levels);
+}
+
+std::vector<double> ResourceLadder::LevelResources() const {
+  std::vector<double> out(static_cast<size_t>(num_levels));
+  for (int k = 1; k <= num_levels; ++k) {
+    out[static_cast<size_t>(k - 1)] = ResourceAt(k);
+  }
+  return out;
+}
+
+ResourceLadder ResourceLadder::Make(double min_resource, double max_resource,
+                                    double eta, int max_levels) {
+  HT_CHECK(eta > 1.0) << "eta must exceed 1";
+  HT_CHECK(min_resource > 0.0 && max_resource >= min_resource)
+      << "invalid resource range";
+  ResourceLadder ladder;
+  ladder.eta = eta;
+  ladder.max_resource = max_resource;
+  int k = 1 + static_cast<int>(std::floor(
+                  std::log(max_resource / min_resource) / std::log(eta) +
+                  1e-9));
+  if (max_levels > 0) k = std::min(k, max_levels);
+  ladder.num_levels = std::max(k, 1);
+  return ladder;
+}
+
+Bracket::Bracket(const BracketOptions& options) : options_(options) {
+  HT_CHECK(options_.index >= 1 && options_.index <= top_level())
+      << "bracket index outside [1, K]";
+  const int base = base_level();
+  const int levels = top_level() - base + 1;
+  rungs_.resize(static_cast<size_t>(levels));
+
+  int64_t width = options_.base_quota > 0 ? options_.base_quota
+                                          : DefaultWidth();
+  if (options_.synchronous) {
+    base_quota_ = width;
+    int64_t n = width;
+    for (int i = 0; i < levels; ++i) {
+      rungs_[static_cast<size_t>(i)].level = base + i;
+      rungs_[static_cast<size_t>(i)].target = std::max<int64_t>(n, 1);
+      n = n / static_cast<int64_t>(options_.ladder.eta);
+      if (n < 1 && i + 1 < levels) n = 1;
+    }
+  } else {
+    base_quota_ = options_.base_quota > 0 ? options_.base_quota : -1;
+    for (int i = 0; i < levels; ++i) {
+      rungs_[static_cast<size_t>(i)].level = base + i;
+      rungs_[static_cast<size_t>(i)].target = 0;  // unused in async mode
+    }
+  }
+}
+
+int64_t Bracket::DefaultWidth() const {
+  // n1 = ceil(K / (s + 1) * eta^s) with s = K - b halvings remaining.
+  const int k = top_level();
+  const int s = k - options_.index;
+  double n1 = std::ceil(static_cast<double>(k) / static_cast<double>(s + 1) *
+                        std::pow(options_.ladder.eta, s));
+  return static_cast<int64_t>(n1);
+}
+
+Bracket::Rung& Bracket::rung(int level) {
+  HT_CHECK(level >= base_level() && level <= top_level())
+      << "rung level out of range";
+  return rungs_[static_cast<size_t>(level - base_level())];
+}
+
+const Bracket::Rung& Bracket::rung(int level) const {
+  HT_CHECK(level >= base_level() && level <= top_level())
+      << "rung level out of range";
+  return rungs_[static_cast<size_t>(level - base_level())];
+}
+
+bool Bracket::WantsNewConfig() const {
+  if (base_quota_ < 0) return true;
+  return admitted_ < base_quota_;
+}
+
+Job Bracket::MakeJob(const Configuration& config, int level,
+                     int64_t job_id) const {
+  Job job;
+  job.job_id = job_id;
+  job.config = config;
+  job.level = level;
+  job.resource = options_.ladder.ResourceAt(level);
+  job.resume_from =
+      level > base_level() ? options_.ladder.ResourceAt(level - 1) : 0.0;
+  job.bracket = options_.index;
+  return job;
+}
+
+Job Bracket::AdmitConfig(const Configuration& config, int64_t job_id) {
+  HT_CHECK(WantsNewConfig()) << "bracket quota exhausted";
+  ++admitted_;
+  Rung& r = rung(base_level());
+  ++r.issued;
+  ++in_flight_;
+  return MakeJob(config, base_level(), job_id);
+}
+
+std::optional<Job> Bracket::NextPromotion(int64_t job_id) {
+  if (options_.synchronous) {
+    if (sync_promotions_.empty()) return std::nullopt;
+    auto [config, from_level] = sync_promotions_.front();
+    sync_promotions_.pop_front();
+    Rung& next = rung(from_level + 1);
+    ++next.issued;
+    ++in_flight_;
+    return MakeJob(config, from_level + 1, job_id);
+  }
+  return FindAsyncPromotion(job_id);
+}
+
+std::optional<Job> Bracket::FindAsyncPromotion(int64_t job_id) {
+  const double eta = options_.ladder.eta;
+  // Algorithm 1: scan from the highest promotable level downwards.
+  for (int k = top_level() - 1; k >= base_level(); --k) {
+    Rung& cur = rung(k);
+    if (cur.completed == 0) continue;
+    int64_t eligible =
+        static_cast<int64_t>(static_cast<double>(cur.completed) / eta);
+    if (eligible <= 0) continue;
+
+    if (options_.delayed_promotion) {
+      // Condition 2 (delay): |D_k| / (|D_{k+1}| + 1) >= eta, where the next
+      // level counts issued evaluations so racing proposals are throttled.
+      const Rung& next = rung(k + 1);
+      if (static_cast<double>(cur.completed) /
+              static_cast<double>(next.issued + 1) <
+          eta) {
+        continue;
+      }
+    }
+
+    // Top 1/eta of completed results not yet promoted.
+    std::vector<size_t> order(cur.results.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cur.results[a].first < cur.results[b].first;
+    });
+    for (int64_t rank = 0; rank < eligible; ++rank) {
+      const Configuration& candidate =
+          cur.results[order[static_cast<size_t>(rank)]].second;
+      if (cur.promoted.count(candidate.Hash()) > 0) continue;
+      cur.promoted.insert(candidate.Hash());
+      Rung& next = rung(k + 1);
+      ++next.issued;
+      ++in_flight_;
+      return MakeJob(candidate, k + 1, job_id);
+    }
+  }
+  return std::nullopt;
+}
+
+void Bracket::MaybeQueueSyncPromotions(int level) {
+  if (level >= top_level()) return;  // nothing above the top rung
+  Rung& cur = rung(level);
+  if (cur.completed < cur.target) return;
+
+  const Rung& next = rung(level + 1);
+  int64_t to_promote = next.target;
+  std::vector<size_t> order(cur.results.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cur.results[a].first < cur.results[b].first;
+  });
+  for (int64_t rank = 0;
+       rank < to_promote && rank < static_cast<int64_t>(order.size());
+       ++rank) {
+    const Configuration& candidate =
+        cur.results[order[static_cast<size_t>(rank)]].second;
+    if (cur.promoted.count(candidate.Hash()) > 0) continue;
+    cur.promoted.insert(candidate.Hash());
+    sync_promotions_.emplace_back(candidate, level);
+  }
+}
+
+void Bracket::OnJobComplete(const Job& job, double objective) {
+  Rung& r = rung(job.level);
+  ++r.completed;
+  --in_flight_;
+  r.results.emplace_back(objective, job.config);
+  HT_CHECK(r.completed <= r.issued) << "rung accounting corrupted";
+  if (options_.synchronous) MaybeQueueSyncPromotions(job.level);
+}
+
+int64_t Bracket::CompletedAt(int level) const { return rung(level).completed; }
+
+int64_t Bracket::IssuedAt(int level) const { return rung(level).issued; }
+
+bool Bracket::Quiescent() const {
+  if (WantsNewConfig()) return false;
+  if (in_flight_ > 0) return false;
+  if (options_.synchronous) return sync_promotions_.empty();
+  // Async: quiescent when a promotion scan would come up empty. This
+  // replicates FindAsyncPromotion's eligibility test without committing.
+  const double eta = options_.ladder.eta;
+  for (int k = top_level() - 1; k >= base_level(); --k) {
+    const Rung& cur = rung(k);
+    int64_t eligible =
+        static_cast<int64_t>(static_cast<double>(cur.completed) / eta);
+    if (eligible <= 0) continue;
+    if (options_.delayed_promotion) {
+      const Rung& next = rung(k + 1);
+      if (static_cast<double>(cur.completed) /
+              static_cast<double>(next.issued + 1) <
+          eta) {
+        continue;
+      }
+    }
+    std::vector<size_t> order(cur.results.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cur.results[a].first < cur.results[b].first;
+    });
+    for (int64_t rank = 0; rank < eligible; ++rank) {
+      const Configuration& candidate =
+          cur.results[order[static_cast<size_t>(rank)]].second;
+      if (cur.promoted.count(candidate.Hash()) == 0) return false;
+    }
+  }
+  return true;
+}
+
+bool Bracket::Complete() const {
+  if (!options_.synchronous) return Quiescent();
+  for (const Rung& r : rungs_) {
+    if (r.completed < r.target) return false;
+  }
+  return true;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,144 @@
+#ifndef HYPERTUNE_SCHEDULER_BRACKET_H_
+#define HYPERTUNE_SCHEDULER_BRACKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "src/config/configuration.h"
+#include "src/runtime/job.h"
+
+namespace hypertune {
+
+/// The geometric resource ladder shared by all HB-family methods: K levels
+/// with resources r_k = R * eta^(k - K), so r_K = R and consecutive levels
+/// differ by the discard proportion eta.
+struct ResourceLadder {
+  double eta = 3.0;
+  int num_levels = 4;  // K
+  double max_resource = 1.0;
+
+  /// r_k for level k in [1, K].
+  double ResourceAt(int level) const;
+
+  /// All level resources, index i <-> level i+1.
+  std::vector<double> LevelResources() const;
+
+  /// Builds a ladder with K = floor(log_eta(R / min_resource)) + 1, capped
+  /// at `max_levels` when positive (the paper caps at 4 brackets).
+  static ResourceLadder Make(double min_resource, double max_resource,
+                             double eta, int max_levels = 0);
+};
+
+/// Configuration of one bracket (one SHA procedure).
+struct BracketOptions {
+  /// Bracket index b in [1, K]: the initial resource level is b, so
+  /// Bracket-1 starts cheapest and Bracket-K evaluates at full resource
+  /// only (Table 1 of the paper).
+  int index = 1;
+  ResourceLadder ladder;
+  /// Synchronous SHA (rung barriers + exact top-1/eta promotion) versus
+  /// asynchronous ASHA-style on-the-fly promotion.
+  bool synchronous = true;
+  /// Async only: apply D-ASHA's delay condition
+  /// |D_k| / (|D_{k+1}| + 1) >= eta (Algorithm 1, line 9).
+  bool delayed_promotion = false;
+  /// Maximum new configurations admitted at the base level; <= 0 means the
+  /// classic Hyperband width n1 = ceil(K / (s+1) * eta^s) for sync
+  /// brackets and unlimited for async brackets.
+  int64_t base_quota = 0;
+};
+
+/// Rung/promotion bookkeeping for one SHA procedure over levels
+/// [index, K] of the ladder. Used in two modes:
+///
+///   * synchronous: rung j admits a fixed number of configurations; when
+///     every evaluation of a rung finishes, the top 1/eta are queued for
+///     promotion (the synchronization barrier of Figure 1);
+///   * asynchronous: any configuration currently in the top 1/eta of its
+///     completed rung that has not been promoted is eligible immediately
+///     (ASHA), optionally gated by the D-ASHA delay condition.
+///
+/// The bracket does not talk to samplers or stores: callers admit new
+/// base-level configurations (AdmitConfig) and report completions
+/// (OnJobComplete); the bracket mints promotion jobs.
+class Bracket {
+ public:
+  explicit Bracket(const BracketOptions& options);
+
+  int index() const { return options_.index; }
+  int base_level() const { return options_.index; }
+  int top_level() const { return options_.ladder.num_levels; }
+
+  /// Classic Hyperband initial width n1 for this bracket.
+  int64_t DefaultWidth() const;
+
+  /// Number of new base-level configurations still admissible.
+  bool WantsNewConfig() const;
+
+  /// Admits a new configuration at the base level and returns its job.
+  /// Requires WantsNewConfig().
+  Job AdmitConfig(const Configuration& config, int64_t job_id);
+
+  /// Returns a promotion job when one is available under the configured
+  /// rules, or nullopt.
+  std::optional<Job> NextPromotion(int64_t job_id);
+
+  /// Reports the completion of a job previously minted by this bracket.
+  void OnJobComplete(const Job& job, double objective);
+
+  /// Evaluations issued but not yet completed.
+  int64_t InFlight() const { return in_flight_; }
+
+  /// True when no further work can ever come out of this bracket: the base
+  /// quota is exhausted, nothing is in flight, and no promotion is
+  /// currently eligible.
+  bool Quiescent() const;
+
+  /// Sync brackets: true when every rung fully completed.
+  bool Complete() const;
+
+  /// Completed measurements at `level` within this bracket (|D_k| of
+  /// Algorithm 1 is scoped to the running SHA procedure).
+  int64_t CompletedAt(int level) const;
+
+  /// Issued evaluations at `level` (completed + in flight).
+  int64_t IssuedAt(int level) const;
+
+ private:
+  struct Rung {
+    int level = 0;
+    /// Sync mode: number of configurations this rung should evaluate.
+    int64_t target = 0;
+    int64_t issued = 0;
+    int64_t completed = 0;
+    /// Completed (objective, config) pairs.
+    std::vector<std::pair<double, Configuration>> results;
+    /// Hashes of configurations already promoted out of this rung.
+    std::unordered_set<uint64_t> promoted;
+  };
+
+  Rung& rung(int level);
+  const Rung& rung(int level) const;
+
+  /// Sync mode: if `level`'s rung just completed, queue its top 1/eta.
+  void MaybeQueueSyncPromotions(int level);
+
+  /// Async mode: first eligible promotion scanning top-1 .. base levels.
+  std::optional<Job> FindAsyncPromotion(int64_t job_id);
+
+  Job MakeJob(const Configuration& config, int level, int64_t job_id) const;
+
+  BracketOptions options_;
+  std::vector<Rung> rungs_;  // rungs_[i] <-> level base_level() + i
+  std::deque<std::pair<Configuration, int>> sync_promotions_;  // (config, from)
+  int64_t admitted_ = 0;
+  int64_t base_quota_ = 0;  // resolved quota (>0) or -1 for unlimited
+  int64_t in_flight_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SCHEDULER_BRACKET_H_

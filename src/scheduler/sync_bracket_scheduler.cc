@@ -1,0 +1,67 @@
+#include "src/scheduler/sync_bracket_scheduler.h"
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+SyncBracketScheduler::SyncBracketScheduler(const ConfigurationSpace* space,
+                                           MeasurementStore* store,
+                                           Sampler* sampler,
+                                           FidelityWeights* weights,
+                                           BracketSchedulerOptions options)
+    : space_(space),
+      store_(store),
+      sampler_(sampler),
+      options_(options),
+      selector_(options.ladder.num_levels, options.ladder.LevelResources(),
+                weights, options.selector) {
+  HT_CHECK(space_ != nullptr && store_ != nullptr && sampler_ != nullptr)
+      << "SyncBracketScheduler needs space, store, and sampler";
+  HT_CHECK(store_->num_levels() == options_.ladder.num_levels)
+      << "store level count must match the resource ladder";
+}
+
+void SyncBracketScheduler::StartNextBracket() {
+  current_index_ = selector_.Select(*store_);
+  BracketOptions bracket_options;
+  bracket_options.index = current_index_;
+  bracket_options.ladder = options_.ladder;
+  bracket_options.synchronous = true;
+  bracket_ = std::make_unique<Bracket>(bracket_options);
+}
+
+std::optional<Job> SyncBracketScheduler::NextJob() {
+  if (bracket_ == nullptr || bracket_->Complete()) {
+    if (bracket_ != nullptr) ++brackets_completed_;
+    StartNextBracket();
+  }
+
+  // Queued promotions first (they exist only after a rung barrier cleared).
+  std::optional<Job> promotion = bracket_->NextPromotion(next_job_id_);
+  if (promotion.has_value()) {
+    ++next_job_id_;
+    store_->AddPending(promotion->config);
+    return promotion;
+  }
+
+  if (bracket_->WantsNewConfig()) {
+    Configuration config = sampler_->Sample(bracket_->base_level());
+    Job job = bracket_->AdmitConfig(config, next_job_id_++);
+    store_->AddPending(config);
+    return job;
+  }
+
+  // Synchronization barrier: the rung has outstanding evaluations.
+  return std::nullopt;
+}
+
+void SyncBracketScheduler::OnJobComplete(const Job& job,
+                                         const EvalResult& result) {
+  HT_CHECK(bracket_ != nullptr) << "completion without an active bracket";
+  store_->RemovePending(job.config);
+  store_->Add(job.level, job.config, result.objective);
+  bracket_->OnJobComplete(job, result.objective);
+  sampler_->OnObservation(job.config, result.objective, job.level);
+}
+
+}  // namespace hypertune

@@ -1,0 +1,42 @@
+#include "src/surrogate/acquisition.h"
+
+#include <cmath>
+
+#include "src/common/statistics.h"
+
+namespace hypertune {
+
+double ExpectedImprovement(const Prediction& p, double best, double xi) {
+  double sigma = std::sqrt(std::max(p.variance, 0.0));
+  double improvement = best - p.mean - xi;
+  if (sigma < 1e-12) return std::max(improvement, 0.0);
+  double z = improvement / sigma;
+  return improvement * NormalCdf(z) + sigma * NormalPdf(z);
+}
+
+double ProbabilityOfImprovement(const Prediction& p, double best, double xi) {
+  double sigma = std::sqrt(std::max(p.variance, 0.0));
+  double improvement = best - p.mean - xi;
+  if (sigma < 1e-12) return improvement > 0.0 ? 1.0 : 0.0;
+  return NormalCdf(improvement / sigma);
+}
+
+double NegativeLowerConfidenceBound(const Prediction& p, double kappa) {
+  double sigma = std::sqrt(std::max(p.variance, 0.0));
+  return -(p.mean - kappa * sigma);
+}
+
+double AcquisitionValue(const Prediction& p, double best,
+                        const AcquisitionOptions& options) {
+  switch (options.type) {
+    case AcquisitionType::kExpectedImprovement:
+      return ExpectedImprovement(p, best, options.xi);
+    case AcquisitionType::kProbabilityOfImprovement:
+      return ProbabilityOfImprovement(p, best, options.xi);
+    case AcquisitionType::kLowerConfidenceBound:
+      return NegativeLowerConfidenceBound(p, options.kappa);
+  }
+  return 0.0;
+}
+
+}  // namespace hypertune

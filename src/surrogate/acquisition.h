@@ -1,0 +1,44 @@
+#ifndef HYPERTUNE_SURROGATE_ACQUISITION_H_
+#define HYPERTUNE_SURROGATE_ACQUISITION_H_
+
+#include "src/surrogate/surrogate.h"
+
+namespace hypertune {
+
+/// Acquisition functions a(x; M) balancing exploration and exploitation
+/// (§3.1). All follow the *minimization* convention: `best` is the lowest
+/// observed objective and larger acquisition values are better.
+enum class AcquisitionType {
+  kExpectedImprovement,
+  kProbabilityOfImprovement,
+  kLowerConfidenceBound,
+};
+
+/// Parameters of the acquisition functions.
+struct AcquisitionOptions {
+  AcquisitionType type = AcquisitionType::kExpectedImprovement;
+  /// Exploration jitter xi for EI/PI.
+  double xi = 0.01;
+  /// Exploration weight kappa for LCB.
+  double kappa = 2.0;
+};
+
+/// Expected improvement over `best` for a minimization problem:
+/// EI(x) = (best - mu - xi) Phi(z) + sigma phi(z), z = (best - mu - xi)/sigma.
+double ExpectedImprovement(const Prediction& p, double best, double xi = 0.01);
+
+/// Probability of improving on `best` by at least `xi`.
+double ProbabilityOfImprovement(const Prediction& p, double best,
+                                double xi = 0.01);
+
+/// Negated lower confidence bound -(mu - kappa sigma): larger is better,
+/// consistent with the other acquisitions.
+double NegativeLowerConfidenceBound(const Prediction& p, double kappa = 2.0);
+
+/// Dispatches on `options.type`.
+double AcquisitionValue(const Prediction& p, double best,
+                        const AcquisitionOptions& options);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SURROGATE_ACQUISITION_H_

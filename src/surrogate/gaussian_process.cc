@@ -1,0 +1,186 @@
+#include "src/surrogate/gaussian_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/statistics.h"
+#include "src/surrogate/kernel.h"
+
+namespace hypertune {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLog2Pi = 1.8378770664093453;
+
+}  // namespace
+
+GaussianProcess::GaussianProcess(GaussianProcessOptions options)
+    : options_(options) {}
+
+Status GaussianProcess::Fit(const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("GP: |x| != |y|");
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("GP: empty training set");
+  }
+  const size_t dim = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("GP: ragged design matrix");
+    }
+  }
+  fitted_ = false;
+
+  // Subsample if over the cap: keep the best half and the most recent half.
+  std::vector<size_t> keep(x.size());
+  std::iota(keep.begin(), keep.end(), 0);
+  if (x.size() > options_.max_points) {
+    std::vector<size_t> by_value = keep;
+    std::sort(by_value.begin(), by_value.end(),
+              [&](size_t a, size_t b) { return y[a] < y[b]; });
+    size_t half = options_.max_points / 2;
+    std::vector<bool> selected(x.size(), false);
+    for (size_t i = 0; i < half; ++i) selected[by_value[i]] = true;
+    // Most recent observations fill the remainder.
+    for (size_t i = x.size(); i > 0 && half < options_.max_points; --i) {
+      if (!selected[i - 1]) {
+        selected[i - 1] = true;
+        ++half;
+      }
+    }
+    keep.clear();
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (selected[i]) keep.push_back(i);
+    }
+  }
+
+  x_.clear();
+  std::vector<double> y_kept;
+  x_.reserve(keep.size());
+  y_kept.reserve(keep.size());
+  for (size_t i : keep) {
+    x_.push_back(x[i]);
+    y_kept.push_back(y[i]);
+  }
+
+  y_mean_ = Mean(y_kept);
+  double sd = StdDev(y_kept);
+  y_scale_ = (sd > 1e-12) ? sd : 1.0;
+  y_std_.resize(y_kept.size());
+  for (size_t i = 0; i < y_kept.size(); ++i) {
+    y_std_[i] = (y_kept[i] - y_mean_) / y_scale_;
+  }
+
+  // Default hyper-parameters: moderate lengthscales on the unit cube.
+  lengthscales_.assign(dim, 0.5);
+  signal_variance_ = 1.0;
+  noise_variance_ = 1e-3;
+
+  if (options_.optimize_hyperparameters && x_.size() >= 3) {
+    // phi = [log l_1..d, log s2, log n2]
+    std::vector<double> best_phi(dim + 2);
+    for (size_t i = 0; i < dim; ++i) best_phi[i] = std::log(0.5);
+    best_phi[dim] = 0.0;
+    best_phi[dim + 1] = std::log(1e-3);
+    double best = Lml(best_phi);
+
+    Rng rng(CombineSeeds(options_.seed, x_.size()));
+    for (int r = 0; r < options_.num_restarts; ++r) {
+      std::vector<double> phi(dim + 2);
+      for (size_t i = 0; i < dim; ++i) phi[i] = rng.Uniform(-2.5, 1.5);
+      phi[dim] = rng.Uniform(-1.0, 1.0);
+      phi[dim + 1] = rng.Uniform(-9.0, -1.0);
+      double v = Lml(phi);
+      if (v > best) {
+        best = v;
+        best_phi = phi;
+      }
+    }
+    // Coordinate refinement with shrinking steps.
+    double step = 0.5;
+    for (int sweep = 0; sweep < options_.refine_sweeps; ++sweep) {
+      for (size_t i = 0; i < best_phi.size(); ++i) {
+        for (double delta : {step, -step}) {
+          std::vector<double> phi = best_phi;
+          phi[i] += delta;
+          double v = Lml(phi);
+          if (v > best) {
+            best = v;
+            best_phi = phi;
+          }
+        }
+      }
+      step *= 0.5;
+    }
+    if (best > kNegInf) {
+      for (size_t i = 0; i < dim; ++i) lengthscales_[i] = std::exp(best_phi[i]);
+      signal_variance_ = std::exp(best_phi[dim]);
+      noise_variance_ = std::exp(best_phi[dim + 1]);
+    }
+  }
+
+  if (!Refactor()) {
+    // Retry with a conservative noise floor before giving up.
+    noise_variance_ = std::max(noise_variance_, 1e-2);
+    if (!Refactor()) {
+      return Status::Internal("GP: covariance factorization failed");
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+double GaussianProcess::Lml(const std::vector<double>& phi) const {
+  const size_t dim = x_[0].size();
+  std::vector<double> ls(dim);
+  for (size_t i = 0; i < dim; ++i) ls[i] = std::exp(Clamp(phi[i], -6.0, 4.0));
+  double s2 = std::exp(Clamp(phi[dim], -6.0, 4.0));
+  double n2 = std::exp(Clamp(phi[dim + 1], -12.0, 2.0));
+
+  Matern52Kernel kernel(ls, s2);
+  Matrix k = kernel.GramMatrix(x_);
+  k.AddDiagonal(n2);
+  Cholesky chol;
+  double jitter = 0.0;
+  if (!CholeskyWithJitter(k, &chol, &jitter).ok()) return kNegInf;
+  Vector alpha = chol.Solve(y_std_);
+  double fit = Dot(y_std_, alpha);
+  double n = static_cast<double>(y_std_.size());
+  return -0.5 * fit - 0.5 * chol.LogDeterminant() - 0.5 * n * kLog2Pi;
+}
+
+bool GaussianProcess::Refactor() {
+  Matern52Kernel kernel(lengthscales_, signal_variance_);
+  Matrix k = kernel.GramMatrix(x_);
+  k.AddDiagonal(noise_variance_);
+  double jitter = 0.0;
+  if (!CholeskyWithJitter(k, &chol_, &jitter).ok()) return false;
+  alpha_ = chol_.Solve(y_std_);
+  double n = static_cast<double>(y_std_.size());
+  lml_ = -0.5 * Dot(y_std_, alpha_) - 0.5 * chol_.LogDeterminant() -
+         0.5 * n * kLog2Pi;
+  return true;
+}
+
+Prediction GaussianProcess::Predict(const std::vector<double>& x) const {
+  HT_CHECK(fitted_) << "GP::Predict before Fit";
+  Matern52Kernel kernel(lengthscales_, signal_variance_);
+  Vector kstar = kernel.CrossCovariance(x_, x);
+  double mean_std = Dot(kstar, alpha_);
+  Vector v = chol_.SolveLower(kstar);
+  double var_std = signal_variance_ - Dot(v, v);
+  var_std = std::max(var_std, 1e-12);
+
+  Prediction p;
+  p.mean = mean_std * y_scale_ + y_mean_;
+  p.variance = var_std * y_scale_ * y_scale_;
+  return p;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,80 @@
+#ifndef HYPERTUNE_SURROGATE_GAUSSIAN_PROCESS_H_
+#define HYPERTUNE_SURROGATE_GAUSSIAN_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/linalg/cholesky.h"
+#include "src/surrogate/surrogate.h"
+
+namespace hypertune {
+
+/// Options controlling GP hyper-parameter fitting.
+struct GaussianProcessOptions {
+  /// Maximize the log marginal likelihood over kernel hyper-parameters;
+  /// when false, fixed default hyper-parameters are used (fast).
+  bool optimize_hyperparameters = true;
+  /// Number of random restarts for the likelihood search.
+  int num_restarts = 16;
+  /// Coordinate-refinement sweeps after the random search.
+  int refine_sweeps = 2;
+  /// Training points beyond this cap are subsampled (keeping the best and
+  /// most recent) to bound the O(n^3) cost.
+  size_t max_points = 300;
+  /// Seed for the (deterministic) hyper-parameter search.
+  uint64_t seed = 0;
+};
+
+/// Gaussian-process regression surrogate with a Matérn-5/2 ARD kernel,
+/// constant (zero, after standardization) mean, and Gaussian noise.
+///
+/// Targets are standardized internally; predictions are de-standardized.
+/// Kernel hyper-parameters (per-dimension log lengthscales, log signal
+/// variance, log noise variance) are fitted by maximizing the log marginal
+/// likelihood with a seeded multi-start random search followed by coordinate
+/// refinement — derivative-free, deterministic given the seed.
+class GaussianProcess : public Surrogate {
+ public:
+  explicit GaussianProcess(GaussianProcessOptions options = {});
+
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y) override;
+  Prediction Predict(const std::vector<double>& x) const override;
+  bool fitted() const override { return fitted_; }
+  size_t num_observations() const override { return x_.size(); }
+
+  /// Log marginal likelihood of the fitted model (for tests/diagnostics).
+  double log_marginal_likelihood() const { return lml_; }
+  const std::vector<double>& lengthscales() const { return lengthscales_; }
+  double noise_variance() const { return noise_variance_; }
+  double signal_variance() const { return signal_variance_; }
+
+ private:
+  /// Computes the LML for hyper-parameters `phi` = [log l_1..d, log s2,
+  /// log n2] on the stored standardized data; returns -inf on failure.
+  double Lml(const std::vector<double>& phi) const;
+
+  /// Rebuilds the Cholesky factor and alpha for the current
+  /// hyper-parameters. Returns false when factorization fails.
+  bool Refactor();
+
+  GaussianProcessOptions options_;
+  bool fitted_ = false;
+
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_std_;  // standardized targets
+  double y_mean_ = 0.0;
+  double y_scale_ = 1.0;
+
+  std::vector<double> lengthscales_;
+  double signal_variance_ = 1.0;
+  double noise_variance_ = 1e-4;
+
+  Cholesky chol_;
+  Vector alpha_;  // K^{-1} y
+  double lml_ = 0.0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SURROGATE_GAUSSIAN_PROCESS_H_

@@ -1,0 +1,57 @@
+#include "src/surrogate/kernel.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+Matern52Kernel::Matern52Kernel(std::vector<double> lengthscales,
+                               double signal_variance)
+    : lengthscales_(std::move(lengthscales)),
+      signal_variance_(signal_variance) {
+  HT_CHECK(signal_variance_ > 0.0) << "signal variance must be positive";
+  for (double l : lengthscales_) {
+    HT_CHECK(l > 0.0) << "lengthscales must be positive";
+  }
+}
+
+double Matern52Kernel::operator()(const std::vector<double>& a,
+                                  const std::vector<double>& b) const {
+  HT_CHECK(a.size() == dim() && b.size() == dim())
+      << "kernel input dimension mismatch";
+  double r2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = (a[i] - b[i]) / lengthscales_[i];
+    r2 += d * d;
+  }
+  static const double kSqrt5 = 2.23606797749979;
+  double r = std::sqrt(r2);
+  return signal_variance_ * (1.0 + kSqrt5 * r + 5.0 * r2 / 3.0) *
+         std::exp(-kSqrt5 * r);
+}
+
+Matrix Matern52Kernel::GramMatrix(
+    const std::vector<std::vector<double>>& x) const {
+  size_t n = x.size();
+  Matrix k(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    k(i, i) = signal_variance_;
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = (*this)(x[i], x[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vector Matern52Kernel::CrossCovariance(
+    const std::vector<std::vector<double>>& x,
+    const std::vector<double>& query) const {
+  Vector k(x.size(), 0.0);
+  for (size_t i = 0; i < x.size(); ++i) k[i] = (*this)(x[i], query);
+  return k;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,46 @@
+#ifndef HYPERTUNE_SURROGATE_KERNEL_H_
+#define HYPERTUNE_SURROGATE_KERNEL_H_
+
+#include <vector>
+
+#include "src/linalg/matrix.h"
+
+namespace hypertune {
+
+/// Matérn-5/2 covariance with per-dimension (ARD) lengthscales and a signal
+/// amplitude:
+///
+///   k(a, b) = s^2 (1 + sqrt(5) r + 5 r^2 / 3) exp(-sqrt(5) r),
+///   r^2 = sum_i ((a_i - b_i) / l_i)^2.
+///
+/// The de-facto standard kernel for hyper-parameter tuning GPs (Snoek et
+/// al. 2012); twice differentiable but not overly smooth.
+class Matern52Kernel {
+ public:
+  /// `lengthscales` must be positive, one per input dimension;
+  /// `signal_variance` is s^2 > 0.
+  Matern52Kernel(std::vector<double> lengthscales, double signal_variance);
+
+  size_t dim() const { return lengthscales_.size(); }
+  const std::vector<double>& lengthscales() const { return lengthscales_; }
+  double signal_variance() const { return signal_variance_; }
+
+  /// Covariance between two points (sizes must equal dim()).
+  double operator()(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+
+  /// Gram matrix K with K_ij = k(x_i, x_j).
+  Matrix GramMatrix(const std::vector<std::vector<double>>& x) const;
+
+  /// Cross-covariance vector k(x_*, x_i) for all training points.
+  Vector CrossCovariance(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& query) const;
+
+ private:
+  std::vector<double> lengthscales_;
+  double signal_variance_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SURROGATE_KERNEL_H_

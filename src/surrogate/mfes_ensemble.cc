@@ -1,0 +1,79 @@
+#include "src/surrogate/mfes_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+void MfesEnsemble::SetMembers(std::vector<const Surrogate*> surrogates,
+                              std::vector<double> weights) {
+  HT_CHECK(surrogates.size() == weights.size())
+      << "MfesEnsemble: member/weight count mismatch";
+  members_ = std::move(surrogates);
+  weights_ = std::move(weights);
+
+  double total = 0.0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == nullptr || !members_[i]->fitted() || weights_[i] < 0.0) {
+      weights_[i] = 0.0;
+    }
+    total += weights_[i];
+  }
+  if (total > 0.0) {
+    for (double& w : weights_) w /= total;
+  } else {
+    // No usable weights: fall back to uniform over fitted members.
+    size_t fitted = 0;
+    for (const Surrogate* m : members_) {
+      if (m != nullptr && m->fitted()) ++fitted;
+    }
+    for (size_t i = 0; i < members_.size(); ++i) {
+      weights_[i] = (members_[i] != nullptr && members_[i]->fitted() && fitted)
+                        ? 1.0 / static_cast<double>(fitted)
+                        : 0.0;
+    }
+  }
+}
+
+Status MfesEnsemble::Fit(const std::vector<std::vector<double>>&,
+                         const std::vector<double>&) {
+  return Status::FailedPrecondition(
+      "MfesEnsemble is assembled from pre-fitted base surrogates; fit the "
+      "members and call SetMembers instead");
+}
+
+Prediction MfesEnsemble::Predict(const std::vector<double>& x) const {
+  HT_CHECK(fitted()) << "MfesEnsemble::Predict without fitted members";
+  Prediction out;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (weights_[i] <= 0.0) continue;
+    Prediction p = members_[i]->Predict(x);
+    out.mean += weights_[i] * p.mean;
+    out.variance += weights_[i] * weights_[i] * p.variance;
+  }
+  out.variance = std::max(out.variance, 1e-12);
+  return out;
+}
+
+bool MfesEnsemble::fitted() const {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (weights_[i] > 0.0 && members_[i] != nullptr && members_[i]->fitted()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t MfesEnsemble::num_observations() const {
+  size_t total = 0;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] != nullptr && members_[i]->fitted()) {
+      total += members_[i]->num_observations();
+    }
+  }
+  return total;
+}
+
+}  // namespace hypertune

@@ -1,0 +1,256 @@
+#include "src/surrogate/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+/// Mean and (population) variance of y over indices [begin, end).
+void MeanVar(const std::vector<double>& y, const std::vector<size_t>& indices,
+             size_t begin, size_t end, double* mean, double* var) {
+  double m = 0.0;
+  size_t n = end - begin;
+  for (size_t i = begin; i < end; ++i) m += y[indices[i]];
+  m /= static_cast<double>(n);
+  double v = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    double d = y[indices[i]] - m;
+    v += d * d;
+  }
+  *mean = m;
+  *var = v / static_cast<double>(n);
+}
+
+}  // namespace
+
+RandomForest::RandomForest(RandomForestOptions options) : options_(options) {}
+
+void RandomForest::SetCategoricalFeatures(std::vector<bool> categorical) {
+  categorical_ = std::move(categorical);
+}
+
+Status RandomForest::Fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("RF: |x| != |y|");
+  }
+  if (x.empty()) {
+    return Status::InvalidArgument("RF: empty training set");
+  }
+  const size_t dim = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      return Status::InvalidArgument("RF: ragged design matrix");
+    }
+  }
+  if (!categorical_.empty() && categorical_.size() != dim) {
+    return Status::InvalidArgument("RF: categorical flag size mismatch");
+  }
+
+  fitted_ = false;
+  trees_.clear();
+  num_observations_ = x.size();
+  trees_.resize(static_cast<size_t>(std::max(1, options_.num_trees)));
+
+  // Cap oversized training sets: keep the best half and most recent half.
+  std::vector<size_t> keep;
+  keep.reserve(std::min(x.size(), options_.max_points));
+  if (x.size() > options_.max_points && options_.max_points > 0) {
+    std::vector<size_t> by_value(x.size());
+    for (size_t i = 0; i < x.size(); ++i) by_value[i] = i;
+    std::sort(by_value.begin(), by_value.end(),
+              [&](size_t a, size_t b) { return y[a] < y[b]; });
+    std::vector<bool> selected(x.size(), false);
+    size_t kept = 0;
+    for (size_t i = 0; i < options_.max_points / 2; ++i) {
+      selected[by_value[i]] = true;
+      ++kept;
+    }
+    for (size_t i = x.size(); i > 0 && kept < options_.max_points; --i) {
+      if (!selected[i - 1]) {
+        selected[i - 1] = true;
+        ++kept;
+      }
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (selected[i]) keep.push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < x.size(); ++i) keep.push_back(i);
+  }
+
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    Rng rng(CombineSeeds(options_.seed, CombineSeeds(t, keep.size())));
+    std::vector<size_t> indices;
+    indices.reserve(keep.size());
+    if (options_.bootstrap && keep.size() > 1) {
+      for (size_t i = 0; i < keep.size(); ++i) {
+        indices.push_back(keep[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(keep.size()) - 1))]);
+      }
+    } else {
+      indices = keep;
+    }
+    trees_[t].nodes.reserve(2 * keep.size());
+    BuildNode(&trees_[t], x, y, &indices, 0, indices.size(), 0, &rng);
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+int RandomForest::BuildNode(Tree* tree,
+                            const std::vector<std::vector<double>>& x,
+                            const std::vector<double>& y,
+                            std::vector<size_t>* indices, size_t begin,
+                            size_t end, int depth, Rng* rng) const {
+  const size_t n = end - begin;
+  const size_t dim = x[0].size();
+
+  double node_mean = 0.0, node_var = 0.0;
+  MeanVar(y, *indices, begin, end, &node_mean, &node_var);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.leaf_mean = node_mean;
+    leaf.leaf_variance = node_var;
+    tree->nodes.push_back(leaf);
+    return static_cast<int>(tree->nodes.size() - 1);
+  };
+
+  if (n < 2 * options_.min_samples_leaf || depth >= options_.max_depth ||
+      node_var <= 1e-14) {
+    return make_leaf();
+  }
+
+  // Candidate features (without replacement).
+  size_t num_features = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options_.feature_fraction *
+                                       static_cast<double>(dim))));
+  std::vector<size_t> features = rng->SampleWithoutReplacement(dim, num_features);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  bool best_equality = false;
+
+  for (size_t f : features) {
+    bool is_cat = !categorical_.empty() && categorical_[f];
+    // Feature range over this node's samples.
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t i = begin; i < end; ++i) {
+      double v = x[(*indices)[i]][f];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo >= hi) continue;  // constant feature in this node
+
+    for (int c = 0; c < options_.thresholds_per_feature; ++c) {
+      double threshold;
+      bool equality = false;
+      if (is_cat) {
+        // Pick the value of a random sample in the node: guarantees a
+        // non-empty "equal" side.
+        size_t pick = begin + static_cast<size_t>(rng->UniformInt(
+                                  0, static_cast<int64_t>(n) - 1));
+        threshold = x[(*indices)[pick]][f];
+        equality = true;
+      } else {
+        threshold = rng->Uniform(lo, hi);
+      }
+
+      // Weighted variance after the split.
+      double sum_l = 0.0, sum_r = 0.0, sq_l = 0.0, sq_r = 0.0;
+      size_t n_l = 0, n_r = 0;
+      for (size_t i = begin; i < end; ++i) {
+        double v = x[(*indices)[i]][f];
+        double t = y[(*indices)[i]];
+        bool go_left = equality ? (v == threshold) : (v <= threshold);
+        if (go_left) {
+          sum_l += t;
+          sq_l += t * t;
+          ++n_l;
+        } else {
+          sum_r += t;
+          sq_r += t * t;
+          ++n_r;
+        }
+      }
+      if (n_l < options_.min_samples_leaf || n_r < options_.min_samples_leaf) {
+        continue;
+      }
+      double var_l = sq_l / n_l - (sum_l / n_l) * (sum_l / n_l);
+      double var_r = sq_r / n_r - (sum_r / n_r) * (sum_r / n_r);
+      double score = (var_l * n_l + var_r * n_r) / static_cast<double>(n);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = threshold;
+        best_equality = equality;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices in place.
+  auto go_left = [&](size_t idx) {
+    double v = x[idx][static_cast<size_t>(best_feature)];
+    return best_equality ? (v == best_threshold) : (v <= best_threshold);
+  };
+  size_t mid =
+      static_cast<size_t>(std::partition(indices->begin() + begin,
+                                         indices->begin() + end, go_left) -
+                          indices->begin());
+  if (mid == begin || mid == end) return make_leaf();  // defensive
+
+  // Reserve this node's slot before recursing so children land after it.
+  tree->nodes.emplace_back();
+  int self = static_cast<int>(tree->nodes.size() - 1);
+  int left = BuildNode(tree, x, y, indices, begin, mid, depth + 1, rng);
+  int right = BuildNode(tree, x, y, indices, mid, end, depth + 1, rng);
+  Node& node = tree->nodes[self];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.equality_split = best_equality;
+  node.left = left;
+  node.right = right;
+  return self;
+}
+
+const RandomForest::Node& RandomForest::FindLeaf(
+    const Tree& tree, const std::vector<double>& x) const {
+  int idx = 0;
+  // Trees are built root-first, so node 0 is the root.
+  while (!tree.nodes[static_cast<size_t>(idx)].IsLeaf()) {
+    const Node& node = tree.nodes[static_cast<size_t>(idx)];
+    double v = x[static_cast<size_t>(node.feature)];
+    bool go_left =
+        node.equality_split ? (v == node.threshold) : (v <= node.threshold);
+    idx = go_left ? node.left : node.right;
+  }
+  return tree.nodes[static_cast<size_t>(idx)];
+}
+
+Prediction RandomForest::Predict(const std::vector<double>& x) const {
+  HT_CHECK(fitted_) << "RF::Predict before Fit";
+  double sum_mean = 0.0;
+  double sum_second_moment = 0.0;
+  for (const Tree& tree : trees_) {
+    const Node& leaf = FindLeaf(tree, x);
+    sum_mean += leaf.leaf_mean;
+    sum_second_moment += leaf.leaf_variance + leaf.leaf_mean * leaf.leaf_mean;
+  }
+  double inv = 1.0 / static_cast<double>(trees_.size());
+  Prediction p;
+  p.mean = sum_mean * inv;
+  p.variance = std::max(sum_second_moment * inv - p.mean * p.mean, 1e-12);
+  return p;
+}
+
+}  // namespace hypertune

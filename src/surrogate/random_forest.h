@@ -1,0 +1,91 @@
+#ifndef HYPERTUNE_SURROGATE_RANDOM_FOREST_H_
+#define HYPERTUNE_SURROGATE_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/surrogate/surrogate.h"
+
+namespace hypertune {
+
+/// Options for the probabilistic random-forest surrogate.
+struct RandomForestOptions {
+  int num_trees = 10;
+  int max_depth = 24;
+  size_t min_samples_leaf = 3;
+  /// Fraction of features considered at each split.
+  double feature_fraction = 0.8;
+  /// Random candidate thresholds drawn per considered feature
+  /// (extremely-randomized-trees style splitting).
+  int thresholds_per_feature = 4;
+  /// Train each tree on a bootstrap resample of the data.
+  bool bootstrap = true;
+  /// Training sets beyond this cap are subsampled (keeping the best half
+  /// and the most recent half) to bound fitting cost.
+  size_t max_points = 800;
+  uint64_t seed = 0;
+};
+
+/// SMAC-style probabilistic regression forest.
+///
+/// The default surrogate for mixed continuous/categorical hyper-parameter
+/// spaces (as in BOHB/MFES-HB implementations): robust to non-smooth
+/// response surfaces, cheap to refit, and naturally handles categorical
+/// dimensions via equality splits.
+///
+/// Predictive distribution at x uses the law of total variance over trees:
+/// mean = avg_t m_t(x), var = avg_t (v_t(x) + m_t(x)^2) - mean^2, where
+/// m_t/v_t are the mean/variance of the training targets in the leaf of
+/// tree t containing x.
+class RandomForest : public Surrogate {
+ public:
+  explicit RandomForest(RandomForestOptions options = {});
+
+  /// Marks features as categorical (equality splits instead of threshold
+  /// splits). Must be called before Fit; sizes must then match the data.
+  void SetCategoricalFeatures(std::vector<bool> categorical);
+
+  Status Fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y) override;
+  Prediction Predict(const std::vector<double>& x) const override;
+  bool fitted() const override { return fitted_; }
+  size_t num_observations() const override { return num_observations_; }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 for leaves
+    double threshold = 0.0;    // numeric: x[f] <= t goes left;
+                               // categorical: x[f] == t goes left
+    bool equality_split = false;
+    int left = -1;
+    int right = -1;
+    double leaf_mean = 0.0;
+    double leaf_variance = 0.0;
+    bool IsLeaf() const { return feature < 0; }
+  };
+
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  /// Recursively grows `tree` over the sample indices [begin, end) of
+  /// `order`; returns the index of the created node.
+  int BuildNode(Tree* tree, const std::vector<std::vector<double>>& x,
+                const std::vector<double>& y, std::vector<size_t>* indices,
+                size_t begin, size_t end, int depth, class Rng* rng) const;
+
+  /// Index of the leaf of `tree` containing `x`.
+  const Node& FindLeaf(const Tree& tree, const std::vector<double>& x) const;
+
+  RandomForestOptions options_;
+  std::vector<bool> categorical_;
+  std::vector<Tree> trees_;
+  bool fitted_ = false;
+  size_t num_observations_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SURROGATE_RANDOM_FOREST_H_

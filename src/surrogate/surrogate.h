@@ -1,0 +1,47 @@
+#ifndef HYPERTUNE_SURROGATE_SURROGATE_H_
+#define HYPERTUNE_SURROGATE_SURROGATE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hypertune {
+
+/// Posterior prediction of a probabilistic surrogate at one input point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Interface of probabilistic regression surrogates M: p(f | D).
+///
+/// This is the paper's "fit and predict APIs for surrogate model" (§4.3):
+/// every optimizer interacts with surrogates only through this interface,
+/// which is what makes the multi-fidelity ensemble and the drop-in
+/// replacement of optimizers possible.
+///
+/// Inputs are unit-cube-encoded configurations (ConfigurationSpace::Encode);
+/// outputs are raw objective values with *lower is better* convention.
+/// Implementations standardize targets internally.
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  /// Fits the model on design matrix `x` (n rows, d columns) and targets
+  /// `y` (n values). Refitting replaces previous state.
+  virtual Status Fit(const std::vector<std::vector<double>>& x,
+                     const std::vector<double>& y) = 0;
+
+  /// Posterior mean/variance at `x`. Requires fitted().
+  virtual Prediction Predict(const std::vector<double>& x) const = 0;
+
+  /// True once Fit succeeded with at least one observation.
+  virtual bool fitted() const = 0;
+
+  /// Number of observations the model was fitted on (0 if unfitted).
+  virtual size_t num_observations() const = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_SURROGATE_SURROGATE_H_

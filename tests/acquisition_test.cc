@@ -1,0 +1,122 @@
+#include "src/surrogate/acquisition.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/statistics.h"
+
+namespace hypertune {
+namespace {
+
+TEST(AcquisitionTest, EiClosedFormValue) {
+  Prediction p{1.0, 4.0};  // mean 1, sigma 2
+  double best = 2.0;
+  double xi = 0.0;
+  double z = (best - p.mean) / 2.0;  // 0.5
+  double expected = (best - p.mean) * NormalCdf(z) + 2.0 * NormalPdf(z);
+  EXPECT_NEAR(ExpectedImprovement(p, best, xi), expected, 1e-12);
+}
+
+TEST(AcquisitionTest, EiZeroSigmaReducesToImprovement) {
+  EXPECT_DOUBLE_EQ(ExpectedImprovement({1.0, 0.0}, 3.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(ExpectedImprovement({5.0, 0.0}, 3.0, 0.0), 0.0);
+}
+
+TEST(AcquisitionTest, EiIsNonNegative) {
+  for (double mean : {-2.0, 0.0, 5.0}) {
+    for (double var : {0.01, 1.0, 9.0}) {
+      EXPECT_GE(ExpectedImprovement({mean, var}, 0.0), 0.0);
+    }
+  }
+}
+
+TEST(AcquisitionTest, EiIncreasesWithVarianceAtEqualMean) {
+  double best = 0.0;
+  double low = ExpectedImprovement({1.0, 0.25}, best);
+  double high = ExpectedImprovement({1.0, 4.0}, best);
+  EXPECT_GT(high, low);
+}
+
+TEST(AcquisitionTest, EiDecreasesWithMean) {
+  double best = 0.0;
+  EXPECT_GT(ExpectedImprovement({-1.0, 1.0}, best),
+            ExpectedImprovement({1.0, 1.0}, best));
+}
+
+TEST(AcquisitionTest, PiClosedForm) {
+  Prediction p{0.0, 1.0};
+  // P(f < best - xi) with best = 1, xi = 0 -> Phi(1).
+  EXPECT_NEAR(ProbabilityOfImprovement(p, 1.0, 0.0), NormalCdf(1.0), 1e-12);
+}
+
+TEST(AcquisitionTest, PiZeroSigmaIsStep) {
+  EXPECT_DOUBLE_EQ(ProbabilityOfImprovement({0.0, 0.0}, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityOfImprovement({2.0, 0.0}, 1.0, 0.0), 0.0);
+}
+
+TEST(AcquisitionTest, LcbPrefersLowMeanAndHighVariance) {
+  EXPECT_GT(NegativeLowerConfidenceBound({0.0, 1.0}, 2.0),
+            NegativeLowerConfidenceBound({1.0, 1.0}, 2.0));
+  EXPECT_GT(NegativeLowerConfidenceBound({0.0, 4.0}, 2.0),
+            NegativeLowerConfidenceBound({0.0, 1.0}, 2.0));
+}
+
+TEST(AcquisitionTest, LcbClosedForm) {
+  EXPECT_DOUBLE_EQ(NegativeLowerConfidenceBound({3.0, 4.0}, 2.0),
+                   -(3.0 - 2.0 * 2.0));
+}
+
+struct AcqCase {
+  AcquisitionType type;
+};
+
+class AcquisitionDispatchTest : public ::testing::TestWithParam<AcqCase> {};
+
+TEST_P(AcquisitionDispatchTest, DispatchMatchesDirectCall) {
+  AcquisitionOptions options;
+  options.type = GetParam().type;
+  options.xi = 0.02;
+  options.kappa = 1.7;
+  Prediction p{0.5, 2.0};
+  double best = 1.0;
+  double via_dispatch = AcquisitionValue(p, best, options);
+  double direct = 0.0;
+  switch (options.type) {
+    case AcquisitionType::kExpectedImprovement:
+      direct = ExpectedImprovement(p, best, options.xi);
+      break;
+    case AcquisitionType::kProbabilityOfImprovement:
+      direct = ProbabilityOfImprovement(p, best, options.xi);
+      break;
+    case AcquisitionType::kLowerConfidenceBound:
+      direct = NegativeLowerConfidenceBound(p, options.kappa);
+      break;
+  }
+  EXPECT_DOUBLE_EQ(via_dispatch, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, AcquisitionDispatchTest,
+    ::testing::Values(AcqCase{AcquisitionType::kExpectedImprovement},
+                      AcqCase{AcquisitionType::kProbabilityOfImprovement},
+                      AcqCase{AcquisitionType::kLowerConfidenceBound}));
+
+/// Property sweep: EI monotonically decreases as the predicted mean rises.
+class EiMonotonicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EiMonotonicityTest, DecreasingInMean) {
+  double variance = GetParam();
+  double last = ExpectedImprovement({-3.0, variance}, 0.0);
+  for (double mean = -2.5; mean <= 3.0; mean += 0.5) {
+    double v = ExpectedImprovement({mean, variance}, 0.0);
+    EXPECT_LE(v, last + 1e-12) << "variance " << variance;
+    last = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VarianceSweep, EiMonotonicityTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 4.0, 25.0));
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,202 @@
+// Parameterized property sweep over bracket shapes: for every (eta, K,
+// bracket index) combination the SHA/ASHA bookkeeping must satisfy the
+// structural invariants of §3.2 and Algorithm 1.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/scheduler/bracket.h"
+
+namespace hypertune {
+namespace {
+
+struct Shape {
+  double eta;
+  int num_levels;
+  int index;
+};
+
+class BracketShapeTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  ResourceLadder Ladder() const {
+    ResourceLadder ladder;
+    ladder.eta = GetParam().eta;
+    ladder.num_levels = GetParam().num_levels;
+    ladder.max_resource = std::pow(GetParam().eta, GetParam().num_levels - 1);
+    return ladder;
+  }
+};
+
+TEST_P(BracketShapeTest, LadderIsGeometric) {
+  ResourceLadder ladder = Ladder();
+  std::vector<double> resources = ladder.LevelResources();
+  ASSERT_EQ(resources.size(), static_cast<size_t>(ladder.num_levels));
+  EXPECT_NEAR(resources.back(), ladder.max_resource, 1e-9);
+  for (size_t i = 1; i < resources.size(); ++i) {
+    EXPECT_NEAR(resources[i] / resources[i - 1], ladder.eta, 1e-9);
+  }
+}
+
+TEST_P(BracketShapeTest, WidthShrinksWithIndexAndIsPositive) {
+  ResourceLadder ladder = Ladder();
+  int64_t previous = INT64_MAX;
+  for (int b = 1; b <= ladder.num_levels; ++b) {
+    BracketOptions options;
+    options.index = b;
+    options.ladder = ladder;
+    Bracket bracket(options);
+    int64_t width = bracket.DefaultWidth();
+    EXPECT_GE(width, 1);
+    EXPECT_LE(width, previous);
+    previous = width;
+  }
+}
+
+TEST_P(BracketShapeTest, SyncBracketDrainsCompletely) {
+  ResourceLadder ladder = Ladder();
+  BracketOptions options;
+  options.index = GetParam().index;
+  if (options.index > ladder.num_levels) GTEST_SKIP();
+  options.ladder = ladder;
+  options.synchronous = true;
+  Bracket bracket(options);
+  Rng rng(1);
+
+  int64_t job_id = 0;
+  std::vector<Job> inflight;
+  // Drive to completion: admit everything, then loop completions and
+  // promotions until the bracket reports Complete().
+  int64_t safety = 0;
+  while (!bracket.Complete() && safety++ < 100000) {
+    while (bracket.WantsNewConfig()) {
+      inflight.push_back(
+          bracket.AdmitConfig(Configuration({rng.Uniform()}), job_id++));
+    }
+    while (auto p = bracket.NextPromotion(job_id)) {
+      ++job_id;
+      inflight.push_back(*p);
+    }
+    ASSERT_FALSE(inflight.empty()) << "deadlock: no work but not complete";
+    Job job = inflight.back();
+    inflight.pop_back();
+    bracket.OnJobComplete(job, job.config[0]);
+  }
+  EXPECT_TRUE(bracket.Complete());
+  EXPECT_EQ(bracket.InFlight(), 0);
+
+  // Rung population decays by ~eta per level above the base.
+  int64_t previous = bracket.CompletedAt(bracket.base_level());
+  for (int level = bracket.base_level() + 1; level <= bracket.top_level();
+       ++level) {
+    int64_t count = bracket.CompletedAt(level);
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, previous);
+    previous = count;
+  }
+}
+
+TEST_P(BracketShapeTest, AsyncPromotionsStayNearEtaShareButCanExceedIt) {
+  // Plain ASHA promotes any configuration currently in the top 1/eta of
+  // its rung. Because rankings shuffle as results stream in, previously
+  // promoted configurations fall out of the top set and free slots — so
+  // cumulative promotions CAN exceed floor(completed/eta). That
+  // over-promotion is exactly the inaccurate-promotion problem §4.2
+  // attributes to ASHA; this test documents it (bounded sanity margin)
+  // while the D-ASHA test below shows the delay condition eliminates it.
+  ResourceLadder ladder = Ladder();
+  BracketOptions options;
+  options.index = GetParam().index;
+  if (options.index > ladder.num_levels) GTEST_SKIP();
+  options.ladder = ladder;
+  options.synchronous = false;
+  options.base_quota = -1;
+  Bracket bracket(options);
+  Rng rng(2);
+
+  int64_t job_id = 0;
+  bool exceeded_eta_share = false;
+  for (int i = 0; i < 200; ++i) {
+    Job job = bracket.AdmitConfig(Configuration({rng.Uniform()}), job_id++);
+    bracket.OnJobComplete(job, job.config[0]);
+    while (auto p = bracket.NextPromotion(job_id)) {
+      ++job_id;
+      bracket.OnJobComplete(*p, p->config[0]);
+    }
+    for (int level = bracket.base_level(); level < bracket.top_level();
+         ++level) {
+      int64_t completed = bracket.CompletedAt(level);
+      int64_t promoted = bracket.IssuedAt(level + 1);
+      if (promoted >
+          static_cast<int64_t>(static_cast<double>(completed) / ladder.eta)) {
+        exceeded_eta_share = true;
+      }
+      // Sanity margin: over-promotion is bounded (roughly a constant
+      // above the eta share; 2x + 2 is a loose envelope).
+      EXPECT_LE(static_cast<double>(promoted),
+                static_cast<double>(completed) / ladder.eta * 2.0 + 2.0)
+          << "level " << level;
+    }
+  }
+  // The noisy stream above reliably triggers at least one over-promotion
+  // for the base level of multi-rung brackets (the phenomenon D-ASHA
+  // fixes); single-rung brackets have nothing to promote.
+  if (bracket.base_level() < bracket.top_level()) {
+    EXPECT_TRUE(exceeded_eta_share)
+        << "expected ASHA's over-promotion to manifest";
+  }
+}
+
+TEST_P(BracketShapeTest, DelayedPromotionsRespectDelayBound) {
+  ResourceLadder ladder = Ladder();
+  BracketOptions options;
+  options.index = GetParam().index;
+  if (options.index > ladder.num_levels) GTEST_SKIP();
+  options.ladder = ladder;
+  options.synchronous = false;
+  options.delayed_promotion = true;
+  options.base_quota = -1;
+  Bracket bracket(options);
+  Rng rng(3);
+
+  int64_t job_id = 0;
+  for (int i = 0; i < 200; ++i) {
+    Job job = bracket.AdmitConfig(Configuration({rng.Uniform()}), job_id++);
+    bracket.OnJobComplete(job, job.config[0]);
+    while (auto p = bracket.NextPromotion(job_id)) {
+      ++job_id;
+      bracket.OnJobComplete(*p, p->config[0]);
+    }
+    // D-ASHA invariant (Algorithm 1): |D_k| / |D_{k+1}| >= eta at all
+    // times once anything was promoted.
+    for (int level = bracket.base_level(); level < bracket.top_level();
+         ++level) {
+      int64_t completed = bracket.CompletedAt(level);
+      int64_t promoted = bracket.IssuedAt(level + 1);
+      if (promoted > 0) {
+        EXPECT_GE(static_cast<double>(completed) /
+                      static_cast<double>(promoted),
+                  ladder.eta - 1e-9)
+            << "level " << level;
+      }
+    }
+  }
+}
+
+std::string ShapeName(const ::testing::TestParamInfo<Shape>& info) {
+  return "eta" + std::to_string(static_cast<int>(info.param.eta)) + "_K" +
+         std::to_string(info.param.num_levels) + "_b" +
+         std::to_string(info.param.index);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BracketShapeTest,
+    ::testing::Values(Shape{2.0, 3, 1}, Shape{2.0, 3, 2}, Shape{2.0, 5, 1},
+                      Shape{3.0, 4, 1}, Shape{3.0, 4, 2}, Shape{3.0, 4, 3},
+                      Shape{3.0, 4, 4}, Shape{3.0, 5, 1}, Shape{4.0, 3, 1},
+                      Shape{4.0, 3, 2}),
+    ShapeName);
+
+}  // namespace
+}  // namespace hypertune

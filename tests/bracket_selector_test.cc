@@ -1,0 +1,109 @@
+#include "src/allocator/bracket_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+ConfigurationSpace OneDimSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("x", 0.0, 1.0)).ok());
+  return space;
+}
+
+TEST(BracketSelectorTest, FixedPolicyAlwaysSame) {
+  MeasurementStore store(4);
+  BracketSelectorOptions options;
+  options.policy = BracketPolicy::kFixed;
+  options.fixed_bracket = 2;
+  BracketSelector selector(4, {1.0, 3.0, 9.0, 27.0}, nullptr, options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(selector.Select(store), 2);
+  }
+}
+
+TEST(BracketSelectorTest, RoundRobinCycles) {
+  MeasurementStore store(3);
+  BracketSelectorOptions options;
+  options.policy = BracketPolicy::kRoundRobin;
+  BracketSelector selector(3, {1.0, 3.0, 9.0}, nullptr, options);
+  std::vector<int> seen;
+  for (int i = 0; i < 6; ++i) seen.push_back(selector.Select(store));
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 1, 2, 3}));
+}
+
+TEST(BracketSelectorTest, LearnedPolicyStartsRoundRobin) {
+  ConfigurationSpace space = OneDimSpace();
+  MeasurementStore store(3);
+  FidelityWeightsOptions weight_options;
+  FidelityWeights weights(&space, weight_options);
+  BracketSelectorOptions options;
+  options.policy = BracketPolicy::kLearned;
+  options.init_rounds = 3;
+  BracketSelector selector(3, {1.0, 3.0, 9.0}, &weights, options);
+  // 3 init rounds x 3 brackets = 9 round-robin selections.
+  for (int round = 0; round < 3; ++round) {
+    for (int b = 1; b <= 3; ++b) {
+      EXPECT_EQ(selector.Select(store), b);
+    }
+  }
+  EXPECT_EQ(selector.num_selections(), 9);
+}
+
+TEST(BracketSelectorTest, LearnedWeightsFavorCheapPreciseBrackets) {
+  ConfigurationSpace space = OneDimSpace();
+  MeasurementStore store(2);
+  Rng rng(1);
+  // Level 1 ranks identically to level 2 (perfect low fidelity).
+  for (int i = 0; i < 60; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, c[0]);
+  }
+  for (int i = 0; i < 30; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(2, c, c[0]);
+  }
+  FidelityWeightsOptions weight_options;
+  weight_options.seed = 2;
+  FidelityWeights weights(&space, weight_options);
+  BracketSelectorOptions options;
+  options.policy = BracketPolicy::kLearned;
+  options.init_rounds = 0;
+  options.seed = 3;
+  // Bracket 1 costs 1 unit, bracket 2 costs 9 units.
+  BracketSelector selector(2, {1.0, 9.0}, &weights, options);
+
+  int bracket1 = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    if (selector.Select(store) == 1) ++bracket1;
+  }
+  // Even if theta is split evenly, the 1/r_i cost coefficient should tilt
+  // the distribution strongly towards the cheap bracket.
+  EXPECT_GT(bracket1, n / 2);
+  ASSERT_EQ(selector.last_weights().size(), 2u);
+  EXPECT_GT(selector.last_weights()[0], selector.last_weights()[1]);
+  double sum = selector.last_weights()[0] + selector.last_weights()[1];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BracketSelectorTest, SelectionsStayInRange) {
+  ConfigurationSpace space = OneDimSpace();
+  MeasurementStore store(4);
+  FidelityWeightsOptions weight_options;
+  FidelityWeights weights(&space, weight_options);
+  BracketSelectorOptions options;
+  options.policy = BracketPolicy::kLearned;
+  options.init_rounds = 1;
+  BracketSelector selector(4, {1.0, 3.0, 9.0, 27.0}, &weights, options);
+  for (int i = 0; i < 100; ++i) {
+    int b = selector.Select(store);
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 4);
+  }
+}
+
+}  // namespace
+}  // namespace hypertune

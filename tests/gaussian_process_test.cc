@@ -1,0 +1,172 @@
+#include "src/surrogate/gaussian_process.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/surrogate/kernel.h"
+
+namespace hypertune {
+namespace {
+
+/// 1-D test function on the unit interval.
+double Objective(double x) { return std::sin(6.0 * x) + 0.5 * x; }
+
+TEST(KernelTest, SelfCovarianceIsSignalVariance) {
+  Matern52Kernel k({0.5, 0.5}, 2.0);
+  std::vector<double> x = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(k(x, x), 2.0);
+}
+
+TEST(KernelTest, DecaysWithDistance) {
+  Matern52Kernel k({0.5}, 1.0);
+  double near = k({0.0}, {0.1});
+  double far = k({0.0}, {0.9});
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);
+}
+
+TEST(KernelTest, ArdLengthscalesWeightDimensions) {
+  // Long lengthscale in dim 0 -> distance along dim 0 matters less.
+  Matern52Kernel k({10.0, 0.1}, 1.0);
+  double along_insensitive = k({0.0, 0.0}, {0.5, 0.0});
+  double along_sensitive = k({0.0, 0.0}, {0.0, 0.5});
+  EXPECT_GT(along_insensitive, along_sensitive);
+}
+
+TEST(KernelTest, GramMatrixIsSymmetricWithUnitDiagonal) {
+  Matern52Kernel k({0.5}, 1.5);
+  std::vector<std::vector<double>> x = {{0.1}, {0.4}, {0.9}};
+  Matrix gram = k.GramMatrix(x);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(gram(i, i), 1.5);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(gram(i, j), gram(j, i));
+    }
+  }
+}
+
+TEST(GaussianProcessTest, RejectsBadInput) {
+  GaussianProcess gp;
+  EXPECT_FALSE(gp.Fit({}, {}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.Fit({{0.1}, {0.2, 0.3}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(gp.fitted());
+}
+
+TEST(GaussianProcessTest, InterpolatesTrainingData) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 12; ++i) {
+    double v = i / 12.0;
+    x.push_back({v});
+    y.push_back(Objective(v));
+  }
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_TRUE(gp.fitted());
+  EXPECT_EQ(gp.num_observations(), 13u);
+  for (size_t i = 0; i < x.size(); ++i) {
+    Prediction p = gp.Predict(x[i]);
+    EXPECT_NEAR(p.mean, y[i], 0.12);
+  }
+}
+
+TEST(GaussianProcessTest, GeneralizesBetweenPoints) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 20; ++i) {
+    double v = i / 20.0;
+    x.push_back({v});
+    y.push_back(Objective(v));
+  }
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  for (double v : {0.12, 0.47, 0.81}) {
+    Prediction p = gp.Predict({v});
+    EXPECT_NEAR(p.mean, Objective(v), 0.2) << "at " << v;
+  }
+}
+
+TEST(GaussianProcessTest, VarianceGrowsAwayFromData) {
+  std::vector<std::vector<double>> x = {{0.4}, {0.45}, {0.5}, {0.55}, {0.6}};
+  std::vector<double> y;
+  for (const auto& xi : x) y.push_back(Objective(xi[0]));
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  double var_inside = gp.Predict({0.5}).variance;
+  double var_outside = gp.Predict({0.0}).variance;
+  EXPECT_GT(var_outside, var_inside);
+}
+
+TEST(GaussianProcessTest, HyperparameterFitImprovesLikelihood) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 25; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(Objective(v) + 0.01 * rng.Gaussian());
+  }
+  GaussianProcessOptions fixed;
+  fixed.optimize_hyperparameters = false;
+  GaussianProcess gp_fixed(fixed);
+  ASSERT_TRUE(gp_fixed.Fit(x, y).ok());
+
+  GaussianProcess gp_opt;  // optimization on by default
+  ASSERT_TRUE(gp_opt.Fit(x, y).ok());
+  EXPECT_GE(gp_opt.log_marginal_likelihood(),
+            gp_fixed.log_marginal_likelihood());
+}
+
+TEST(GaussianProcessTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(6);
+  for (int i = 0; i < 15; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(Objective(v));
+  }
+  GaussianProcessOptions options;
+  options.seed = 11;
+  GaussianProcess a(options), b(options);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  Prediction pa = a.Predict({0.33});
+  Prediction pb = b.Predict({0.33});
+  EXPECT_DOUBLE_EQ(pa.mean, pb.mean);
+  EXPECT_DOUBLE_EQ(pa.variance, pb.variance);
+}
+
+TEST(GaussianProcessTest, SubsamplesBeyondCap) {
+  GaussianProcessOptions options;
+  options.max_points = 50;
+  options.num_restarts = 2;
+  options.refine_sweeps = 0;
+  GaussianProcess gp(options);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(Objective(v));
+  }
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_EQ(gp.num_observations(), 50u);
+  // Still a sane model.
+  EXPECT_NEAR(gp.Predict({0.5}).mean, Objective(0.5), 0.4);
+}
+
+TEST(GaussianProcessTest, ConstantTargetsHandled) {
+  std::vector<std::vector<double>> x = {{0.1}, {0.5}, {0.9}};
+  std::vector<double> y = {2.0, 2.0, 2.0};
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  EXPECT_NEAR(gp.Predict({0.3}).mean, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace hypertune

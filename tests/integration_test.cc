@@ -1,0 +1,132 @@
+// Cross-module integration tests: whole methods running on whole problems,
+// checking the qualitative relationships the paper's evaluation relies on.
+
+#include <gtest/gtest.h>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+#include "src/problems/nas_bench.h"
+#include "src/problems/xgboost_surface.h"
+
+namespace hypertune {
+namespace {
+
+RunResult RunMethod(const TuningProblem& problem, Method method,
+                    int workers, double budget, uint64_t seed,
+                    double straggler_sigma = 0.0) {
+  TunerFactoryOptions factory;
+  factory.method = method;
+  factory.seed = seed;
+  factory.batch_size = workers;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  ClusterOptions cluster;
+  cluster.num_workers = workers;
+  cluster.time_budget_seconds = budget;
+  cluster.seed = seed;
+  cluster.straggler_sigma = straggler_sigma;
+  return tuner->Run(problem, cluster);
+}
+
+double MeanBest(const TuningProblem& problem, Method method, int workers,
+                double budget, double straggler = 0.0, int seeds = 3) {
+  double total = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    total += RunMethod(problem, method, workers, budget,
+                       static_cast<uint64_t>(s) + 1, straggler)
+                 .history.best_objective();
+  }
+  return total / seeds;
+}
+
+TEST(IntegrationTest, AsyncUtilizationBeatsSyncUnderStragglers) {
+  SyntheticNasBench problem;
+  RunResult sync = RunMethod(problem, Method::kHyperband, 8, 12 * 3600.0, 1,
+                             /*straggler_sigma=*/0.4);
+  RunResult async = RunMethod(problem, Method::kAHyperband, 8, 12 * 3600.0,
+                              1, /*straggler_sigma=*/0.4);
+  // The paper's Figure 1/4 phenomenon: synchronous barriers leave workers
+  // idle, asynchronous scheduling does not.
+  EXPECT_GT(async.utilization, 0.98);
+  EXPECT_LT(sync.utilization, async.utilization - 0.05);
+}
+
+TEST(IntegrationTest, PartialEvaluationBeatsFullFidelityEarly) {
+  // With a tight budget, HB-style methods complete far more trials than
+  // full-fidelity random search.
+  SyntheticNasBench problem;
+  RunResult full = RunMethod(problem, Method::kARandom, 8, 6 * 3600.0, 2);
+  RunResult hb = RunMethod(problem, Method::kAHyperband, 8, 6 * 3600.0, 2);
+  EXPECT_GT(hb.history.num_trials(), 2 * full.history.num_trials());
+}
+
+TEST(IntegrationTest, HyperTuneBeatsRandomSearch) {
+  SyntheticNasBench problem;
+  double random = MeanBest(problem, Method::kARandom, 8, 8 * 3600.0);
+  double hyper_tune = MeanBest(problem, Method::kHyperTune, 8, 8 * 3600.0);
+  EXPECT_LT(hyper_tune, random);
+}
+
+TEST(IntegrationTest, HyperTuneApproachesNasOptimum) {
+  SyntheticNasBench problem;
+  double optimum = problem.optimum();
+  RunResult result = RunMethod(problem, Method::kHyperTune, 8, 48 * 3600.0, 3);
+  // Within 2% validation error of the global optimum on a 48 h budget.
+  EXPECT_LT(result.history.best_objective(), optimum + 2.0);
+}
+
+TEST(IntegrationTest, DashaReducesPromotionsVersusAsha) {
+  SyntheticNasBench problem;
+  auto count_promoted_trials = [&](Method method) {
+    RunResult result = RunMethod(problem, method, 8, 6 * 3600.0, 4);
+    int64_t promoted = 0;
+    for (const TrialRecord& t : result.history.trials()) {
+      if (t.job.resume_from > 0.0) ++promoted;
+    }
+    return std::make_pair(promoted,
+                          static_cast<int64_t>(result.history.num_trials()));
+  };
+  auto [asha_promoted, asha_total] = count_promoted_trials(Method::kAsha);
+  auto [dasha_promoted, dasha_total] = count_promoted_trials(Method::kDasha);
+  double asha_rate = static_cast<double>(asha_promoted) / asha_total;
+  double dasha_rate = static_cast<double>(dasha_promoted) / dasha_total;
+  EXPECT_LT(dasha_rate, asha_rate);
+}
+
+TEST(IntegrationTest, ModelBasedBeatsRandomOnXgboost) {
+  SyntheticXgboost problem({XgbDataset::kCovertype, 2022});
+  double random = MeanBest(problem, Method::kAHyperband, 8, 3 * 3600.0);
+  double model = MeanBest(problem, Method::kHyperTune, 8, 3 * 3600.0);
+  EXPECT_LT(model, random + 0.2);  // at least on par, typically better
+}
+
+TEST(IntegrationTest, MoreWorkersConvergeFaster) {
+  CountingOnes problem;
+  RunResult few = RunMethod(problem, Method::kHyperTune, 2, 2000.0, 5);
+  RunResult many = RunMethod(problem, Method::kHyperTune, 32, 2000.0, 5);
+  EXPECT_LT(many.history.best_objective(), few.history.best_objective());
+  EXPECT_GT(many.history.num_trials(), few.history.num_trials());
+}
+
+TEST(IntegrationTest, MeasurementGroupsArePopulatedAcrossLevels) {
+  SyntheticNasBench problem;
+  TunerFactoryOptions factory;
+  factory.method = Method::kHyperTune;
+  factory.seed = 6;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  ClusterOptions cluster;
+  cluster.num_workers = 8;
+  cluster.time_budget_seconds = 12 * 3600.0;
+  cluster.seed = 6;
+  tuner->Run(problem, cluster);
+  MeasurementStore* store = tuner->store();
+  ASSERT_EQ(store->num_levels(), 4);
+  // All fidelity groups received data (multi-fidelity measurements exist).
+  for (int level = 1; level <= 4; ++level) {
+    EXPECT_GT(store->group(level).size(), 0u) << "level " << level;
+  }
+  // Promotion pyramid: lower levels hold at least as much data as higher.
+  EXPECT_GE(store->group(1).size(), store->group(3).size());
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,120 @@
+#include "src/optimizer/kde_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+ConfigurationSpace MixedSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("x", 0.0, 1.0)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Float("y", 0.0, 1.0)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Categorical("op", {"a", "b", "c"})).ok());
+  return space;
+}
+
+double Objective(const Configuration& c) {
+  // Minimum at x=0.2, y=0.8, op="b" (index 1).
+  double v = (c[0] - 0.2) * (c[0] - 0.2) + (c[1] - 0.8) * (c[1] - 0.8);
+  if (c[2] != 1.0) v += 0.5;
+  return v;
+}
+
+TEST(KdeSamplerTest, RandomUntilEnoughData) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  KdeSamplerOptions options;
+  options.seed = 1;
+  KdeSampler sampler(&space, &store, options);
+  Configuration c = sampler.Sample(1);
+  EXPECT_TRUE(space.Validate(c).ok());
+  EXPECT_EQ(sampler.last_fit_level(), 0);
+}
+
+TEST(KdeSamplerTest, ProposalsAreValid) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  Rng rng(2);
+  for (int i = 0; i < 80; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Objective(c));
+  }
+  KdeSamplerOptions options;
+  options.seed = 3;
+  options.random_fraction = 0.0;
+  KdeSampler sampler(&space, &store, options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(space.Validate(sampler.Sample(1)).ok());
+  }
+  EXPECT_EQ(sampler.last_fit_level(), 1);
+}
+
+TEST(KdeSamplerTest, ConcentratesNearGoodRegion) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  Rng rng(4);
+  for (int i = 0; i < 120; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Objective(c));
+  }
+  KdeSamplerOptions options;
+  options.seed = 5;
+  options.random_fraction = 0.0;
+  KdeSampler sampler(&space, &store, options);
+  double total = 0.0;
+  int good_category = 0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    Configuration c = sampler.Sample(1);
+    total += Objective(c);
+    if (c[2] == 1.0) ++good_category;
+  }
+  // Uniform sampling averages ~0.55 on this objective.
+  EXPECT_LT(total / n, 0.35);
+  // The categorical histogram should favor the good choice.
+  EXPECT_GT(good_category, n / 2);
+}
+
+TEST(KdeSamplerTest, UsesHighestLevelWithData) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(3);
+  Rng rng(6);
+  for (int i = 0; i < 40; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Objective(c));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(2, c, Objective(c));
+  }
+  KdeSamplerOptions options;
+  options.seed = 7;
+  options.random_fraction = 0.0;
+  options.min_points = 8;
+  KdeSampler sampler(&space, &store, options);
+  sampler.Sample(1);
+  EXPECT_EQ(sampler.last_fit_level(), 2);
+}
+
+TEST(KdeSamplerTest, DeterministicGivenSeed) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  Rng rng(8);
+  for (int i = 0; i < 60; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Objective(c));
+  }
+  KdeSamplerOptions options;
+  options.seed = 9;
+  options.random_fraction = 0.0;
+  KdeSampler a(&space, &store, options);
+  KdeSampler b(&space, &store, options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(a.Sample(1) == b.Sample(1));
+  }
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,89 @@
+#include "src/problems/learning_curve.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hypertune {
+namespace {
+
+TEST(LearningCurveTest, ExponentialBoundaryValues) {
+  LearningCurve curve{/*asymptote=*/10.0, /*range=*/80.0, /*rate=*/5.0,
+                      /*r_max=*/200.0};
+  EXPECT_DOUBLE_EQ(curve.Value(0.0), 90.0);
+  EXPECT_NEAR(curve.Value(200.0), 10.0 + 80.0 * std::exp(-5.0), 1e-12);
+  EXPECT_GT(curve.Value(10.0), curve.Value(100.0));  // monotone decreasing
+}
+
+TEST(LearningCurveTest, NegativeResourceClamped) {
+  LearningCurve curve{1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(curve.Value(-5.0), curve.Value(0.0));
+}
+
+TEST(PowerLawCurveTest, BoundaryValues) {
+  PowerLawCurve curve{/*asymptote=*/10.0, /*range=*/80.0, /*alpha=*/1.0,
+                      /*r_scale=*/4.0};
+  EXPECT_DOUBLE_EQ(curve.Value(0.0), 90.0);
+  // At r = r_scale the kernel halves: 10 + 80/2.
+  EXPECT_DOUBLE_EQ(curve.Value(4.0), 50.0);
+  EXPECT_GT(curve.Value(10.0), curve.Value(100.0));
+}
+
+TEST(PowerLawCurveTest, HigherAlphaConvergesFaster) {
+  PowerLawCurve slow{0.0, 1.0, 0.6, 4.0};
+  PowerLawCurve fast{0.0, 1.0, 1.8, 4.0};
+  for (double r : {5.0, 20.0, 80.0}) {
+    EXPECT_LT(fast.Value(r), slow.Value(r));
+  }
+}
+
+TEST(PowerLawCurveTest, CurvesCanCross) {
+  // Fast-but-worse vs slow-but-better: the classic early-ranking trap.
+  PowerLawCurve fast_bad{12.0, 80.0, 1.8, 4.0};
+  PowerLawCurve slow_good{9.0, 80.0, 1.0, 4.0};
+  EXPECT_LT(fast_bad.Value(8.0), slow_good.Value(8.0));    // early: fast wins
+  EXPECT_GT(fast_bad.Value(200.0), slow_good.Value(200.0));  // late: truth
+}
+
+TEST(FidelityNoiseTest, FullResourceGivesBaseSigma) {
+  EXPECT_DOUBLE_EQ(FidelityNoiseSigma(200.0, 200.0, 0.5, 1.0), 0.5);
+}
+
+TEST(FidelityNoiseTest, LowerResourceInflates) {
+  double full = FidelityNoiseSigma(200.0, 200.0, 0.5, 1.0);
+  double mid = FidelityNoiseSigma(50.0, 200.0, 0.5, 1.0);
+  double low = FidelityNoiseSigma(2.0, 200.0, 0.5, 1.0);
+  EXPECT_GT(mid, full);
+  EXPECT_GT(low, mid);
+  // sqrt scaling: at r = r_max/4 the inflation term is sqrt(4)-1 = 1.
+  EXPECT_NEAR(mid, 0.5 * 2.0, 1e-12);
+}
+
+TEST(FidelityNoiseTest, BoostZeroDisablesInflation) {
+  EXPECT_DOUBLE_EQ(FidelityNoiseSigma(1.0, 200.0, 0.5, 0.0), 0.5);
+}
+
+TEST(SeededDrawsTest, DeterministicAndKeySensitive) {
+  EXPECT_DOUBLE_EQ(SeededGaussian(1, 2, 3), SeededGaussian(1, 2, 3));
+  EXPECT_NE(SeededGaussian(1, 2, 3), SeededGaussian(1, 2, 4));
+  EXPECT_NE(SeededGaussian(1, 2, 3), SeededGaussian(2, 1, 3));
+  EXPECT_DOUBLE_EQ(SeededUniform(4, 5, 6), SeededUniform(4, 5, 6));
+  double u = SeededUniform(7, 8, 9);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(SeededDrawsTest, GaussianMomentsAcrossKeys) {
+  double sum = 0.0, sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    double v = SeededGaussian(42, static_cast<uint64_t>(i), 7);
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,54 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace hypertune {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+TEST_F(LoggingTest, DefaultThresholdIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, ThresholdIsSettable) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotCrash) {
+  SetLogLevel(LogLevel::kError);
+  // These are dropped by the threshold; streaming must still be safe.
+  HT_LOG(kDebug) << "dropped " << 1;
+  HT_LOG(kInfo) << "dropped " << 2.5;
+  HT_LOG(kWarning) << "dropped " << "three";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, EmittedMessagesDoNotCrash) {
+  testing::internal::CaptureStderr();
+  SetLogLevel(LogLevel::kDebug);
+  HT_LOG(kInfo) << "hello " << 42;
+  HT_LOG(kError) << "problem " << 3.14;
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 42"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+  EXPECT_NE(err.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesOnTrueCondition) {
+  HT_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ HT_CHECK(false) << "boom"; }, "check failed: false");
+}
+
+}  // namespace
+}  // namespace hypertune

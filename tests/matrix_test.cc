@@ -1,0 +1,164 @@
+#include "src/linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/linalg/cholesky.h"
+
+namespace hypertune {
+namespace {
+
+TEST(VectorTest, DotAndNorm) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+}
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id.rows(), 3u);
+  EXPECT_EQ(id.cols(), 3u);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  Vector y = m.MatVec({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, TransposeMatVecMatchesTransposed) {
+  Rng rng(1);
+  Matrix m(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) m(r, c) = rng.Gaussian();
+  }
+  Vector x = {1.0, -2.0, 0.5};
+  Vector direct = m.TransposeMatVec(x);
+  Vector via_transpose = m.Transposed().MatVec(x);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, AddDiagonal) {
+  Matrix m = Matrix::Identity(2);
+  m.AddDiagonal(0.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+/// Builds a random SPD matrix A = B B^T + n I.
+Matrix RandomSpd(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b(r, c) = rng.Gaussian();
+  }
+  Matrix a = b.MatMul(b.Transposed());
+  a.AddDiagonal(static_cast<double>(n) * 0.1);
+  return a;
+}
+
+TEST(CholeskyTest, FactorizationReconstructs) {
+  Matrix a = RandomSpd(5, 42);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  const Matrix& l = chol.lower();
+  Matrix reconstructed = l.MatMul(l.Transposed());
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveMatchesDirectMultiply) {
+  Matrix a = RandomSpd(6, 7);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  Vector x_true = {1.0, -2.0, 3.0, 0.5, -0.25, 2.0};
+  Vector b = a.MatVec(x_true);
+  Vector x = chol.Solve(b);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesIdentityScaling) {
+  Matrix a = Matrix::Identity(4);
+  a.AddDiagonal(1.0);  // 2I -> det = 16
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  EXPECT_NEAR(chol.LogDeterminant(), std::log(16.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Cholesky chol;
+  EXPECT_EQ(chol.Factorize(Matrix(2, 3)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  Cholesky chol;
+  EXPECT_EQ(chol.Factorize(a).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(chol.ok());
+}
+
+TEST(CholeskyTest, JitterRescuesSemiDefinite) {
+  // Rank-deficient PSD matrix: outer product of a single vector.
+  Matrix a(3, 3);
+  Vector v = {1.0, 2.0, 3.0};
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = v[r] * v[c];
+  }
+  Cholesky chol;
+  double jitter = 0.0;
+  ASSERT_TRUE(CholeskyWithJitter(a, &chol, &jitter).ok());
+  EXPECT_GT(jitter, 0.0);
+  EXPECT_TRUE(chol.ok());
+}
+
+TEST(CholeskyTest, JitterZeroWhenAlreadyPd) {
+  Matrix a = RandomSpd(3, 3);
+  Cholesky chol;
+  double jitter = 123.0;
+  ASSERT_TRUE(CholeskyWithJitter(a, &chol, &jitter).ok());
+  EXPECT_DOUBLE_EQ(jitter, 0.0);
+}
+
+}  // namespace
+}  // namespace hypertune

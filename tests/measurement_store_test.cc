@@ -1,0 +1,107 @@
+#include "src/runtime/measurement_store.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hypertune {
+namespace {
+
+Configuration C(std::initializer_list<double> values) {
+  return Configuration(std::vector<double>(values));
+}
+
+TEST(MeasurementStoreTest, GroupsStartEmpty) {
+  MeasurementStore store(4);
+  EXPECT_EQ(store.num_levels(), 4);
+  for (int level = 1; level <= 4; ++level) {
+    EXPECT_TRUE(store.group(level).empty());
+  }
+  EXPECT_EQ(store.TotalSize(), 0u);
+}
+
+TEST(MeasurementStoreTest, AddRoutesToLevel) {
+  MeasurementStore store(3);
+  store.Add(1, C({1.0}), 0.5);
+  store.Add(3, C({2.0}), 0.1);
+  EXPECT_EQ(store.group(1).size(), 1u);
+  EXPECT_EQ(store.group(2).size(), 0u);
+  EXPECT_EQ(store.group(3).size(), 1u);
+  EXPECT_EQ(store.GroupSizes(), (std::vector<size_t>{1, 0, 1}));
+}
+
+TEST(MeasurementStoreTest, ReAddingSameConfigReplaces) {
+  MeasurementStore store(2);
+  store.Add(1, C({1.0}), 0.5);
+  store.Add(1, C({1.0}), 0.3);
+  ASSERT_EQ(store.group(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.group(1)[0].objective, 0.3);
+}
+
+TEST(MeasurementStoreTest, BestAndMedianObjective) {
+  MeasurementStore store(1);
+  EXPECT_TRUE(std::isinf(store.BestObjective(1)));
+  EXPECT_DOUBLE_EQ(store.MedianObjective(1), 0.0);
+  store.Add(1, C({1.0}), 3.0);
+  store.Add(1, C({2.0}), 1.0);
+  store.Add(1, C({3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(store.BestObjective(1), 1.0);
+  EXPECT_DOUBLE_EQ(store.MedianObjective(1), 2.0);
+}
+
+TEST(MeasurementStoreTest, HighestLevelWith) {
+  MeasurementStore store(3);
+  EXPECT_EQ(store.HighestLevelWith(1), 0);
+  store.Add(1, C({1.0}), 0.1);
+  store.Add(1, C({2.0}), 0.2);
+  store.Add(2, C({1.0}), 0.15);
+  EXPECT_EQ(store.HighestLevelWith(1), 2);
+  EXPECT_EQ(store.HighestLevelWith(2), 1);
+  EXPECT_EQ(store.HighestLevelWith(5), 0);
+}
+
+TEST(MeasurementStoreTest, PendingIsAMultiset) {
+  MeasurementStore store(1);
+  Configuration a = C({1.0});
+  store.AddPending(a);
+  store.AddPending(a);
+  store.AddPending(C({2.0}));
+  EXPECT_EQ(store.NumPending(), 3u);
+  EXPECT_EQ(store.PendingConfigs().size(), 3u);
+  store.RemovePending(a);
+  EXPECT_EQ(store.NumPending(), 2u);
+  store.RemovePending(a);
+  store.RemovePending(a);  // extra remove is a no-op
+  EXPECT_EQ(store.NumPending(), 1u);
+}
+
+TEST(MeasurementStoreTest, VersionsTrackMutations) {
+  MeasurementStore store(2);
+  uint64_t v0 = store.version();
+  uint64_t d0 = store.data_version();
+  store.AddPending(C({1.0}));
+  EXPECT_GT(store.version(), v0);
+  EXPECT_EQ(store.data_version(), d0);  // pending does not move data version
+  store.Add(1, C({1.0}), 0.5);
+  EXPECT_GT(store.data_version(), d0);
+  uint64_t v1 = store.version();
+  store.RemovePending(C({1.0}));
+  EXPECT_GT(store.version(), v1);
+}
+
+TEST(MeasurementStoreTest, RemoveUnknownPendingIsNoOp) {
+  MeasurementStore store(1);
+  store.RemovePending(C({9.0}));
+  EXPECT_EQ(store.NumPending(), 0u);
+}
+
+TEST(MeasurementStoreTest, MultipleDistinctPendingConfigs) {
+  MeasurementStore store(1);
+  for (double v = 0.0; v < 10.0; v += 1.0) store.AddPending(C({v}));
+  EXPECT_EQ(store.NumPending(), 10u);
+  auto pending = store.PendingConfigs();
+  EXPECT_EQ(pending.size(), 10u);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,161 @@
+// Cross-cutting property tests: invariants that must hold for EVERY method
+// on EVERY problem family (parameterized sweep). These are the contracts
+// the execution backends and experiment harnesses rely on.
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+#include "src/problems/nas_bench.h"
+#include "src/problems/xgboost_surface.h"
+#include "src/scheduler/bracket.h"
+
+namespace hypertune {
+namespace {
+
+struct SweepCase {
+  Method method;
+  const char* problem;
+};
+
+std::unique_ptr<TuningProblem> MakeProblem(const std::string& name) {
+  if (name == "counting") {
+    CountingOnesOptions options;
+    options.num_categorical = 4;
+    options.num_continuous = 4;
+    options.max_samples = 81.0;
+    return std::make_unique<CountingOnes>(options);
+  }
+  if (name == "nas") {
+    return std::make_unique<SyntheticNasBench>(
+        NasBenchOptions{NasDataset::kCifar10Valid, 2022});
+  }
+  return std::make_unique<SyntheticXgboost>(
+      XgbOptions{XgbDataset::kCovertype, 2022});
+}
+
+double BudgetFor(const std::string& problem) {
+  if (problem == "counting") return 2000.0;
+  if (problem == "nas") return 4.0 * 3600.0;
+  return 1.5 * 3600.0;
+}
+
+class MethodPropertyTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  RunResult Run(uint64_t seed, Tuner** tuner_out = nullptr) {
+    problem_ = MakeProblem(GetParam().problem);
+    TunerFactoryOptions factory;
+    factory.method = GetParam().method;
+    factory.seed = seed;
+    factory.batch_size = 4;
+    tuner_ = CreateTuner(*problem_, factory);
+    if (tuner_out != nullptr) *tuner_out = tuner_.get();
+    ClusterOptions cluster;
+    cluster.num_workers = 4;
+    cluster.time_budget_seconds = BudgetFor(GetParam().problem);
+    cluster.seed = seed;
+    return tuner_->Run(*problem_, cluster);
+  }
+
+  std::unique_ptr<TuningProblem> problem_;
+  std::unique_ptr<Tuner> tuner_;
+};
+
+TEST_P(MethodPropertyTest, ResourcesLieOnTheLadder) {
+  RunResult run = Run(3);
+  ASSERT_GT(run.history.num_trials(), 3u);
+  ResourceLadder ladder = ResourceLadder::Make(
+      problem_->min_resource(), problem_->max_resource(), 3.0, 4);
+  std::vector<double> levels = ladder.LevelResources();
+  for (const TrialRecord& trial : run.history.trials()) {
+    bool on_ladder = false;
+    for (double r : levels) {
+      if (std::abs(trial.job.resource - r) < 1e-9 ||
+          std::abs(trial.job.resource - problem_->max_resource()) < 1e-9) {
+        on_ladder = true;
+      }
+    }
+    EXPECT_TRUE(on_ladder) << "resource " << trial.job.resource;
+  }
+}
+
+TEST_P(MethodPropertyTest, CurveIsMonotone) {
+  RunResult run = Run(4);
+  double last = std::numeric_limits<double>::infinity();
+  for (const CurvePoint& p : run.history.curve()) {
+    EXPECT_LE(p.best_objective, last + 1e-12);
+    last = p.best_objective;
+  }
+}
+
+TEST_P(MethodPropertyTest, DeterministicGivenSeed) {
+  RunResult a = Run(5);
+  RunResult b = Run(5);
+  ASSERT_EQ(a.history.num_trials(), b.history.num_trials());
+  EXPECT_DOUBLE_EQ(a.history.best_objective(), b.history.best_objective());
+}
+
+TEST_P(MethodPropertyTest, PendingDrainsToInFlight) {
+  Tuner* tuner = nullptr;
+  RunResult run = Run(6, &tuner);
+  (void)run;
+  // At budget cut, only evaluations still on workers may remain pending.
+  EXPECT_LE(tuner->store()->NumPending(), 4u);
+}
+
+TEST_P(MethodPropertyTest, PromotionsResumeFromLowerLevel) {
+  RunResult run = Run(7);
+  for (const TrialRecord& trial : run.history.trials()) {
+    if (trial.job.resume_from > 0.0) {
+      EXPECT_LT(trial.job.resume_from, trial.job.resource);
+      EXPECT_GT(trial.job.level, 1);
+    }
+  }
+}
+
+TEST_P(MethodPropertyTest, TimestampsAreConsistent) {
+  RunResult run = Run(8);
+  for (const TrialRecord& trial : run.history.trials()) {
+    EXPECT_GE(trial.start_time, 0.0);
+    EXPECT_GT(trial.end_time, trial.start_time);
+    EXPECT_GE(trial.worker, 0);
+    EXPECT_LT(trial.worker, 4);
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = MethodName(info.param.method);
+  name += "_";
+  name += info.param.problem;
+  std::string out;
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoreMethods, MethodPropertyTest,
+    ::testing::Values(SweepCase{Method::kARandom, "counting"},
+                      SweepCase{Method::kSha, "counting"},
+                      SweepCase{Method::kAsha, "counting"},
+                      SweepCase{Method::kDasha, "counting"},
+                      SweepCase{Method::kHyperband, "counting"},
+                      SweepCase{Method::kBohb, "counting"},
+                      SweepCase{Method::kMfesHb, "counting"},
+                      SweepCase{Method::kHyperTune, "counting"},
+                      SweepCase{Method::kAsha, "nas"},
+                      SweepCase{Method::kAHyperband, "nas"},
+                      SweepCase{Method::kABohb, "nas"},
+                      SweepCase{Method::kHyperTune, "nas"},
+                      SweepCase{Method::kHyperTune, "xgb"},
+                      SweepCase{Method::kABohb, "xgb"},
+                      SweepCase{Method::kMfesHb, "xgb"}),
+    CaseName);
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,85 @@
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+#include "src/runtime/thread_cluster.h"
+
+namespace hypertune {
+namespace {
+
+CountingOnes SmallProblem() {
+  CountingOnesOptions options;
+  options.num_categorical = 3;
+  options.num_continuous = 3;
+  options.max_samples = 27.0;
+  return CountingOnes(options);
+}
+
+TEST(TrialObserverTest, SimulatorInvokesObserverPerTrial) {
+  CountingOnes problem = SmallProblem();
+  TunerFactoryOptions factory;
+  factory.method = Method::kAsha;
+  factory.seed = 1;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+  size_t calls = 0;
+  double last_time = -1.0;
+  bool ordered = true;
+  ClusterOptions cluster;
+  cluster.num_workers = 4;
+  cluster.time_budget_seconds = 400.0;
+  cluster.seed = 1;
+  cluster.observer = [&](const TrialRecord& trial) {
+    ++calls;
+    if (trial.end_time < last_time) ordered = false;
+    last_time = trial.end_time;
+  };
+  SimulatedCluster sim(cluster);
+  RunResult run = sim.Run(tuner->scheduler(), problem);
+  EXPECT_EQ(calls, run.history.num_trials());
+  EXPECT_TRUE(ordered) << "observer must see completions in time order";
+}
+
+TEST(TrialObserverTest, ObserverSeesFinalObjectives) {
+  CountingOnes problem = SmallProblem();
+  TunerFactoryOptions factory;
+  factory.method = Method::kARandom;
+  factory.seed = 2;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+  double observed_best = 1e18;
+  ClusterOptions cluster;
+  cluster.num_workers = 2;
+  cluster.time_budget_seconds = 3000.0;
+  cluster.seed = 2;
+  cluster.observer = [&](const TrialRecord& trial) {
+    observed_best = std::min(observed_best, trial.result.objective);
+  };
+  SimulatedCluster sim(cluster);
+  RunResult run = sim.Run(tuner->scheduler(), problem);
+  EXPECT_DOUBLE_EQ(observed_best, run.history.best_objective());
+}
+
+TEST(TrialObserverTest, ThreadClusterInvokesObserver) {
+  CountingOnes problem = SmallProblem();
+  TunerFactoryOptions factory;
+  factory.method = Method::kAsha;
+  factory.seed = 3;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+
+  std::atomic<size_t> calls{0};
+  ThreadClusterOptions cluster;
+  cluster.num_workers = 4;
+  cluster.time_budget_seconds = 10.0;
+  cluster.max_trials = 40;
+  cluster.seed = 3;
+  cluster.observer = [&](const TrialRecord&) { calls.fetch_add(1); };
+  ThreadCluster threads(cluster);
+  RunResult run = threads.Run(tuner->scheduler(), problem);
+  EXPECT_EQ(calls.load(), run.history.num_trials());
+}
+
+}  // namespace
+}  // namespace hypertune

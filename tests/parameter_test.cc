@@ -1,0 +1,146 @@
+#include "src/config/parameter.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+TEST(ParameterTest, FloatBasics) {
+  Parameter p = Parameter::Float("lr", 0.001, 1.0, /*log_scale=*/true);
+  EXPECT_EQ(p.type(), ParameterType::kFloat);
+  EXPECT_TRUE(p.log_scale());
+  EXPECT_FALSE(p.is_discrete());
+  EXPECT_TRUE(p.Validate(0.1).ok());
+  EXPECT_FALSE(p.Validate(2.0).ok());
+  EXPECT_FALSE(p.Validate(std::nan("")).ok());
+}
+
+TEST(ParameterTest, IntValidationRequiresIntegral) {
+  Parameter p = Parameter::Int("depth", 3, 12);
+  EXPECT_TRUE(p.Validate(7.0).ok());
+  EXPECT_FALSE(p.Validate(7.5).ok());
+  EXPECT_FALSE(p.Validate(13.0).ok());
+}
+
+TEST(ParameterTest, CategoricalBasics) {
+  Parameter p = Parameter::Categorical("op", {"a", "b", "c"});
+  EXPECT_TRUE(p.is_categorical());
+  EXPECT_EQ(p.num_choices(), 3u);
+  EXPECT_TRUE(p.Validate(2.0).ok());
+  EXPECT_FALSE(p.Validate(3.0).ok());
+  EXPECT_EQ(p.FormatValue(1.0), "b");
+}
+
+TEST(ParameterTest, OrdinalIsDiscreteNotCategorical) {
+  Parameter p = Parameter::Ordinal("size", {"s", "m", "l"});
+  EXPECT_TRUE(p.is_discrete());
+  EXPECT_FALSE(p.is_categorical());
+}
+
+TEST(ParameterTest, LogSamplingStaysInRange) {
+  Parameter p = Parameter::Float("wd", 1e-6, 1e-2, true);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    double v = p.SampleValue(&rng);
+    EXPECT_GE(v, 1e-6);
+    EXPECT_LE(v, 1e-2);
+  }
+}
+
+TEST(ParameterTest, LogSamplingSpansDecades) {
+  Parameter p = Parameter::Float("wd", 1e-6, 1e-2, true);
+  Rng rng(2);
+  int low_decades = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (p.SampleValue(&rng) < 1e-4) ++low_decades;
+  }
+  // Log-uniform: half the draws fall below the geometric midpoint 1e-4.
+  EXPECT_NEAR(low_decades / 1000.0, 0.5, 0.06);
+}
+
+struct RoundTripCase {
+  const char* label;
+  Parameter parameter;
+};
+
+class ParameterRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {
+};
+
+TEST_P(ParameterRoundTripTest, SampleEncodeDecodeIsStable) {
+  const Parameter& p = GetParam().parameter;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    double v = p.SampleValue(&rng);
+    ASSERT_TRUE(p.Validate(v).ok()) << GetParam().label << " value " << v;
+    double unit = p.ToUnit(v);
+    EXPECT_GE(unit, 0.0);
+    EXPECT_LE(unit, 1.0);
+    double back = p.FromUnit(unit);
+    ASSERT_TRUE(p.Validate(back).ok());
+    if (p.is_discrete()) {
+      EXPECT_DOUBLE_EQ(back, v) << GetParam().label;
+    } else {
+      EXPECT_NEAR(back, v, 1e-9 * (std::abs(v) + 1.0)) << GetParam().label;
+    }
+  }
+}
+
+TEST_P(ParameterRoundTripTest, NeighborsAreValid) {
+  const Parameter& p = GetParam().parameter;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double v = p.SampleValue(&rng);
+    double n = p.Neighbor(v, 0.2, &rng);
+    EXPECT_TRUE(p.Validate(n).ok()) << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ParameterRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"float", Parameter::Float("f", -2.0, 5.0)},
+        RoundTripCase{"float_log", Parameter::Float("fl", 1e-4, 10.0, true)},
+        RoundTripCase{"int", Parameter::Int("i", -3, 9)},
+        RoundTripCase{"int_log", Parameter::Int("il", 1, 1024, true)},
+        RoundTripCase{"categorical",
+                      Parameter::Categorical("c", {"a", "b", "c", "d"})},
+        RoundTripCase{"ordinal", Parameter::Ordinal("o", {"s", "m", "l"})},
+        RoundTripCase{"single_choice", Parameter::Categorical("s", {"only"})}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return info.param.label;
+    });
+
+TEST(ParameterTest, CategoricalNeighborIsDifferent) {
+  Parameter p = Parameter::Categorical("op", {"a", "b", "c"});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(p.Neighbor(1.0, 0.2, &rng), 1.0);
+  }
+}
+
+TEST(ParameterTest, SingleChoiceNeighborIsSame) {
+  Parameter p = Parameter::Categorical("op", {"only"});
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(p.Neighbor(0.0, 0.2, &rng), 0.0);
+}
+
+TEST(ParameterTest, UnitEncodingMonotoneForNumeric) {
+  Parameter p = Parameter::Float("x", 1.0, 100.0, true);
+  EXPECT_LT(p.ToUnit(2.0), p.ToUnit(50.0));
+  EXPECT_DOUBLE_EQ(p.ToUnit(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.ToUnit(100.0), 1.0);
+  EXPECT_NEAR(p.ToUnit(10.0), 0.5, 1e-12);  // geometric midpoint
+}
+
+TEST(ParameterTest, FormatValues) {
+  EXPECT_EQ(Parameter::Int("i", 0, 9).FormatValue(7.0), "7");
+  Parameter c = Parameter::Categorical("c", {"x", "y"});
+  EXPECT_EQ(c.FormatValue(9.0), "<invalid:9.000000>");
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,293 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/statistics.h"
+#include "src/problems/counting_ones.h"
+#include "src/problems/curve_problems.h"
+#include "src/problems/nas_bench.h"
+#include "src/problems/recsys.h"
+#include "src/problems/xgboost_surface.h"
+
+namespace hypertune {
+namespace {
+
+std::unique_ptr<TuningProblem> MakeProblem(const std::string& name) {
+  if (name == "counting-ones") return std::make_unique<CountingOnes>();
+  if (name == "nas-cifar10") {
+    return std::make_unique<SyntheticNasBench>(
+        NasBenchOptions{NasDataset::kCifar10Valid, 2022});
+  }
+  if (name == "nas-imagenet") {
+    return std::make_unique<SyntheticNasBench>(
+        NasBenchOptions{NasDataset::kImageNet16, 2022});
+  }
+  if (name == "xgb-covertype") {
+    return std::make_unique<SyntheticXgboost>(
+        XgbOptions{XgbDataset::kCovertype, 2022});
+  }
+  if (name == "xgb-higgs") {
+    return std::make_unique<SyntheticXgboost>(
+        XgbOptions{XgbDataset::kHiggs, 2022});
+  }
+  if (name == "resnet") return std::make_unique<SyntheticResNet>();
+  if (name == "lstm") return std::make_unique<SyntheticLstm>();
+  if (name == "recsys") return std::make_unique<SyntheticRecSys>();
+  return nullptr;
+}
+
+/// Generic contract every tuning problem must satisfy.
+class ProblemContractTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProblemContractTest, SpaceIsNonEmptyAndSampleable) {
+  auto problem = MakeProblem(GetParam());
+  ASSERT_NE(problem, nullptr);
+  EXPECT_FALSE(problem->space().empty());
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    Configuration c = problem->space().Sample(&rng);
+    EXPECT_TRUE(problem->space().Validate(c).ok());
+  }
+}
+
+TEST_P(ProblemContractTest, EvaluateIsDeterministic) {
+  auto problem = MakeProblem(GetParam());
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    Configuration c = problem->space().Sample(&rng);
+    double r = problem->min_resource() +
+               rng.Uniform() * (problem->max_resource() -
+                                problem->min_resource());
+    EvalOutcome a = problem->Evaluate(c, r, 42);
+    EvalOutcome b = problem->Evaluate(c, r, 42);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective);
+    EXPECT_DOUBLE_EQ(a.test_objective, b.test_objective);
+  }
+}
+
+TEST_P(ProblemContractTest, SeedChangesNoise) {
+  auto problem = MakeProblem(GetParam());
+  Rng rng(3);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    Configuration c = problem->space().Sample(&rng);
+    double r = problem->max_resource();
+    if (problem->Evaluate(c, r, 1).objective !=
+        problem->Evaluate(c, r, 2).objective) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST_P(ProblemContractTest, CostIsMonotoneInResource) {
+  auto problem = MakeProblem(GetParam());
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    Configuration c = problem->space().Sample(&rng);
+    double lo = problem->min_resource();
+    double hi = problem->max_resource();
+    double last = problem->EvaluationCost(c, lo);
+    EXPECT_GE(last, 0.0);
+    for (double f : {0.25, 0.5, 0.75, 1.0}) {
+      double r = lo + f * (hi - lo);
+      double cost = problem->EvaluationCost(c, r);
+      EXPECT_GE(cost, last - 1e-9);
+      last = cost;
+    }
+  }
+}
+
+TEST_P(ProblemContractTest, ResourceRangeSane) {
+  auto problem = MakeProblem(GetParam());
+  EXPECT_GT(problem->min_resource(), 0.0);
+  EXPECT_GT(problem->max_resource(), problem->min_resource());
+  EXPECT_FALSE(problem->name().empty());
+  EXPECT_FALSE(problem->metric_name().empty());
+}
+
+TEST_P(ProblemContractTest, NoiseShrinksWithFidelity) {
+  auto problem = MakeProblem(GetParam());
+  Rng rng(5);
+  // Average |objective(seed a) - objective(seed b)| across configs at low
+  // versus full fidelity.
+  double low_spread = 0.0, high_spread = 0.0;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    Configuration c = problem->space().Sample(&rng);
+    uint64_t s1 = 100 + i, s2 = 900 + i;
+    double lo = problem->min_resource();
+    double hi = problem->max_resource();
+    low_spread += std::abs(problem->Evaluate(c, lo, s1).objective -
+                           problem->Evaluate(c, lo, s2).objective);
+    high_spread += std::abs(problem->Evaluate(c, hi, s1).objective -
+                            problem->Evaluate(c, hi, s2).objective);
+  }
+  EXPECT_GT(low_spread, high_spread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblems, ProblemContractTest,
+    ::testing::Values("counting-ones", "nas-cifar10", "nas-imagenet",
+                      "xgb-covertype", "xgb-higgs", "resnet", "lstm",
+                      "recsys"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(CountingOnesTest, ExactValueAndOptimum) {
+  CountingOnesOptions options;
+  options.num_categorical = 2;
+  options.num_continuous = 2;
+  CountingOnes problem(options);
+  Configuration all_ones({1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(problem.ExactValue(all_ones), -1.0);
+  Configuration half({1.0, 0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(problem.ExactValue(half), -0.5);
+  EXPECT_DOUBLE_EQ(problem.optimum(), -1.0);
+}
+
+TEST(CountingOnesTest, EstimateConvergesWithSamples) {
+  CountingOnes problem;
+  Rng rng(6);
+  Configuration c = problem.space().Sample(&rng);
+  double exact = problem.ExactValue(c);
+  double err_low = 0.0, err_high = 0.0;
+  for (uint64_t s = 0; s < 20; ++s) {
+    err_low += std::abs(problem.Evaluate(c, 3.0, s).objective - exact);
+    err_high += std::abs(problem.Evaluate(c, 729.0, s).objective - exact);
+  }
+  EXPECT_GT(err_low, 3.0 * err_high);
+}
+
+TEST(NasBenchTest, SpaceMatchesNasBench201Shape) {
+  SyntheticNasBench problem;
+  EXPECT_EQ(problem.space().size(), 6u);
+  EXPECT_EQ(problem.space().Cardinality(), 15625u);  // 5^6 architectures
+}
+
+TEST(NasBenchTest, LearningCurveDecreasesOnAverage) {
+  SyntheticNasBench problem;
+  Rng rng(7);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    Configuration c = problem.space().Sample(&rng);
+    early += problem.Evaluate(c, 5.0, 1).objective;
+    late += problem.Evaluate(c, 200.0, 1).objective;
+  }
+  EXPECT_GT(early, late);
+}
+
+TEST(NasBenchTest, DatasetsDifferInScale) {
+  SyntheticNasBench c10({NasDataset::kCifar10Valid, 2022});
+  SyntheticNasBench im({NasDataset::kImageNet16, 2022});
+  EXPECT_LT(c10.optimum(), im.optimum());
+  // ImageNet16 epochs cost more.
+  Rng rng(8);
+  Configuration c = c10.space().Sample(&rng);
+  EXPECT_LT(c10.EpochSeconds(c), im.EpochSeconds(c));
+}
+
+TEST(NasBenchTest, OptimumIsAchievedBySomeArchitecture) {
+  SyntheticNasBench problem;
+  double optimum = problem.optimum();
+  EXPECT_GT(optimum, 0.0);
+  EXPECT_LT(optimum, 20.0);  // near the dataset's base error
+}
+
+TEST(NasBenchTest, ConvolutionsCostMore) {
+  SyntheticNasBench problem;
+  Configuration all_none(std::vector<double>(6, 0.0));      // "none"
+  Configuration all_conv3(std::vector<double>(6, 4.0));     // "conv3x3"
+  EXPECT_LT(problem.EpochSeconds(all_none),
+            problem.EpochSeconds(all_conv3));
+}
+
+TEST(XgboostTest, ManualConfigurationIsMediocre) {
+  for (XgbDataset dataset : {XgbDataset::kCovertype, XgbDataset::kHiggs,
+                             XgbDataset::kPokerhand, XgbDataset::kHepmass}) {
+    SyntheticXgboost problem({dataset, 2022});
+    Configuration manual = problem.ManualConfiguration();
+    double manual_err = problem.TrueError(manual);
+    EXPECT_GT(manual_err, problem.optimum())
+        << XgbDatasetName(dataset) << ": tuning must have headroom";
+  }
+}
+
+TEST(XgboostTest, SubsetBiasIsPessimistic) {
+  SyntheticXgboost problem({XgbDataset::kCovertype, 2022});
+  Rng rng(9);
+  // On average, the low-fidelity estimate is worse (higher error) than the
+  // full-data estimate of the same configuration.
+  double low = 0.0, full = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    Configuration c = problem.space().Sample(&rng);
+    low += problem.Evaluate(c, 1.0 / 27.0, 1).objective;
+    full += problem.Evaluate(c, 1.0, 1).objective;
+  }
+  EXPECT_GT(low, full);
+}
+
+TEST(XgboostTest, CovertypeFullTrialAveragesFifteenMinutes) {
+  SyntheticXgboost problem({XgbDataset::kCovertype, 2022});
+  Rng rng(10);
+  double total = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    total += problem.EvaluationCost(problem.space().Sample(&rng), 1.0);
+  }
+  double average_minutes = total / n / 60.0;
+  EXPECT_GT(average_minutes, 8.0);
+  EXPECT_LT(average_minutes, 25.0);
+}
+
+TEST(ResNetTest, DivergenceForAggressiveSettings) {
+  SyntheticResNet problem;
+  // High lr (1.0) + high momentum diverges; moderate settings do not.
+  Configuration aggressive({128.0, 1.0, 0.999, 0.1, 5e-4, 1.0});
+  Configuration sane = problem.ManualConfiguration();
+  EXPECT_GT(problem.FinalError(aggressive), 50.0);
+  EXPECT_LT(problem.FinalError(sane), 20.0);
+}
+
+TEST(ResNetTest, EarlyEpochRankingsCanMislead) {
+  SyntheticResNet problem;
+  // A high-lr config converges faster early but a moderate-lr config wins
+  // at 200 epochs (the crossing-curve phenomenon).
+  // Identical except for the learning rate, so the comparison isolates it.
+  Configuration high_lr({128.0, 0.4, 0.9, 0.1, 5e-4, 1.0});
+  Configuration good_lr({128.0, 0.08, 0.9, 0.1, 5e-4, 1.0});
+  double early_high = problem.Evaluate(high_lr, 2.0, 1).objective;
+  double early_good = problem.Evaluate(good_lr, 2.0, 1).objective;
+  double late_high = problem.Evaluate(high_lr, 200.0, 1).objective;
+  double late_good = problem.Evaluate(good_lr, 200.0, 1).objective;
+  EXPECT_LT(early_high, early_good);  // misleading early signal
+  EXPECT_LT(late_good, late_high);    // truth at full fidelity
+}
+
+TEST(LstmTest, PerplexityScaleMatchesPaper) {
+  SyntheticLstm problem;
+  Configuration manual = problem.ManualConfiguration();
+  double manual_ppl = problem.FinalPerplexity(manual);
+  // The paper's manual perplexity is ~107; tuned methods reach ~64.
+  EXPECT_GT(manual_ppl, 80.0);
+  EXPECT_LT(manual_ppl, 140.0);
+  EXPECT_LT(problem.optimum(), 70.0);
+}
+
+TEST(RecSysTest, HeadroomOverManualIsAboutOnePoint) {
+  SyntheticRecSys problem;
+  double manual = problem.ManualAuc();
+  double best = 100.0 - problem.optimum();
+  EXPECT_GT(best - manual, 0.3);
+  EXPECT_LT(best - manual, 3.0);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,159 @@
+#include "src/surrogate/random_forest.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+double Smooth2d(double a, double b) {
+  return (a - 0.3) * (a - 0.3) + 2.0 * (b - 0.7) * (b - 0.7);
+}
+
+TEST(RandomForestTest, RejectsBadInput) {
+  RandomForest rf;
+  EXPECT_FALSE(rf.Fit({}, {}).ok());
+  EXPECT_FALSE(rf.Fit({{0.1}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(rf.Fit({{0.1}, {0.2, 0.3}}, {1.0, 2.0}).ok());
+  RandomForest rf2;
+  rf2.SetCategoricalFeatures({true});  // dim mismatch vs 2-feature data
+  EXPECT_FALSE(rf2.Fit({{0.1, 0.2}, {0.3, 0.4}}, {1.0, 2.0}).ok());
+}
+
+TEST(RandomForestTest, FitsSmoothFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(Smooth2d(a, b));
+  }
+  RandomForest rf;
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  EXPECT_TRUE(rf.fitted());
+
+  double total_abs_err = 0.0;
+  Rng test_rng(2);
+  const int n_test = 100;
+  for (int i = 0; i < n_test; ++i) {
+    double a = test_rng.Uniform(), b = test_rng.Uniform();
+    total_abs_err += std::abs(rf.Predict({a, b}).mean - Smooth2d(a, b));
+  }
+  EXPECT_LT(total_abs_err / n_test, 0.15);
+}
+
+TEST(RandomForestTest, IdentifiesTheMinimumRegion) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    x.push_back({a, b});
+    y.push_back(Smooth2d(a, b));
+  }
+  RandomForest rf;
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  double at_min = rf.Predict({0.3, 0.7}).mean;
+  double far = rf.Predict({0.95, 0.05}).mean;
+  EXPECT_LT(at_min, far);
+}
+
+TEST(RandomForestTest, CategoricalSplitSeparatesGroups) {
+  // Feature 0 categorical with encoded values {0.25, 0.75}; target depends
+  // only on the category.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    bool group = rng.Bernoulli(0.5);
+    x.push_back({group ? 0.75 : 0.25, rng.Uniform()});
+    y.push_back(group ? 5.0 : -5.0);
+  }
+  RandomForest rf;
+  rf.SetCategoricalFeatures({true, false});
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  EXPECT_NEAR(rf.Predict({0.75, 0.5}).mean, 5.0, 0.5);
+  EXPECT_NEAR(rf.Predict({0.25, 0.5}).mean, -5.0, 0.5);
+}
+
+TEST(RandomForestTest, VarianceHigherInNoisyRegion) {
+  // Left half: constant target. Right half: very noisy target.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(a < 0.5 ? 1.0 : rng.Gaussian(1.0, 3.0));
+  }
+  RandomForest rf;
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  EXPECT_GT(rf.Predict({0.9}).variance, rf.Predict({0.1}).variance);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(Smooth2d(a, a));
+  }
+  RandomForestOptions options;
+  options.seed = 17;
+  RandomForest a(options), b(options);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  Prediction pa = a.Predict({0.42});
+  Prediction pb = b.Predict({0.42});
+  EXPECT_DOUBLE_EQ(pa.mean, pb.mean);
+  EXPECT_DOUBLE_EQ(pa.variance, pb.variance);
+}
+
+TEST(RandomForestTest, SingleSampleBecomesLeaf) {
+  RandomForest rf;
+  ASSERT_TRUE(rf.Fit({{0.5}}, {3.0}).ok());
+  Prediction p = rf.Predict({0.1});
+  EXPECT_DOUBLE_EQ(p.mean, 3.0);
+}
+
+TEST(RandomForestTest, CapLimitsTrainingSize) {
+  RandomForestOptions options;
+  options.max_points = 64;
+  RandomForest rf(options);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(Smooth2d(a, 0.7));
+  }
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  // Prediction remains reasonable despite the cap.
+  EXPECT_NEAR(rf.Predict({0.3}).mean, Smooth2d(0.3, 0.7), 0.5);
+}
+
+TEST(RandomForestTest, PredictiveVarianceIsPositive) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    double a = rng.Uniform();
+    x.push_back({a});
+    y.push_back(a);
+  }
+  RandomForest rf;
+  ASSERT_TRUE(rf.Fit(x, y).ok());
+  for (double v : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_GT(rf.Predict({v}).variance, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,123 @@
+#include "src/report/run_report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+
+namespace hypertune {
+namespace {
+
+RunResult SmallRun(Method method = Method::kHyperTune) {
+  CountingOnesOptions problem_options;
+  problem_options.num_categorical = 3;
+  problem_options.num_continuous = 3;
+  problem_options.max_samples = 27.0;
+  CountingOnes problem(problem_options);
+  TunerFactoryOptions factory;
+  factory.method = method;
+  factory.seed = 1;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  ClusterOptions cluster;
+  cluster.num_workers = 4;
+  cluster.time_budget_seconds = 500.0;
+  cluster.seed = 1;
+  return tuner->Run(problem, cluster);
+}
+
+TEST(RunReportTest, SummaryCountsMatchHistory) {
+  RunResult run = SmallRun();
+  RunSummary summary = Summarize(run, 3);
+  EXPECT_EQ(summary.num_trials, run.history.num_trials());
+  EXPECT_DOUBLE_EQ(summary.best_objective, run.history.best_objective());
+  EXPECT_DOUBLE_EQ(summary.utilization, run.utilization);
+  size_t total = 0;
+  for (size_t n : summary.trials_per_level) total += n;
+  EXPECT_EQ(total, summary.num_trials);
+  EXPECT_GE(summary.promotion_fraction, 0.0);
+  EXPECT_LE(summary.promotion_fraction, 1.0);
+}
+
+TEST(RunReportTest, SummaryClampsUnknownLevels) {
+  RunResult run = SmallRun();
+  RunSummary summary = Summarize(run, 1);  // fewer buckets than levels
+  ASSERT_EQ(summary.trials_per_level.size(), 1u);
+  EXPECT_EQ(summary.trials_per_level[0], summary.num_trials);
+}
+
+TEST(RunReportTest, TrialsCsvHasHeaderAndRows) {
+  CountingOnesOptions options;
+  options.num_categorical = 3;
+  options.num_continuous = 3;
+  options.max_samples = 27.0;
+  CountingOnes problem(options);
+  RunResult run = SmallRun();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTrialsCsv(run, problem.space(), &out).ok());
+  std::istringstream in(out.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("objective"), std::string::npos);
+  EXPECT_NE(header.find("cat0"), std::string::npos);
+  EXPECT_NE(header.find("cont2"), std::string::npos);
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, run.history.num_trials());
+}
+
+TEST(RunReportTest, CurveCsvMatchesCurve) {
+  RunResult run = SmallRun();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCurveCsv(run, &out).ok());
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);  // header
+  size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, run.history.curve().size());
+}
+
+TEST(RunReportTest, NullStreamRejected) {
+  RunResult run = SmallRun();
+  CountingOnes problem;
+  EXPECT_EQ(WriteTrialsCsv(run, problem.space(), nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(WriteCurveCsv(run, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RunReportTest, FormatSummaryMentionsKeyNumbers) {
+  RunResult run = SmallRun();
+  RunSummary summary = Summarize(run, 3);
+  std::string text = FormatSummary(summary);
+  EXPECT_NE(text.find("trials:"), std::string::npos);
+  EXPECT_NE(text.find("utilization"), std::string::npos);
+  EXPECT_NE(text.find("L1="), std::string::npos);
+}
+
+TEST(RunReportTest, SaveRunArtifactsWritesFiles) {
+  CountingOnesOptions options;
+  options.num_categorical = 3;
+  options.num_continuous = 3;
+  options.max_samples = 27.0;
+  CountingOnes problem(options);
+  RunResult run = SmallRun();
+  std::string prefix = ::testing::TempDir() + "/hypertune_report";
+  ASSERT_TRUE(SaveRunArtifacts(run, problem.space(), prefix).ok());
+  std::ifstream trials(prefix + "_trials.csv");
+  std::ifstream curve(prefix + "_curve.csv");
+  EXPECT_TRUE(trials.is_open());
+  EXPECT_TRUE(curve.is_open());
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/optimizer/bo_sampler.h"
+#include "src/optimizer/median_imputation.h"
+#include "src/optimizer/mfes_sampler.h"
+#include "src/optimizer/random_sampler.h"
+#include "src/optimizer/rea_sampler.h"
+#include "src/surrogate/random_forest.h"
+
+namespace hypertune {
+namespace {
+
+ConfigurationSpace SmallSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("x", 0.0, 1.0)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Float("y", 0.0, 1.0)).ok());
+  return space;
+}
+
+ConfigurationSpace TinyDiscreteSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Categorical("a", {"0", "1"})).ok());
+  EXPECT_TRUE(space.Add(Parameter::Categorical("b", {"0", "1"})).ok());
+  return space;
+}
+
+double Bowl(const Configuration& c) {
+  return (c[0] - 0.25) * (c[0] - 0.25) + (c[1] - 0.75) * (c[1] - 0.75);
+}
+
+TEST(RandomSamplerTest, ProducesValidConfigs) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  RandomSampler sampler(&space, &store, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(space.Validate(sampler.Sample(1)).ok());
+  }
+}
+
+TEST(RandomSamplerTest, AvoidsKnownConfigsInTinySpaces) {
+  ConfigurationSpace space = TinyDiscreteSpace();  // only 4 configs
+  MeasurementStore store(1);
+  store.Add(1, Configuration({0.0, 0.0}), 0.1);
+  store.Add(1, Configuration({0.0, 1.0}), 0.2);
+  store.AddPending(Configuration({1.0, 0.0}));
+  RandomSampler sampler(&space, &store, 2);
+  // The only unknown configuration is (1, 1); rejection sampling should
+  // find it almost always.
+  int found = 0;
+  for (int i = 0; i < 50; ++i) {
+    Configuration c = sampler.Sample(1);
+    if (c == Configuration({1.0, 1.0})) ++found;
+  }
+  EXPECT_GE(found, 40);
+}
+
+TEST(IsKnownConfigurationTest, ChecksGroupsAndPending) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(2);
+  Configuration a({0.1, 0.2});
+  Configuration b({0.3, 0.4});
+  EXPECT_FALSE(IsKnownConfiguration(store, a));
+  store.Add(2, a, 1.0);
+  EXPECT_TRUE(IsKnownConfiguration(store, a));
+  store.AddPending(b);
+  EXPECT_TRUE(IsKnownConfiguration(store, b));
+}
+
+TEST(MedianImputationTest, BuildsDataFromGroup) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  store.Add(1, Configuration({0.1, 0.2}), 1.0);
+  store.Add(1, Configuration({0.3, 0.4}), 3.0);
+  SurrogateData data = BuildSurrogateData(space, store, 1);
+  EXPECT_EQ(data.x.size(), 2u);
+  EXPECT_EQ(data.num_real, 2u);
+  EXPECT_EQ(data.num_imputed, 0u);
+  EXPECT_DOUBLE_EQ(data.y[0], 1.0);
+}
+
+TEST(MedianImputationTest, PendingImputedAtMedian) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  store.Add(1, Configuration({0.1, 0.2}), 1.0);
+  store.Add(1, Configuration({0.3, 0.4}), 3.0);
+  store.Add(1, Configuration({0.5, 0.6}), 5.0);
+  store.AddPending(Configuration({0.9, 0.9}));
+  store.AddPending(Configuration({0.8, 0.8}));
+  SurrogateData data = BuildSurrogateDataWithPendingMedian(space, store, 1);
+  EXPECT_EQ(data.num_real, 3u);
+  EXPECT_EQ(data.num_imputed, 2u);
+  ASSERT_EQ(data.y.size(), 5u);
+  EXPECT_DOUBLE_EQ(data.y[3], 3.0);  // median of {1, 3, 5}
+  EXPECT_DOUBLE_EQ(data.y[4], 3.0);
+}
+
+TEST(MedianImputationTest, EmptyGroupYieldsNoImputation) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  store.AddPending(Configuration({0.9, 0.9}));
+  SurrogateData data = BuildSurrogateDataWithPendingMedian(space, store, 1);
+  EXPECT_EQ(data.num_real, 0u);
+  EXPECT_EQ(data.num_imputed, 0u);
+}
+
+TEST(BoSamplerTest, RandomUntilEnoughData) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  BoSamplerOptions options;
+  options.seed = 3;
+  BoSampler sampler(&space, &store, options);
+  Configuration c = sampler.Sample(1);
+  EXPECT_TRUE(space.Validate(c).ok());
+  EXPECT_EQ(sampler.last_fit_level(), 0);  // model never engaged
+}
+
+TEST(BoSamplerTest, ModelGuidesTowardsOptimum) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  Rng rng(4);
+  for (int i = 0; i < 60; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Bowl(c));
+  }
+  BoSamplerOptions options;
+  options.seed = 5;
+  options.random_fraction = 0.0;  // force model-based proposals
+  BoSampler sampler(&space, &store, options);
+  // Average proposal should be much closer to (0.25, 0.75) than uniform.
+  double total_dist = 0.0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    Configuration c = sampler.Sample(1);
+    total_dist += Bowl(c);
+  }
+  EXPECT_GT(sampler.last_fit_level(), 0);
+  // Uniform random proposals would average ~0.3 on this bowl.
+  EXPECT_LT(total_dist / n, 0.2);
+}
+
+TEST(BoSamplerTest, FitsHighestLevelWithEnoughData) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(3);
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Bowl(c));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(2, c, Bowl(c));
+  }
+  BoSamplerOptions options;
+  options.seed = 7;
+  options.random_fraction = 0.0;
+  options.min_points = 8;
+  BoSampler sampler(&space, &store, options);
+  sampler.Sample(1);
+  EXPECT_EQ(sampler.last_fit_level(), 2);
+}
+
+TEST(MaximizeAcquisitionTest, ReturnsNulloptWhenAllKnown) {
+  ConfigurationSpace space = TinyDiscreteSpace();
+  MeasurementStore store(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double a : {0.0, 1.0}) {
+    for (double b : {0.0, 1.0}) {
+      Configuration c({a, b});
+      store.Add(1, c, a + b);
+      x.push_back(space.Encode(c));
+      y.push_back(a + b);
+    }
+  }
+  RandomForest model;
+  ASSERT_TRUE(model.Fit(x, y).ok());
+  AcquisitionMaximizerOptions options;
+  Rng rng(8);
+  std::optional<Configuration> result =
+      MaximizeAcquisition(space, store, model, 0.0, 1, options, &rng);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(MfesSamplerTest, RandomUntilEnoughDataThenModelBased) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(3);
+  MfesSamplerOptions options;
+  options.bo.seed = 9;
+  MfesSampler sampler(&space, &store, options);
+  EXPECT_TRUE(space.Validate(sampler.Sample(1)).ok());
+
+  Rng rng(10);
+  for (int i = 0; i < 40; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1, c, Bowl(c));
+    if (i % 3 == 0) store.Add(2, c, Bowl(c));
+    if (i % 9 == 0) store.Add(3, c, Bowl(c));
+  }
+  MfesSamplerOptions guided;
+  guided.bo.seed = 11;
+  guided.bo.random_fraction = 0.0;
+  MfesSampler model_sampler(&space, &store, guided);
+  double total = 0.0;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) total += Bowl(model_sampler.Sample(1));
+  EXPECT_LT(total / n, 0.15);
+  EXPECT_FALSE(model_sampler.last_theta().empty());
+}
+
+TEST(MfesSamplerTest, ThetaSumsToOne) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(3);
+  Rng rng(12);
+  for (int i = 0; i < 60; ++i) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1 + i % 3, c, Bowl(c));
+  }
+  MfesSamplerOptions options;
+  options.bo.seed = 13;
+  options.bo.random_fraction = 0.0;
+  MfesSampler sampler(&space, &store, options);
+  sampler.Sample(1);
+  double sum = 0.0;
+  for (double theta : sampler.last_theta()) sum += theta;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ReaSamplerTest, RandomWhilePopulationSmall) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  ReaSamplerOptions options;
+  options.population_size = 10;
+  options.seed = 14;
+  ReaSampler sampler(&space, &store, options);
+  EXPECT_EQ(sampler.population_size(), 0u);
+  EXPECT_TRUE(space.Validate(sampler.Sample(1)).ok());
+}
+
+TEST(ReaSamplerTest, PopulationAgesOut) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  ReaSamplerOptions options;
+  options.population_size = 5;
+  options.seed = 15;
+  ReaSampler sampler(&space, &store, options);
+  Rng rng(16);
+  for (int i = 0; i < 20; ++i) {
+    sampler.OnObservation(space.Sample(&rng), rng.Uniform(), 1);
+  }
+  EXPECT_EQ(sampler.population_size(), 5u);
+}
+
+TEST(ReaSamplerTest, MutatesTournamentWinner) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(1);
+  ReaSamplerOptions options;
+  options.population_size = 4;
+  options.tournament_size = 4;  // winner = global best of population
+  options.seed = 17;
+  ReaSampler sampler(&space, &store, options);
+  Configuration best({0.25, 0.75});
+  sampler.OnObservation(best, 0.0, 1);
+  Rng rng(18);
+  for (int i = 0; i < 3; ++i) {
+    sampler.OnObservation(space.Sample(&rng), 10.0 + i, 1);
+  }
+  // Children mutate exactly one parameter of the best individual, so at
+  // least one coordinate of the parent survives in each child.
+  for (int i = 0; i < 20; ++i) {
+    Configuration child = sampler.Sample(1);
+    int shared = 0;
+    for (size_t d = 0; d < space.size(); ++d) {
+      if (child[d] == best[d]) ++shared;
+    }
+    EXPECT_GE(shared, 1);
+  }
+}
+
+TEST(ReaSamplerTest, MinLevelFiltersObservations) {
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(3);
+  ReaSamplerOptions options;
+  options.min_level = 3;
+  options.seed = 19;
+  ReaSampler sampler(&space, &store, options);
+  sampler.OnObservation(Configuration({0.1, 0.1}), 1.0, 1);
+  sampler.OnObservation(Configuration({0.2, 0.2}), 1.0, 2);
+  EXPECT_EQ(sampler.population_size(), 0u);
+  sampler.OnObservation(Configuration({0.3, 0.3}), 1.0, 3);
+  EXPECT_EQ(sampler.population_size(), 1u);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,207 @@
+#include "src/runtime/simulated_cluster.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/problems/counting_ones.h"
+#include "src/runtime/scheduler_interface.h"
+
+namespace hypertune {
+namespace {
+
+/// Scheduler issuing `total` independent full-resource jobs, optionally
+/// blocking every `barrier_every` jobs until outstanding work completes
+/// (to test synchronous idle accounting).
+class FixedJobScheduler : public SchedulerInterface {
+ public:
+  FixedJobScheduler(const ConfigurationSpace& space, int64_t total,
+                    double resource, int barrier_every = 0)
+      : space_(space),
+        total_(total),
+        resource_(resource),
+        barrier_every_(barrier_every),
+        rng_(1) {}
+
+  std::optional<Job> NextJob() override {
+    if (issued_ >= total_) return std::nullopt;
+    if (barrier_every_ > 0 && issued_ % barrier_every_ == 0 &&
+        issued_ > completed_) {
+      return std::nullopt;  // barrier until everything completed
+    }
+    Job job;
+    job.job_id = issued_++;
+    job.config = space_.Sample(&rng_);
+    job.level = 1;
+    job.resource = resource_;
+    return job;
+  }
+
+  void OnJobComplete(const Job&, const EvalResult&) override { ++completed_; }
+  bool Exhausted() const override { return issued_ >= total_; }
+
+  int64_t completed() const { return completed_; }
+
+ private:
+  const ConfigurationSpace& space_;
+  int64_t total_;
+  double resource_;
+  int barrier_every_;
+  Rng rng_;
+  int64_t issued_ = 0;
+  int64_t completed_ = 0;
+};
+
+class SimulatedClusterTest : public ::testing::Test {
+ protected:
+  SimulatedClusterTest() : problem_() {}
+  CountingOnes problem_;  // cost = resource seconds
+};
+
+TEST_F(SimulatedClusterTest, RespectsTimeBudget) {
+  FixedJobScheduler scheduler(problem_.space(), 1000000, 10.0);
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 100.0;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  // Each job takes 10 virtual seconds; 4 workers, 100 s -> 40 completions.
+  EXPECT_EQ(result.history.num_trials(), 40u);
+  EXPECT_LE(result.elapsed_seconds, 100.0 + 1e-9);
+  EXPECT_NEAR(result.utilization, 1.0, 1e-9);
+}
+
+TEST_F(SimulatedClusterTest, StopsWhenSchedulerExhausted) {
+  FixedJobScheduler scheduler(problem_.space(), 7, 5.0);
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 1e9;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  EXPECT_EQ(result.history.num_trials(), 7u);
+  EXPECT_LT(result.elapsed_seconds, 100.0);
+}
+
+TEST_F(SimulatedClusterTest, MaxTrialsCap) {
+  FixedJobScheduler scheduler(problem_.space(), 1000, 1.0);
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.time_budget_seconds = 1e9;
+  options.max_trials = 13;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  EXPECT_EQ(result.history.num_trials(), 13u);
+}
+
+TEST_F(SimulatedClusterTest, DeterministicGivenSeed) {
+  auto run = [&](uint64_t seed) {
+    FixedJobScheduler scheduler(problem_.space(), 100, 3.0);
+    ClusterOptions options;
+    options.num_workers = 3;
+    options.time_budget_seconds = 200.0;
+    options.seed = seed;
+    options.straggler_sigma = 0.3;
+    SimulatedCluster cluster(options);
+    return cluster.Run(&scheduler, problem_);
+  };
+  RunResult a = run(5), b = run(5), c = run(6);
+  ASSERT_EQ(a.history.num_trials(), b.history.num_trials());
+  for (size_t i = 0; i < a.history.trials().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history.trials()[i].end_time,
+                     b.history.trials()[i].end_time);
+    EXPECT_DOUBLE_EQ(a.history.trials()[i].result.objective,
+                     b.history.trials()[i].result.objective);
+  }
+  // A different seed changes the straggler noise and thus the timeline.
+  bool any_different = a.history.num_trials() != c.history.num_trials();
+  for (size_t i = 0;
+       !any_different && i < std::min(a.history.trials().size(),
+                                      c.history.trials().size());
+       ++i) {
+    if (a.history.trials()[i].end_time != c.history.trials()[i].end_time) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_F(SimulatedClusterTest, StragglerNoisePerturbsDurations) {
+  FixedJobScheduler scheduler(problem_.space(), 50, 10.0);
+  ClusterOptions options;
+  options.num_workers = 1;
+  options.time_budget_seconds = 1e6;
+  options.straggler_sigma = 0.5;
+  options.seed = 7;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  ASSERT_EQ(result.history.num_trials(), 50u);
+  bool saw_fast = false, saw_slow = false;
+  for (const TrialRecord& t : result.history.trials()) {
+    double duration = t.end_time - t.start_time;
+    if (duration < 9.0) saw_fast = true;
+    if (duration > 11.0) saw_slow = true;
+  }
+  EXPECT_TRUE(saw_fast);
+  EXPECT_TRUE(saw_slow);
+}
+
+TEST_F(SimulatedClusterTest, BarriersCreateIdleTime) {
+  // Jobs in batches of 8 on 8 workers, but with straggler noise the batch
+  // finishes unevenly -> idle time accrues at each barrier.
+  FixedJobScheduler scheduler(problem_.space(), 64, 10.0,
+                              /*barrier_every=*/8);
+  ClusterOptions options;
+  options.num_workers = 8;
+  options.time_budget_seconds = 1e6;
+  options.straggler_sigma = 0.4;
+  options.seed = 8;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  EXPECT_EQ(result.history.num_trials(), 64u);
+  EXPECT_LT(result.utilization, 0.95);
+  EXPECT_GT(result.idle_seconds, 0.0);
+}
+
+TEST_F(SimulatedClusterTest, DispatchOverheadExtendsRuntime) {
+  auto elapsed_with_overhead = [&](double overhead) {
+    FixedJobScheduler scheduler(problem_.space(), 20, 10.0);
+    ClusterOptions options;
+    options.num_workers = 1;
+    options.time_budget_seconds = 1e6;
+    options.dispatch_overhead_seconds = overhead;
+    SimulatedCluster cluster(options);
+    return cluster.Run(&scheduler, problem_).elapsed_seconds;
+  };
+  EXPECT_NEAR(elapsed_with_overhead(0.0), 200.0, 1e-9);
+  EXPECT_NEAR(elapsed_with_overhead(1.0), 220.0, 1e-9);
+}
+
+TEST_F(SimulatedClusterTest, CurveIsMonotoneNonIncreasing) {
+  FixedJobScheduler scheduler(problem_.space(), 200, 2.0);
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 1e5;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  double last = 1e18;
+  for (const CurvePoint& p : result.history.curve()) {
+    EXPECT_LE(p.best_objective, last + 1e-12);
+    last = p.best_objective;
+  }
+}
+
+TEST_F(SimulatedClusterTest, BestObjectiveAtQueries) {
+  FixedJobScheduler scheduler(problem_.space(), 10, 10.0);
+  ClusterOptions options;
+  options.num_workers = 1;
+  options.time_budget_seconds = 1e5;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  const TrialHistory& history = result.history;
+  EXPECT_TRUE(std::isinf(history.BestObjectiveAt(5.0)));  // before first
+  EXPECT_DOUBLE_EQ(history.BestObjectiveAt(1e9), history.best_objective());
+  EXPECT_GE(history.BestObjectiveAt(20.0), history.best_objective());
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,0 +1,128 @@
+#include "src/config/space.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/config/configuration.h"
+
+namespace hypertune {
+namespace {
+
+ConfigurationSpace MixedSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("lr", 1e-3, 1.0, true)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Int("depth", 3, 12)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Categorical("op", {"a", "b", "c"})).ok());
+  EXPECT_TRUE(space.Add(Parameter::Float("mom", 0.5, 0.99)).ok());
+  return space;
+}
+
+TEST(SpaceTest, AddRejectsDuplicateNames) {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("x", 0, 1)).ok());
+  EXPECT_EQ(space.Add(Parameter::Int("x", 0, 1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(SpaceTest, IndexOf) {
+  ConfigurationSpace space = MixedSpace();
+  Result<size_t> idx = space.IndexOf("op");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_FALSE(space.IndexOf("missing").ok());
+}
+
+TEST(SpaceTest, SampleIsValid) {
+  ConfigurationSpace space = MixedSpace();
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    Configuration c = space.Sample(&rng);
+    EXPECT_TRUE(space.Validate(c).ok());
+  }
+}
+
+TEST(SpaceTest, ValidateRejectsWrongArity) {
+  ConfigurationSpace space = MixedSpace();
+  EXPECT_FALSE(space.Validate(Configuration({0.1})).ok());
+}
+
+TEST(SpaceTest, EncodeDecodeRoundTrip) {
+  ConfigurationSpace space = MixedSpace();
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i) {
+    Configuration c = space.Sample(&rng);
+    std::vector<double> unit = space.Encode(c);
+    ASSERT_EQ(unit.size(), space.size());
+    for (double u : unit) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+    Configuration back = space.Decode(unit);
+    EXPECT_TRUE(space.Validate(back).ok());
+    // Discrete coordinates are exactly recovered.
+    EXPECT_DOUBLE_EQ(back[1], c[1]);
+    EXPECT_DOUBLE_EQ(back[2], c[2]);
+    EXPECT_NEAR(back[0], c[0], 1e-9 * (c[0] + 1.0));
+  }
+}
+
+TEST(SpaceTest, NeighborChangesRequestedDimensions) {
+  ConfigurationSpace space = MixedSpace();
+  Rng rng(3);
+  Configuration base = space.Sample(&rng);
+  for (int i = 0; i < 100; ++i) {
+    Configuration n = space.Neighbor(base, 0.2, 1, &rng);
+    EXPECT_TRUE(space.Validate(n).ok());
+    int changed = 0;
+    for (size_t d = 0; d < space.size(); ++d) {
+      if (n[d] != base[d]) ++changed;
+    }
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(SpaceTest, CardinalityDiscreteOnly) {
+  ConfigurationSpace space;
+  ASSERT_TRUE(space.Add(Parameter::Int("i", 1, 4)).ok());
+  ASSERT_TRUE(space.Add(Parameter::Categorical("c", {"a", "b", "c"})).ok());
+  EXPECT_EQ(space.Cardinality(), 12u);
+  ASSERT_TRUE(space.Add(Parameter::Float("f", 0.0, 1.0)).ok());
+  EXPECT_EQ(space.Cardinality(), 0u);
+}
+
+TEST(SpaceTest, FormatContainsNamesAndValues) {
+  ConfigurationSpace space = MixedSpace();
+  Configuration c({0.1, 5.0, 2.0, 0.9});
+  std::string text = space.Format(c);
+  EXPECT_NE(text.find("lr=0.1"), std::string::npos);
+  EXPECT_NE(text.find("depth=5"), std::string::npos);
+  EXPECT_NE(text.find("op=c"), std::string::npos);
+}
+
+TEST(ConfigurationTest, HashEqualityContract) {
+  Configuration a({1.0, 2.0, 3.0});
+  Configuration b({1.0, 2.0, 3.0});
+  Configuration c({1.0, 2.0, 3.5});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.Hash(), c.Hash());  // overwhelmingly likely
+}
+
+TEST(ConfigurationTest, NegativeZeroNormalized) {
+  Configuration a({0.0});
+  Configuration b({-0.0});
+  EXPECT_EQ(a, b);  // IEEE equality
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ConfigurationTest, OrderMatters) {
+  Configuration a({1.0, 2.0});
+  Configuration b({2.0, 1.0});
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.Hash(), b.Hash());
+}
+
+}  // namespace
+}  // namespace hypertune

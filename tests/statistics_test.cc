@@ -1,0 +1,100 @@
+#include "src/common/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hypertune {
+namespace {
+
+TEST(StatisticsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatisticsTest, VarianceAndStdDev) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 1.0);  // population
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(StatisticsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+struct QuantileCase {
+  double q;
+  double expected;
+};
+
+class QuantileTest : public ::testing::TestWithParam<QuantileCase> {};
+
+TEST_P(QuantileTest, InterpolatesLinearly) {
+  // Sorted data 0..10 -> quantile q maps to 10q.
+  std::vector<double> data;
+  for (int i = 0; i <= 10; ++i) data.push_back(static_cast<double>(i));
+  EXPECT_NEAR(Quantile(data, GetParam().q), GetParam().expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantileTest,
+    ::testing::Values(QuantileCase{0.0, 0.0}, QuantileCase{0.25, 2.5},
+                      QuantileCase{0.5, 5.0}, QuantileCase{0.75, 7.5},
+                      QuantileCase{1.0, 10.0}, QuantileCase{0.33, 3.3}));
+
+TEST(StatisticsTest, MinMax) {
+  auto [lo, hi] = MinMax({3.0, -1.0, 7.0, 2.0});
+  EXPECT_DOUBLE_EQ(lo, -1.0);
+  EXPECT_DOUBLE_EQ(hi, 7.0);
+}
+
+TEST(StatisticsTest, AverageRanksWithTies) {
+  std::vector<double> ranks = AverageRanks({10.0, 20.0, 20.0, 5.0});
+  EXPECT_DOUBLE_EQ(ranks[3], 0.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+}
+
+TEST(StatisticsTest, SpearmanPerfectCorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {40.0, 30.0, 20.0, 10.0};
+  EXPECT_NEAR(SpearmanCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, SpearmanDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0, 1.0}, {2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0, 2.0}, {2.0, 3.0, 4.0}), 0.0);
+}
+
+TEST(StatisticsTest, KendallTauKnownValue) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {1.0, 3.0, 2.0, 4.0};
+  // 5 concordant, 1 discordant out of 6 pairs -> (5-1)/6.
+  EXPECT_NEAR(KendallTau(a, b), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(KendallTau(a, a), 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, NormalPdfCdf) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989423, 1e-6);
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(NormalCdf(-1.959964), 0.025, 1e-5);
+}
+
+TEST(StatisticsTest, Clamp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace hypertune

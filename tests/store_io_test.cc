@@ -1,0 +1,134 @@
+#include "src/runtime/store_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+
+namespace hypertune {
+namespace {
+
+ConfigurationSpace MixedSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("lr", 1e-3, 1.0, true)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Int("depth", 3, 12)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Categorical("op", {"a", "b"})).ok());
+  return space;
+}
+
+TEST(StoreIoTest, RoundTripPreservesEverything) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(3);
+  Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    store.Add(1 + i % 3, space.Sample(&rng), rng.Gaussian(5.0, 2.0));
+  }
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteStoreCsv(store, space, &out).ok());
+
+  MeasurementStore loaded(3);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadStoreCsv(&in, space, &loaded).ok());
+
+  ASSERT_EQ(loaded.GroupSizes(), store.GroupSizes());
+  for (int level = 1; level <= 3; ++level) {
+    const auto& a = store.group(level);
+    const auto& b = loaded.group(level);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].config == b[i].config) << "level " << level;
+      EXPECT_DOUBLE_EQ(a[i].objective, b[i].objective);
+    }
+  }
+}
+
+TEST(StoreIoTest, PendingIsNotPersisted) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  store.Add(1, Configuration({0.1, 5.0, 1.0}), 2.0);
+  store.AddPending(Configuration({0.2, 6.0, 0.0}));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteStoreCsv(store, space, &out).ok());
+  MeasurementStore loaded(1);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadStoreCsv(&in, space, &loaded).ok());
+  EXPECT_EQ(loaded.TotalSize(), 1u);
+  EXPECT_EQ(loaded.NumPending(), 0u);
+}
+
+TEST(StoreIoTest, HeaderMismatchRejected) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  std::istringstream wrong_names("level,objective,lr,depth,kernel\n");
+  EXPECT_EQ(ReadStoreCsv(&wrong_names, space, &store).code(),
+            StatusCode::kInvalidArgument);
+  std::istringstream too_few("level,objective,lr\n");
+  EXPECT_EQ(ReadStoreCsv(&too_few, space, &store).code(),
+            StatusCode::kInvalidArgument);
+  std::istringstream empty("");
+  EXPECT_EQ(ReadStoreCsv(&empty, space, &store).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StoreIoTest, MalformedRowsRejected) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(2);
+  std::string header = "level,objective,lr,depth,op\n";
+  std::istringstream bad_level(header + "9,1.0,0.1,5,1\n");
+  EXPECT_EQ(ReadStoreCsv(&bad_level, space, &store).code(),
+            StatusCode::kInvalidArgument);
+  std::istringstream bad_value(header + "1,1.0,xyz,5,1\n");
+  EXPECT_EQ(ReadStoreCsv(&bad_value, space, &store).code(),
+            StatusCode::kInvalidArgument);
+  std::istringstream out_of_range(header + "1,1.0,0.1,99,1\n");
+  EXPECT_EQ(ReadStoreCsv(&out_of_range, space, &store).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(StoreIoTest, FileRoundTripAndWarmStart) {
+  // End-to-end warm start: run a short session, persist its measurements,
+  // load them into a fresh tuner, and verify the model-based sampler
+  // starts informed (the fresh tuner's store is pre-populated).
+  CountingOnesOptions options;
+  options.num_categorical = 3;
+  options.num_continuous = 3;
+  options.max_samples = 27.0;
+  CountingOnes problem(options);
+
+  TunerFactoryOptions factory;
+  factory.method = Method::kHyperTune;
+  factory.seed = 5;
+  std::unique_ptr<Tuner> first = CreateTuner(problem, factory);
+  ClusterOptions cluster;
+  cluster.num_workers = 4;
+  cluster.time_budget_seconds = 400.0;
+  cluster.seed = 5;
+  first->Run(problem, cluster);
+  ASSERT_GT(first->store()->TotalSize(), 10u);
+
+  std::string path = ::testing::TempDir() + "/hypertune_store.csv";
+  ASSERT_TRUE(SaveStore(*first->store(), problem.space(), path).ok());
+
+  factory.seed = 6;
+  std::unique_ptr<Tuner> second = CreateTuner(problem, factory);
+  ASSERT_TRUE(LoadStore(path, problem.space(), second->store()).ok());
+  EXPECT_EQ(second->store()->TotalSize(), first->store()->TotalSize());
+
+  // The warm-started run proceeds normally.
+  cluster.seed = 6;
+  RunResult warm = second->Run(problem, cluster);
+  EXPECT_GT(warm.history.num_trials(), 5u);
+}
+
+TEST(StoreIoTest, LoadMissingFileIsNotFound) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  EXPECT_EQ(LoadStore("/nonexistent/path.csv", space, &store).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hypertune

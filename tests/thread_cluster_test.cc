@@ -1,0 +1,114 @@
+#include "src/runtime/thread_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/tuner_factory.h"
+#include "src/problems/counting_ones.h"
+#include "src/runtime/scheduler_interface.h"
+
+namespace hypertune {
+namespace {
+
+/// Issues exactly `total` jobs; used to verify exhaustion shutdown.
+class CountingScheduler : public SchedulerInterface {
+ public:
+  CountingScheduler(const ConfigurationSpace& space, int64_t total)
+      : space_(space), total_(total), rng_(1) {}
+
+  std::optional<Job> NextJob() override {
+    if (issued_ >= total_) return std::nullopt;
+    Job job;
+    job.job_id = issued_++;
+    job.config = space_.Sample(&rng_);
+    job.level = 1;
+    job.resource = 1.0;
+    return job;
+  }
+  void OnJobComplete(const Job&, const EvalResult&) override { ++completed_; }
+  bool Exhausted() const override { return issued_ >= total_; }
+  int64_t completed() const { return completed_; }
+
+ private:
+  const ConfigurationSpace& space_;
+  int64_t total_;
+  Rng rng_;
+  int64_t issued_ = 0;
+  int64_t completed_ = 0;
+};
+
+TEST(ThreadClusterTest, CompletesAllJobsAndStops) {
+  CountingOnes problem;
+  CountingScheduler scheduler(problem.space(), 50);
+  ThreadClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 30.0;
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem);
+  EXPECT_EQ(result.history.num_trials(), 50u);
+  EXPECT_EQ(scheduler.completed(), 50);
+  EXPECT_LT(result.elapsed_seconds, 30.0);
+}
+
+TEST(ThreadClusterTest, MaxTrialsStopsEarly) {
+  CountingOnes problem;
+  CountingScheduler scheduler(problem.space(), 1000000);
+  ThreadClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 30.0;
+  options.max_trials = 25;
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem);
+  // Workers already mid-evaluation may add a few extra completions.
+  EXPECT_GE(result.history.num_trials(), 25u);
+  EXPECT_LE(result.history.num_trials(), 25u + 4u);
+}
+
+TEST(ThreadClusterTest, TimestampsAreOrderedAndNonNegative) {
+  CountingOnes problem;
+  CountingScheduler scheduler(problem.space(), 30);
+  ThreadClusterOptions options;
+  options.num_workers = 2;
+  options.time_budget_seconds = 30.0;
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem);
+  for (const TrialRecord& t : result.history.trials()) {
+    EXPECT_GE(t.start_time, 0.0);
+    EXPECT_GE(t.end_time, t.start_time);
+    EXPECT_GE(t.worker, 0);
+    EXPECT_LT(t.worker, 2);
+  }
+}
+
+TEST(ThreadClusterTest, RunsFullTunerEndToEnd) {
+  // The same Tuner machinery used on the simulator runs on real threads.
+  CountingOnes problem;
+  TunerFactoryOptions factory;
+  factory.method = Method::kHyperTune;
+  factory.seed = 3;
+  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  ThreadClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 2.0;
+  options.max_trials = 120;
+  RunResult result = tuner->RunOnThreads(problem, options);
+  EXPECT_GT(result.history.num_trials(), 20u);
+  // Progress was made towards the optimum of -1.
+  EXPECT_LT(result.history.best_objective(), -0.5);
+}
+
+TEST(ThreadClusterTest, CostSleepScaleSlowsWallClock) {
+  CountingOnes problem;  // cost = resource seconds = 1 s per job here
+  CountingScheduler scheduler(problem.space(), 8);
+  ThreadClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 30.0;
+  options.cost_sleep_scale = 0.02;  // 1 s simulated -> 20 ms wall
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem);
+  EXPECT_EQ(result.history.num_trials(), 8u);
+  // 8 jobs x 20 ms / 4 workers ≈ 40 ms minimum.
+  EXPECT_GE(result.elapsed_seconds, 0.03);
+}
+
+}  // namespace
+}  // namespace hypertune
