@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nasbench.dir/bench_fig5_nasbench.cc.o"
+  "CMakeFiles/bench_fig5_nasbench.dir/bench_fig5_nasbench.cc.o.d"
+  "bench_fig5_nasbench"
+  "bench_fig5_nasbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nasbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_xgboost.dir/bench_fig6_xgboost.cc.o"
+  "CMakeFiles/bench_fig6_xgboost.dir/bench_fig6_xgboost.cc.o.d"
+  "bench_fig6_xgboost"
+  "bench_fig6_xgboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_xgboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

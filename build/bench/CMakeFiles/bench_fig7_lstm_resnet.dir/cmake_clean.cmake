@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lstm_resnet.dir/bench_fig7_lstm_resnet.cc.o"
+  "CMakeFiles/bench_fig7_lstm_resnet.dir/bench_fig7_lstm_resnet.cc.o.d"
+  "bench_fig7_lstm_resnet"
+  "bench_fig7_lstm_resnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lstm_resnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_lstm_resnet.
+# This may be replaced when dependencies are built.

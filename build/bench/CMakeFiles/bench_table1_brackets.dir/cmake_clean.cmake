@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_brackets.dir/bench_table1_brackets.cc.o"
+  "CMakeFiles/bench_table1_brackets.dir/bench_table1_brackets.cc.o.d"
+  "bench_table1_brackets"
+  "bench_table1_brackets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_brackets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

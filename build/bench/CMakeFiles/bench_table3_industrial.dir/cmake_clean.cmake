@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_industrial.dir/bench_table3_industrial.cc.o"
+  "CMakeFiles/bench_table3_industrial.dir/bench_table3_industrial.cc.o.d"
+  "bench_table3_industrial"
+  "bench_table3_industrial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_industrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

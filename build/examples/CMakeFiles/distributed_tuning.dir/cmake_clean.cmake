@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_tuning.dir/distributed_tuning.cpp.o"
+  "CMakeFiles/distributed_tuning.dir/distributed_tuning.cpp.o.d"
+  "distributed_tuning"
+  "distributed_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgboost_tuning.dir/xgboost_tuning.cpp.o"
+  "CMakeFiles/xgboost_tuning.dir/xgboost_tuning.cpp.o.d"
+  "xgboost_tuning"
+  "xgboost_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgboost_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

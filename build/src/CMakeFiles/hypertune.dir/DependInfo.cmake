@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/allocator/bracket_selector.cc" "src/CMakeFiles/hypertune.dir/allocator/bracket_selector.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/allocator/bracket_selector.cc.o.d"
+  "/root/repo/src/allocator/fidelity_weights.cc" "src/CMakeFiles/hypertune.dir/allocator/fidelity_weights.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/allocator/fidelity_weights.cc.o.d"
+  "/root/repo/src/allocator/ranking_loss.cc" "src/CMakeFiles/hypertune.dir/allocator/ranking_loss.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/allocator/ranking_loss.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hypertune.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hypertune.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/statistics.cc" "src/CMakeFiles/hypertune.dir/common/statistics.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/common/statistics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hypertune.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/hypertune.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/config/configuration.cc" "src/CMakeFiles/hypertune.dir/config/configuration.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/config/configuration.cc.o.d"
+  "/root/repo/src/config/parameter.cc" "src/CMakeFiles/hypertune.dir/config/parameter.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/config/parameter.cc.o.d"
+  "/root/repo/src/config/space.cc" "src/CMakeFiles/hypertune.dir/config/space.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/config/space.cc.o.d"
+  "/root/repo/src/core/hyper_tune.cc" "src/CMakeFiles/hypertune.dir/core/hyper_tune.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/core/hyper_tune.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/CMakeFiles/hypertune.dir/core/tuner.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/core/tuner.cc.o.d"
+  "/root/repo/src/core/tuner_factory.cc" "src/CMakeFiles/hypertune.dir/core/tuner_factory.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/core/tuner_factory.cc.o.d"
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/hypertune.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/hypertune.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/optimizer/bo_sampler.cc" "src/CMakeFiles/hypertune.dir/optimizer/bo_sampler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/optimizer/bo_sampler.cc.o.d"
+  "/root/repo/src/optimizer/kde_sampler.cc" "src/CMakeFiles/hypertune.dir/optimizer/kde_sampler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/optimizer/kde_sampler.cc.o.d"
+  "/root/repo/src/optimizer/median_imputation.cc" "src/CMakeFiles/hypertune.dir/optimizer/median_imputation.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/optimizer/median_imputation.cc.o.d"
+  "/root/repo/src/optimizer/mfes_sampler.cc" "src/CMakeFiles/hypertune.dir/optimizer/mfes_sampler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/optimizer/mfes_sampler.cc.o.d"
+  "/root/repo/src/optimizer/random_sampler.cc" "src/CMakeFiles/hypertune.dir/optimizer/random_sampler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/optimizer/random_sampler.cc.o.d"
+  "/root/repo/src/optimizer/rea_sampler.cc" "src/CMakeFiles/hypertune.dir/optimizer/rea_sampler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/optimizer/rea_sampler.cc.o.d"
+  "/root/repo/src/problems/counting_ones.cc" "src/CMakeFiles/hypertune.dir/problems/counting_ones.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/problems/counting_ones.cc.o.d"
+  "/root/repo/src/problems/curve_problems.cc" "src/CMakeFiles/hypertune.dir/problems/curve_problems.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/problems/curve_problems.cc.o.d"
+  "/root/repo/src/problems/learning_curve.cc" "src/CMakeFiles/hypertune.dir/problems/learning_curve.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/problems/learning_curve.cc.o.d"
+  "/root/repo/src/problems/nas_bench.cc" "src/CMakeFiles/hypertune.dir/problems/nas_bench.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/problems/nas_bench.cc.o.d"
+  "/root/repo/src/problems/recsys.cc" "src/CMakeFiles/hypertune.dir/problems/recsys.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/problems/recsys.cc.o.d"
+  "/root/repo/src/problems/xgboost_surface.cc" "src/CMakeFiles/hypertune.dir/problems/xgboost_surface.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/problems/xgboost_surface.cc.o.d"
+  "/root/repo/src/report/run_report.cc" "src/CMakeFiles/hypertune.dir/report/run_report.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/report/run_report.cc.o.d"
+  "/root/repo/src/runtime/measurement_store.cc" "src/CMakeFiles/hypertune.dir/runtime/measurement_store.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/runtime/measurement_store.cc.o.d"
+  "/root/repo/src/runtime/simulated_cluster.cc" "src/CMakeFiles/hypertune.dir/runtime/simulated_cluster.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/runtime/simulated_cluster.cc.o.d"
+  "/root/repo/src/runtime/store_io.cc" "src/CMakeFiles/hypertune.dir/runtime/store_io.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/runtime/store_io.cc.o.d"
+  "/root/repo/src/runtime/thread_cluster.cc" "src/CMakeFiles/hypertune.dir/runtime/thread_cluster.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/runtime/thread_cluster.cc.o.d"
+  "/root/repo/src/runtime/trial_history.cc" "src/CMakeFiles/hypertune.dir/runtime/trial_history.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/runtime/trial_history.cc.o.d"
+  "/root/repo/src/scheduler/async_bracket_scheduler.cc" "src/CMakeFiles/hypertune.dir/scheduler/async_bracket_scheduler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/scheduler/async_bracket_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/batch_bo_scheduler.cc" "src/CMakeFiles/hypertune.dir/scheduler/batch_bo_scheduler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/scheduler/batch_bo_scheduler.cc.o.d"
+  "/root/repo/src/scheduler/bracket.cc" "src/CMakeFiles/hypertune.dir/scheduler/bracket.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/scheduler/bracket.cc.o.d"
+  "/root/repo/src/scheduler/sync_bracket_scheduler.cc" "src/CMakeFiles/hypertune.dir/scheduler/sync_bracket_scheduler.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/scheduler/sync_bracket_scheduler.cc.o.d"
+  "/root/repo/src/surrogate/acquisition.cc" "src/CMakeFiles/hypertune.dir/surrogate/acquisition.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/surrogate/acquisition.cc.o.d"
+  "/root/repo/src/surrogate/gaussian_process.cc" "src/CMakeFiles/hypertune.dir/surrogate/gaussian_process.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/surrogate/gaussian_process.cc.o.d"
+  "/root/repo/src/surrogate/kernel.cc" "src/CMakeFiles/hypertune.dir/surrogate/kernel.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/surrogate/kernel.cc.o.d"
+  "/root/repo/src/surrogate/mfes_ensemble.cc" "src/CMakeFiles/hypertune.dir/surrogate/mfes_ensemble.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/surrogate/mfes_ensemble.cc.o.d"
+  "/root/repo/src/surrogate/random_forest.cc" "src/CMakeFiles/hypertune.dir/surrogate/random_forest.cc.o" "gcc" "src/CMakeFiles/hypertune.dir/surrogate/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

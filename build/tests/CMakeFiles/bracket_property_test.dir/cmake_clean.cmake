@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bracket_property_test.dir/bracket_property_test.cc.o"
+  "CMakeFiles/bracket_property_test.dir/bracket_property_test.cc.o.d"
+  "bracket_property_test"
+  "bracket_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bracket_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bracket_selector_test.dir/bracket_selector_test.cc.o"
+  "CMakeFiles/bracket_selector_test.dir/bracket_selector_test.cc.o.d"
+  "bracket_selector_test"
+  "bracket_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bracket_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

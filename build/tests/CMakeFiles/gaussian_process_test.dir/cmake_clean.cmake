@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaussian_process_test.dir/gaussian_process_test.cc.o"
+  "CMakeFiles/gaussian_process_test.dir/gaussian_process_test.cc.o.d"
+  "gaussian_process_test"
+  "gaussian_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaussian_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

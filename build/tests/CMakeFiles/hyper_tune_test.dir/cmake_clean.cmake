@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_tune_test.dir/hyper_tune_test.cc.o"
+  "CMakeFiles/hyper_tune_test.dir/hyper_tune_test.cc.o.d"
+  "hyper_tune_test"
+  "hyper_tune_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_tune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

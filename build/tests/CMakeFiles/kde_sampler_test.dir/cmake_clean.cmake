@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kde_sampler_test.dir/kde_sampler_test.cc.o"
+  "CMakeFiles/kde_sampler_test.dir/kde_sampler_test.cc.o.d"
+  "kde_sampler_test"
+  "kde_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kde_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

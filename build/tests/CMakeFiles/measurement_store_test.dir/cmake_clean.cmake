@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_store_test.dir/measurement_store_test.cc.o"
+  "CMakeFiles/measurement_store_test.dir/measurement_store_test.cc.o.d"
+  "measurement_store_test"
+  "measurement_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfes_ensemble_test.dir/mfes_ensemble_test.cc.o"
+  "CMakeFiles/mfes_ensemble_test.dir/mfes_ensemble_test.cc.o.d"
+  "mfes_ensemble_test"
+  "mfes_ensemble_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfes_ensemble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

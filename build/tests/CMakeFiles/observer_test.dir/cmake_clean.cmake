@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observer_test.dir/observer_test.cc.o"
+  "CMakeFiles/observer_test.dir/observer_test.cc.o.d"
+  "observer_test"
+  "observer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_test.dir/parameter_test.cc.o"
+  "CMakeFiles/parameter_test.dir/parameter_test.cc.o.d"
+  "parameter_test"
+  "parameter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

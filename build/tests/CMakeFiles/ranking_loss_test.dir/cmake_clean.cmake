@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_loss_test.dir/ranking_loss_test.cc.o"
+  "CMakeFiles/ranking_loss_test.dir/ranking_loss_test.cc.o.d"
+  "ranking_loss_test"
+  "ranking_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_report_test.dir/run_report_test.cc.o"
+  "CMakeFiles/run_report_test.dir/run_report_test.cc.o.d"
+  "run_report_test"
+  "run_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

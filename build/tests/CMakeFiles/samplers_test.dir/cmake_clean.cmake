@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samplers_test.dir/samplers_test.cc.o"
+  "CMakeFiles/samplers_test.dir/samplers_test.cc.o.d"
+  "samplers_test"
+  "samplers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samplers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

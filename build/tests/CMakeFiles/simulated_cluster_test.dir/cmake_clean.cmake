@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_cluster_test.dir/simulated_cluster_test.cc.o"
+  "CMakeFiles/simulated_cluster_test.dir/simulated_cluster_test.cc.o.d"
+  "simulated_cluster_test"
+  "simulated_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

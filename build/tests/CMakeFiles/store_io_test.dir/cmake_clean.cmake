@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_io_test.dir/store_io_test.cc.o"
+  "CMakeFiles/store_io_test.dir/store_io_test.cc.o.d"
+  "store_io_test"
+  "store_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_cluster_test.dir/thread_cluster_test.cc.o"
+  "CMakeFiles/thread_cluster_test.dir/thread_cluster_test.cc.o.d"
+  "thread_cluster_test"
+  "thread_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

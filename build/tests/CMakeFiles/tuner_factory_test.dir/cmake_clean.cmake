@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_factory_test.dir/tuner_factory_test.cc.o"
+  "CMakeFiles/tuner_factory_test.dir/tuner_factory_test.cc.o.d"
+  "tuner_factory_test"
+  "tuner_factory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
