@@ -56,6 +56,7 @@ TuningOutcome HyperTune::Optimize(const TuningProblem& problem,
   cluster.time_budget_seconds = options.time_budget_seconds;
   cluster.seed = options.seed;
   cluster.straggler_sigma = options.straggler_sigma;
+  cluster.faults = options.faults;
   return MakeOutcome(tuner->Run(problem, cluster));
 }
 
@@ -77,6 +78,7 @@ TuningOutcome HyperTune::OptimizeOnThreads(const TuningProblem& problem,
   cluster.time_budget_seconds = wall_budget_seconds;
   cluster.seed = options.seed;
   cluster.cost_sleep_scale = cost_sleep_scale;
+  cluster.faults = options.faults;
   return MakeOutcome(tuner->RunOnThreads(problem, cluster));
 }
 

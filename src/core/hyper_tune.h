@@ -32,6 +32,9 @@ struct HyperTuneOptions {
   SurrogateKind surrogate = SurrogateKind::kRandomForest;
   /// Log-normal straggler noise applied to evaluation times (simulator).
   double straggler_sigma = 0.0;
+  /// Worker crash/timeout injection and retry policy, applied by whichever
+  /// execution backend runs the tuning (defaults: no faults).
+  FaultOptions faults;
   uint64_t seed = 0;
 };
 

@@ -27,6 +27,12 @@ SurrogateData BuildSurrogateData(const ConfigurationSpace& space,
 /// penalty around busy workers' configurations, steering the acquisition
 /// away from repeated or near-duplicate evaluations without modifying the
 /// underlying sequential optimizer.
+///
+/// The fault runtime reuses this path for failed trials: a configuration
+/// whose job was abandoned (crash/timeout after the retry cap) is left in
+/// the pending set permanently, so it keeps being imputed at the median and
+/// the acquisition treats a crashing configuration like a mediocre one
+/// instead of re-proposing it.
 SurrogateData BuildSurrogateDataWithPendingMedian(
     const ConfigurationSpace& space, const MeasurementStore& store, int level);
 

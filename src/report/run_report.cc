@@ -14,6 +14,9 @@ RunSummary Summarize(const RunResult& result, int num_levels) {
   summary.elapsed_seconds = result.elapsed_seconds;
   summary.utilization = result.utilization;
   summary.total_evaluation_cost = result.history.TotalEvaluationCost();
+  summary.num_failed_trials = result.history.num_failures();
+  summary.num_retries = result.retries;
+  summary.wasted_seconds = result.wasted_seconds;
   summary.trials_per_level.assign(
       static_cast<size_t>(num_levels > 0 ? num_levels : 1), 0);
 
@@ -83,6 +86,11 @@ std::string FormatSummary(const RunSummary& summary) {
     os << "  L" << (i + 1) << "=" << summary.trials_per_level[i];
   }
   os << "  promotions: " << summary.promotion_fraction * 100.0 << "%";
+  if (summary.num_failed_trials > 0 || summary.num_retries > 0) {
+    os << "\nfailed trials: " << summary.num_failed_trials
+       << "  retries: " << summary.num_retries
+       << "  wasted: " << summary.wasted_seconds << " s";
+  }
   return os.str();
 }
 

@@ -24,6 +24,11 @@ struct RunSummary {
   std::vector<size_t> trials_per_level;
   /// Share of trials that were promotions (resumed from a checkpoint).
   double promotion_fraction = 0.0;
+  /// Fault accounting: trials abandoned after exhausting retries, attempts
+  /// requeued, and worker seconds burned by crashed/timed-out attempts.
+  size_t num_failed_trials = 0;
+  int64_t num_retries = 0;
+  double wasted_seconds = 0.0;
 };
 
 /// Computes the summary of `result`. `num_levels` sizes trials_per_level

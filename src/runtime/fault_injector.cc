@@ -1,0 +1,53 @@
+#include "src/runtime/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+/// Salt separating the fault stream from straggler/evaluation noise.
+constexpr uint64_t kFaultSalt = 0xFA017EC7ULL;
+
+}  // namespace
+
+AttemptPlan PlanAttempt(const FaultOptions& faults, uint64_t run_seed,
+                        const Job& job, double nominal_duration) {
+  AttemptPlan plan;
+  plan.duration = std::max(nominal_duration, 0.0);
+
+  double crash_time = -1.0;
+  if (faults.crash_probability > 0.0) {
+    Rng rng(CombineSeeds(CombineSeeds(run_seed, kFaultSalt),
+                         CombineSeeds(static_cast<uint64_t>(job.job_id),
+                                      static_cast<uint64_t>(job.attempt))));
+    if (rng.Bernoulli(faults.crash_probability)) {
+      crash_time = rng.Uniform() * plan.duration;
+    }
+  }
+
+  const bool times_out =
+      faults.timeout_seconds > 0.0 && plan.duration > faults.timeout_seconds;
+  if (crash_time >= 0.0 &&
+      (!times_out || crash_time <= faults.timeout_seconds)) {
+    // The crash strikes before the watchdog would fire.
+    plan.failed = true;
+    plan.kind = FailureKind::kCrash;
+    plan.duration = crash_time;
+  } else if (times_out) {
+    plan.failed = true;
+    plan.kind = FailureKind::kTimeout;
+    plan.duration = faults.timeout_seconds;
+  }
+  return plan;
+}
+
+double RetryDelay(const FaultOptions& faults, int failed_attempt) {
+  if (faults.retry_backoff_seconds <= 0.0) return 0.0;
+  const int doublings = std::clamp(failed_attempt - 1, 0, 32);
+  return faults.retry_backoff_seconds * std::ldexp(1.0, doublings);
+}
+
+}  // namespace hypertune

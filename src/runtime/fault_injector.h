@@ -1,0 +1,55 @@
+#ifndef HYPERTUNE_RUNTIME_FAULT_INJECTOR_H_
+#define HYPERTUNE_RUNTIME_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "src/runtime/job.h"
+
+namespace hypertune {
+
+/// Seeded fault model shared by both execution backends: worker crashes at a
+/// uniform point of the evaluation, a per-job watchdog timeout, and a
+/// bounded retry policy with exponential backoff. All knobs default to "no
+/// faults", in which case neither backend draws a single random number from
+/// the fault stream and runs are bit-identical to the fault-free code path.
+struct FaultOptions {
+  /// Per-attempt probability that the worker crashes partway through the
+  /// evaluation (the crash point is uniform over the attempt's duration).
+  double crash_probability = 0.0;
+  /// Kills any attempt that would occupy its worker for longer than this
+  /// many seconds (virtual on SimulatedCluster, wall on ThreadCluster);
+  /// <= 0 disables the watchdog.
+  double timeout_seconds = 0.0;
+  /// Retries granted per job before the trial is abandoned and reported
+  /// failed to the scheduler.
+  int max_retries = 2;
+  /// Base delay before a retry starts; the retry after failed attempt n
+  /// waits 2^(n-1) times this (0 = immediate requeue).
+  double retry_backoff_seconds = 0.0;
+};
+
+/// Resolution of one evaluation attempt under the fault model.
+struct AttemptPlan {
+  /// True when the attempt fails (crash or timeout) instead of completing.
+  bool failed = false;
+  FailureKind kind = FailureKind::kCrash;
+  /// Worker-occupancy seconds of the attempt: the nominal duration when it
+  /// completes, less when a fault cuts it short.
+  double duration = 0.0;
+};
+
+/// Decides whether an attempt with the given nominal duration completes,
+/// crashes, or times out, and how long the worker is occupied either way.
+/// The draw depends only on (run_seed, job_id, attempt) — never on
+/// scheduling order or thread interleaving — so the simulator stays
+/// deterministic under any event ordering and both backends share one model.
+AttemptPlan PlanAttempt(const FaultOptions& faults, uint64_t run_seed,
+                        const Job& job, double nominal_duration);
+
+/// Backoff before re-running a job whose 1-based attempt `failed_attempt`
+/// just failed: retry_backoff_seconds * 2^(failed_attempt - 1).
+double RetryDelay(const FaultOptions& faults, int failed_attempt);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_FAULT_INJECTOR_H_

@@ -22,6 +22,30 @@ struct Job {
   /// Bracket that issued the job (-1 when bracket-less, e.g. full-fidelity
   /// BO).
   int bracket = -1;
+  /// 1-based execution attempt. Schedulers always mint attempt 1; the
+  /// execution backend bumps it when it re-runs the job after a failure, so
+  /// a retried job keeps its job_id (the trial identity) while the fault
+  /// model can draw independent outcomes per attempt.
+  int attempt = 1;
+};
+
+/// How a worker attempt died.
+enum class FailureKind {
+  kCrash,    ///< the worker process crashed mid-evaluation
+  kTimeout,  ///< the per-job watchdog killed a too-long evaluation
+};
+
+/// Details of a failed evaluation attempt, passed to
+/// SchedulerInterface::OnJobFailed.
+struct FailureInfo {
+  FailureKind kind = FailureKind::kCrash;
+  /// 1-based attempt number that failed.
+  int attempt = 1;
+  /// Retries the backend is still willing to grant this job under its
+  /// configured retry cap (0 means the default policy abandons the trial).
+  int retries_remaining = 0;
+  /// Worker seconds burned by the failed attempt.
+  double wasted_seconds = 0.0;
 };
 
 /// Result of evaluating a Job.

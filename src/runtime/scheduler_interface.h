@@ -31,6 +31,23 @@ class SchedulerInterface {
   /// Reports a finished evaluation of a job previously issued by NextJob().
   virtual void OnJobComplete(const Job& job, const EvalResult& result) = 0;
 
+  /// Reports a failed evaluation attempt (worker crash or timeout) of a job
+  /// previously issued by NextJob(). Returning true asks the backend to
+  /// requeue the *same* job (same job_id, attempt + 1, after the configured
+  /// backoff); returning false abandons the trial, which the backend then
+  /// records as failed in the TrialHistory.
+  ///
+  /// The default policy requeues while the backend still grants retries and
+  /// abandons afterwards. Schedulers that track in-flight work MUST override
+  /// this, delegate the retry decision to the base implementation, and on
+  /// abandonment update their accounting so the dead job no longer counts as
+  /// outstanding — a synchronous rung must drain its barrier around the
+  /// failed member instead of waiting for a completion that never comes.
+  virtual bool OnJobFailed(const Job& job, const FailureInfo& info) {
+    (void)job;
+    return info.retries_remaining > 0;
+  }
+
   /// True when the scheduler will never issue another job regardless of
   /// future completions (e.g. a single SHA bracket that fully drained).
   /// Backends use this to distinguish a barrier from termination when no

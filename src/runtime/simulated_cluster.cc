@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -11,12 +13,21 @@
 namespace hypertune {
 namespace {
 
-/// An in-flight evaluation, ordered by completion time for the event queue.
+/// What an event in the simulator's queue resolves to.
+enum class EventKind {
+  kComplete,    ///< evaluation finished, report to the scheduler
+  kCrash,       ///< worker crashed partway through the attempt
+  kTimeout,     ///< watchdog killed the attempt
+  kRetryReady,  ///< a requeued job's backoff expired (occupies no worker)
+};
+
+/// An in-flight evaluation (or retry timer), ordered by the event queue.
 struct InFlight {
   double end_time = 0.0;
   double start_time = 0.0;
   int worker = -1;
   Job job;
+  EventKind kind = EventKind::kComplete;
 };
 
 struct LaterCompletion {
@@ -28,6 +39,13 @@ struct LaterCompletion {
 
 }  // namespace
 
+void RunResult::Finalize(int num_workers) {
+  double capacity = elapsed_seconds * static_cast<double>(num_workers);
+  idle_seconds = std::max(0.0, capacity - busy_seconds);
+  double denominator = busy_seconds + idle_seconds;
+  utilization = denominator > 0.0 ? busy_seconds / denominator : 0.0;
+}
+
 RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
                                 const TuningProblem& problem) {
   HT_CHECK(options_.num_workers >= 1) << "need at least one worker";
@@ -37,35 +55,53 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   std::priority_queue<InFlight, std::vector<InFlight>, LaterCompletion> queue;
   std::vector<int> idle_workers;
   for (int w = options_.num_workers - 1; w >= 0; --w) idle_workers.push_back(w);
+  /// Requeued jobs whose backoff already expired, awaiting an idle worker.
+  std::deque<Job> ready_retries;
 
   double now = 0.0;
   const double budget = options_.time_budget_seconds;
   const double full_resource = problem.max_resource();
   int64_t completed = 0;
 
+  auto launch = [&](const Job& job) {
+    int worker = idle_workers.back();
+    idle_workers.pop_back();
+
+    double cost = problem.EvaluationCost(job.config, job.resource) -
+                  problem.EvaluationCost(job.config, job.resume_from);
+    cost = std::max(cost, 0.0);
+    if (options_.straggler_sigma > 0.0) {
+      // Log-normal multiplicative noise, mean-one (mu = -sigma^2/2).
+      double sigma = options_.straggler_sigma;
+      cost *= straggler_rng.LogNormal(-0.5 * sigma * sigma, sigma);
+    }
+    cost += options_.dispatch_overhead_seconds;
+
+    AttemptPlan plan = PlanAttempt(options_.faults, options_.seed, job, cost);
+    InFlight flight;
+    flight.start_time = now;
+    flight.end_time = now + plan.duration;
+    flight.worker = worker;
+    flight.job = job;
+    flight.kind = plan.failed ? (plan.kind == FailureKind::kCrash
+                                    ? EventKind::kCrash
+                                    : EventKind::kTimeout)
+                              : EventKind::kComplete;
+    queue.push(std::move(flight));
+  };
+
   auto try_assign = [&]() {
     while (!idle_workers.empty() && now < budget) {
+      // Requeued jobs take priority over fresh scheduler work.
+      if (!ready_retries.empty()) {
+        Job job = ready_retries.front();
+        ready_retries.pop_front();
+        launch(job);
+        continue;
+      }
       std::optional<Job> job = scheduler->NextJob();
       if (!job.has_value()) break;
-      int worker = idle_workers.back();
-      idle_workers.pop_back();
-
-      double cost = problem.EvaluationCost(job->config, job->resource) -
-                    problem.EvaluationCost(job->config, job->resume_from);
-      cost = std::max(cost, 0.0);
-      if (options_.straggler_sigma > 0.0) {
-        // Log-normal multiplicative noise, mean-one (mu = -sigma^2/2).
-        double sigma = options_.straggler_sigma;
-        cost *= straggler_rng.LogNormal(-0.5 * sigma * sigma, sigma);
-      }
-      cost += options_.dispatch_overhead_seconds;
-
-      InFlight flight;
-      flight.start_time = now;
-      flight.end_time = now + cost;
-      flight.worker = worker;
-      flight.job = *job;
-      queue.push(std::move(flight));
+      launch(*job);
     }
   };
 
@@ -75,12 +111,15 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     InFlight flight = queue.top();
     queue.pop();
     if (flight.end_time > budget) {
-      // This evaluation would finish past the budget: the run is over. The
-      // worker time spent inside the budget still counts as busy.
-      result.busy_seconds += std::max(0.0, budget - flight.start_time);
-      while (!queue.empty()) {
-        const InFlight& other = queue.top();
-        result.busy_seconds += std::max(0.0, budget - other.start_time);
+      // This event lands past the budget: the run is over. Worker time
+      // spent inside the budget still counts as busy (retry timers occupy
+      // no worker and contribute nothing).
+      while (true) {
+        if (flight.kind != EventKind::kRetryReady) {
+          result.busy_seconds += std::max(0.0, budget - flight.start_time);
+        }
+        if (queue.empty()) break;
+        flight = queue.top();
         queue.pop();
       }
       now = budget;
@@ -88,36 +127,87 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     }
 
     now = flight.end_time;
-    result.busy_seconds += flight.end_time - flight.start_time;
 
-    uint64_t noise_seed =
-        CombineSeeds(options_.seed, flight.job.config.Hash());
-    EvalOutcome outcome =
-        problem.Evaluate(flight.job.config, flight.job.resource, noise_seed);
+    if (flight.kind == EventKind::kRetryReady) {
+      ready_retries.push_back(flight.job);
+      try_assign();
+      continue;
+    }
 
-    EvalResult eval;
-    eval.objective = outcome.objective;
-    eval.test_objective = outcome.test_objective;
-    eval.cost_seconds = flight.end_time - flight.start_time;
+    const double duration = flight.end_time - flight.start_time;
+    result.busy_seconds += duration;
 
-    TrialRecord record;
-    record.job = flight.job;
-    record.result = eval;
-    record.start_time = flight.start_time;
-    record.end_time = flight.end_time;
-    record.worker = flight.worker;
-    result.history.Record(record, flight.job.resource >= full_resource);
-    if (options_.observer) options_.observer(record);
+    if (flight.kind != EventKind::kComplete) {
+      // A crash or timeout: charge the wasted worker time, then let the
+      // scheduler decide between requeue and abandonment.
+      result.wasted_seconds += duration;
+      ++result.failed_attempts;
 
-    scheduler->OnJobComplete(flight.job, eval);
-    idle_workers.push_back(flight.worker);
-    ++completed;
-    if (options_.max_trials > 0 && completed >= options_.max_trials) break;
+      FailureInfo info;
+      info.kind = flight.kind == EventKind::kCrash ? FailureKind::kCrash
+                                                   : FailureKind::kTimeout;
+      info.attempt = flight.job.attempt;
+      info.retries_remaining =
+          std::max(0, options_.faults.max_retries - (flight.job.attempt - 1));
+      info.wasted_seconds = duration;
+
+      idle_workers.push_back(flight.worker);
+      if (scheduler->OnJobFailed(flight.job, info)) {
+        ++result.retries;
+        Job next_attempt = flight.job;
+        ++next_attempt.attempt;
+        double delay = RetryDelay(options_.faults, flight.job.attempt);
+        if (delay > 0.0) {
+          InFlight timer;
+          timer.start_time = now;
+          timer.end_time = now + delay;
+          timer.job = next_attempt;
+          timer.kind = EventKind::kRetryReady;
+          queue.push(std::move(timer));
+        } else {
+          ready_retries.push_back(next_attempt);
+        }
+      } else {
+        ++result.failed_trials;
+        TrialRecord record;
+        record.job = flight.job;
+        record.result.cost_seconds = duration;
+        record.start_time = flight.start_time;
+        record.end_time = flight.end_time;
+        record.worker = flight.worker;
+        result.history.RecordFailure(record);
+      }
+    } else {
+      uint64_t noise_seed =
+          CombineSeeds(options_.seed, flight.job.config.Hash());
+      EvalOutcome outcome =
+          problem.Evaluate(flight.job.config, flight.job.resource, noise_seed);
+
+      EvalResult eval;
+      eval.objective = outcome.objective;
+      eval.test_objective = outcome.test_objective;
+      eval.cost_seconds = duration;
+
+      TrialRecord record;
+      record.job = flight.job;
+      record.result = eval;
+      record.start_time = flight.start_time;
+      record.end_time = flight.end_time;
+      record.worker = flight.worker;
+      result.history.Record(record, flight.job.resource >= full_resource);
+      if (options_.observer) options_.observer(record);
+
+      scheduler->OnJobComplete(flight.job, eval);
+      idle_workers.push_back(flight.worker);
+      ++completed;
+      if (options_.max_trials > 0 && completed >= options_.max_trials) break;
+    }
 
     try_assign();
     // If everything is idle and the scheduler is exhausted, the run ends
-    // before the budget (e.g. a single bracket fully drained).
-    if (queue.empty() &&
+    // before the budget (e.g. a single bracket fully drained). Pending
+    // retries keep the run alive via their queued timer events.
+    if (queue.empty() && ready_retries.empty() &&
         static_cast<int>(idle_workers.size()) == options_.num_workers &&
         scheduler->Exhausted()) {
       break;
@@ -125,11 +215,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   }
 
   result.elapsed_seconds = std::min(now, budget);
-  double total_capacity =
-      result.elapsed_seconds * static_cast<double>(options_.num_workers);
-  result.idle_seconds = std::max(0.0, total_capacity - result.busy_seconds);
-  result.utilization =
-      total_capacity > 0.0 ? result.busy_seconds / total_capacity : 0.0;
+  result.Finalize(options_.num_workers);
   return result;
 }
 

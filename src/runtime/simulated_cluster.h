@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "src/problems/problem.h"
+#include "src/runtime/fault_injector.h"
 #include "src/runtime/scheduler_interface.h"
 #include "src/runtime/trial_history.h"
 
@@ -32,6 +33,8 @@ struct ClusterOptions {
   double dispatch_overhead_seconds = 0.0;
   /// Stop after this many completed trials (<= 0: unlimited).
   int64_t max_trials = -1;
+  /// Seeded crash/timeout injection and the retry policy (defaults: off).
+  FaultOptions faults;
   /// Optional per-completion callback.
   TrialObserver observer;
 };
@@ -41,12 +44,26 @@ struct RunResult {
   TrialHistory history;
   /// Virtual time when the run stopped.
   double elapsed_seconds = 0.0;
-  /// Sum over workers of busy seconds (evaluation time).
+  /// Sum over workers of busy seconds (evaluation time, including time
+  /// burned by attempts that later crashed or timed out).
   double busy_seconds = 0.0;
   /// Sum over workers of idle seconds inside [0, elapsed].
   double idle_seconds = 0.0;
   /// Worker utilization in [0, 1]: busy / (busy + idle).
   double utilization = 0.0;
+  /// Attempts that crashed or timed out (each retry that fails counts).
+  int64_t failed_attempts = 0;
+  /// Failed attempts that were requeued for another try.
+  int64_t retries = 0;
+  /// Jobs abandoned after exhausting their retries (== history.failures()).
+  int64_t failed_trials = 0;
+  /// Worker seconds burned by failed attempts.
+  double wasted_seconds = 0.0;
+
+  /// Derives idle_seconds and utilization from elapsed/busy. Utilization is
+  /// busy / (busy + idle) and defined as 0 for a zero-trial run (no time
+  /// elapsed), never NaN.
+  void Finalize(int num_workers);
 };
 
 /// Discrete-event distributed execution backend with a virtual clock.
@@ -57,6 +74,13 @@ struct RunResult {
 /// log-normal straggler noise; on completion the scheduler is notified and
 /// every idle worker retries. A scheduler returning nullopt leaves workers
 /// idle — which is exactly the synchronization-barrier waste of Figure 1.
+///
+/// With faults enabled, attempts can crash at a uniform point of their
+/// duration or be killed by the per-job timeout; the worker time burned is
+/// charged as busy (and wasted), the scheduler is asked via OnJobFailed
+/// whether to requeue, and requeued jobs re-enter the event queue after the
+/// configured backoff. All fault draws are keyed on (seed, job_id, attempt),
+/// so identical seeds replay the identical crash/timeout schedule.
 ///
 /// The run stops when the virtual clock would pass the budget, when the
 /// scheduler is exhausted with no jobs in flight, or when `max_trials`

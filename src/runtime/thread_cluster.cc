@@ -1,9 +1,12 @@
 #include "src/runtime/thread_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -18,9 +21,12 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
 
   std::mutex mu;
   std::condition_variable cv;
-  int in_flight = 0;
+  int in_flight = 0;  // issued jobs not yet completed/abandoned (includes
+                      // jobs waiting out a retry backoff)
   int64_t completed = 0;
   bool stop = false;
+  /// Requeued jobs and the wall time at which their backoff expires.
+  std::deque<std::pair<double, Job>> retry_queue;
 
   const auto start = std::chrono::steady_clock::now();
   auto elapsed = [&]() {
@@ -37,6 +43,20 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
         std::unique_lock<std::mutex> lock(mu);
         for (;;) {
           if (stop || elapsed() >= options_.time_budget_seconds) return;
+          // Requeued jobs whose backoff expired take priority; they are
+          // already counted in in_flight.
+          auto ready = retry_queue.end();
+          for (auto it = retry_queue.begin(); it != retry_queue.end(); ++it) {
+            if (it->first <= elapsed()) {
+              ready = it;
+              break;
+            }
+          }
+          if (ready != retry_queue.end()) {
+            job = std::move(ready->second);
+            retry_queue.erase(ready);
+            break;
+          }
           std::optional<Job> next = scheduler->NextJob();
           if (next.has_value()) {
             job = *std::move(next);
@@ -48,20 +68,73 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             cv.notify_all();
             return;
           }
-          // Barrier: wait for a completion (or the budget) and retry.
+          // Barrier (or pending backoff): wait for a completion or the
+          // budget and retry.
           cv.wait_for(lock, std::chrono::milliseconds(2));
         }
       }
 
       double job_start = elapsed();
-      uint64_t noise_seed = CombineSeeds(options_.seed, job.config.Hash());
-      EvalOutcome outcome =
-          problem.Evaluate(job.config, job.resource, noise_seed);
+      double nominal_sleep = 0.0;
       if (options_.cost_sleep_scale > 0.0) {
         double cost = problem.EvaluationCost(job.config, job.resource) -
                       problem.EvaluationCost(job.config, job.resume_from);
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            std::max(0.0, cost) * options_.cost_sleep_scale));
+        nominal_sleep = std::max(0.0, cost) * options_.cost_sleep_scale;
+      }
+      AttemptPlan plan =
+          PlanAttempt(options_.faults, options_.seed, job, nominal_sleep);
+
+      if (plan.failed) {
+        // The worker dies (or is killed) before producing a result: sleep
+        // out the doomed attempt's lifetime, then report the failure.
+        if (plan.duration > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(plan.duration));
+        }
+        double job_end = elapsed();
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          double burned = job_end - job_start;
+          result.busy_seconds += burned;
+          result.wasted_seconds += burned;
+          ++result.failed_attempts;
+
+          FailureInfo info;
+          info.kind = plan.kind;
+          info.attempt = job.attempt;
+          info.retries_remaining =
+              std::max(0, options_.faults.max_retries - (job.attempt - 1));
+          info.wasted_seconds = burned;
+
+          if (scheduler->OnJobFailed(job, info)) {
+            ++result.retries;
+            Job next_attempt = job;
+            ++next_attempt.attempt;
+            retry_queue.emplace_back(
+                elapsed() + RetryDelay(options_.faults, job.attempt),
+                std::move(next_attempt));
+          } else {
+            ++result.failed_trials;
+            TrialRecord record;
+            record.job = job;
+            record.result.cost_seconds = burned;
+            record.start_time = job_start;
+            record.end_time = job_end;
+            record.worker = worker_id;
+            result.history.RecordFailure(record);
+            --in_flight;
+          }
+        }
+        cv.notify_all();
+        continue;
+      }
+
+      uint64_t noise_seed = CombineSeeds(options_.seed, job.config.Hash());
+      EvalOutcome outcome =
+          problem.Evaluate(job.config, job.resource, noise_seed);
+      if (plan.duration > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(plan.duration));
       }
       double job_end = elapsed();
 
@@ -103,10 +176,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
   // In-flight evaluations are allowed to finish past the budget, so report
   // the true elapsed time (keeps utilization = busy/capacity <= 1).
   result.elapsed_seconds = elapsed();
-  double capacity =
-      result.elapsed_seconds * static_cast<double>(options_.num_workers);
-  result.idle_seconds = std::max(0.0, capacity - result.busy_seconds);
-  result.utilization = capacity > 0.0 ? result.busy_seconds / capacity : 0.0;
+  result.Finalize(options_.num_workers);
   return result;
 }
 

@@ -19,6 +19,10 @@ struct ThreadClusterOptions {
   double cost_sleep_scale = 0.0;
   /// Stop after this many completed trials (<= 0: unlimited).
   int64_t max_trials = -1;
+  /// Seeded crash/timeout injection and the retry policy (defaults: off).
+  /// Failure draws are keyed on (seed, job_id, attempt), so which attempts
+  /// fail is reproducible even though thread interleaving is not.
+  FaultOptions faults;
   /// Optional per-completion callback (invoked under the completion lock).
   TrialObserver observer;
 };
@@ -30,6 +34,11 @@ struct ThreadClusterOptions {
 /// asynchronous: scheduler calls are serialized by an internal mutex while
 /// evaluations run concurrently. Trial timestamps are wall-clock seconds
 /// since the start of the run.
+///
+/// Faults are injected in the real worker threads: a doomed attempt sleeps
+/// until its crash point (or the watchdog timeout) and never produces a
+/// result; OnJobFailed then decides between requeue — the job waits out its
+/// backoff in a retry queue that any worker may pick up — and abandonment.
 class ThreadCluster {
  public:
   explicit ThreadCluster(ThreadClusterOptions options) : options_(options) {}

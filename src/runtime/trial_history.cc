@@ -21,6 +21,11 @@ void TrialHistory::Record(const TrialRecord& trial, bool is_full_fidelity) {
   curve_.push_back(point);
 }
 
+void TrialHistory::RecordFailure(const TrialRecord& trial) {
+  failures_.push_back(trial);
+  failures_.back().result.objective = std::numeric_limits<double>::infinity();
+}
+
 double TrialHistory::best_objective() const {
   return curve_.empty() ? std::numeric_limits<double>::infinity()
                         : curve_.back().best_objective;

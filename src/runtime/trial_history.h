@@ -39,10 +39,20 @@ class TrialHistory {
   /// used the maximum training resource.
   void Record(const TrialRecord& trial, bool is_full_fidelity);
 
+  /// Appends a trial the runtime abandoned after exhausting its retries.
+  /// The record carries the job plus the timing of the *last* failed
+  /// attempt; its objective is +inf. Failures never touch the anytime
+  /// curve — they exist for failure accounting and post-mortems.
+  void RecordFailure(const TrialRecord& trial);
+
   const std::vector<TrialRecord>& trials() const { return trials_; }
   const std::vector<CurvePoint>& curve() const { return curve_; }
 
+  /// Trials abandoned by the fault runtime (empty when faults are off).
+  const std::vector<TrialRecord>& failures() const { return failures_; }
+
   size_t num_trials() const { return trials_.size(); }
+  size_t num_failures() const { return failures_.size(); }
 
   /// Best validation objective so far, +inf when empty.
   double best_objective() const;
@@ -65,6 +75,7 @@ class TrialHistory {
 
  private:
   std::vector<TrialRecord> trials_;
+  std::vector<TrialRecord> failures_;
   std::vector<CurvePoint> curve_;
 };
 

@@ -98,6 +98,20 @@ std::optional<Job> AsyncBracketScheduler::NextJob() {
   return job;
 }
 
+bool AsyncBracketScheduler::OnJobFailed(const Job& job,
+                                        const FailureInfo& info) {
+  auto it = inflight_.find(job.job_id);
+  HT_CHECK(it != inflight_.end()) << "failure for unknown job " << job.job_id;
+  if (SchedulerInterface::OnJobFailed(job, info)) return true;
+  // Abandoned: drop the job from its bracket. The configuration stays in
+  // the pending set so Algorithm 2 keeps imputing it at the median and the
+  // sampler avoids re-proposing a crashing configuration.
+  ++trials_failed_;
+  it->second->OnJobAbandoned(job);
+  inflight_.erase(it);
+  return false;
+}
+
 void AsyncBracketScheduler::OnJobComplete(const Job& job,
                                           const EvalResult& result) {
   auto it = inflight_.find(job.job_id);

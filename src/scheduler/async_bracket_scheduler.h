@@ -42,10 +42,17 @@ class AsyncBracketScheduler : public SchedulerInterface {
 
   std::optional<Job> NextJob() override;
   void OnJobComplete(const Job& job, const EvalResult& result) override;
+  /// Requeues up to the retry cap; an abandoned job is dropped from its
+  /// bracket's rung accounting (a failed promotion candidate is never
+  /// re-promoted, and D-ASHA's delay condition sees the corrected |issued|).
+  bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override { return false; }
 
   /// Number of promotions issued so far (for sample-efficiency studies).
   int64_t promotions_issued() const { return promotions_issued_; }
+
+  /// Trials abandoned by the fault runtime.
+  int64_t trials_failed() const { return trials_failed_; }
 
   /// Base-level admissions per bracket index (for allocation studies).
   std::vector<int64_t> admissions_per_bracket() const;
@@ -63,6 +70,7 @@ class AsyncBracketScheduler : public SchedulerInterface {
   std::unordered_map<int64_t, Bracket*> inflight_;
   int64_t next_job_id_ = 0;
   int64_t promotions_issued_ = 0;
+  int64_t trials_failed_ = 0;
 };
 
 }  // namespace hypertune

@@ -32,7 +32,15 @@ class BatchBoScheduler : public SchedulerInterface {
 
   std::optional<Job> NextJob() override;
   void OnJobComplete(const Job& job, const EvalResult& result) override;
+  /// Requeues up to the retry cap; an abandoned configuration stays in the
+  /// pending set, so Algorithm 2's median imputation keeps penalizing it —
+  /// the BO sampler treats a crashing configuration like a mediocre one and
+  /// moves elsewhere. Sync batches drain without the failed member.
+  bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override { return false; }
+
+  /// Trials abandoned by the fault runtime.
+  int64_t trials_failed() const { return trials_failed_; }
 
  private:
   MeasurementStore* store_;
@@ -41,6 +49,7 @@ class BatchBoScheduler : public SchedulerInterface {
   int64_t next_job_id_ = 0;
   int issued_in_batch_ = 0;
   int outstanding_ = 0;
+  int64_t trials_failed_ = 0;
 };
 
 }  // namespace hypertune

@@ -171,7 +171,7 @@ void Bracket::MaybeQueueSyncPromotions(int level) {
   Rung& cur = rung(level);
   if (cur.completed < cur.target) return;
 
-  const Rung& next = rung(level + 1);
+  Rung& next = rung(level + 1);
   int64_t to_promote = next.target;
   std::vector<size_t> order(cur.results.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -187,6 +187,23 @@ void Bracket::MaybeQueueSyncPromotions(int level) {
     cur.promoted.insert(candidate.Hash());
     sync_promotions_.emplace_back(candidate, level);
   }
+
+  // Promotions into the next rung come exclusively from this rung's queue,
+  // and a completed rung queues exactly once — so everything the next rung
+  // will ever receive is what was already issued plus what sits in the
+  // queue. Failures (or duplicate survivors) can leave that short of the
+  // planned rung width; shrink the width so the barrier drains around the
+  // missing members, cascading when the shrink completes the next rung too
+  // (the degenerate case: every member of this rung failed, the next rung's
+  // width drops to zero, and the whole bracket unwinds).
+  int64_t reachable = next.issued;
+  for (const auto& [config, from] : sync_promotions_) {
+    if (from == level) ++reachable;
+  }
+  if (reachable < next.target) {
+    next.target = reachable;
+    MaybeQueueSyncPromotions(level + 1);
+  }
 }
 
 void Bracket::OnJobComplete(const Job& job, double objective) {
@@ -196,6 +213,21 @@ void Bracket::OnJobComplete(const Job& job, double objective) {
   r.results.emplace_back(objective, job.config);
   HT_CHECK(r.completed <= r.issued) << "rung accounting corrupted";
   if (options_.synchronous) MaybeQueueSyncPromotions(job.level);
+}
+
+void Bracket::OnJobAbandoned(const Job& job) {
+  Rung& r = rung(job.level);
+  HT_CHECK(in_flight_ > 0 && r.issued > r.completed)
+      << "abandonment without a matching in-flight job";
+  --r.issued;
+  --in_flight_;
+  if (options_.synchronous) {
+    // The rung permanently lost a member: one fewer completion can ever
+    // arrive, so one fewer is required for the barrier to clear. The
+    // abandonment itself may be what completes the rung.
+    r.target = std::max(r.target - 1, r.completed);
+    MaybeQueueSyncPromotions(job.level);
+  }
 }
 
 int64_t Bracket::CompletedAt(int level) const { return rung(level).completed; }

@@ -89,6 +89,13 @@ class Bracket {
   /// Reports the completion of a job previously minted by this bracket.
   void OnJobComplete(const Job& job, double objective);
 
+  /// Removes a previously minted, never-completed job after the runtime
+  /// abandoned it (retry budget exhausted). Sync rungs shrink their target
+  /// so the barrier drains without the failed member — cascading upwards
+  /// when an entire rung dies — and a failed promotion candidate stays
+  /// marked promoted so it is never re-promoted.
+  void OnJobAbandoned(const Job& job);
+
   /// Evaluations issued but not yet completed.
   int64_t InFlight() const { return in_flight_; }
 

@@ -55,6 +55,18 @@ std::optional<Job> SyncBracketScheduler::NextJob() {
   return std::nullopt;
 }
 
+bool SyncBracketScheduler::OnJobFailed(const Job& job,
+                                       const FailureInfo& info) {
+  HT_CHECK(bracket_ != nullptr) << "failure without an active bracket";
+  if (SchedulerInterface::OnJobFailed(job, info)) return true;
+  // Abandoned: the trial failed. Its configuration stays in the pending set
+  // on purpose — Algorithm 2 keeps imputing it at the median, so the
+  // sampler is steered away from re-proposing a configuration that crashes.
+  ++trials_failed_;
+  bracket_->OnJobAbandoned(job);
+  return false;
+}
+
 void SyncBracketScheduler::OnJobComplete(const Job& job,
                                          const EvalResult& result) {
   HT_CHECK(bracket_ != nullptr) << "completion without an active bracket";

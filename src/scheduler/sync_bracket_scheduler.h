@@ -42,7 +42,14 @@ class SyncBracketScheduler : public SchedulerInterface {
 
   std::optional<Job> NextJob() override;
   void OnJobComplete(const Job& job, const EvalResult& result) override;
+  /// Requeues up to the retry cap; an abandoned job is removed from its
+  /// rung so the synchronization barrier drains around the failed member
+  /// (Figure 1's barrier must never wait on a dead worker).
+  bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override { return false; }
+
+  /// Trials abandoned by the fault runtime.
+  int64_t trials_failed() const { return trials_failed_; }
 
   /// Index of the bracket currently executing (0 before the first).
   int current_bracket() const { return current_index_; }
@@ -63,6 +70,7 @@ class SyncBracketScheduler : public SchedulerInterface {
   int current_index_ = 0;
   int64_t next_job_id_ = 0;
   int64_t brackets_completed_ = 0;
+  int64_t trials_failed_ = 0;
 };
 
 }  // namespace hypertune

@@ -1,0 +1,470 @@
+// Deterministic chaos suite for the fault-injection runtime: property tests
+// over a seed sweep on the simulated cluster (every scheduler x crash
+// probability), same-seed replay of the full failure timeline, the
+// all-jobs-in-a-rung-fail scenario that used to be a sync-barrier deadlock,
+// and scripted barrier-draining checks against SyncBracketScheduler.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/optimizer/random_sampler.h"
+#include "src/problems/counting_ones.h"
+#include "src/runtime/fault_injector.h"
+#include "src/runtime/simulated_cluster.h"
+#include "src/scheduler/async_bracket_scheduler.h"
+#include "src/scheduler/batch_bo_scheduler.h"
+#include "src/scheduler/sync_bracket_scheduler.h"
+
+namespace hypertune {
+namespace {
+
+enum class SchedKind { kSync, kAsync, kBatchBo };
+
+constexpr SchedKind kAllKinds[] = {SchedKind::kSync, SchedKind::kAsync,
+                                   SchedKind::kBatchBo};
+
+// Small ladder (resources 3/9/27 on CountingOnes, cost = resource seconds)
+// so a 400-virtual-second run covers several brackets cheaply.
+ResourceLadder ChaosLadder() {
+  ResourceLadder ladder;
+  ladder.eta = 3.0;
+  ladder.num_levels = 3;
+  ladder.max_resource = 27.0;
+  return ladder;
+}
+
+RunResult RunChaos(SchedKind kind, uint64_t seed, const FaultOptions& faults,
+                   double budget = 400.0) {
+  CountingOnes problem;
+  ClusterOptions cluster_options;
+  cluster_options.num_workers = 4;
+  cluster_options.time_budget_seconds = budget;
+  cluster_options.seed = seed;
+  cluster_options.faults = faults;
+  SimulatedCluster cluster(cluster_options);
+
+  if (kind == SchedKind::kBatchBo) {
+    MeasurementStore store(1);
+    RandomSampler sampler(&problem.space(), &store, seed + 101);
+    BatchBoSchedulerOptions options;
+    options.synchronous = true;
+    options.batch_size = 4;
+    options.resource = 27.0;
+    options.level = 1;
+    BatchBoScheduler scheduler(&store, &sampler, options);
+    return cluster.Run(&scheduler, problem);
+  }
+
+  MeasurementStore store(3);
+  RandomSampler sampler(&problem.space(), &store, seed + 101);
+  BracketSchedulerOptions options;
+  options.ladder = ChaosLadder();
+  options.selector.policy = BracketPolicy::kRoundRobin;
+  if (kind == SchedKind::kSync) {
+    SyncBracketScheduler scheduler(&problem.space(), &store, &sampler, nullptr,
+                                   options);
+    return cluster.Run(&scheduler, problem);
+  }
+  options.delayed_promotion = true;
+  AsyncBracketScheduler scheduler(&problem.space(), &store, &sampler, nullptr,
+                                  options);
+  return cluster.Run(&scheduler, problem);
+}
+
+/// The invariants every chaos run must satisfy, regardless of scheduler,
+/// seed, or fault intensity.
+void CheckInvariants(const RunResult& result, const FaultOptions& faults,
+                     double budget) {
+  // No job_id ever completes twice, and no job_id is both completed and
+  // abandoned: retries reuse the id, so this catches double-delivery.
+  std::set<int64_t> ids;
+  for (const TrialRecord& t : result.history.trials()) {
+    EXPECT_TRUE(ids.insert(t.job.job_id).second)
+        << "duplicate completion for job " << t.job.job_id;
+  }
+  for (const TrialRecord& t : result.history.failures()) {
+    EXPECT_TRUE(ids.insert(t.job.job_id).second)
+        << "job " << t.job.job_id << " both completed and abandoned";
+  }
+
+  // The virtual clock is monotone: records appear in event order, every
+  // record has non-negative duration, and nothing lands past the budget.
+  double last = 0.0;
+  for (const TrialRecord& t : result.history.trials()) {
+    EXPECT_LE(t.start_time, t.end_time);
+    EXPECT_GE(t.end_time, last);
+    EXPECT_LE(t.end_time, budget + 1e-9);
+    last = t.end_time;
+  }
+  last = 0.0;
+  for (const TrialRecord& t : result.history.failures()) {
+    EXPECT_LE(t.start_time, t.end_time);
+    EXPECT_GE(t.end_time, last);
+    EXPECT_LE(t.end_time, budget + 1e-9);
+    last = t.end_time;
+  }
+  EXPECT_LE(result.elapsed_seconds, budget + 1e-9);
+
+  // Attempt numbers respect the retry cap.
+  for (const TrialRecord& t : result.history.trials()) {
+    EXPECT_GE(t.job.attempt, 1);
+    EXPECT_LE(t.job.attempt, faults.max_retries + 1);
+  }
+  for (const TrialRecord& t : result.history.failures()) {
+    EXPECT_GE(t.job.attempt, 1);
+    EXPECT_LE(t.job.attempt, faults.max_retries + 1);
+  }
+
+  // Failure accounting is closed: every failed attempt was either granted a
+  // retry or ended its trial, and abandoned trials match the history.
+  EXPECT_EQ(result.failed_attempts, result.retries + result.failed_trials);
+  EXPECT_EQ(result.failed_trials,
+            static_cast<int64_t>(result.history.num_failures()));
+  EXPECT_LE(result.wasted_seconds, result.busy_seconds + 1e-9);
+
+  EXPECT_FALSE(std::isnan(result.utilization));
+  EXPECT_GE(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-12);
+
+  if (faults.crash_probability <= 0.0 && faults.timeout_seconds <= 0.0) {
+    EXPECT_EQ(result.failed_attempts, 0);
+    EXPECT_EQ(result.retries, 0);
+    EXPECT_EQ(result.failed_trials, 0);
+    EXPECT_DOUBLE_EQ(result.wasted_seconds, 0.0);
+  }
+}
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
+  auto expect_same_records = [](const std::vector<TrialRecord>& x,
+                                const std::vector<TrialRecord>& y) {
+    ASSERT_EQ(x.size(), y.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].job.job_id, y[i].job.job_id);
+      EXPECT_EQ(x[i].job.attempt, y[i].job.attempt);
+      EXPECT_EQ(x[i].job.level, y[i].job.level);
+      EXPECT_EQ(x[i].worker, y[i].worker);
+      EXPECT_DOUBLE_EQ(x[i].start_time, y[i].start_time);
+      EXPECT_DOUBLE_EQ(x[i].end_time, y[i].end_time);
+      EXPECT_DOUBLE_EQ(x[i].result.objective, y[i].result.objective);
+    }
+  };
+  expect_same_records(a.history.trials(), b.history.trials());
+  expect_same_records(a.history.failures(), b.history.failures());
+  EXPECT_EQ(a.failed_attempts, b.failed_attempts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failed_trials, b.failed_trials);
+  EXPECT_DOUBLE_EQ(a.wasted_seconds, b.wasted_seconds);
+  EXPECT_DOUBLE_EQ(a.elapsed_seconds, b.elapsed_seconds);
+}
+
+void SeedSweep(SchedKind kind) {
+  for (double p : {0.0, 0.05, 0.3}) {
+    FaultOptions faults;
+    faults.crash_probability = p;
+    faults.max_retries = 2;
+    faults.retry_backoff_seconds = 0.5;
+    int64_t total_failed_attempts = 0;
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+      RunResult result = RunChaos(kind, seed, faults);
+      CheckInvariants(result, faults, 400.0);
+      EXPECT_GT(result.history.num_trials(), 0u) << "seed " << seed;
+      total_failed_attempts += result.failed_attempts;
+    }
+    if (p == 0.0) {
+      EXPECT_EQ(total_failed_attempts, 0);
+    } else {
+      EXPECT_GT(total_failed_attempts, 0) << "crash probability " << p;
+    }
+  }
+}
+
+TEST(FaultInjectionPropertyTest, SeedSweepSyncBracket) {
+  SeedSweep(SchedKind::kSync);
+}
+
+TEST(FaultInjectionPropertyTest, SeedSweepAsyncBracket) {
+  SeedSweep(SchedKind::kAsync);
+}
+
+TEST(FaultInjectionPropertyTest, SeedSweepBatchBo) {
+  SeedSweep(SchedKind::kBatchBo);
+}
+
+TEST(FaultInjectionPropertyTest, SameSeedReplaysIdenticalFailureTimeline) {
+  FaultOptions faults;
+  faults.crash_probability = 0.3;
+  faults.timeout_seconds = 10.0;
+  faults.max_retries = 2;
+  faults.retry_backoff_seconds = 2.0;
+  for (SchedKind kind : kAllKinds) {
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+      RunResult a = RunChaos(kind, seed, faults);
+      RunResult b = RunChaos(kind, seed, faults);
+      ExpectIdenticalRuns(a, b);
+      EXPECT_GT(a.failed_attempts + a.history.num_trials(), 0u);
+    }
+  }
+}
+
+TEST(FaultInjectionPropertyTest, TimeoutWatchdogKillsLongAttempts) {
+  // Ladder resources are 3/9/27, so every attempt needing > 10 incremental
+  // seconds (all level-3 work: 27 - 9 = 18, or 27 from scratch) must die to
+  // the watchdog while cheaper rungs are untouched.
+  FaultOptions faults;
+  faults.timeout_seconds = 10.0;
+  faults.max_retries = 1;
+  RunResult result = RunChaos(SchedKind::kSync, 3, faults);
+  CheckInvariants(result, faults, 400.0);
+  EXPECT_GT(result.history.num_trials(), 0u);
+  EXPECT_GT(result.failed_trials, 0);
+  for (const TrialRecord& t : result.history.trials()) {
+    EXPECT_LT(t.job.level, 3) << "a level-3 attempt cannot beat the watchdog";
+  }
+  for (const TrialRecord& t : result.history.failures()) {
+    EXPECT_EQ(t.job.level, 3);
+  }
+}
+
+TEST(FaultInjectionPropertyTest, RetriedJobKeepsItsTrialIdentity) {
+  FaultOptions faults;
+  faults.crash_probability = 0.3;
+  faults.max_retries = 3;
+  RunResult result = RunChaos(SchedKind::kAsync, 11, faults);
+  CheckInvariants(result, faults, 400.0);
+  EXPECT_GT(result.retries, 0);
+  // At least one trial survived a failed attempt and completed on a later
+  // attempt of the same job_id (uniqueness already checked above).
+  bool saw_survivor = false;
+  for (const TrialRecord& t : result.history.trials()) {
+    if (t.job.attempt > 1) saw_survivor = true;
+  }
+  EXPECT_TRUE(saw_survivor);
+}
+
+TEST(FaultInjectionPropertyTest, EveryJobFailingStillTerminates) {
+  // The scenario that used to be a deadlock: with crash probability 1 every
+  // rung loses all its members, so the sync barrier must drain to empty,
+  // the bracket must unwind, and the run must end at the budget with zero
+  // completions instead of hanging on NextJob forever.
+  FaultOptions faults;
+  faults.crash_probability = 1.0;
+  faults.max_retries = 1;
+  for (SchedKind kind : kAllKinds) {
+    RunResult result = RunChaos(kind, 7, faults);
+    CheckInvariants(result, faults, 400.0);
+    EXPECT_EQ(result.history.num_trials(), 0u);
+    EXPECT_GT(result.failed_trials, 0);
+    // Every abandonment burned its one retry first; jobs still inside their
+    // retry window when the budget expires only add to the retry count.
+    EXPECT_GE(result.retries, result.failed_trials);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted sync-barrier draining: drive SyncBracketScheduler by hand.
+// ---------------------------------------------------------------------------
+
+ConfigurationSpace WideSpace() {
+  ConfigurationSpace space;
+  EXPECT_TRUE(space.Add(Parameter::Float("x", 0.0, 1.0)).ok());
+  EXPECT_TRUE(space.Add(Parameter::Float("y", 0.0, 1.0)).ok());
+  return space;
+}
+
+FailureInfo FatalFailure(int attempt = 1) {
+  FailureInfo info;
+  info.kind = FailureKind::kCrash;
+  info.attempt = attempt;
+  info.retries_remaining = 0;  // the backend's retry budget is exhausted
+  info.wasted_seconds = 1.0;
+  return info;
+}
+
+class SyncBarrierDrainTest : public ::testing::Test {
+ protected:
+  SyncBarrierDrainTest()
+      : space_(WideSpace()), store_(3), sampler_(&space_, &store_, 1) {}
+
+  BracketSchedulerOptions Options(BracketPolicy policy) {
+    BracketSchedulerOptions options;
+    options.ladder.eta = 3.0;
+    options.ladder.num_levels = 3;
+    options.ladder.max_resource = 9.0;
+    options.selector.policy = policy;
+    options.selector.fixed_bracket = 1;
+    return options;
+  }
+
+  ConfigurationSpace space_;
+  MeasurementStore store_;
+  RandomSampler sampler_;
+};
+
+TEST_F(SyncBarrierDrainTest, BarrierOpensAroundOneFailedMember) {
+  SyncBracketScheduler scheduler(&space_, &store_, &sampler_, nullptr,
+                                 Options(BracketPolicy::kFixed));
+  // Bracket 1: base rung of 9. Complete 8 with known objectives, abandon the
+  // ninth — the barrier must open over the 8 survivors.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) {
+    std::optional<Job> job = scheduler.NextJob();
+    ASSERT_TRUE(job.has_value());
+    jobs.push_back(*job);
+  }
+  for (int i = 1; i < 9; ++i) {
+    EvalResult result;
+    result.objective = static_cast<double>(i);  // jobs 1,2,3 are the best
+    scheduler.OnJobComplete(jobs[i], result);
+  }
+  EXPECT_FALSE(scheduler.NextJob().has_value());  // barrier still closed
+  EXPECT_FALSE(scheduler.OnJobFailed(jobs[0], FatalFailure()));
+  EXPECT_EQ(scheduler.trials_failed(), 1);
+  // The abandoned configuration stays pending so Algorithm 2 keeps imputing
+  // it at the median (crashing configs look mediocre, not unknown).
+  EXPECT_EQ(store_.NumPending(), 1u);
+
+  // The rung drained to 8 members; top 1/eta of the *survivors* promote.
+  std::set<double> promoted;
+  for (int i = 0; i < 3; ++i) {
+    std::optional<Job> job = scheduler.NextJob();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->level, 2);
+    promoted.insert(job->config[0]);
+  }
+  EXPECT_FALSE(scheduler.NextJob().has_value());
+  std::set<double> expected = {jobs[1].config[0], jobs[2].config[0],
+                               jobs[3].config[0]};
+  EXPECT_EQ(promoted, expected);
+}
+
+TEST_F(SyncBarrierDrainTest, WholeRungFailureCascadesToNextBracket) {
+  SyncBracketScheduler scheduler(&space_, &store_, &sampler_, nullptr,
+                                 Options(BracketPolicy::kRoundRobin));
+  // Complete the full base rung, then kill every promotion: the bracket
+  // must unwind (rung targets cascade to zero) and the next bracket start.
+  std::vector<Job> jobs;
+  for (int i = 0; i < 9; ++i) {
+    std::optional<Job> job = scheduler.NextJob();
+    ASSERT_TRUE(job.has_value());
+    jobs.push_back(*job);
+  }
+  for (int i = 0; i < 9; ++i) {
+    EvalResult result;
+    result.objective = static_cast<double>(i);
+    scheduler.OnJobComplete(jobs[i], result);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::optional<Job> job = scheduler.NextJob();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->level, 2);
+    EXPECT_FALSE(scheduler.OnJobFailed(*job, FatalFailure(2)));
+  }
+  EXPECT_EQ(scheduler.trials_failed(), 3);
+
+  // Not a barrier deadlock: the dead rung cascaded the bracket to complete,
+  // and round robin moves on to bracket 2 (base level 2).
+  std::optional<Job> job = scheduler.NextJob();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(scheduler.brackets_completed(), 1);
+  EXPECT_EQ(scheduler.current_bracket(), 2);
+  EXPECT_EQ(job->level, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Fault model unit tests.
+// ---------------------------------------------------------------------------
+
+Job ProbeJob(int64_t id, int attempt = 1) {
+  Job job;
+  job.job_id = id;
+  job.attempt = attempt;
+  return job;
+}
+
+TEST(FaultInjectorTest, NoFaultsMeansNoFailuresAndNominalDuration) {
+  FaultOptions faults;  // all defaults off
+  for (int64_t id = 0; id < 50; ++id) {
+    AttemptPlan plan = PlanAttempt(faults, 42, ProbeJob(id), 12.5);
+    EXPECT_FALSE(plan.failed);
+    EXPECT_DOUBLE_EQ(plan.duration, 12.5);
+  }
+}
+
+TEST(FaultInjectorTest, CertainCrashCutsTheAttemptShort) {
+  FaultOptions faults;
+  faults.crash_probability = 1.0;
+  for (int64_t id = 0; id < 50; ++id) {
+    AttemptPlan plan = PlanAttempt(faults, 42, ProbeJob(id), 10.0);
+    EXPECT_TRUE(plan.failed);
+    EXPECT_EQ(plan.kind, FailureKind::kCrash);
+    EXPECT_GE(plan.duration, 0.0);
+    EXPECT_LE(plan.duration, 10.0);
+  }
+}
+
+TEST(FaultInjectorTest, WatchdogFiresAtTheTimeout) {
+  FaultOptions faults;
+  faults.timeout_seconds = 5.0;
+  AttemptPlan long_attempt = PlanAttempt(faults, 42, ProbeJob(1), 20.0);
+  EXPECT_TRUE(long_attempt.failed);
+  EXPECT_EQ(long_attempt.kind, FailureKind::kTimeout);
+  EXPECT_DOUBLE_EQ(long_attempt.duration, 5.0);
+  AttemptPlan short_attempt = PlanAttempt(faults, 42, ProbeJob(1), 3.0);
+  EXPECT_FALSE(short_attempt.failed);
+  EXPECT_DOUBLE_EQ(short_attempt.duration, 3.0);
+}
+
+TEST(FaultInjectorTest, CrashAndTimeoutNeverExceedTheWatchdog) {
+  FaultOptions faults;
+  faults.crash_probability = 1.0;
+  faults.timeout_seconds = 5.0;
+  for (int64_t id = 0; id < 50; ++id) {
+    AttemptPlan plan = PlanAttempt(faults, 42, ProbeJob(id), 20.0);
+    EXPECT_TRUE(plan.failed);
+    EXPECT_LE(plan.duration, 5.0 + 1e-12);
+  }
+}
+
+TEST(FaultInjectorTest, DrawsDependOnlyOnSeedJobAndAttempt) {
+  FaultOptions faults;
+  faults.crash_probability = 0.5;
+  faults.timeout_seconds = 8.0;
+  for (int64_t id = 0; id < 20; ++id) {
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      AttemptPlan a = PlanAttempt(faults, 42, ProbeJob(id, attempt), 6.0);
+      AttemptPlan b = PlanAttempt(faults, 42, ProbeJob(id, attempt), 6.0);
+      EXPECT_EQ(a.failed, b.failed);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_DOUBLE_EQ(a.duration, b.duration);
+    }
+  }
+  // Different attempts of the same job get independent draws: with p = 0.5
+  // over 20 jobs x 3 attempts (each under the watchdog), outcomes must not
+  // all agree.
+  bool saw_failed = false, saw_completed = false;
+  for (int64_t id = 0; id < 20; ++id) {
+    for (int attempt = 1; attempt <= 3; ++attempt) {
+      AttemptPlan plan = PlanAttempt(faults, 42, ProbeJob(id, attempt), 6.0);
+      (plan.failed ? saw_failed : saw_completed) = true;
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+  EXPECT_TRUE(saw_completed);
+}
+
+TEST(FaultInjectorTest, RetryDelayDoublesPerFailedAttempt) {
+  FaultOptions faults;
+  faults.retry_backoff_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 1), 2.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 2), 4.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 3), 8.0);
+  faults.retry_backoff_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace hypertune

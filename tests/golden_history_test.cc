@@ -1,0 +1,149 @@
+// Golden-history pin: with faults disabled, every scheduler must produce a
+// bit-identical TrialHistory to the pre-fault-runtime code for the same
+// seed. The expected hashes below were captured from the seed revision
+// (before FaultOptions existed); any drift in these tests means the fault
+// model leaks into fault-free runs.
+//
+// The hash covers every semantic field of every trial and curve point
+// (double bit patterns included). Values are stable for a given toolchain /
+// standard library; CI pins the toolchain.
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/optimizer/random_sampler.h"
+#include "src/problems/counting_ones.h"
+#include "src/runtime/simulated_cluster.h"
+#include "src/scheduler/async_bracket_scheduler.h"
+#include "src/scheduler/batch_bo_scheduler.h"
+#include "src/scheduler/sync_bracket_scheduler.h"
+
+namespace hypertune {
+namespace {
+
+uint64_t HashHistory(const TrialHistory& history) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  };
+  auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const TrialRecord& t : history.trials()) {
+    mix(static_cast<uint64_t>(t.job.job_id));
+    mix(static_cast<uint64_t>(t.job.level));
+    mix(static_cast<uint64_t>(t.job.bracket));
+    mix(static_cast<uint64_t>(t.worker));
+    mix_double(t.job.resource);
+    mix_double(t.job.resume_from);
+    mix_double(t.start_time);
+    mix_double(t.end_time);
+    mix_double(t.result.objective);
+    mix_double(t.result.test_objective);
+    mix_double(t.result.cost_seconds);
+    for (size_t d = 0; d < t.job.config.size(); ++d) {
+      mix_double(t.job.config[d]);
+    }
+  }
+  for (const CurvePoint& p : history.curve()) {
+    mix_double(p.time);
+    mix_double(p.best_objective);
+    mix_double(p.best_full_fidelity);
+    mix_double(p.incumbent_test);
+  }
+  return hash;
+}
+
+ResourceLadder GoldenLadder() {
+  ResourceLadder ladder;
+  ladder.eta = 3.0;
+  ladder.num_levels = 3;
+  ladder.max_resource = 729.0;
+  return ladder;
+}
+
+ClusterOptions GoldenCluster(double sigma) {
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 6000.0;
+  options.seed = 42;
+  options.straggler_sigma = sigma;
+  return options;
+}
+
+void ExpectNoFaultActivity(const RunResult& result) {
+  EXPECT_EQ(result.failed_attempts, 0);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_EQ(result.failed_trials, 0);
+  EXPECT_EQ(result.history.num_failures(), 0u);
+  EXPECT_DOUBLE_EQ(result.wasted_seconds, 0.0);
+}
+
+uint64_t RunSync(double sigma) {
+  CountingOnes problem;
+  MeasurementStore store(3);
+  RandomSampler sampler(&problem.space(), &store, 17);
+  BracketSchedulerOptions options;
+  options.ladder = GoldenLadder();
+  options.selector.policy = BracketPolicy::kRoundRobin;
+  SyncBracketScheduler scheduler(&problem.space(), &store, &sampler, nullptr,
+                                 options);
+  SimulatedCluster cluster(GoldenCluster(sigma));
+  RunResult result = cluster.Run(&scheduler, problem);
+  ExpectNoFaultActivity(result);
+  return HashHistory(result.history);
+}
+
+uint64_t RunAsync(double sigma) {
+  CountingOnes problem;
+  MeasurementStore store(3);
+  RandomSampler sampler(&problem.space(), &store, 17);
+  BracketSchedulerOptions options;
+  options.ladder = GoldenLadder();
+  options.selector.policy = BracketPolicy::kFixed;
+  options.selector.fixed_bracket = 1;
+  options.delayed_promotion = true;
+  AsyncBracketScheduler scheduler(&problem.space(), &store, &sampler, nullptr,
+                                  options);
+  SimulatedCluster cluster(GoldenCluster(sigma));
+  RunResult result = cluster.Run(&scheduler, problem);
+  ExpectNoFaultActivity(result);
+  return HashHistory(result.history);
+}
+
+uint64_t RunBatchBo(double sigma) {
+  CountingOnes problem;
+  MeasurementStore store(1);
+  RandomSampler sampler(&problem.space(), &store, 17);
+  BatchBoSchedulerOptions options;
+  options.synchronous = true;
+  options.batch_size = 4;
+  options.resource = 729.0;
+  options.level = 1;
+  BatchBoScheduler scheduler(&store, &sampler, options);
+  SimulatedCluster cluster(GoldenCluster(sigma));
+  RunResult result = cluster.Run(&scheduler, problem);
+  ExpectNoFaultActivity(result);
+  return HashHistory(result.history);
+}
+
+TEST(GoldenHistoryTest, SyncBracketSchedulerMatchesSeedRevision) {
+  EXPECT_EQ(RunSync(0.0), 18196916382872347268ULL);
+  EXPECT_EQ(RunSync(0.4), 2318263401010243178ULL);
+}
+
+TEST(GoldenHistoryTest, AsyncBracketSchedulerMatchesSeedRevision) {
+  EXPECT_EQ(RunAsync(0.0), 6081657802665231680ULL);
+  EXPECT_EQ(RunAsync(0.4), 12362550768026713702ULL);
+}
+
+TEST(GoldenHistoryTest, BatchBoSchedulerMatchesSeedRevision) {
+  EXPECT_EQ(RunBatchBo(0.0), 15922871452540299455ULL);
+  EXPECT_EQ(RunBatchBo(0.4), 9194569102725825520ULL);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -176,6 +176,21 @@ TEST_F(SimulatedClusterTest, DispatchOverheadExtendsRuntime) {
   EXPECT_NEAR(elapsed_with_overhead(1.0), 220.0, 1e-9);
 }
 
+TEST_F(SimulatedClusterTest, ZeroTrialRunHasZeroUtilization) {
+  // A scheduler with no work at all must yield utilization 0, not NaN
+  // (busy + idle is 0 when nothing ever ran).
+  FixedJobScheduler scheduler(problem_.space(), 0, 10.0);
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 100.0;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  EXPECT_EQ(result.history.num_trials(), 0u);
+  EXPECT_FALSE(std::isnan(result.utilization));
+  EXPECT_DOUBLE_EQ(result.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(result.elapsed_seconds, 0.0);
+}
+
 TEST_F(SimulatedClusterTest, CurveIsMonotoneNonIncreasing) {
   FixedJobScheduler scheduler(problem_.space(), 200, 2.0);
   ClusterOptions options;

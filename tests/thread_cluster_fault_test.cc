@@ -1,0 +1,219 @@
+// Fault-injection stress for the real-thread backend: 8 workers with seeded
+// crashes and a wall-clock watchdog, verified through a tracking decorator
+// that every completion/failure callback is delivered exactly once and the
+// run shuts down cleanly. Designed to run under ThreadSanitizer (see CI);
+// the assertions avoid wall-clock timing so they hold under TSan slowdown.
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/optimizer/random_sampler.h"
+#include "src/problems/counting_ones.h"
+#include "src/runtime/thread_cluster.h"
+#include "src/scheduler/async_bracket_scheduler.h"
+
+namespace hypertune {
+namespace {
+
+/// Decorator around a real scheduler that records every callback. The
+/// cluster serializes scheduler calls under its mutex, so plain containers
+/// (and gtest expectations) are safe here.
+class TrackingScheduler : public SchedulerInterface {
+ public:
+  explicit TrackingScheduler(SchedulerInterface* inner) : inner_(inner) {}
+
+  std::optional<Job> NextJob() override {
+    std::optional<Job> job = inner_->NextJob();
+    if (job.has_value()) issued_.insert(job->job_id);
+    return job;
+  }
+
+  void OnJobComplete(const Job& job, const EvalResult& result) override {
+    EXPECT_TRUE(completed_.insert(job.job_id).second)
+        << "duplicate completion for job " << job.job_id;
+    EXPECT_EQ(abandoned_.count(job.job_id), 0u)
+        << "job " << job.job_id << " completed after being abandoned";
+    inner_->OnJobComplete(job, result);
+  }
+
+  bool OnJobFailed(const Job& job, const FailureInfo& info) override {
+    EXPECT_EQ(completed_.count(job.job_id), 0u)
+        << "job " << job.job_id << " failed after completing";
+    ++failed_attempts_;
+    bool retry = inner_->OnJobFailed(job, info);
+    if (retry) {
+      ++retries_;
+    } else {
+      abandoned_.insert(job.job_id);
+    }
+    return retry;
+  }
+
+  bool Exhausted() const override { return inner_->Exhausted(); }
+
+  const std::set<int64_t>& issued() const { return issued_; }
+  const std::set<int64_t>& completed() const { return completed_; }
+  const std::set<int64_t>& abandoned() const { return abandoned_; }
+  int64_t failed_attempts() const { return failed_attempts_; }
+  int64_t retries() const { return retries_; }
+
+ private:
+  SchedulerInterface* inner_;
+  std::set<int64_t> issued_;
+  std::set<int64_t> completed_;
+  std::set<int64_t> abandoned_;
+  int64_t failed_attempts_ = 0;
+  int64_t retries_ = 0;
+};
+
+/// Issues exactly `total` jobs (resource 1), leaving retry decisions to the
+/// default SchedulerInterface policy.
+class FixedTotalScheduler : public SchedulerInterface {
+ public:
+  FixedTotalScheduler(const ConfigurationSpace& space, int64_t total)
+      : space_(space), total_(total), rng_(1) {}
+
+  std::optional<Job> NextJob() override {
+    if (issued_ >= total_) return std::nullopt;
+    Job job;
+    job.job_id = issued_++;
+    job.config = space_.Sample(&rng_);
+    job.level = 1;
+    job.resource = 1.0;
+    return job;
+  }
+  void OnJobComplete(const Job&, const EvalResult&) override {}
+  bool Exhausted() const override { return issued_ >= total_; }
+
+ private:
+  const ConfigurationSpace& space_;
+  int64_t total_;
+  Rng rng_;
+  int64_t issued_ = 0;
+};
+
+void CheckBookkeeping(const RunResult& result,
+                      const TrackingScheduler& tracker) {
+  // Every delivered callback matches the run's accounting: no completion
+  // was lost between a worker thread and the history, and no trial was
+  // double-reported.
+  EXPECT_EQ(result.history.num_trials(), tracker.completed().size());
+  EXPECT_EQ(static_cast<size_t>(result.failed_trials),
+            tracker.abandoned().size());
+  EXPECT_EQ(result.retries, tracker.retries());
+  EXPECT_EQ(result.failed_attempts, tracker.failed_attempts());
+  EXPECT_EQ(result.failed_attempts, result.retries + result.failed_trials);
+  EXPECT_EQ(result.history.num_failures(),
+            static_cast<size_t>(result.failed_trials));
+
+  for (int64_t id : tracker.completed()) {
+    EXPECT_EQ(tracker.issued().count(id), 1u) << "completion never issued";
+    EXPECT_EQ(tracker.abandoned().count(id), 0u);
+  }
+  for (int64_t id : tracker.abandoned()) {
+    EXPECT_EQ(tracker.issued().count(id), 1u) << "abandonment never issued";
+  }
+
+  EXPECT_FALSE(std::isnan(result.utilization));
+  EXPECT_GE(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-12);
+}
+
+TEST(ThreadClusterFaultTest, ChaosRunLosesNoCompletions) {
+  CountingOnes problem;
+  MeasurementStore store(3);
+  RandomSampler sampler(&problem.space(), &store, 5);
+  BracketSchedulerOptions scheduler_options;
+  scheduler_options.ladder.eta = 3.0;
+  scheduler_options.ladder.num_levels = 3;
+  scheduler_options.ladder.max_resource = 27.0;
+  scheduler_options.selector.policy = BracketPolicy::kFixed;
+  scheduler_options.selector.fixed_bracket = 1;
+  AsyncBracketScheduler inner(&problem.space(), &store, &sampler, nullptr,
+                              scheduler_options);
+  TrackingScheduler tracker(&inner);
+
+  ThreadClusterOptions options;
+  options.num_workers = 8;
+  options.time_budget_seconds = 2.0;
+  options.seed = 9;
+  // Costs are 3/9/27 simulated seconds -> a few ms of real sleep per job,
+  // with the watchdog killing full-fidelity attempts (27 * 2e-3 = 54 ms).
+  options.cost_sleep_scale = 2e-3;
+  options.faults.crash_probability = 0.3;
+  options.faults.timeout_seconds = 0.025;
+  options.faults.max_retries = 1;
+  options.faults.retry_backoff_seconds = 0.01;
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&tracker, problem);
+
+  CheckBookkeeping(result, tracker);
+  EXPECT_GT(result.history.num_trials(), 0u);
+  // With p = 0.3 over hundreds of attempts, failures are certain (and they
+  // are drawn per (seed, job_id, attempt), not per thread interleaving).
+  EXPECT_GT(result.failed_attempts, 0);
+  EXPECT_GT(result.failed_trials, 0);
+  EXPECT_GT(result.wasted_seconds, 0.0);
+}
+
+TEST(ThreadClusterFaultTest, FaultFreeRunHasNoFailureAccounting) {
+  CountingOnes problem;
+  MeasurementStore store(3);
+  RandomSampler sampler(&problem.space(), &store, 5);
+  BracketSchedulerOptions scheduler_options;
+  scheduler_options.ladder.eta = 3.0;
+  scheduler_options.ladder.num_levels = 3;
+  scheduler_options.ladder.max_resource = 27.0;
+  scheduler_options.selector.policy = BracketPolicy::kFixed;
+  scheduler_options.selector.fixed_bracket = 1;
+  AsyncBracketScheduler inner(&problem.space(), &store, &sampler, nullptr,
+                              scheduler_options);
+  TrackingScheduler tracker(&inner);
+
+  ThreadClusterOptions options;
+  options.num_workers = 8;
+  options.time_budget_seconds = 1.0;
+  options.seed = 9;
+  options.cost_sleep_scale = 1e-3;
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&tracker, problem);
+
+  CheckBookkeeping(result, tracker);
+  EXPECT_GT(result.history.num_trials(), 0u);
+  EXPECT_EQ(result.failed_attempts, 0);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_EQ(result.failed_trials, 0);
+  EXPECT_DOUBLE_EQ(result.wasted_seconds, 0.0);
+}
+
+TEST(ThreadClusterFaultTest, EveryIssuedJobIsResolvedBeforeShutdown) {
+  // A fixed amount of work under heavy faults: the run must end via clean
+  // exhaustion (not the budget), with every one of the 40 jobs either
+  // completed or abandoned — retries in flight must keep the cluster alive
+  // until they resolve.
+  CountingOnes problem;
+  FixedTotalScheduler inner(problem.space(), 40);
+  TrackingScheduler tracker(&inner);
+
+  ThreadClusterOptions options;
+  options.num_workers = 8;
+  options.time_budget_seconds = 30.0;
+  options.seed = 21;
+  options.cost_sleep_scale = 1e-3;
+  options.faults.crash_probability = 0.5;
+  options.faults.max_retries = 2;
+  options.faults.retry_backoff_seconds = 0.005;
+  ThreadCluster cluster(options);
+  RunResult result = cluster.Run(&tracker, problem);
+
+  CheckBookkeeping(result, tracker);
+  EXPECT_EQ(tracker.issued().size(), 40u);
+  EXPECT_EQ(tracker.completed().size() + tracker.abandoned().size(), 40u);
+  EXPECT_LT(result.elapsed_seconds, 30.0);
+}
+
+}  // namespace
+}  // namespace hypertune
