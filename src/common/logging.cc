@@ -4,10 +4,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/thread_annotations.h"
+
 namespace hypertune {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
+
+/// Serializes sink emission so concurrently logging threads (ThreadCluster
+/// workers, pool tasks) never interleave within a message. fputs is atomic
+/// on POSIX stdio, but the fatal path streams multiple writes.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -41,6 +51,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
+    MutexLock lock(SinkMutex());
     std::fputs(stream_.str().c_str(), stderr);
   }
 }
@@ -52,7 +63,11 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 
 FatalMessage::~FatalMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  {
+    MutexLock lock(SinkMutex());
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+  }
   std::abort();
 }
 

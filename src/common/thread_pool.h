@@ -1,13 +1,13 @@
 #ifndef HYPERTUNE_COMMON_THREAD_POOL_H_
 #define HYPERTUNE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace hypertune {
 
@@ -28,23 +28,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution. Thread-safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and all workers are idle.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // written in ctor only, then immutable
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hypertune

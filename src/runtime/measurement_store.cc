@@ -10,14 +10,27 @@ namespace hypertune {
 
 MeasurementStore::MeasurementStore(int num_levels) {
   HT_CHECK(num_levels >= 1) << "MeasurementStore requires K >= 1";
+  MutexLock lock(mu_);
   groups_.resize(static_cast<size_t>(num_levels));
+}
+
+std::vector<Measurement>& MeasurementStore::GroupLocked(int level) {
+  HT_CHECK(level >= 1 && level <= static_cast<int>(groups_.size()))
+      << "level " << level << " outside [1, " << groups_.size() << "]";
+  return groups_[static_cast<size_t>(level - 1)];
+}
+
+const std::vector<Measurement>& MeasurementStore::GroupLocked(
+    int level) const {
+  HT_CHECK(level >= 1 && level <= static_cast<int>(groups_.size()))
+      << "level " << level << " outside [1, " << groups_.size() << "]";
+  return groups_[static_cast<size_t>(level - 1)];
 }
 
 void MeasurementStore::Add(int level, const Configuration& config,
                            double objective) {
-  HT_CHECK(level >= 1 && level <= num_levels())
-      << "Add: level " << level << " outside [1, " << num_levels() << "]";
-  auto& group = groups_[static_cast<size_t>(level - 1)];
+  MutexLock lock(mu_);
+  auto& group = GroupLocked(level);
   for (Measurement& m : group) {
     if (m.config == config) {
       m.objective = objective;
@@ -32,32 +45,35 @@ void MeasurementStore::Add(int level, const Configuration& config,
 }
 
 const std::vector<Measurement>& MeasurementStore::group(int level) const {
-  HT_CHECK(level >= 1 && level <= num_levels())
-      << "group: level " << level << " outside [1, " << num_levels() << "]";
-  return groups_[static_cast<size_t>(level - 1)];
+  MutexLock lock(mu_);
+  return GroupLocked(level);
 }
 
 std::vector<size_t> MeasurementStore::GroupSizes() const {
+  MutexLock lock(mu_);
   std::vector<size_t> sizes(groups_.size());
   for (size_t i = 0; i < groups_.size(); ++i) sizes[i] = groups_[i].size();
   return sizes;
 }
 
 size_t MeasurementStore::TotalSize() const {
+  MutexLock lock(mu_);
   size_t total = 0;
   for (const auto& g : groups_) total += g.size();
   return total;
 }
 
 double MeasurementStore::BestObjective(int level) const {
-  const auto& g = group(level);
+  MutexLock lock(mu_);
+  const auto& g = GroupLocked(level);
   double best = std::numeric_limits<double>::infinity();
   for (const Measurement& m : g) best = std::min(best, m.objective);
   return best;
 }
 
 double MeasurementStore::MedianObjective(int level) const {
-  const auto& g = group(level);
+  MutexLock lock(mu_);
+  const auto& g = GroupLocked(level);
   if (g.empty()) return 0.0;
   std::vector<double> ys;
   ys.reserve(g.size());
@@ -66,7 +82,8 @@ double MeasurementStore::MedianObjective(int level) const {
 }
 
 int MeasurementStore::HighestLevelWith(size_t min_count) const {
-  for (int level = num_levels(); level >= 1; --level) {
+  MutexLock lock(mu_);
+  for (int level = static_cast<int>(groups_.size()); level >= 1; --level) {
     if (groups_[static_cast<size_t>(level - 1)].size() >= min_count) {
       return level;
     }
@@ -75,6 +92,7 @@ int MeasurementStore::HighestLevelWith(size_t min_count) const {
 }
 
 void MeasurementStore::AddPending(const Configuration& config) {
+  MutexLock lock(mu_);
   auto& bucket = pending_[config.Hash()];
   for (auto& [stored, count] : bucket) {
     if (stored == config) {
@@ -90,6 +108,7 @@ void MeasurementStore::AddPending(const Configuration& config) {
 }
 
 void MeasurementStore::RemovePending(const Configuration& config) {
+  MutexLock lock(mu_);
   auto it = pending_.find(config.Hash());
   if (it == pending_.end()) return;
   auto& bucket = it->second;
@@ -107,6 +126,7 @@ void MeasurementStore::RemovePending(const Configuration& config) {
 }
 
 std::vector<Configuration> MeasurementStore::PendingConfigs() const {
+  MutexLock lock(mu_);
   std::vector<Configuration> out;
   out.reserve(num_pending_);
   for (const auto& [hash, bucket] : pending_) {
@@ -117,6 +137,9 @@ std::vector<Configuration> MeasurementStore::PendingConfigs() const {
   return out;
 }
 
-size_t MeasurementStore::NumPending() const { return num_pending_; }
+size_t MeasurementStore::NumPending() const {
+  MutexLock lock(mu_);
+  return num_pending_;
+}
 
 }  // namespace hypertune

@@ -5,8 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/config/configuration.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+#include "src/config/configuration.h"
 
 namespace hypertune {
 
@@ -24,65 +25,88 @@ struct Measurement {
 /// evaluated on workers — required by the algorithm-agnostic sampling
 /// procedure (Algorithm 2, median imputation) — and a monotonically
 /// increasing version so samplers can cache fitted surrogates.
+///
+/// Thread-safety: all methods are internally synchronized on one mutex.
+/// The reference returned by group() stays valid only until the next Add
+/// at that level; every caller in this library reads it on the serialized
+/// scheduler path, where no concurrent mutation is possible — the internal
+/// lock guards against torn reads from auxiliary threads (reporting,
+/// parallel surrogate fitting).
 class MeasurementStore {
  public:
   /// `num_levels` is K >= 1.
   explicit MeasurementStore(int num_levels);
 
-  int num_levels() const { return static_cast<int>(groups_.size()); }
+  int num_levels() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return static_cast<int>(groups_.size());
+  }
 
   /// Records a measurement at `level` in [1, K]. If the same configuration
   /// is re-observed at the same level, the new value replaces the old one
   /// (a longer-trained checkpoint supersedes).
-  void Add(int level, const Configuration& config, double objective);
+  void Add(int level, const Configuration& config, double objective)
+      EXCLUDES(mu_);
 
-  /// Measurements of group D_level, level in [1, K].
-  const std::vector<Measurement>& group(int level) const;
+  /// Measurements of group D_level, level in [1, K]. See the class comment
+  /// for the lifetime of the returned reference.
+  const std::vector<Measurement>& group(int level) const EXCLUDES(mu_);
 
   /// Convenience: group sizes |D_1| .. |D_K|.
-  std::vector<size_t> GroupSizes() const;
+  std::vector<size_t> GroupSizes() const EXCLUDES(mu_);
 
   /// Total number of stored measurements.
-  size_t TotalSize() const;
+  size_t TotalSize() const EXCLUDES(mu_);
 
   /// Lowest objective in the group, or +inf when empty.
-  double BestObjective(int level) const;
+  double BestObjective(int level) const EXCLUDES(mu_);
 
   /// Median objective of the group, or 0 when empty (Algorithm 2, line 1).
-  double MedianObjective(int level) const;
+  double MedianObjective(int level) const EXCLUDES(mu_);
 
   /// Highest level with at least `min_count` measurements, or 0 if none.
-  int HighestLevelWith(size_t min_count) const;
+  int HighestLevelWith(size_t min_count) const EXCLUDES(mu_);
 
   /// Marks a configuration as being evaluated on some worker.
-  void AddPending(const Configuration& config);
+  void AddPending(const Configuration& config) EXCLUDES(mu_);
 
   /// Unmarks one pending instance of `config` (no-op when absent).
-  void RemovePending(const Configuration& config);
+  void RemovePending(const Configuration& config) EXCLUDES(mu_);
 
   /// Snapshot of the pending configurations (C_pending in Algorithm 2).
-  std::vector<Configuration> PendingConfigs() const;
+  std::vector<Configuration> PendingConfigs() const EXCLUDES(mu_);
 
-  size_t NumPending() const;
+  size_t NumPending() const EXCLUDES(mu_);
 
   /// Version counter bumped on every mutation (Add and pending-set
   /// changes); lets consumers cache fitted surrogates.
-  uint64_t version() const { return version_; }
+  uint64_t version() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return version_;
+  }
 
   /// Version counter bumped only when measurements are added — consumers
   /// that do not depend on the pending set (fidelity weights, low-fidelity
   /// base surrogates) cache on this instead of version().
-  uint64_t data_version() const { return data_version_; }
+  uint64_t data_version() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return data_version_;
+  }
 
  private:
-  std::vector<std::vector<Measurement>> groups_;  // index 0 <-> level 1
+  /// Bounds-checks `level` and returns the group, lock already held.
+  std::vector<Measurement>& GroupLocked(int level) REQUIRES(mu_);
+  const std::vector<Measurement>& GroupLocked(int level) const REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::vector<std::vector<Measurement>> groups_ GUARDED_BY(mu_);  // 0 <-> 1
   /// Pending multiset: config hash -> (config, count). Hash collisions are
   /// resolved by linear scan of the bucket vector.
   std::unordered_map<uint64_t, std::vector<std::pair<Configuration, int>>>
-      pending_;
-  size_t num_pending_ = 0;
-  uint64_t version_ = 0;
-  uint64_t data_version_ = 0;
+      pending_ GUARDED_BY(mu_);
+  size_t num_pending_ GUARDED_BY(mu_) = 0;
+  uint64_t version_ GUARDED_BY(mu_) = 0;
+  uint64_t data_version_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hypertune

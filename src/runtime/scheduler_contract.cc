@@ -1,0 +1,207 @@
+#include "src/runtime/scheduler_contract.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+SchedulerContractChecker::SchedulerContractChecker(
+    SchedulerInterface* inner, ContractCheckerOptions options)
+    : inner_(inner), options_(options) {
+  HT_CHECK(inner_ != nullptr) << "contract checker needs a scheduler";
+}
+
+const char* SchedulerContractChecker::StateName(TrialState state) {
+  switch (state) {
+    case TrialState::kOutstanding:
+      return "outstanding";
+    case TrialState::kCompleted:
+      return "completed";
+    case TrialState::kAbandoned:
+      return "abandoned";
+  }
+  return "?";
+}
+
+void SchedulerContractChecker::RecordEvent(std::string event) {
+  trace_.push_back(std::move(event));
+  while (trace_.size() > options_.event_trace_capacity) trace_.pop_front();
+}
+
+std::string SchedulerContractChecker::EventTrace() const {
+  std::ostringstream out;
+  out << "last " << trace_.size() << " contract events (newest last):\n";
+  for (const std::string& event : trace_) out << "  " << event << "\n";
+  return out.str();
+}
+
+void SchedulerContractChecker::Violation(const std::string& message) {
+  if (options_.abort_on_violation) {
+    HT_CHECK(false) << "scheduler contract violated: " << message << "\n"
+                    << EventTrace();
+  }
+  violations_.push_back(message);
+}
+
+std::optional<Job> SchedulerContractChecker::NextJob() {
+  std::optional<Job> job = inner_->NextJob();
+  if (!job.has_value()) {
+    RecordEvent("NextJob -> nullopt (barrier or exhausted)");
+    return job;
+  }
+
+  {
+    std::ostringstream event;
+    event << "NextJob -> job " << job->job_id << " (level " << job->level
+          << ", bracket " << job->bracket << ", attempt " << job->attempt
+          << ")";
+    RecordEvent(event.str());
+  }
+
+  if (exhausted_observed_) {
+    std::ostringstream msg;
+    msg << "NextJob issued job " << job->job_id
+        << " after Exhausted() was observed true";
+    Violation(msg.str());
+  }
+  if (job->job_id < 0) {
+    std::ostringstream msg;
+    msg << "NextJob issued a job with negative id " << job->job_id;
+    Violation(msg.str());
+  }
+  if (job->attempt != 1) {
+    std::ostringstream msg;
+    msg << "NextJob issued job " << job->job_id << " at attempt "
+        << job->attempt << "; schedulers must mint attempt 1 (the backend "
+        << "owns retry attempts)";
+    Violation(msg.str());
+  }
+  auto [it, inserted] = jobs_.emplace(job->job_id, TrackedJob{});
+  if (!inserted) {
+    std::ostringstream msg;
+    msg << "NextJob reused job id " << job->job_id << " (previous trial is "
+        << StateName(it->second.state) << ")";
+    Violation(msg.str());
+  } else {
+    it->second.current_attempt = 1;
+    it->second.level = job->level;
+    it->second.bracket = job->bracket;
+    ++issued_;
+    ++outstanding_;
+  }
+
+  inner_->CheckInvariants();
+  return job;
+}
+
+void SchedulerContractChecker::OnJobComplete(const Job& job,
+                                             const EvalResult& result) {
+  {
+    std::ostringstream event;
+    event << "OnJobComplete(job " << job.job_id << ", attempt " << job.attempt
+          << ", objective " << result.objective << ")";
+    RecordEvent(event.str());
+  }
+
+  auto it = jobs_.find(job.job_id);
+  if (it == jobs_.end()) {
+    std::ostringstream msg;
+    msg << "OnJobComplete for job " << job.job_id
+        << " which was never issued by NextJob";
+    Violation(msg.str());
+  } else {
+    TrackedJob& tracked = it->second;
+    if (tracked.state != TrialState::kOutstanding) {
+      std::ostringstream msg;
+      msg << "OnJobComplete for job " << job.job_id
+          << " which is already resolved (" << StateName(tracked.state)
+          << (tracked.state == TrialState::kCompleted ? "): double completion"
+                                                      : ")");
+      Violation(msg.str());
+    } else {
+      if (job.attempt != tracked.current_attempt) {
+        std::ostringstream msg;
+        msg << "OnJobComplete for job " << job.job_id << " at attempt "
+            << job.attempt << " but the runtime is executing attempt "
+            << tracked.current_attempt << " (stale attempt number)";
+        Violation(msg.str());
+      }
+      tracked.state = TrialState::kCompleted;
+      --outstanding_;
+    }
+  }
+
+  inner_->OnJobComplete(job, result);
+  inner_->CheckInvariants();
+}
+
+bool SchedulerContractChecker::OnJobFailed(const Job& job,
+                                           const FailureInfo& info) {
+  auto it = jobs_.find(job.job_id);
+  if (it == jobs_.end()) {
+    std::ostringstream msg;
+    msg << "OnJobFailed for job " << job.job_id
+        << " which was never issued by NextJob";
+    Violation(msg.str());
+  } else if (it->second.state != TrialState::kOutstanding) {
+    std::ostringstream msg;
+    msg << "OnJobFailed for job " << job.job_id
+        << " which is already resolved (" << StateName(it->second.state)
+        << ")";
+    Violation(msg.str());
+  } else if (job.attempt != it->second.current_attempt) {
+    std::ostringstream msg;
+    msg << "OnJobFailed for job " << job.job_id << " at attempt "
+        << job.attempt << " but the runtime is executing attempt "
+        << it->second.current_attempt << " (stale attempt number)";
+    Violation(msg.str());
+  }
+
+  bool requeue = inner_->OnJobFailed(job, info);
+
+  {
+    std::ostringstream event;
+    event << "OnJobFailed(job " << job.job_id << ", attempt " << job.attempt
+          << ", " << (info.kind == FailureKind::kCrash ? "crash" : "timeout")
+          << ", retries_remaining " << info.retries_remaining << ") -> "
+          << (requeue ? "requeue" : "abandon");
+    RecordEvent(event.str());
+  }
+
+  it = jobs_.find(job.job_id);
+  if (it != jobs_.end() && it->second.state == TrialState::kOutstanding) {
+    if (requeue) {
+      it->second.current_attempt = job.attempt + 1;
+    } else {
+      it->second.state = TrialState::kAbandoned;
+      --outstanding_;
+    }
+  }
+
+  inner_->CheckInvariants();
+  return requeue;
+}
+
+bool SchedulerContractChecker::Exhausted() const {
+  bool exhausted = inner_->Exhausted();
+  if (exhausted_observed_ && !exhausted) {
+    // Monotonicity breach: a scheduler that reports exhaustion and then
+    // revives can deadlock backends that already began shutdown. The
+    // checker is const here, so the violation is reported through the
+    // non-const path on the next mutating call — record it immediately
+    // via the fatal path when aborting.
+    auto* self = const_cast<SchedulerContractChecker*>(this);
+    self->Violation("Exhausted() regressed from true to false");
+    return exhausted;
+  }
+  if (exhausted) exhausted_observed_ = true;
+  return exhausted;
+}
+
+void SchedulerContractChecker::CheckInvariants() const {
+  inner_->CheckInvariants();
+}
+
+}  // namespace hypertune

@@ -1,0 +1,104 @@
+#ifndef HYPERTUNE_RUNTIME_SCHEDULER_CONTRACT_H_
+#define HYPERTUNE_RUNTIME_SCHEDULER_CONTRACT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/scheduler_interface.h"
+
+namespace hypertune {
+
+/// Tuning knobs of the contract checker.
+struct ContractCheckerOptions {
+  /// Abort (with a structured dump of the recent event sequence) on the
+  /// first violation. When false, violations are collected and readable
+  /// via violations() — used by the checker's own negative-path tests.
+  bool abort_on_violation = true;
+  /// How many recent contract events the dump keeps.
+  size_t event_trace_capacity = 64;
+};
+
+/// Decorator that audits the pull-based SchedulerInterface contract on
+/// every call before forwarding to the wrapped scheduler:
+///
+///   * NextJob() must mint a fresh, never-before-seen job id at attempt 1;
+///   * no job may be issued after Exhausted() was observed true, and
+///     Exhausted() itself must be monotone (never flips back to false);
+///   * OnJobComplete / OnJobFailed must reference a job that was issued
+///     and is still unresolved — never an unknown id, a completed trial,
+///     or an abandoned one;
+///   * attempt numbers must be exactly the attempt the runtime is running:
+///     attempt 1 on first execution, then +1 after every requeue granted
+///     by OnJobFailed (stale or skipped attempt numbers are violations);
+///   * outstanding-job accounting must stay consistent: issued minus
+///     resolved equals the number of unresolved jobs the checker tracks.
+///
+/// After every event the wrapped scheduler's CheckInvariants() hook runs,
+/// so scheduler-internal accounting (rung targets vs. members resolved,
+/// promoted ⊆ completed, batch-size bounds) is validated continuously.
+///
+/// Both execution backends install this wrapper by default (see
+/// ClusterOptions::check_contract / ThreadClusterOptions::check_contract),
+/// which turns the whole test suite into a contract-conformance suite. The
+/// checker keeps no RNG and perturbs no decision, so checked runs are
+/// bit-identical to unchecked ones.
+///
+/// Thread-compatibility matches the schedulers themselves: not internally
+/// synchronized; ThreadCluster serializes calls under its run mutex.
+class SchedulerContractChecker : public SchedulerInterface {
+ public:
+  explicit SchedulerContractChecker(SchedulerInterface* inner,
+                                    ContractCheckerOptions options = {});
+
+  std::optional<Job> NextJob() override;
+  void OnJobComplete(const Job& job, const EvalResult& result) override;
+  bool OnJobFailed(const Job& job, const FailureInfo& info) override;
+  bool Exhausted() const override;
+  void CheckInvariants() const override;
+
+  /// Violations collected so far (empty unless abort_on_violation=false).
+  const std::vector<std::string>& violations() const { return violations_; }
+
+  /// Jobs issued and not yet completed or abandoned.
+  int64_t outstanding_jobs() const { return outstanding_; }
+
+  /// Jobs issued over the whole run.
+  int64_t jobs_issued() const { return issued_; }
+
+  /// The recent event sequence, newest last (what the abort path dumps).
+  std::string EventTrace() const;
+
+ private:
+  enum class TrialState { kOutstanding, kCompleted, kAbandoned };
+
+  struct TrackedJob {
+    TrialState state = TrialState::kOutstanding;
+    /// Attempt number the runtime is currently executing (bumped when the
+    /// scheduler grants a requeue).
+    int current_attempt = 1;
+    int level = 0;
+    int bracket = -1;
+  };
+
+  void RecordEvent(std::string event);
+  void Violation(const std::string& message);
+  static const char* StateName(TrialState state);
+
+  SchedulerInterface* inner_;
+  ContractCheckerOptions options_;
+  std::unordered_map<int64_t, TrackedJob> jobs_;
+  int64_t issued_ = 0;
+  int64_t outstanding_ = 0;
+  /// Latched once Exhausted() returns true (mutable: latching happens in
+  /// the const Exhausted() override).
+  mutable bool exhausted_observed_ = false;
+  std::deque<std::string> trace_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_RUNTIME_SCHEDULER_CONTRACT_H_

@@ -51,8 +51,16 @@ class SchedulerInterface {
   /// True when the scheduler will never issue another job regardless of
   /// future completions (e.g. a single SHA bracket that fully drained).
   /// Backends use this to distinguish a barrier from termination when no
-  /// evaluations are in flight.
+  /// evaluations are in flight. Must be monotone: once true, always true.
   virtual bool Exhausted() const { return false; }
+
+  /// Audits the scheduler's internal invariants (rung accounting, batch
+  /// bounds, in-flight maps) and aborts via HT_CHECK on corruption. The
+  /// SchedulerContractChecker decorator calls this after every contract
+  /// event, so a run with contract checking enabled validates scheduler
+  /// state continuously. The default is a no-op for schedulers without
+  /// internal bookkeeping.
+  virtual void CheckInvariants() const {}
 };
 
 }  // namespace hypertune

@@ -9,6 +9,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/runtime/scheduler_contract.h"
 
 namespace hypertune {
 namespace {
@@ -49,6 +50,10 @@ void RunResult::Finalize(int num_workers) {
 RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
                                 const TuningProblem& problem) {
   HT_CHECK(options_.num_workers >= 1) << "need at least one worker";
+  // Every run audits the pull contract by default, so the whole test suite
+  // doubles as a contract-conformance suite for the scheduler under test.
+  SchedulerContractChecker contract_checker(scheduler);
+  if (options_.check_contract) scheduler = &contract_checker;
   RunResult result;
   Rng straggler_rng(CombineSeeds(options_.seed, 0x5772A667ULL));
 

@@ -37,6 +37,12 @@ struct ClusterOptions {
   FaultOptions faults;
   /// Optional per-completion callback.
   TrialObserver observer;
+  /// Audit the scheduler contract on every call by wrapping the scheduler
+  /// in a SchedulerContractChecker (aborts with an event dump on the first
+  /// violation). On by default — the checker perturbs no decision and no
+  /// RNG, so checked runs are bit-identical to unchecked ones; turn it off
+  /// for microbenchmarks that measure raw scheduler overhead.
+  bool check_contract = true;
 };
 
 /// Aggregate outcome of a cluster run.

@@ -2,31 +2,70 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
+#include "src/runtime/scheduler_contract.h"
 
 namespace hypertune {
+namespace {
+
+/// Everything the worker threads share. Each field below `mu` is guarded
+/// by it, so a Clang -Wthread-safety build proves no worker ever touches
+/// completion/retry-queue state off-lock. The scheduler is reachable only
+/// through the REQUIRES-annotated accessor: the SchedulerInterface
+/// serialization contract ("schedulers are NOT internally synchronized;
+/// ThreadCluster serializes calls with its own mutex") is thereby enforced
+/// at compile time, not just promised in a comment.
+struct RunState {
+  Mutex mu;
+  CondVar cv;
+  /// Issued jobs not yet completed/abandoned (includes jobs waiting out a
+  /// retry backoff).
+  int in_flight GUARDED_BY(mu) = 0;
+  int64_t completed GUARDED_BY(mu) = 0;
+  bool stop GUARDED_BY(mu) = false;
+  /// Requeued jobs and the wall time at which their backoff expires.
+  std::deque<std::pair<double, Job>> retry_queue GUARDED_BY(mu);
+  /// Accumulated run outcome; workers write it under the completion lock,
+  /// the driver moves it out after joining every thread.
+  RunResult result GUARDED_BY(mu);
+
+  SchedulerInterface* scheduler() REQUIRES(mu) { return scheduler_; }
+
+  SchedulerInterface* scheduler_ GUARDED_BY(mu) = nullptr;
+};
+
+/// Invokes the per-completion observer. The REQUIRES annotation encodes
+/// ThreadClusterOptions::observer's documented promise that the callback
+/// always runs under the completion lock.
+void NotifyObserver(RunState& state, const TrialObserver& observer,
+                    const TrialRecord& record) REQUIRES(state.mu) {
+  if (observer) observer(record);
+}
+
+}  // namespace
 
 RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
                              const TuningProblem& problem) {
   HT_CHECK(options_.num_workers >= 1) << "need at least one worker";
-  RunResult result;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  int in_flight = 0;  // issued jobs not yet completed/abandoned (includes
-                      // jobs waiting out a retry backoff)
-  int64_t completed = 0;
-  bool stop = false;
-  /// Requeued jobs and the wall time at which their backoff expires.
-  std::deque<std::pair<double, Job>> retry_queue;
+  // The contract audit sits inside the serialized scheduler section, so it
+  // needs no synchronization of its own (it is called only through
+  // RunState::scheduler(), which requires the lock).
+  SchedulerContractChecker contract_checker(scheduler);
+  if (options_.check_contract) scheduler = &contract_checker;
+
+  RunState state;
+  {
+    MutexLock lock(state.mu);
+    state.scheduler_ = scheduler;
+  }
 
   const auto start = std::chrono::steady_clock::now();
   auto elapsed = [&]() {
@@ -40,37 +79,38 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
     for (;;) {
       Job job;
       {
-        std::unique_lock<std::mutex> lock(mu);
+        MutexLock lock(state.mu);
         for (;;) {
-          if (stop || elapsed() >= options_.time_budget_seconds) return;
+          if (state.stop || elapsed() >= options_.time_budget_seconds) return;
           // Requeued jobs whose backoff expired take priority; they are
           // already counted in in_flight.
-          auto ready = retry_queue.end();
-          for (auto it = retry_queue.begin(); it != retry_queue.end(); ++it) {
+          auto ready = state.retry_queue.end();
+          for (auto it = state.retry_queue.begin();
+               it != state.retry_queue.end(); ++it) {
             if (it->first <= elapsed()) {
               ready = it;
               break;
             }
           }
-          if (ready != retry_queue.end()) {
+          if (ready != state.retry_queue.end()) {
             job = std::move(ready->second);
-            retry_queue.erase(ready);
+            state.retry_queue.erase(ready);
             break;
           }
-          std::optional<Job> next = scheduler->NextJob();
+          std::optional<Job> next = state.scheduler()->NextJob();
           if (next.has_value()) {
             job = *std::move(next);
-            ++in_flight;
+            ++state.in_flight;
             break;
           }
-          if (in_flight == 0 && scheduler->Exhausted()) {
-            stop = true;
-            cv.notify_all();
+          if (state.in_flight == 0 && state.scheduler()->Exhausted()) {
+            state.stop = true;
+            state.cv.NotifyAll();
             return;
           }
           // Barrier (or pending backoff): wait for a completion or the
           // budget and retry.
-          cv.wait_for(lock, std::chrono::milliseconds(2));
+          state.cv.WaitFor(state.mu, 0.002);
         }
       }
 
@@ -93,11 +133,11 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
         }
         double job_end = elapsed();
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(state.mu);
           double burned = job_end - job_start;
-          result.busy_seconds += burned;
-          result.wasted_seconds += burned;
-          ++result.failed_attempts;
+          state.result.busy_seconds += burned;
+          state.result.wasted_seconds += burned;
+          ++state.result.failed_attempts;
 
           FailureInfo info;
           info.kind = plan.kind;
@@ -106,26 +146,26 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
               std::max(0, options_.faults.max_retries - (job.attempt - 1));
           info.wasted_seconds = burned;
 
-          if (scheduler->OnJobFailed(job, info)) {
-            ++result.retries;
+          if (state.scheduler()->OnJobFailed(job, info)) {
+            ++state.result.retries;
             Job next_attempt = job;
             ++next_attempt.attempt;
-            retry_queue.emplace_back(
+            state.retry_queue.emplace_back(
                 elapsed() + RetryDelay(options_.faults, job.attempt),
                 std::move(next_attempt));
           } else {
-            ++result.failed_trials;
+            ++state.result.failed_trials;
             TrialRecord record;
             record.job = job;
             record.result.cost_seconds = burned;
             record.start_time = job_start;
             record.end_time = job_end;
             record.worker = worker_id;
-            result.history.RecordFailure(record);
-            --in_flight;
+            state.result.history.RecordFailure(record);
+            --state.in_flight;
           }
         }
-        cv.notify_all();
+        state.cv.NotifyAll();
         continue;
       }
 
@@ -139,7 +179,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
       double job_end = elapsed();
 
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(state.mu);
         EvalResult eval;
         eval.objective = outcome.objective;
         eval.test_objective = outcome.test_objective;
@@ -151,18 +191,18 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
         record.start_time = job_start;
         record.end_time = job_end;
         record.worker = worker_id;
-        result.history.Record(record, job.resource >= full_resource);
-        if (options_.observer) options_.observer(record);
-        result.busy_seconds += eval.cost_seconds;
+        state.result.history.Record(record, job.resource >= full_resource);
+        NotifyObserver(state, options_.observer, record);
+        state.result.busy_seconds += eval.cost_seconds;
 
-        scheduler->OnJobComplete(job, eval);
-        --in_flight;
-        ++completed;
-        if (options_.max_trials > 0 && completed >= options_.max_trials) {
-          stop = true;
+        state.scheduler()->OnJobComplete(job, eval);
+        --state.in_flight;
+        ++state.completed;
+        if (options_.max_trials > 0 && state.completed >= options_.max_trials) {
+          state.stop = true;
         }
       }
-      cv.notify_all();
+      state.cv.NotifyAll();
     }
   };
 
@@ -173,6 +213,11 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
   }
   for (auto& t : threads) t.join();
 
+  RunResult result;
+  {
+    MutexLock lock(state.mu);
+    result = std::move(state.result);
+  }
   // In-flight evaluations are allowed to finish past the budget, so report
   // the true elapsed time (keeps utilization = busy/capacity <= 1).
   result.elapsed_seconds = elapsed();

@@ -23,8 +23,14 @@ struct ThreadClusterOptions {
   /// Failure draws are keyed on (seed, job_id, attempt), so which attempts
   /// fail is reproducible even though thread interleaving is not.
   FaultOptions faults;
-  /// Optional per-completion callback (invoked under the completion lock).
+  /// Optional per-completion callback (invoked under the completion lock;
+  /// the RecordCompletion helper in thread_cluster.cc encodes that promise
+  /// as a REQUIRES annotation).
   TrialObserver observer;
+  /// Audit the scheduler contract on every call (see
+  /// ClusterOptions::check_contract). The checker runs inside the
+  /// serialized scheduler section, so it needs no extra synchronization.
+  bool check_contract = true;
 };
 
 /// Multi-threaded execution backend running one OS thread per worker.

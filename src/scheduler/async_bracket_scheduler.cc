@@ -126,6 +126,17 @@ void AsyncBracketScheduler::OnJobComplete(const Job& job,
   sampler_->OnObservation(job.config, result.objective, job.level);
 }
 
+void AsyncBracketScheduler::CheckInvariants() const {
+  int64_t bracket_in_flight = 0;
+  for (const auto& bracket : brackets_) {
+    bracket->CheckInvariants();
+    bracket_in_flight += bracket->InFlight();
+  }
+  HT_CHECK(bracket_in_flight == static_cast<int64_t>(inflight_.size()))
+      << "in-flight routing map holds " << inflight_.size()
+      << " jobs but brackets account for " << bracket_in_flight;
+}
+
 std::vector<int64_t> AsyncBracketScheduler::admissions_per_bracket() const {
   std::vector<int64_t> out;
   out.reserve(brackets_.size());

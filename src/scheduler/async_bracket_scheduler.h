@@ -47,6 +47,9 @@ class AsyncBracketScheduler : public SchedulerInterface {
   /// re-promoted, and D-ASHA's delay condition sees the corrected |issued|).
   bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override { return false; }
+  /// Audits every bracket's rung accounting and checks that the in-flight
+  /// routing map agrees with the brackets' own in-flight counters.
+  void CheckInvariants() const override;
 
   /// Number of promotions issued so far (for sample-efficiency studies).
   int64_t promotions_issued() const { return promotions_issued_; }

@@ -47,6 +47,20 @@ bool BatchBoScheduler::OnJobFailed(const Job& job, const FailureInfo& info) {
   return false;
 }
 
+void BatchBoScheduler::CheckInvariants() const {
+  HT_CHECK(outstanding_ >= 0) << "negative outstanding count " << outstanding_;
+  HT_CHECK(outstanding_ <= next_job_id_)
+      << "outstanding " << outstanding_ << " exceeds issued " << next_job_id_;
+  if (options_.synchronous) {
+    HT_CHECK(issued_in_batch_ >= 0 && issued_in_batch_ <= options_.batch_size)
+        << "batch issue counter " << issued_in_batch_
+        << " outside [0, " << options_.batch_size << "]";
+    HT_CHECK(outstanding_ <= issued_in_batch_)
+        << "sync batch has " << outstanding_ << " outstanding but only "
+        << issued_in_batch_ << " issued in the current batch";
+  }
+}
+
 void BatchBoScheduler::OnJobComplete(const Job& job,
                                      const EvalResult& result) {
   --outstanding_;

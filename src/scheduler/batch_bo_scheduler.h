@@ -38,6 +38,10 @@ class BatchBoScheduler : public SchedulerInterface {
   /// moves elsewhere. Sync batches drain without the failed member.
   bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override { return false; }
+  /// Audits the batch accounting: outstanding evaluations never negative
+  /// and, in synchronous mode, bounded by the batch issue counter, which
+  /// itself never exceeds the configured batch size.
+  void CheckInvariants() const override;
 
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }

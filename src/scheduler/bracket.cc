@@ -230,6 +230,47 @@ void Bracket::OnJobAbandoned(const Job& job) {
   }
 }
 
+void Bracket::CheckInvariants() const {
+  int64_t in_flight_sum = 0;
+  for (const Rung& r : rungs_) {
+    HT_CHECK(r.completed >= 0 && r.completed <= r.issued)
+        << "bracket " << options_.index << " rung " << r.level
+        << ": completed " << r.completed << " exceeds issued " << r.issued;
+    HT_CHECK(static_cast<int64_t>(r.results.size()) == r.completed)
+        << "bracket " << options_.index << " rung " << r.level << ": "
+        << r.results.size() << " results but " << r.completed
+        << " completions";
+    if (options_.synchronous) {
+      HT_CHECK(r.target >= r.completed)
+          << "bracket " << options_.index << " rung " << r.level
+          << ": target " << r.target << " below resolved members "
+          << r.completed;
+      HT_CHECK(r.issued <= r.target)
+          << "bracket " << options_.index << " rung " << r.level
+          << ": issued " << r.issued << " beyond target " << r.target;
+    }
+    std::unordered_set<uint64_t> completed_hashes;
+    completed_hashes.reserve(r.results.size());
+    for (const auto& [objective, config] : r.results) {
+      completed_hashes.insert(config.Hash());
+    }
+    for (uint64_t hash : r.promoted) {
+      HT_CHECK(completed_hashes.count(hash) > 0)
+          << "bracket " << options_.index << " rung " << r.level
+          << ": promoted a configuration that never completed on the rung";
+    }
+    in_flight_sum += r.issued - r.completed;
+  }
+  HT_CHECK(in_flight_sum == in_flight_)
+      << "bracket " << options_.index << ": in-flight counter " << in_flight_
+      << " disagrees with per-rung accounting " << in_flight_sum;
+  for (const auto& [config, from_level] : sync_promotions_) {
+    HT_CHECK(from_level >= base_level() && from_level < top_level())
+        << "bracket " << options_.index
+        << ": queued promotion from invalid rung " << from_level;
+  }
+}
+
 int64_t Bracket::CompletedAt(int level) const { return rung(level).completed; }
 
 int64_t Bracket::IssuedAt(int level) const { return rung(level).issued; }

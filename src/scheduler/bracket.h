@@ -114,6 +114,14 @@ class Bracket {
   /// Issued evaluations at `level` (completed + in flight).
   int64_t IssuedAt(int level) const;
 
+  /// Aborts via HT_CHECK when the rung bookkeeping is corrupted: per rung,
+  /// completed results match the completion counter, a sync rung's target
+  /// never drops below its resolved members, every promoted configuration
+  /// completed on that rung, and the bracket-level in-flight counter equals
+  /// the per-rung issued-minus-completed sum. Called continuously by
+  /// SchedulerContractChecker through the schedulers' CheckInvariants().
+  void CheckInvariants() const;
+
  private:
   struct Rung {
     int level = 0;

@@ -67,6 +67,10 @@ bool SyncBracketScheduler::OnJobFailed(const Job& job,
   return false;
 }
 
+void SyncBracketScheduler::CheckInvariants() const {
+  if (bracket_ != nullptr) bracket_->CheckInvariants();
+}
+
 void SyncBracketScheduler::OnJobComplete(const Job& job,
                                          const EvalResult& result) {
   HT_CHECK(bracket_ != nullptr) << "completion without an active bracket";

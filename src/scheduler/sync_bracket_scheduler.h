@@ -47,6 +47,9 @@ class SyncBracketScheduler : public SchedulerInterface {
   /// (Figure 1's barrier must never wait on a dead worker).
   bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override { return false; }
+  /// Audits the running bracket's rung accounting (see
+  /// Bracket::CheckInvariants).
+  void CheckInvariants() const override;
 
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }

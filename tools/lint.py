@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Repo lint: determinism and hygiene rules clang-tidy cannot express.
+
+Hyper-Tune's golden-history tests pin bit-reproducibility: a run is a pure
+function of its seed. That property dies the moment library code reads a
+wall clock, an OS entropy source, or the C rand() state — so those are
+banned at lint time, everywhere except the two files whose *job* is to
+touch them:
+
+  wallclock    std::chrono clock reads (steady_clock, system_clock,
+               high_resolution_clock) are allowed only in
+               src/runtime/thread_cluster.cc — the real-time backend. The
+               simulator and every scheduler/sampler must use simulated
+               time and recorded timestamps only.
+  unseeded-rng std::random_device, rand(), srand(), time() are allowed
+               only in src/common/rng.cc. All randomness flows from the
+               run seed through hypertune::Rng.
+  raw-stdout   std::cout / printf in library code corrupts machine-read
+               report output and interleaves under threads; stdout
+               belongs to src/report (and examples/, which the rule does
+               not cover). Library diagnostics go through HT_LOG.
+  header-guard every header under src/ carries the canonical
+               HYPERTUNE_<PATH>_H_ guard (no #pragma once).
+  include-order the first include of src/<d>/<f>.cc is its own header
+               src/<d>/<f>.h, and every contiguous block of #include
+               lines is sorted within its group.
+
+Escape hatch: a line-level annotation `// lint: allow(<rule>)` suppresses
+one rule on that line; `// lint: allow-file(<rule>)` anywhere in a file
+suppresses the rule for the whole file. Every allowance is deliberate and
+reviewable — grep for "lint: allow".
+
+Usage: python3 tools/lint.py [--root DIR]   (exit 1 on any violation)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+ALLOW_LINE = re.compile(r"//\s*lint:\s*allow\(([a-z\-]+)\)")
+ALLOW_FILE = re.compile(r"//\s*lint:\s*allow-file\(([a-z\-]+)\)")
+INCLUDE = re.compile(r'^#include\s+([<"])([^">]+)[">]')
+
+# (rule, regex, message). Patterns use lookbehinds so e.g. end_time( or
+# fputs( never trip the bans on time( and puts(.
+DETERMINISM_RULES = [
+    ("wallclock", re.compile(r"steady_clock|system_clock|high_resolution_clock"),
+     "wall-clock reads are allowed only in src/runtime/thread_cluster.cc; "
+     "use simulated time / recorded timestamps"),
+    ("unseeded-rng", re.compile(r"std::random_device"),
+     "OS entropy breaks seed-reproducibility; derive from hypertune::Rng"),
+    ("unseeded-rng", re.compile(r"(?<![\w:.])s?rand\s*\("),
+     "C rand()/srand() is hidden global state; derive from hypertune::Rng"),
+    ("unseeded-rng", re.compile(r"(?<![\w:.>])time\s*\("),
+     "time() is nondeterministic; runs must be pure functions of the seed"),
+    ("raw-stdout", re.compile(r"std::cout"),
+     "library code must not write stdout (reports own it); use HT_LOG"),
+    ("raw-stdout", re.compile(r"(?<![\w:.])f?printf\s*\("),
+     "library code must not printf; use HT_LOG or src/report streams"),
+]
+
+# file-relative path prefixes exempt from a rule (the files whose job it is)
+RULE_EXEMPT = {
+    "wallclock": ("src/runtime/thread_cluster.cc",),
+    "unseeded-rng": ("src/common/rng.cc",),
+    "raw-stdout": ("src/report/",),
+}
+# Determinism rules police the library only; tests/bench/examples may time
+# themselves and print freely.
+DETERMINISM_SCOPE = "src/"
+
+
+def iter_source_files(root):
+    for top in SOURCE_DIRS:
+        top_path = os.path.join(root, top)
+        if not os.path.isdir(top_path):
+            continue
+        for dirpath, _, filenames in os.walk(top_path):
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of string literals and // comments so banned
+    identifiers inside messages or docs do not trip the rules."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    cut = line.find("//")
+    if cut >= 0:
+        line = line[:cut]
+    return line
+
+
+def check_determinism(relpath, lines, file_allows, report):
+    if not relpath.startswith(DETERMINISM_SCOPE):
+        return
+    for rule, pattern, message in DETERMINISM_RULES:
+        if any(relpath.startswith(p) for p in RULE_EXEMPT.get(rule, ())):
+            continue
+        if rule in file_allows:
+            continue
+        for lineno, raw in enumerate(lines, 1):
+            if rule in ALLOW_LINE_CACHE.get((relpath, lineno), ()):
+                continue
+            if pattern.search(strip_comments_and_strings(raw)):
+                report(relpath, lineno, rule, message)
+
+
+def expected_guard(relpath):
+    stem = relpath[len("src/"):] if relpath.startswith("src/") else relpath
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem.upper())
+    return "HYPERTUNE_" + re.sub(r"_H$", "_H_", token)
+
+
+def check_header_guard(relpath, lines, file_allows, report):
+    if not relpath.startswith("src/") or not relpath.endswith(".h"):
+        return
+    if "header-guard" in file_allows:
+        return
+    guard = expected_guard(relpath)
+    for lineno, raw in enumerate(lines, 1):
+        if "#pragma once" in raw:
+            report(relpath, lineno, "header-guard",
+                   "use the %s include guard, not #pragma once" % guard)
+            return
+        if raw.startswith("#ifndef"):
+            if raw.split()[1:2] != [guard]:
+                report(relpath, lineno, "header-guard",
+                       "guard must be %s" % guard)
+            elif lineno < len(lines) and not lines[lineno].startswith(
+                    "#define %s" % guard):
+                report(relpath, lineno + 1, "header-guard",
+                       "#define %s must follow the #ifndef" % guard)
+            return
+        if raw.startswith("#"):
+            break
+    report(relpath, 1, "header-guard", "missing %s include guard" % guard)
+
+
+def check_include_order(relpath, lines, file_allows, report):
+    if "include-order" in file_allows:
+        return
+    includes = []  # (lineno, kind, path)
+    for lineno, raw in enumerate(lines, 1):
+        m = INCLUDE.match(raw)
+        if m:
+            includes.append((lineno, m.group(1), m.group(2)))
+
+    if relpath.endswith((".cc", ".cpp")) and includes:
+        own = re.sub(r"\.(cc|cpp)$", ".h", relpath)
+        if own != relpath and os.path.exists(os.path.join(ROOT, own)):
+            first = includes[0]
+            if first[2] != own:
+                report(relpath, first[0], "include-order",
+                       "first include must be the file's own header %s" % own)
+            else:
+                includes = includes[1:]  # own header is its own group
+
+    # Contiguous include lines form a block; within a block each kind
+    # (system vs project) must be internally sorted.
+    block = []
+    prev_lineno = None
+
+    def flush():
+        for kind in ('<', '"'):
+            paths = [(ln, p) for ln, k, p in block if k == kind]
+            for (ln_a, a), (ln_b, b) in zip(paths, paths[1:]):
+                if (ln_a, a) in INCLUDE_ALLOWED or (ln_b, b) in INCLUDE_ALLOWED:
+                    continue
+                if a > b:
+                    report(relpath, ln_b, "include-order",
+                           '"%s" sorts before "%s"' % (b, a))
+        block.clear()
+
+    for entry in includes:
+        lineno = entry[0]
+        if prev_lineno is not None and lineno != prev_lineno + 1:
+            flush()
+        block.append(entry)
+        prev_lineno = lineno
+    flush()
+
+
+ALLOW_LINE_CACHE = {}
+INCLUDE_ALLOWED = set()
+ROOT = "."
+
+
+def main():
+    global ROOT
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+    ROOT = args.root
+
+    violations = []
+
+    def report(relpath, lineno, rule, message):
+        violations.append("%s:%d: [%s] %s" % (relpath, lineno, rule, message))
+
+    for relpath in iter_source_files(ROOT):
+        with open(os.path.join(ROOT, relpath), encoding="utf-8") as f:
+            lines = f.read().splitlines()
+
+        file_allows = set()
+        ALLOW_LINE_CACHE.clear()
+        INCLUDE_ALLOWED.clear()
+        for lineno, raw in enumerate(lines, 1):
+            for m in ALLOW_FILE.finditer(raw):
+                file_allows.add(m.group(1))
+            allowed = tuple(m.group(1) for m in ALLOW_LINE.finditer(raw))
+            if allowed:
+                ALLOW_LINE_CACHE[(relpath, lineno)] = allowed
+                if "include-order" in allowed:
+                    m = INCLUDE.match(raw)
+                    if m:
+                        INCLUDE_ALLOWED.add((lineno, m.group(2)))
+
+        check_determinism(relpath, lines, file_allows, report)
+        check_header_guard(relpath, lines, file_allows, report)
+        check_include_order(relpath, lines, file_allows, report)
+
+    if violations:
+        print("\n".join(violations))
+        print("\n%d lint violation(s). Deliberate exceptions take a "
+              "'// lint: allow(<rule>)' annotation." % len(violations))
+        return 1
+    print("lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
