@@ -57,6 +57,8 @@ TuningOutcome HyperTune::Optimize(const TuningProblem& problem,
   cluster.seed = options.seed;
   cluster.straggler_sigma = options.straggler_sigma;
   cluster.faults = options.faults;
+  cluster.worker_faults = options.worker_faults;
+  cluster.speculation = options.speculation;
   return MakeOutcome(tuner->Run(problem, cluster));
 }
 
@@ -79,6 +81,8 @@ TuningOutcome HyperTune::OptimizeOnThreads(const TuningProblem& problem,
   cluster.seed = options.seed;
   cluster.cost_sleep_scale = cost_sleep_scale;
   cluster.faults = options.faults;
+  cluster.worker_faults = options.worker_faults;
+  cluster.speculation = options.speculation;
   return MakeOutcome(tuner->RunOnThreads(problem, cluster));
 }
 

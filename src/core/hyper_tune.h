@@ -35,6 +35,11 @@ struct HyperTuneOptions {
   /// Worker crash/timeout injection and retry policy, applied by whichever
   /// execution backend runs the tuning (defaults: no faults).
   FaultOptions faults;
+  /// Whole-worker fault domain: node death/recovery and quarantine
+  /// (defaults: off).
+  WorkerFaultOptions worker_faults;
+  /// Speculative straggler re-execution (defaults: off).
+  SpeculationOptions speculation;
   uint64_t seed = 0;
 };
 

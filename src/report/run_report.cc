@@ -17,6 +17,23 @@ RunSummary Summarize(const RunResult& result, int num_levels) {
   summary.num_failed_trials = result.history.num_failures();
   summary.num_retries = result.retries;
   summary.wasted_seconds = result.wasted_seconds;
+  summary.crash_attempts = result.crash_attempts;
+  summary.timeout_attempts = result.timeout_attempts;
+  summary.worker_lost_attempts = result.worker_lost_attempts;
+  summary.crash_trials =
+      result.history.num_failures_of_kind(FailureKind::kCrash);
+  summary.timeout_trials =
+      result.history.num_failures_of_kind(FailureKind::kTimeout);
+  summary.worker_lost_trials =
+      result.history.num_failures_of_kind(FailureKind::kWorkerLost);
+  summary.worker_deaths = result.worker_deaths;
+  summary.workers_lost_permanently = result.workers_lost_permanently;
+  summary.quarantines = result.quarantines;
+  summary.worker_down_seconds = result.worker_down_seconds;
+  summary.speculative_attempts = result.speculative_attempts;
+  summary.speculative_wins = result.speculative_wins;
+  summary.speculative_losses = result.speculative_losses;
+  summary.speculative_wasted_seconds = result.speculative_wasted_seconds;
   summary.trials_per_level.assign(
       static_cast<size_t>(num_levels > 0 ? num_levels : 1), 0);
 
@@ -87,9 +104,26 @@ std::string FormatSummary(const RunSummary& summary) {
   }
   os << "  promotions: " << summary.promotion_fraction * 100.0 << "%";
   if (summary.num_failed_trials > 0 || summary.num_retries > 0) {
-    os << "\nfailed trials: " << summary.num_failed_trials
+    os << "\nfailed trials: " << summary.num_failed_trials << " (crash "
+       << summary.crash_trials << ", timeout " << summary.timeout_trials
+       << ", worker-lost " << summary.worker_lost_trials << ")"
        << "  retries: " << summary.num_retries
        << "  wasted: " << summary.wasted_seconds << " s";
+    os << "\nfailed attempts by kind: crash " << summary.crash_attempts
+       << "  timeout " << summary.timeout_attempts << "  worker-lost "
+       << summary.worker_lost_attempts;
+  }
+  if (summary.worker_deaths > 0 || summary.quarantines > 0) {
+    os << "\nworker deaths: " << summary.worker_deaths << " ("
+       << summary.workers_lost_permanently << " permanent)"
+       << "  quarantines: " << summary.quarantines
+       << "  down: " << summary.worker_down_seconds << " s";
+  }
+  if (summary.speculative_attempts > 0) {
+    os << "\nspeculation: " << summary.speculative_attempts << " launched, "
+       << summary.speculative_wins << " won, " << summary.speculative_losses
+       << " cancelled, " << summary.speculative_wasted_seconds
+       << " s duplicated work";
   }
   return os.str();
 }

@@ -29,6 +29,24 @@ struct RunSummary {
   size_t num_failed_trials = 0;
   int64_t num_retries = 0;
   double wasted_seconds = 0.0;
+  /// Failed attempts broken down by how they died.
+  int64_t crash_attempts = 0;
+  int64_t timeout_attempts = 0;
+  int64_t worker_lost_attempts = 0;
+  /// Abandoned trials whose final attempt died with each kind.
+  size_t crash_trials = 0;
+  size_t timeout_trials = 0;
+  size_t worker_lost_trials = 0;
+  /// Worker fault-domain accounting (see RunResult).
+  int64_t worker_deaths = 0;
+  int64_t workers_lost_permanently = 0;
+  int64_t quarantines = 0;
+  double worker_down_seconds = 0.0;
+  /// Speculative straggler re-execution accounting (see RunResult).
+  int64_t speculative_attempts = 0;
+  int64_t speculative_wins = 0;
+  int64_t speculative_losses = 0;
+  double speculative_wasted_seconds = 0.0;
 };
 
 /// Computes the summary of `result`. `num_levels` sizes trials_per_level

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/rng.h"
 
@@ -10,19 +11,31 @@ namespace {
 
 /// Salt separating the fault stream from straggler/evaluation noise.
 constexpr uint64_t kFaultSalt = 0xFA017EC7ULL;
+/// Salt separating worker-lifetime draws from per-attempt fault draws.
+constexpr uint64_t kWorkerSalt = 0x30D1EFA7ULL;
+/// Salt separating retry-jitter draws from the other fault streams.
+constexpr uint64_t kRetrySalt = 0x4E77E12BULL;
+
+/// Largest exponent fed into the 2^(n-1) backoff: past this the delay is
+/// astronomical anyway and the double would otherwise overflow to inf for
+/// very large attempt numbers (worker-lost requeues never consume retry
+/// budget, so attempts can legitimately grow without bound).
+constexpr int kMaxBackoffDoublings = 32;
 
 }  // namespace
 
 AttemptPlan PlanAttempt(const FaultOptions& faults, uint64_t run_seed,
-                        const Job& job, double nominal_duration) {
+                        const Job& job, double nominal_duration,
+                        uint64_t stream_salt) {
   AttemptPlan plan;
   plan.duration = std::max(nominal_duration, 0.0);
 
   double crash_time = -1.0;
   if (faults.crash_probability > 0.0) {
-    Rng rng(CombineSeeds(CombineSeeds(run_seed, kFaultSalt),
-                         CombineSeeds(static_cast<uint64_t>(job.job_id),
-                                      static_cast<uint64_t>(job.attempt))));
+    Rng rng(CombineSeeds(
+        CombineSeeds(run_seed, kFaultSalt ^ stream_salt),
+        CombineSeeds(static_cast<uint64_t>(job.job_id),
+                     static_cast<uint64_t>(job.attempt))));
     if (rng.Bernoulli(faults.crash_probability)) {
       crash_time = rng.Uniform() * plan.duration;
     }
@@ -44,10 +57,45 @@ AttemptPlan PlanAttempt(const FaultOptions& faults, uint64_t run_seed,
   return plan;
 }
 
-double RetryDelay(const FaultOptions& faults, int failed_attempt) {
+WorkerLifetime PlanWorkerLifetime(const WorkerFaultOptions& faults,
+                                  uint64_t run_seed, int worker_id,
+                                  int64_t incarnation) {
+  WorkerLifetime lifetime;
+  if (!faults.enabled()) {
+    lifetime.uptime_seconds = std::numeric_limits<double>::infinity();
+    return lifetime;
+  }
+  Rng rng(CombineSeeds(CombineSeeds(run_seed, kWorkerSalt),
+                       CombineSeeds(static_cast<uint64_t>(worker_id),
+                                    static_cast<uint64_t>(incarnation))));
+  // Exponential draws via inverse transform; Uniform() < 1 keeps the log
+  // argument strictly positive.
+  lifetime.uptime_seconds = -faults.mttf_seconds * std::log(1.0 - rng.Uniform());
+  lifetime.permanent = rng.Bernoulli(faults.permanent_death_probability);
+  lifetime.downtime_seconds =
+      faults.mttr_seconds > 0.0
+          ? -faults.mttr_seconds * std::log(1.0 - rng.Uniform())
+          : 0.0;
+  return lifetime;
+}
+
+double RetryDelay(const FaultOptions& faults, uint64_t run_seed,
+                  const Job& failed_job) {
   if (faults.retry_backoff_seconds <= 0.0) return 0.0;
-  const int doublings = std::clamp(failed_attempt - 1, 0, 32);
-  return faults.retry_backoff_seconds * std::ldexp(1.0, doublings);
+  const int doublings =
+      std::clamp(failed_job.attempt - 1, 0, kMaxBackoffDoublings);
+  double delay = faults.retry_backoff_seconds * std::ldexp(1.0, doublings);
+  if (faults.max_retry_delay_seconds > 0.0) {
+    delay = std::min(delay, faults.max_retry_delay_seconds);
+  }
+  if (faults.retry_jitter > 0.0) {
+    Rng rng(CombineSeeds(
+        CombineSeeds(run_seed, kRetrySalt),
+        CombineSeeds(static_cast<uint64_t>(failed_job.job_id),
+                     static_cast<uint64_t>(failed_job.attempt))));
+    delay *= 1.0 + faults.retry_jitter * (rng.Uniform() - 0.5);
+  }
+  return delay;
 }
 
 }  // namespace hypertune

@@ -31,9 +31,24 @@ struct Job {
 
 /// How a worker attempt died.
 enum class FailureKind {
-  kCrash,    ///< the worker process crashed mid-evaluation
-  kTimeout,  ///< the per-job watchdog killed a too-long evaluation
+  kCrash,       ///< the worker process crashed mid-evaluation
+  kTimeout,     ///< the per-job watchdog killed a too-long evaluation
+  kWorkerLost,  ///< the whole worker died, orphaning the in-flight attempt
 };
+
+/// Short human-readable name of a FailureKind ("crash" / "timeout" /
+/// "worker-lost").
+inline const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kCrash:
+      return "crash";
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kWorkerLost:
+      return "worker-lost";
+  }
+  return "?";
+}
 
 /// Details of a failed evaluation attempt, passed to
 /// SchedulerInterface::OnJobFailed.
@@ -43,9 +58,13 @@ struct FailureInfo {
   int attempt = 1;
   /// Retries the backend is still willing to grant this job under its
   /// configured retry cap (0 means the default policy abandons the trial).
+  /// Worker-lost failures report the budget unchanged: node death is the
+  /// cluster's fault, not the job's, so it never consumes a retry.
   int retries_remaining = 0;
   /// Worker seconds burned by the failed attempt.
   double wasted_seconds = 0.0;
+  /// Worker that was executing the attempt (-1 when unknown).
+  int worker = -1;
 };
 
 /// Result of evaluating a Job.

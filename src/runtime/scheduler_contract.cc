@@ -159,13 +159,21 @@ bool SchedulerContractChecker::OnJobFailed(const Job& job,
     Violation(msg.str());
   }
 
+  if (it != jobs_.end() && it->second.duplicated) {
+    std::ostringstream msg;
+    msg << "OnJobFailed for job " << job.job_id
+        << " while a speculative duplicate is still live (the backend must "
+        << "only report failure of the last live copy)";
+    Violation(msg.str());
+  }
+
   bool requeue = inner_->OnJobFailed(job, info);
 
   {
     std::ostringstream event;
     event << "OnJobFailed(job " << job.job_id << ", attempt " << job.attempt
-          << ", " << (info.kind == FailureKind::kCrash ? "crash" : "timeout")
-          << ", retries_remaining " << info.retries_remaining << ") -> "
+          << ", " << FailureKindName(info.kind) << ", retries_remaining "
+          << info.retries_remaining << ") -> "
           << (requeue ? "requeue" : "abandon");
     RecordEvent(event.str());
   }
@@ -182,6 +190,62 @@ bool SchedulerContractChecker::OnJobFailed(const Job& job,
 
   inner_->CheckInvariants();
   return requeue;
+}
+
+void SchedulerContractChecker::NoteSpeculativeLaunch(const Job& job) {
+  {
+    std::ostringstream event;
+    event << "SpeculativeLaunch(job " << job.job_id << ", attempt "
+          << job.attempt << ")";
+    RecordEvent(event.str());
+  }
+  auto it = jobs_.find(job.job_id);
+  if (it == jobs_.end()) {
+    std::ostringstream msg;
+    msg << "speculative duplicate of job " << job.job_id
+        << " which was never issued by NextJob";
+    Violation(msg.str());
+    return;
+  }
+  TrackedJob& tracked = it->second;
+  if (tracked.state != TrialState::kOutstanding) {
+    std::ostringstream msg;
+    msg << "speculative duplicate of job " << job.job_id
+        << " which is already resolved (" << StateName(tracked.state) << ")";
+    Violation(msg.str());
+  } else if (job.attempt != tracked.current_attempt) {
+    std::ostringstream msg;
+    msg << "speculative duplicate of job " << job.job_id << " at attempt "
+        << job.attempt << " but the runtime is executing attempt "
+        << tracked.current_attempt;
+    Violation(msg.str());
+  } else if (tracked.duplicated) {
+    std::ostringstream msg;
+    msg << "second speculative duplicate of job " << job.job_id
+        << " (at most one duplicate per job)";
+    Violation(msg.str());
+  } else {
+    tracked.duplicated = true;
+    ++speculative_launches_;
+  }
+}
+
+void SchedulerContractChecker::NoteSpeculativeCopyLost(const Job& job) {
+  {
+    std::ostringstream event;
+    event << "SpeculativeCopyLost(job " << job.job_id << ", attempt "
+          << job.attempt << ")";
+    RecordEvent(event.str());
+  }
+  auto it = jobs_.find(job.job_id);
+  if (it == jobs_.end() || !it->second.duplicated) {
+    std::ostringstream msg;
+    msg << "speculative copy of job " << job.job_id
+        << " retired, but no duplicate was ever announced for it";
+    Violation(msg.str());
+    return;
+  }
+  it->second.duplicated = false;
 }
 
 bool SchedulerContractChecker::Exhausted() const {

@@ -34,7 +34,13 @@ struct ContractCheckerOptions {
 ///     attempt 1 on first execution, then +1 after every requeue granted
 ///     by OnJobFailed (stale or skipped attempt numbers are violations);
 ///   * outstanding-job accounting must stay consistent: issued minus
-///     resolved equals the number of unresolved jobs the checker tracks.
+///     resolved equals the number of unresolved jobs the checker tracks;
+///   * speculative duplicates follow first-finisher-wins: the backend
+///     announces a duplicate via NoteSpeculativeLaunch (at most one per
+///     job, only while the job is outstanding at the same attempt), must
+///     retire it via NoteSpeculativeCopyLost before or right after the
+///     winning completion, and must never report a job-level failure
+///     through OnJobFailed while a duplicate is still live.
 ///
 /// After every event the wrapped scheduler's CheckInvariants() hook runs,
 /// so scheduler-internal accounting (rung targets vs. members resolved,
@@ -59,6 +65,19 @@ class SchedulerContractChecker : public SchedulerInterface {
   bool Exhausted() const override;
   void CheckInvariants() const override;
 
+  /// Backend-only audit hooks for speculative re-execution (the wrapped
+  /// scheduler never sees duplicates, so these are not part of
+  /// SchedulerInterface). The backend calls NoteSpeculativeLaunch when it
+  /// starts a duplicate copy of an outstanding job, and
+  /// NoteSpeculativeCopyLost when either copy is retired while its sibling
+  /// lives (cancelled loser, crashed copy, or copy orphaned by a worker
+  /// death). Neither call perturbs any decision or RNG.
+  void NoteSpeculativeLaunch(const Job& job);
+  void NoteSpeculativeCopyLost(const Job& job);
+
+  /// Speculative duplicates announced over the whole run.
+  int64_t speculative_launches() const { return speculative_launches_; }
+
   /// Violations collected so far (empty unless abort_on_violation=false).
   const std::vector<std::string>& violations() const { return violations_; }
 
@@ -81,6 +100,9 @@ class SchedulerContractChecker : public SchedulerInterface {
     int current_attempt = 1;
     int level = 0;
     int bracket = -1;
+    /// True while a speculative duplicate of the current attempt is live
+    /// (set by NoteSpeculativeLaunch, cleared by NoteSpeculativeCopyLost).
+    bool duplicated = false;
   };
 
   void RecordEvent(std::string event);
@@ -92,6 +114,7 @@ class SchedulerContractChecker : public SchedulerInterface {
   std::unordered_map<int64_t, TrackedJob> jobs_;
   int64_t issued_ = 0;
   int64_t outstanding_ = 0;
+  int64_t speculative_launches_ = 0;
   /// Latched once Exhausted() returns true (mutable: latching happens in
   /// the const Exhausted() override).
   mutable bool exhausted_observed_ = false;

@@ -31,20 +31,29 @@ class SchedulerInterface {
   /// Reports a finished evaluation of a job previously issued by NextJob().
   virtual void OnJobComplete(const Job& job, const EvalResult& result) = 0;
 
-  /// Reports a failed evaluation attempt (worker crash or timeout) of a job
-  /// previously issued by NextJob(). Returning true asks the backend to
-  /// requeue the *same* job (same job_id, attempt + 1, after the configured
-  /// backoff); returning false abandons the trial, which the backend then
-  /// records as failed in the TrialHistory.
+  /// Reports a failed evaluation attempt (worker crash, timeout, or whole-
+  /// worker loss) of a job previously issued by NextJob(). Returning true
+  /// asks the backend to requeue the *same* job (same job_id, attempt + 1,
+  /// after the configured backoff); returning false abandons the trial,
+  /// which the backend then records as failed in the TrialHistory.
   ///
   /// The default policy requeues while the backend still grants retries and
-  /// abandons afterwards. Schedulers that track in-flight work MUST override
-  /// this, delegate the retry decision to the base implementation, and on
-  /// abandonment update their accounting so the dead job no longer counts as
-  /// outstanding — a synchronous rung must drain its barrier around the
-  /// failed member instead of waiting for a completion that never comes.
+  /// abandons afterwards — except for FailureKind::kWorkerLost, which is
+  /// always requeued: a node death is the cluster's fault, not the job's,
+  /// so the backend neither consumes the job's retry budget nor applies a
+  /// retry backoff (the orphan re-enters the queue immediately). Schedulers
+  /// that track in-flight work MUST override this, delegate the retry
+  /// decision to the base implementation, and on abandonment update their
+  /// accounting so the dead job no longer counts as outstanding — a
+  /// synchronous rung must drain its barrier around the failed member
+  /// instead of waiting for a completion that never comes.
+  ///
+  /// Speculative duplicate attempts (see SpeculationOptions) are invisible
+  /// here: the backend only reports a job-level failure when its *last*
+  /// live copy fails, and only one completion is ever delivered per job.
   virtual bool OnJobFailed(const Job& job, const FailureInfo& info) {
     (void)job;
+    if (info.kind == FailureKind::kWorkerLost) return true;
     return info.retries_remaining > 0;
   }
 

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -16,26 +21,94 @@ namespace {
 
 /// What an event in the simulator's queue resolves to.
 enum class EventKind {
-  kComplete,    ///< evaluation finished, report to the scheduler
-  kCrash,       ///< worker crashed partway through the attempt
-  kTimeout,     ///< watchdog killed the attempt
-  kRetryReady,  ///< a requeued job's backoff expired (occupies no worker)
+  kWorkerDeath,    ///< a worker incarnation's seeded uptime expired
+  kWorkerRecover,  ///< a dead worker's downtime expired, it rejoins
+  kQuarantineEnd,  ///< a quarantined worker's backoff expired, it rejoins
+  kRetryReady,     ///< a requeued job's backoff expired (occupies no worker)
+  kComplete,       ///< evaluation finished, report to the scheduler
+  kCrash,          ///< worker crashed partway through the attempt
+  kTimeout,        ///< watchdog killed the attempt
+  kSpeculate,      ///< straggler watchdog: consider duplicating an attempt
 };
 
-/// An in-flight evaluation (or retry timer), ordered by the event queue.
-struct InFlight {
+/// Tie-break rank for events at the same virtual time: worker deaths first
+/// (an attempt ending exactly at its worker's death time is lost), then
+/// rejoins, then retry timers, then attempt outcomes, then straggler
+/// watchdogs. Fault-off queues only ever hold kComplete events, so ordering
+/// there collapses to the pre-fault (end_time, job_id) order.
+int EventRank(EventKind kind) {
+  switch (kind) {
+    case EventKind::kWorkerDeath:
+      return 0;
+    case EventKind::kWorkerRecover:
+      return 1;
+    case EventKind::kQuarantineEnd:
+      return 2;
+    case EventKind::kRetryReady:
+      return 3;
+    case EventKind::kComplete:
+      return 4;
+    case EventKind::kCrash:
+      return 5;
+    case EventKind::kTimeout:
+      return 6;
+    case EventKind::kSpeculate:
+      return 7;
+  }
+  return 8;
+}
+
+/// A queued simulator event. Attempt events (kComplete/kCrash/kTimeout) and
+/// kSpeculate carry the epoch of the worker's attempt at push time; they are
+/// stale — skipped without effect — once the worker's epoch moved on
+/// (attempt resolved, cancelled, or the worker died). Worker lifecycle
+/// events validate against the worker's incarnation instead.
+struct SimEvent {
   double end_time = 0.0;
   double start_time = 0.0;
   int worker = -1;
   Job job;
   EventKind kind = EventKind::kComplete;
+  int64_t epoch = 0;
+  int64_t incarnation = 0;
+  /// Monotone push counter: the final deterministic tie-break.
+  int64_t seq = 0;
 };
 
-struct LaterCompletion {
-  bool operator()(const InFlight& a, const InFlight& b) const {
+struct LaterEvent {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
     if (a.end_time != b.end_time) return a.end_time > b.end_time;
-    return a.job.job_id > b.job.job_id;  // deterministic tie-break
+    int rank_a = EventRank(a.kind);
+    int rank_b = EventRank(b.kind);
+    if (rank_a != rank_b) return rank_a > rank_b;
+    if (a.job.job_id != b.job.job_id) return a.job.job_id > b.job.job_id;
+    return a.seq > b.seq;
   }
+};
+
+/// A copy of a job occupying a worker right now.
+struct RunningAttempt {
+  Job job;
+  double start_time = 0.0;
+  /// True for the duplicate copy launched by straggler speculation.
+  bool speculative = false;
+};
+
+/// Per-worker fault-domain state.
+struct WorkerState {
+  bool alive = true;
+  bool quarantined = false;
+  /// Which life of this worker is current (0 = first); bumped at death.
+  int64_t incarnation = 0;
+  /// Bumped whenever the worker's running attempt is released (resolution
+  /// or cancellation), invalidating queued events of the old attempt.
+  int64_t epoch = 0;
+  /// When the current down/quarantine window started (for accounting).
+  double down_since = 0.0;
+  /// Consecutive job-level failures on this worker (quarantine trigger).
+  int consecutive_failures = 0;
+  /// Seeded plan for the current incarnation.
+  WorkerLifetime lifetime;
 };
 
 }  // namespace
@@ -57,18 +130,80 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   RunResult result;
   Rng straggler_rng(CombineSeeds(options_.seed, 0x5772A667ULL));
 
-  std::priority_queue<InFlight, std::vector<InFlight>, LaterCompletion> queue;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, LaterEvent> queue;
+  int64_t next_seq = 0;
+  auto push_event = [&](SimEvent event) {
+    event.seq = next_seq++;
+    queue.push(std::move(event));
+  };
+
   std::vector<int> idle_workers;
   for (int w = options_.num_workers - 1; w >= 0; --w) idle_workers.push_back(w);
+  std::vector<WorkerState> workers(options_.num_workers);
+  std::vector<std::optional<RunningAttempt>> running(options_.num_workers);
+  /// Workers that are alive and not quarantined (idle or busy).
+  int available_workers = options_.num_workers;
+
   /// Requeued jobs whose backoff already expired, awaiting an idle worker.
   std::deque<Job> ready_retries;
+  /// Retry timers currently pending in the event queue.
+  int pending_retry_timers = 0;
+  /// Job-level failures (crash/timeout) consumed per unresolved job. Worker
+  /// loss never registers here, which is exactly how it avoids burning the
+  /// job's retry budget while the attempt number still advances.
+  std::unordered_map<int64_t, int> job_failures;
+  /// Jobs that already used their one speculative duplicate.
+  std::unordered_set<int64_t> duplicated_jobs;
+  /// Which workers currently run a copy of each job (1, or 2 while a
+  /// speculative duplicate races its primary).
+  std::unordered_map<int64_t, std::vector<int>> job_workers;
+  /// Sorted completed-attempt durations per fidelity level, for the running
+  /// median that drives straggler detection.
+  std::unordered_map<int, std::vector<double>> level_durations;
 
   double now = 0.0;
   const double budget = options_.time_budget_seconds;
   const double full_resource = problem.max_resource();
   int64_t completed = 0;
 
-  auto launch = [&](const Job& job) {
+  // Seed each worker's first incarnation. Draws nothing (and schedules
+  // nothing) when worker faults are off, so fault-off runs stay
+  // bit-identical to the pre-fault-domain code path.
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers[w].lifetime =
+        PlanWorkerLifetime(options_.worker_faults, options_.seed, w, 0);
+    if (std::isfinite(workers[w].lifetime.uptime_seconds)) {
+      SimEvent death;
+      death.end_time = workers[w].lifetime.uptime_seconds;
+      death.worker = w;
+      death.kind = EventKind::kWorkerDeath;
+      death.incarnation = 0;
+      push_event(std::move(death));
+    }
+  }
+
+  /// Releases worker `w`'s running attempt and invalidates its queued
+  /// events. Does NOT return the worker to the idle pool.
+  auto release = [&](int w) {
+    running[w].reset();
+    ++workers[w].epoch;
+  };
+
+  auto remove_job_worker = [&](int64_t job_id, int w) {
+    auto it = job_workers.find(job_id);
+    if (it == job_workers.end()) return;
+    auto& copies = it->second;
+    copies.erase(std::remove(copies.begin(), copies.end(), w), copies.end());
+    if (copies.empty()) job_workers.erase(it);
+  };
+
+  /// True when another copy of `job_id` is still racing.
+  auto sibling_live = [&](int64_t job_id) {
+    auto it = job_workers.find(job_id);
+    return it != job_workers.end() && !it->second.empty();
+  };
+
+  auto launch = [&](const Job& job, bool speculative_copy) {
     int worker = idle_workers.back();
     idle_workers.pop_back();
 
@@ -82,8 +217,17 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     }
     cost += options_.dispatch_overhead_seconds;
 
-    AttemptPlan plan = PlanAttempt(options_.faults, options_.seed, job, cost);
-    InFlight flight;
+    AttemptPlan plan =
+        PlanAttempt(options_.faults, options_.seed, job, cost,
+                    speculative_copy ? kSpeculativeStreamSalt : 0);
+    RunningAttempt attempt;
+    attempt.job = job;
+    attempt.start_time = now;
+    attempt.speculative = speculative_copy;
+    running[worker] = attempt;
+    job_workers[job.job_id].push_back(worker);
+
+    SimEvent flight;
     flight.start_time = now;
     flight.end_time = now + plan.duration;
     flight.worker = worker;
@@ -92,7 +236,29 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
                                     ? EventKind::kCrash
                                     : EventKind::kTimeout)
                               : EventKind::kComplete;
-    queue.push(std::move(flight));
+    flight.epoch = workers[worker].epoch;
+    push_event(std::move(flight));
+
+    // Arm the straggler watchdog for primaries once the level's median is
+    // trustworthy. The watchdog goes stale automatically (epoch mismatch)
+    // if the attempt resolves first.
+    if (!speculative_copy && options_.speculation.enabled()) {
+      auto it = level_durations.find(job.level);
+      if (it != level_durations.end() &&
+          static_cast<int>(it->second.size()) >=
+              options_.speculation.min_samples) {
+        double median = it->second[(it->second.size() - 1) / 2];
+        SimEvent watchdog;
+        watchdog.start_time = now;
+        watchdog.end_time =
+            now + options_.speculation.speculation_factor * median;
+        watchdog.worker = worker;
+        watchdog.job = job;
+        watchdog.kind = EventKind::kSpeculate;
+        watchdog.epoch = workers[worker].epoch;
+        push_event(std::move(watchdog));
+      }
+    }
   };
 
   auto try_assign = [&]() {
@@ -101,31 +267,138 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (!ready_retries.empty()) {
         Job job = ready_retries.front();
         ready_retries.pop_front();
-        launch(job);
+        launch(job, /*speculative_copy=*/false);
         continue;
       }
       std::optional<Job> job = scheduler->NextJob();
       if (!job.has_value()) break;
-      launch(*job);
+      launch(*job, /*speculative_copy=*/false);
     }
+  };
+
+  /// Reports a failed attempt to the scheduler and either requeues the job
+  /// or records the abandoned trial. The caller has already charged busy
+  /// time and released the worker.
+  auto handle_failure = [&](const Job& job, FailureKind kind, int worker,
+                            double start_time, double burned) {
+    ++result.failed_attempts;
+    result.wasted_seconds += burned;
+    switch (kind) {
+      case FailureKind::kCrash:
+        ++result.crash_attempts;
+        break;
+      case FailureKind::kTimeout:
+        ++result.timeout_attempts;
+        break;
+      case FailureKind::kWorkerLost:
+        ++result.worker_lost_attempts;
+        break;
+    }
+
+    int prior_failures = 0;
+    auto it = job_failures.find(job.job_id);
+    if (it != job_failures.end()) prior_failures = it->second;
+
+    FailureInfo info;
+    info.kind = kind;
+    info.attempt = job.attempt;
+    info.retries_remaining =
+        std::max(0, options_.faults.max_retries - prior_failures);
+    info.wasted_seconds = burned;
+    info.worker = worker;
+
+    if (scheduler->OnJobFailed(job, info)) {
+      ++result.retries;
+      if (kind != FailureKind::kWorkerLost) {
+        job_failures[job.job_id] = prior_failures + 1;
+      }
+      Job next_attempt = job;
+      ++next_attempt.attempt;
+      if (kind == FailureKind::kWorkerLost) {
+        // Node death is the cluster's fault: requeue immediately, no
+        // backoff, budget untouched.
+        ready_retries.push_back(next_attempt);
+        return;
+      }
+      double delay = RetryDelay(options_.faults, options_.seed, job);
+      if (delay > 0.0) {
+        SimEvent timer;
+        timer.start_time = now;
+        timer.end_time = now + delay;
+        timer.job = next_attempt;
+        timer.kind = EventKind::kRetryReady;
+        push_event(std::move(timer));
+        ++pending_retry_timers;
+      } else {
+        ready_retries.push_back(next_attempt);
+      }
+    } else {
+      ++result.failed_trials;
+      TrialRecord record;
+      record.job = job;
+      record.result.cost_seconds = burned;
+      record.start_time = start_time;
+      record.end_time = now;
+      record.worker = worker;
+      record.failure_kind = kind;
+      result.history.RecordFailure(record);
+      job_failures.erase(job.job_id);
+      duplicated_jobs.erase(job.job_id);
+    }
+  };
+
+  /// Returns worker `w` to the pull loop after a job-level failure, unless
+  /// its consecutive-failure streak trips the quarantine policy.
+  auto free_worker_after_failure = [&](int w) {
+    WorkerState& ws = workers[w];
+    ++ws.consecutive_failures;
+    const WorkerFaultOptions& wf = options_.worker_faults;
+    if (wf.quarantine_failures > 0 && wf.quarantine_seconds > 0.0 &&
+        ws.consecutive_failures >= wf.quarantine_failures) {
+      ws.quarantined = true;
+      ws.consecutive_failures = 0;
+      ws.down_since = now;
+      --available_workers;
+      ++result.quarantines;
+      SimEvent rejoin;
+      rejoin.start_time = now;
+      rejoin.end_time = now + wf.quarantine_seconds;
+      rejoin.worker = w;
+      rejoin.kind = EventKind::kQuarantineEnd;
+      rejoin.incarnation = ws.incarnation;
+      push_event(std::move(rejoin));
+    } else {
+      idle_workers.push_back(w);
+    }
+  };
+
+  /// True when the run is over even though the queue may still hold worker
+  /// lifecycle events: nothing running, nothing requeued, scheduler done.
+  /// With recoveries enabled the queue never empties (death and rebirth
+  /// events chain forever), so termination must not rely on queue.empty().
+  auto no_work_left = [&]() {
+    if (!ready_retries.empty() || pending_retry_timers > 0) return false;
+    for (int i = 0; i < options_.num_workers; ++i) {
+      if (running[i].has_value()) return false;
+    }
+    return scheduler->Exhausted();
   };
 
   try_assign();
 
   while (!queue.empty()) {
-    InFlight flight = queue.top();
+    SimEvent flight = queue.top();
     queue.pop();
     if (flight.end_time > budget) {
-      // This event lands past the budget: the run is over. Worker time
-      // spent inside the budget still counts as busy (retry timers occupy
-      // no worker and contribute nothing).
-      while (true) {
-        if (flight.kind != EventKind::kRetryReady) {
-          result.busy_seconds += std::max(0.0, budget - flight.start_time);
+      // The earliest remaining event lands past the budget: the run is
+      // over. Worker time spent inside the budget by still-running
+      // attempts counts as busy; timers and lifecycle events occupy no
+      // worker and contribute nothing.
+      for (int w = 0; w < options_.num_workers; ++w) {
+        if (running[w].has_value()) {
+          result.busy_seconds +=
+              std::max(0.0, budget - running[w]->start_time);
         }
-        if (queue.empty()) break;
-        flight = queue.top();
-        queue.pop();
       }
       now = budget;
       break;
@@ -134,59 +407,178 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     now = flight.end_time;
 
     if (flight.kind == EventKind::kRetryReady) {
+      --pending_retry_timers;
       ready_retries.push_back(flight.job);
       try_assign();
       continue;
     }
 
-    const double duration = flight.end_time - flight.start_time;
+    if (flight.kind == EventKind::kWorkerDeath) {
+      WorkerState& ws = workers[flight.worker];
+      if (!ws.alive || ws.incarnation != flight.incarnation) continue;
+      ++result.worker_deaths;
+      const int w = flight.worker;
+      if (ws.quarantined) {
+        // Death supersedes quarantine: close the quarantine window (its
+        // rejoin event goes stale via the incarnation bump below).
+        ws.quarantined = false;
+        result.worker_down_seconds += now - ws.down_since;
+      } else {
+        --available_workers;
+        if (running[w].has_value()) {
+          // Orphan the in-flight attempt.
+          RunningAttempt attempt = *running[w];
+          double burned = now - attempt.start_time;
+          result.busy_seconds += burned;
+          release(w);
+          remove_job_worker(attempt.job.job_id, w);
+          if (sibling_live(attempt.job.job_id)) {
+            // A speculative sibling keeps racing: this copy dies silently
+            // (no scheduler notification, no budget effect).
+            ++result.speculative_losses;
+            result.speculative_wasted_seconds += burned;
+            if (options_.check_contract) {
+              contract_checker.NoteSpeculativeCopyLost(attempt.job);
+            }
+          } else {
+            handle_failure(attempt.job, FailureKind::kWorkerLost, w,
+                           attempt.start_time, burned);
+          }
+        } else {
+          idle_workers.erase(
+              std::find(idle_workers.begin(), idle_workers.end(), w));
+        }
+      }
+      ws.alive = false;
+      ws.down_since = now;
+      ++ws.incarnation;
+      ws.consecutive_failures = 0;
+      if (ws.lifetime.permanent) {
+        ++result.workers_lost_permanently;
+      } else {
+        SimEvent rebirth;
+        rebirth.start_time = now;
+        rebirth.end_time = now + ws.lifetime.downtime_seconds;
+        rebirth.worker = w;
+        rebirth.kind = EventKind::kWorkerRecover;
+        rebirth.incarnation = ws.incarnation;
+        push_event(std::move(rebirth));
+      }
+      try_assign();
+      if (no_work_left()) break;
+      continue;
+    }
+
+    if (flight.kind == EventKind::kWorkerRecover) {
+      WorkerState& ws = workers[flight.worker];
+      if (ws.alive || ws.incarnation != flight.incarnation) continue;
+      ws.alive = true;
+      ++available_workers;
+      result.worker_down_seconds += now - ws.down_since;
+      ws.lifetime = PlanWorkerLifetime(options_.worker_faults, options_.seed,
+                                       flight.worker, ws.incarnation);
+      if (std::isfinite(ws.lifetime.uptime_seconds)) {
+        SimEvent death;
+        death.start_time = now;
+        death.end_time = now + ws.lifetime.uptime_seconds;
+        death.worker = flight.worker;
+        death.kind = EventKind::kWorkerDeath;
+        death.incarnation = ws.incarnation;
+        push_event(std::move(death));
+      }
+      idle_workers.push_back(flight.worker);
+      try_assign();
+      if (no_work_left()) break;
+      continue;
+    }
+
+    if (flight.kind == EventKind::kQuarantineEnd) {
+      WorkerState& ws = workers[flight.worker];
+      if (!ws.alive || !ws.quarantined ||
+          ws.incarnation != flight.incarnation) {
+        continue;
+      }
+      ws.quarantined = false;
+      ++available_workers;
+      result.worker_down_seconds += now - ws.down_since;
+      idle_workers.push_back(flight.worker);
+      try_assign();
+      if (no_work_left()) break;
+      continue;
+    }
+
+    if (flight.kind == EventKind::kSpeculate) {
+      const int w = flight.worker;
+      // Still the same attempt, still un-duplicated, and a spare worker is
+      // idle right now — otherwise the watchdog expires without effect.
+      if (workers[w].epoch != flight.epoch || !running[w].has_value() ||
+          duplicated_jobs.count(flight.job.job_id) > 0 ||
+          idle_workers.empty()) {
+        continue;
+      }
+      Job duplicate = running[w]->job;
+      duplicated_jobs.insert(duplicate.job_id);
+      ++result.speculative_attempts;
+      if (options_.check_contract) {
+        contract_checker.NoteSpeculativeLaunch(duplicate);
+      }
+      launch(duplicate, /*speculative_copy=*/true);
+      continue;
+    }
+
+    // From here on: an attempt outcome (kComplete/kCrash/kTimeout). Skip it
+    // if the attempt was cancelled or orphaned in the meantime — its worker
+    // time was already charged at cancellation.
+    if (workers[flight.worker].epoch != flight.epoch ||
+        !running[flight.worker].has_value()) {
+      continue;
+    }
+
+    const int w = flight.worker;
+    const RunningAttempt attempt = *running[w];
+    const double duration = now - attempt.start_time;
     result.busy_seconds += duration;
+    release(w);
+    remove_job_worker(attempt.job.job_id, w);
 
     if (flight.kind != EventKind::kComplete) {
-      // A crash or timeout: charge the wasted worker time, then let the
-      // scheduler decide between requeue and abandonment.
-      result.wasted_seconds += duration;
-      ++result.failed_attempts;
-
-      FailureInfo info;
-      info.kind = flight.kind == EventKind::kCrash ? FailureKind::kCrash
-                                                   : FailureKind::kTimeout;
-      info.attempt = flight.job.attempt;
-      info.retries_remaining =
-          std::max(0, options_.faults.max_retries - (flight.job.attempt - 1));
-      info.wasted_seconds = duration;
-
-      idle_workers.push_back(flight.worker);
-      if (scheduler->OnJobFailed(flight.job, info)) {
-        ++result.retries;
-        Job next_attempt = flight.job;
-        ++next_attempt.attempt;
-        double delay = RetryDelay(options_.faults, flight.job.attempt);
-        if (delay > 0.0) {
-          InFlight timer;
-          timer.start_time = now;
-          timer.end_time = now + delay;
-          timer.job = next_attempt;
-          timer.kind = EventKind::kRetryReady;
-          queue.push(std::move(timer));
-        } else {
-          ready_retries.push_back(next_attempt);
+      FailureKind kind = flight.kind == EventKind::kCrash
+                             ? FailureKind::kCrash
+                             : FailureKind::kTimeout;
+      if (sibling_live(attempt.job.job_id)) {
+        // A copy died while its sibling races on: silent speculative loss —
+        // the scheduler hears nothing and no retry budget is consumed, but
+        // the worker's failure streak still counts toward quarantine.
+        ++result.speculative_losses;
+        result.speculative_wasted_seconds += duration;
+        if (options_.check_contract) {
+          contract_checker.NoteSpeculativeCopyLost(attempt.job);
         }
       } else {
-        ++result.failed_trials;
-        TrialRecord record;
-        record.job = flight.job;
-        record.result.cost_seconds = duration;
-        record.start_time = flight.start_time;
-        record.end_time = flight.end_time;
-        record.worker = flight.worker;
-        result.history.RecordFailure(record);
+        handle_failure(attempt.job, kind, w, attempt.start_time, duration);
       }
+      free_worker_after_failure(w);
     } else {
+      // First finisher wins: cancel a still-racing sibling before the
+      // result is delivered.
+      bool cancelled_sibling = false;
+      if (sibling_live(attempt.job.job_id)) {
+        int loser = job_workers[attempt.job.job_id].front();
+        double loser_burned = now - running[loser]->start_time;
+        result.busy_seconds += loser_burned;
+        result.speculative_wasted_seconds += loser_burned;
+        ++result.speculative_losses;
+        release(loser);
+        job_workers.erase(attempt.job.job_id);
+        idle_workers.push_back(loser);
+        cancelled_sibling = true;
+      }
+      if (attempt.speculative) ++result.speculative_wins;
+
       uint64_t noise_seed =
-          CombineSeeds(options_.seed, flight.job.config.Hash());
-      EvalOutcome outcome =
-          problem.Evaluate(flight.job.config, flight.job.resource, noise_seed);
+          CombineSeeds(options_.seed, attempt.job.config.Hash());
+      EvalOutcome outcome = problem.Evaluate(attempt.job.config,
+                                             attempt.job.resource, noise_seed);
 
       EvalResult eval;
       eval.objective = outcome.objective;
@@ -194,32 +586,48 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       eval.cost_seconds = duration;
 
       TrialRecord record;
-      record.job = flight.job;
+      record.job = attempt.job;
       record.result = eval;
-      record.start_time = flight.start_time;
-      record.end_time = flight.end_time;
-      record.worker = flight.worker;
-      result.history.Record(record, flight.job.resource >= full_resource);
+      record.start_time = attempt.start_time;
+      record.end_time = now;
+      record.worker = w;
+      record.speculative = attempt.speculative;
+      result.history.Record(record, attempt.job.resource >= full_resource);
       if (options_.observer) options_.observer(record);
 
-      scheduler->OnJobComplete(flight.job, eval);
-      idle_workers.push_back(flight.worker);
+      scheduler->OnJobComplete(attempt.job, eval);
+      if (cancelled_sibling && options_.check_contract) {
+        contract_checker.NoteSpeculativeCopyLost(attempt.job);
+      }
+      workers[w].consecutive_failures = 0;
+      job_failures.erase(attempt.job.job_id);
+      duplicated_jobs.erase(attempt.job.job_id);
+
+      auto& durations = level_durations[attempt.job.level];
+      durations.insert(
+          std::upper_bound(durations.begin(), durations.end(), duration),
+          duration);
+
+      idle_workers.push_back(w);
       ++completed;
       if (options_.max_trials > 0 && completed >= options_.max_trials) break;
     }
 
     try_assign();
-    // If everything is idle and the scheduler is exhausted, the run ends
-    // before the budget (e.g. a single bracket fully drained). Pending
-    // retries keep the run alive via their queued timer events.
-    if (queue.empty() && ready_retries.empty() &&
-        static_cast<int>(idle_workers.size()) == options_.num_workers &&
-        scheduler->Exhausted()) {
-      break;
-    }
+    // If no attempt is running, no retry is pending, and the scheduler is
+    // exhausted, the run ends before the budget (e.g. a single bracket
+    // fully drained).
+    if (no_work_left()) break;
   }
 
   result.elapsed_seconds = std::min(now, budget);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    const WorkerState& ws = workers[w];
+    if (!ws.alive || ws.quarantined) {
+      result.worker_down_seconds +=
+          std::max(0.0, result.elapsed_seconds - ws.down_since);
+    }
+  }
   result.Finalize(options_.num_workers);
   return result;
 }

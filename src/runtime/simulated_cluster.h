@@ -35,6 +35,11 @@ struct ClusterOptions {
   int64_t max_trials = -1;
   /// Seeded crash/timeout injection and the retry policy (defaults: off).
   FaultOptions faults;
+  /// Whole-worker fault domain: seeded node death/recovery, permanent
+  /// losses, and the quarantine policy for suspect workers (defaults: off).
+  WorkerFaultOptions worker_faults;
+  /// Speculative straggler re-execution (defaults: off).
+  SpeculationOptions speculation;
   /// Optional per-completion callback.
   TrialObserver observer;
   /// Audit the scheduler contract on every call by wrapping the scheduler
@@ -66,6 +71,37 @@ struct RunResult {
   /// Worker seconds burned by failed attempts.
   double wasted_seconds = 0.0;
 
+  // --- Failure-kind breakdown of failed_attempts. ---
+  /// Attempts that crashed (job-level; consumes retry budget).
+  int64_t crash_attempts = 0;
+  /// Attempts killed by the per-job timeout (job-level; consumes budget).
+  int64_t timeout_attempts = 0;
+  /// Attempts orphaned by a worker death (worker-level; never consumes the
+  /// job's retry budget — always requeued immediately).
+  int64_t worker_lost_attempts = 0;
+
+  // --- Worker fault-domain accounting. ---
+  /// Worker death events over the run (a worker can die more than once).
+  int64_t worker_deaths = 0;
+  /// Workers that died permanently and never rejoined.
+  int64_t workers_lost_permanently = 0;
+  /// Quarantine windows entered by suspect workers.
+  int64_t quarantines = 0;
+  /// Sum over workers of seconds spent dead or quarantined inside
+  /// [0, elapsed] (informational; not part of busy/idle).
+  double worker_down_seconds = 0.0;
+
+  // --- Speculative re-execution accounting. ---
+  /// Duplicate copies launched for straggling attempts.
+  int64_t speculative_attempts = 0;
+  /// Duplicates that finished before their straggling primary.
+  int64_t speculative_wins = 0;
+  /// Copies retired while their sibling lived (cancelled losers, crashed
+  /// copies, copies orphaned by worker death).
+  int64_t speculative_losses = 0;
+  /// Worker seconds burned by losing speculative copies.
+  double speculative_wasted_seconds = 0.0;
+
   /// Derives idle_seconds and utilization from elapsed/busy. Utilization is
   /// busy / (busy + idle) and defined as 0 for a zero-trial run (no time
   /// elapsed), never NaN.
@@ -87,6 +123,19 @@ struct RunResult {
 /// whether to requeue, and requeued jobs re-enter the event queue after the
 /// configured backoff. All fault draws are keyed on (seed, job_id, attempt),
 /// so identical seeds replay the identical crash/timeout schedule.
+///
+/// With worker faults enabled, whole workers die and recover on a seeded
+/// lifetime schedule keyed on (seed, worker_id, incarnation). A dying
+/// worker orphans its in-flight attempt, which is reported to the scheduler
+/// as FailureKind::kWorkerLost and requeued immediately without consuming
+/// the job's retry budget. Workers whose attempts repeatedly fail for
+/// job-level reasons are quarantined (withheld from the pull loop for a
+/// backoff window). With speculation enabled, an attempt whose elapsed time
+/// exceeds speculation_factor x the running median cost at its fidelity is
+/// duplicated on an idle worker — first finisher wins, the loser is
+/// cancelled and its time charged as speculative waste. Schedulers never
+/// see duplicates: exactly one completion (or final failure) is reported
+/// per job.
 ///
 /// The run stops when the virtual clock would pass the budget, when the
 /// scheduler is exhausted with no jobs in flight, or when `max_trials`

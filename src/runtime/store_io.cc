@@ -1,5 +1,6 @@
 #include "src/runtime/store_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -30,6 +31,12 @@ Status WriteStoreCsv(const MeasurementStore& store,
     for (const Measurement& m : store.group(level)) {
       if (m.config.size() != space.size()) {
         return Status::Internal("measurement arity mismatch with space");
+      }
+      if (!std::isfinite(m.objective)) {
+        return Status::InvalidArgument(
+            "measurement at level " + std::to_string(level) +
+            " has a non-finite objective; a store CSV holding inf/nan "
+            "cannot round-trip (failed trials must not be persisted)");
       }
       *out << level << ',' << m.objective;
       for (size_t d = 0; d < m.config.size(); ++d) *out << ',' << m.config[d];
@@ -81,10 +88,10 @@ Status ReadStoreCsv(std::istream* in, const ConfigurationSpace& space,
                                      ": bad level '" + fields[0] + "'");
     }
     double objective = std::strtod(fields[1].c_str(), &end);
-    if (end == fields[1].c_str()) {
+    if (end == fields[1].c_str() || !std::isfinite(objective)) {
       return Status::InvalidArgument("store CSV row " +
                                      std::to_string(line_number) +
-                                     ": bad objective");
+                                     ": bad objective '" + fields[1] + "'");
     }
     std::vector<double> values(space.size());
     for (size_t d = 0; d < space.size(); ++d) {

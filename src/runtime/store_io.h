@@ -21,14 +21,18 @@ namespace hypertune {
 /// categorical parameters). Pending entries are intentionally not
 /// persisted — they are transient worker state.
 
-/// Writes every measurement group of `store` to `out`.
+/// Writes every measurement group of `store` to `out`. Non-finite
+/// objectives (the +inf marker of failed trials, NaN from a broken
+/// problem) are rejected with InvalidArgument: a store CSV must
+/// round-trip, and failure markers do not belong in warm-start history.
 Status WriteStoreCsv(const MeasurementStore& store,
                      const ConfigurationSpace& space, std::ostream* out);
 
 /// Reads measurements from `in` (format above) into `store`. The header's
 /// parameter names must match `space` exactly (order included); levels
-/// outside [1, store->num_levels()] and malformed rows are rejected with
-/// InvalidArgument, leaving already-loaded rows in place.
+/// outside [1, store->num_levels()], non-finite objectives, and malformed
+/// rows are rejected with InvalidArgument, leaving already-loaded rows in
+/// place.
 Status ReadStoreCsv(std::istream* in, const ConfigurationSpace& space,
                     MeasurementStore* store);
 

@@ -1,9 +1,14 @@
 #include "src/runtime/thread_cluster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <deque>
+#include <memory>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -14,6 +19,34 @@
 
 namespace hypertune {
 namespace {
+
+/// Granularity of interruptible sleeps: kill flags and worker death times
+/// are checked between slices of this length.
+constexpr double kSleepSliceSeconds = 0.001;
+
+/// Why a sliced sleep ended.
+enum class SleepOutcome {
+  kFinished,    ///< the full duration elapsed
+  kKilled,      ///< the copy's kill flag was set (speculative loser)
+  kWorkerDied,  ///< the worker's wall-clock uptime expired mid-attempt
+};
+
+/// One job currently executing on some worker(s): the primary copy, plus a
+/// speculative duplicate while one races. Guarded by RunState::mu.
+struct ActiveAttempt {
+  Job job;
+  /// Wall time the primary copy started (drives straggler detection).
+  double start_time = 0.0;
+  /// Copies of this attempt currently executing (1, or 2 while a
+  /// speculative duplicate races its primary).
+  int live_copies = 1;
+  /// A copy already delivered the job's completion or failure; remaining
+  /// copies are losers and only settle their accounting.
+  bool resolved = false;
+  /// Kill flags: slot 0 is the primary copy, slot 1 the duplicate. Written
+  /// under the lock, read lock-free inside sliced sleeps.
+  std::shared_ptr<std::atomic<bool>> kills[2];
+};
 
 /// Everything the worker threads share. Each field below `mu` is guarded
 /// by it, so a Clang -Wthread-safety build proves no worker ever touches
@@ -32,6 +65,17 @@ struct RunState {
   bool stop GUARDED_BY(mu) = false;
   /// Requeued jobs and the wall time at which their backoff expires.
   std::deque<std::pair<double, Job>> retry_queue GUARDED_BY(mu);
+  /// Jobs currently executing, keyed by job_id.
+  std::unordered_map<int64_t, ActiveAttempt> active GUARDED_BY(mu);
+  /// Job-level failures (crash/timeout) consumed per unresolved job.
+  /// Worker loss never registers here, which is how node death avoids
+  /// burning the job's retry budget.
+  std::unordered_map<int64_t, int> job_failures GUARDED_BY(mu);
+  /// Jobs that already used their one speculative duplicate.
+  std::unordered_set<int64_t> duplicated_jobs GUARDED_BY(mu);
+  /// Sorted completed-attempt durations per fidelity level (running median
+  /// for straggler detection).
+  std::unordered_map<int, std::vector<double>> level_durations GUARDED_BY(mu);
   /// Accumulated run outcome; workers write it under the completion lock,
   /// the driver moves it out after joining every thread.
   RunResult result GUARDED_BY(mu);
@@ -75,13 +119,59 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
   };
   const double full_resource = problem.max_resource();
 
+  // Sleeps `seconds` in slices, aborting early when the copy's kill flag is
+  // set or the worker's death time passes. Zero-length sleeps always
+  // finish: a dead worker is reaped at the top of its pull loop instead.
+  auto sliced_sleep = [&](double seconds, const std::atomic<bool>* kill,
+                          double death_at) {
+    double end = elapsed() + seconds;
+    for (;;) {
+      double remaining = end - elapsed();
+      if (remaining <= 0.0) return SleepOutcome::kFinished;
+      if (kill != nullptr && kill->load()) return SleepOutcome::kKilled;
+      if (elapsed() >= death_at) return SleepOutcome::kWorkerDied;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(remaining, kSleepSliceSeconds)));
+    }
+  };
+
+  // Sleeps out a downtime/quarantine window; returns false when the run
+  // stopped (budget or stop flag) before the window elapsed.
+  auto wait_out = [&](double seconds) {
+    double end = elapsed() + seconds;
+    for (;;) {
+      if (elapsed() >= options_.time_budget_seconds) return false;
+      {
+        MutexLock lock(state.mu);
+        if (state.stop) return false;
+      }
+      double remaining = end - elapsed();
+      if (remaining <= 0.0) return true;
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(remaining, 2 * kSleepSliceSeconds)));
+    }
+  };
+
   auto worker_loop = [&](int worker_id) {
+    WorkerLifetime lifetime = PlanWorkerLifetime(options_.worker_faults,
+                                                 options_.seed, worker_id, 0);
+    int64_t incarnation = 0;
+    double death_at = lifetime.uptime_seconds;  // +inf when faults are off
+    int consecutive_failures = 0;
+
     for (;;) {
       Job job;
+      bool speculative_copy = false;
+      std::shared_ptr<std::atomic<bool>> my_kill;
+      bool died_idle = false;
       {
         MutexLock lock(state.mu);
         for (;;) {
           if (state.stop || elapsed() >= options_.time_budget_seconds) return;
+          if (elapsed() >= death_at) {
+            died_idle = true;
+            break;
+          }
           // Requeued jobs whose backoff expired take priority; they are
           // already counted in in_flight.
           auto ready = state.retry_queue.end();
@@ -103,6 +193,41 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             ++state.in_flight;
             break;
           }
+          // No fresh work: duplicate the longest-overdue straggler instead
+          // of idling (smallest job_id first, for determinism of choice).
+          if (options_.speculation.enabled()) {
+            const SpeculationOptions& sp = options_.speculation;
+            int64_t straggler = -1;
+            for (const auto& [id, entry] : state.active) {
+              if (entry.resolved || entry.live_copies != 1) continue;
+              if (state.duplicated_jobs.count(id) > 0) continue;
+              auto lvl = state.level_durations.find(entry.job.level);
+              if (lvl == state.level_durations.end() ||
+                  static_cast<int>(lvl->second.size()) < sp.min_samples) {
+                continue;
+              }
+              double median = lvl->second[(lvl->second.size() - 1) / 2];
+              if (elapsed() - entry.start_time >
+                      sp.speculation_factor * median &&
+                  (straggler < 0 || id < straggler)) {
+                straggler = id;
+              }
+            }
+            if (straggler >= 0) {
+              ActiveAttempt& entry = state.active[straggler];
+              entry.live_copies = 2;
+              entry.kills[1] = std::make_shared<std::atomic<bool>>(false);
+              state.duplicated_jobs.insert(straggler);
+              ++state.result.speculative_attempts;
+              if (options_.check_contract) {
+                contract_checker.NoteSpeculativeLaunch(entry.job);
+              }
+              job = entry.job;
+              speculative_copy = true;
+              my_kill = entry.kills[1];
+              break;
+            }
+          }
           if (state.in_flight == 0 && state.scheduler()->Exhausted()) {
             state.stop = true;
             state.cv.NotifyAll();
@@ -112,6 +237,37 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           // budget and retry.
           state.cv.WaitFor(state.mu, 0.002);
         }
+        if (!died_idle && !speculative_copy) {
+          // Register the primary copy of this attempt.
+          ActiveAttempt entry;
+          entry.job = job;
+          entry.start_time = elapsed();
+          entry.kills[0] = std::make_shared<std::atomic<bool>>(false);
+          my_kill = entry.kills[0];
+          state.active[job.job_id] = std::move(entry);
+        }
+      }
+
+      if (died_idle) {
+        {
+          MutexLock lock(state.mu);
+          ++state.result.worker_deaths;
+          if (lifetime.permanent) ++state.result.workers_lost_permanently;
+        }
+        state.cv.NotifyAll();
+        if (lifetime.permanent) return;
+        double down_started = elapsed();
+        if (!wait_out(lifetime.downtime_seconds)) return;
+        {
+          MutexLock lock(state.mu);
+          state.result.worker_down_seconds += elapsed() - down_started;
+        }
+        ++incarnation;
+        lifetime = PlanWorkerLifetime(options_.worker_faults, options_.seed,
+                                      worker_id, incarnation);
+        death_at = elapsed() + lifetime.uptime_seconds;
+        consecutive_failures = 0;
+        continue;
       }
 
       double job_start = elapsed();
@@ -122,87 +278,240 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
         nominal_sleep = std::max(0.0, cost) * options_.cost_sleep_scale;
       }
       AttemptPlan plan =
-          PlanAttempt(options_.faults, options_.seed, job, nominal_sleep);
+          PlanAttempt(options_.faults, options_.seed, job, nominal_sleep,
+                      speculative_copy ? kSpeculativeStreamSalt : 0);
 
-      if (plan.failed) {
-        // The worker dies (or is killed) before producing a result: sleep
-        // out the doomed attempt's lifetime, then report the failure.
-        if (plan.duration > 0.0) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(plan.duration));
-        }
-        double job_end = elapsed();
-        {
-          MutexLock lock(state.mu);
-          double burned = job_end - job_start;
-          state.result.busy_seconds += burned;
-          state.result.wasted_seconds += burned;
-          ++state.result.failed_attempts;
-
-          FailureInfo info;
-          info.kind = plan.kind;
-          info.attempt = job.attempt;
-          info.retries_remaining =
-              std::max(0, options_.faults.max_retries - (job.attempt - 1));
-          info.wasted_seconds = burned;
-
-          if (state.scheduler()->OnJobFailed(job, info)) {
-            ++state.result.retries;
-            Job next_attempt = job;
-            ++next_attempt.attempt;
-            state.retry_queue.emplace_back(
-                elapsed() + RetryDelay(options_.faults, job.attempt),
-                std::move(next_attempt));
-          } else {
-            ++state.result.failed_trials;
-            TrialRecord record;
-            record.job = job;
-            record.result.cost_seconds = burned;
-            record.start_time = job_start;
-            record.end_time = job_end;
-            record.worker = worker_id;
-            state.result.history.RecordFailure(record);
-            --state.in_flight;
-          }
-        }
-        state.cv.NotifyAll();
-        continue;
-      }
-
+      // Evaluate up front (cheap synthetic problems), then sleep out the
+      // attempt's planned occupancy; the result is discarded if the attempt
+      // is doomed, cancelled, or orphaned.
       uint64_t noise_seed = CombineSeeds(options_.seed, job.config.Hash());
       EvalOutcome outcome =
           problem.Evaluate(job.config, job.resource, noise_seed);
-      if (plan.duration > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(plan.duration));
-      }
+
+      SleepOutcome slept =
+          sliced_sleep(plan.duration, my_kill.get(), death_at);
       double job_end = elapsed();
+      double burned = job_end - job_start;
+      bool worker_died = slept == SleepOutcome::kWorkerDied;
+      bool job_level_failure = false;
 
       {
         MutexLock lock(state.mu);
-        EvalResult eval;
-        eval.objective = outcome.objective;
-        eval.test_objective = outcome.test_objective;
-        eval.cost_seconds = job_end - job_start;
+        auto it = state.active.find(job.job_id);
+        ActiveAttempt* entry =
+            it != state.active.end() ? &it->second : nullptr;
+        bool resolved_by_sibling = entry != nullptr && entry->resolved;
+        bool sibling_live = entry != nullptr && entry->live_copies > 1;
+        // Copy retirement (inlined below after each outcome): decrement the
+        // entry's live_copies and erase it once no copy references it.
 
-        TrialRecord record;
-        record.job = job;
-        record.result = eval;
-        record.start_time = job_start;
-        record.end_time = job_end;
-        record.worker = worker_id;
-        state.result.history.Record(record, job.resource >= full_resource);
-        NotifyObserver(state, options_.observer, record);
-        state.result.busy_seconds += eval.cost_seconds;
+        state.result.busy_seconds += burned;
 
-        state.scheduler()->OnJobComplete(job, eval);
-        --state.in_flight;
-        ++state.completed;
-        if (options_.max_trials > 0 && state.completed >= options_.max_trials) {
-          state.stop = true;
+        if (resolved_by_sibling || slept == SleepOutcome::kKilled) {
+          // We lost the speculation race (cancelled, or finished after the
+          // sibling delivered). Accounting only: the winner already
+          // reported the job and retired the duplicate with the checker.
+          state.result.speculative_wasted_seconds += burned;
+          ++state.result.speculative_losses;
+          if (entry != nullptr && --entry->live_copies <= 0) {
+            state.active.erase(it);
+          }
+        } else if (worker_died) {
+          ++state.result.worker_deaths;
+          if (lifetime.permanent) ++state.result.workers_lost_permanently;
+          if (sibling_live) {
+            // This copy dies silently; its sibling keeps racing.
+            state.result.speculative_wasted_seconds += burned;
+            ++state.result.speculative_losses;
+            if (options_.check_contract) {
+              contract_checker.NoteSpeculativeCopyLost(job);
+            }
+            if (entry != nullptr && --entry->live_copies <= 0) {
+              state.active.erase(it);
+            }
+          } else {
+            // Orphaned attempt: worker-lost, requeued immediately, budget
+            // untouched.
+            state.result.wasted_seconds += burned;
+            ++state.result.failed_attempts;
+            ++state.result.worker_lost_attempts;
+            int prior = 0;
+            auto fit = state.job_failures.find(job.job_id);
+            if (fit != state.job_failures.end()) prior = fit->second;
+            FailureInfo info;
+            info.kind = FailureKind::kWorkerLost;
+            info.attempt = job.attempt;
+            info.retries_remaining =
+                std::max(0, options_.faults.max_retries - prior);
+            info.wasted_seconds = burned;
+            info.worker = worker_id;
+            if (state.scheduler()->OnJobFailed(job, info)) {
+              ++state.result.retries;
+              Job next_attempt = job;
+              ++next_attempt.attempt;
+              state.retry_queue.emplace_back(elapsed(),
+                                             std::move(next_attempt));
+            } else {
+              ++state.result.failed_trials;
+              TrialRecord record;
+              record.job = job;
+              record.result.cost_seconds = burned;
+              record.start_time = job_start;
+              record.end_time = job_end;
+              record.worker = worker_id;
+              record.failure_kind = FailureKind::kWorkerLost;
+              state.result.history.RecordFailure(record);
+              --state.in_flight;
+              state.job_failures.erase(job.job_id);
+            }
+            if (entry != nullptr && --entry->live_copies <= 0) {
+              state.active.erase(it);
+            }
+          }
+        } else if (plan.failed) {
+          job_level_failure = true;
+          if (sibling_live) {
+            // A copy crashed while its sibling races on: silent loss (the
+            // scheduler hears nothing, no retry budget is consumed), but
+            // the worker's failure streak still counts toward quarantine.
+            state.result.speculative_wasted_seconds += burned;
+            ++state.result.speculative_losses;
+            if (options_.check_contract) {
+              contract_checker.NoteSpeculativeCopyLost(job);
+            }
+            if (entry != nullptr && --entry->live_copies <= 0) {
+              state.active.erase(it);
+            }
+          } else {
+            state.result.wasted_seconds += burned;
+            ++state.result.failed_attempts;
+            if (plan.kind == FailureKind::kCrash) {
+              ++state.result.crash_attempts;
+            } else {
+              ++state.result.timeout_attempts;
+            }
+            int prior = 0;
+            auto fit = state.job_failures.find(job.job_id);
+            if (fit != state.job_failures.end()) prior = fit->second;
+            FailureInfo info;
+            info.kind = plan.kind;
+            info.attempt = job.attempt;
+            info.retries_remaining =
+                std::max(0, options_.faults.max_retries - prior);
+            info.wasted_seconds = burned;
+            info.worker = worker_id;
+            if (state.scheduler()->OnJobFailed(job, info)) {
+              ++state.result.retries;
+              state.job_failures[job.job_id] = prior + 1;
+              Job next_attempt = job;
+              ++next_attempt.attempt;
+              state.retry_queue.emplace_back(
+                  elapsed() + RetryDelay(options_.faults, options_.seed, job),
+                  std::move(next_attempt));
+            } else {
+              ++state.result.failed_trials;
+              TrialRecord record;
+              record.job = job;
+              record.result.cost_seconds = burned;
+              record.start_time = job_start;
+              record.end_time = job_end;
+              record.worker = worker_id;
+              record.failure_kind = plan.kind;
+              state.result.history.RecordFailure(record);
+              --state.in_flight;
+              state.job_failures.erase(job.job_id);
+            }
+            if (entry != nullptr && --entry->live_copies <= 0) {
+              state.active.erase(it);
+            }
+          }
+        } else {
+          // First finisher wins: deliver the result, cancel a still-racing
+          // sibling via its kill flag (the loser settles its own
+          // accounting when it wakes).
+          EvalResult eval;
+          eval.objective = outcome.objective;
+          eval.test_objective = outcome.test_objective;
+          eval.cost_seconds = burned;
+
+          TrialRecord record;
+          record.job = job;
+          record.result = eval;
+          record.start_time = job_start;
+          record.end_time = job_end;
+          record.worker = worker_id;
+          record.speculative = speculative_copy;
+          state.result.history.Record(record,
+                                      job.resource >= full_resource);
+          NotifyObserver(state, options_.observer, record);
+          if (speculative_copy) ++state.result.speculative_wins;
+
+          state.scheduler()->OnJobComplete(job, eval);
+          if (entry != nullptr) {
+            entry->resolved = true;
+            if (sibling_live) {
+              int sibling_slot = speculative_copy ? 0 : 1;
+              if (entry->kills[sibling_slot] != nullptr) {
+                entry->kills[sibling_slot]->store(true);
+              }
+              if (options_.check_contract) {
+                contract_checker.NoteSpeculativeCopyLost(job);
+              }
+            }
+            if (entry != nullptr && --entry->live_copies <= 0) {
+              state.active.erase(it);
+            }
+          }
+          state.job_failures.erase(job.job_id);
+          auto& durations = state.level_durations[job.level];
+          durations.insert(
+              std::upper_bound(durations.begin(), durations.end(), burned),
+              burned);
+          consecutive_failures = 0;
+          --state.in_flight;
+          ++state.completed;
+          if (options_.max_trials > 0 &&
+              state.completed >= options_.max_trials) {
+            state.stop = true;
+          }
         }
       }
       state.cv.NotifyAll();
+
+      if (worker_died) {
+        if (lifetime.permanent) return;
+        double down_started = elapsed();
+        if (!wait_out(lifetime.downtime_seconds)) return;
+        {
+          MutexLock lock(state.mu);
+          state.result.worker_down_seconds += elapsed() - down_started;
+        }
+        ++incarnation;
+        lifetime = PlanWorkerLifetime(options_.worker_faults, options_.seed,
+                                      worker_id, incarnation);
+        death_at = elapsed() + lifetime.uptime_seconds;
+        consecutive_failures = 0;
+        continue;
+      }
+
+      if (job_level_failure) {
+        ++consecutive_failures;
+        const WorkerFaultOptions& wf = options_.worker_faults;
+        if (wf.quarantine_failures > 0 && wf.quarantine_seconds > 0.0 &&
+            consecutive_failures >= wf.quarantine_failures) {
+          consecutive_failures = 0;
+          {
+            MutexLock lock(state.mu);
+            ++state.result.quarantines;
+          }
+          double down_started = elapsed();
+          if (!wait_out(wf.quarantine_seconds)) return;
+          {
+            MutexLock lock(state.mu);
+            state.result.worker_down_seconds += elapsed() - down_started;
+          }
+        }
+      }
     }
   };
 

@@ -23,6 +23,13 @@ struct ThreadClusterOptions {
   /// Failure draws are keyed on (seed, job_id, attempt), so which attempts
   /// fail is reproducible even though thread interleaving is not.
   FaultOptions faults;
+  /// Whole-worker fault domain (node death/recovery, quarantine). Lifetimes
+  /// are wall-clock seconds here; draws are keyed on (seed, worker_id,
+  /// incarnation) just like the simulator's.
+  WorkerFaultOptions worker_faults;
+  /// Speculative straggler re-execution (defaults: off). Idle workers scan
+  /// for straggling attempts instead of spinning at a barrier.
+  SpeculationOptions speculation;
   /// Optional per-completion callback (invoked under the completion lock;
   /// the RecordCompletion helper in thread_cluster.cc encodes that promise
   /// as a REQUIRES annotation).
@@ -45,6 +52,18 @@ struct ThreadClusterOptions {
 /// until its crash point (or the watchdog timeout) and never produces a
 /// result; OnJobFailed then decides between requeue — the job waits out its
 /// backoff in a retry queue that any worker may pick up — and abandonment.
+///
+/// With worker faults enabled, each worker thread lives out seeded
+/// incarnations: when its wall-clock uptime expires it orphans any
+/// in-flight attempt (reported as FailureKind::kWorkerLost and requeued
+/// immediately, never consuming the job's retry budget), then either exits
+/// for good (permanent death) or sleeps out its downtime and rejoins as the
+/// next incarnation. Workers whose attempts repeatedly fail for job-level
+/// reasons sit out a quarantine window. With speculation enabled, a worker
+/// that finds no work duplicates the longest-overdue straggling attempt
+/// instead of idling; first finisher wins, the loser is cancelled via a
+/// kill flag checked inside its sliced sleep, and schedulers never observe
+/// duplicate copies.
 class ThreadCluster {
  public:
   explicit ThreadCluster(ThreadClusterOptions options) : options_(options) {}

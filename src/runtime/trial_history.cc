@@ -26,6 +26,14 @@ void TrialHistory::RecordFailure(const TrialRecord& trial) {
   failures_.back().result.objective = std::numeric_limits<double>::infinity();
 }
 
+size_t TrialHistory::num_failures_of_kind(FailureKind kind) const {
+  size_t count = 0;
+  for (const TrialRecord& t : failures_) {
+    if (t.failure_kind == kind) ++count;
+  }
+  return count;
+}
+
 double TrialHistory::best_objective() const {
   return curve_.empty() ? std::numeric_limits<double>::infinity()
                         : curve_.back().best_objective;

@@ -15,6 +15,12 @@ struct TrialRecord {
   double start_time = 0.0;
   double end_time = 0.0;
   int worker = -1;
+  /// For failures() records: how the last attempt died (meaningless for
+  /// completed trials). Lets run_report break abandonments down by kind.
+  FailureKind failure_kind = FailureKind::kCrash;
+  /// True when the recorded completion came from a speculative duplicate
+  /// that beat its straggling primary.
+  bool speculative = false;
 };
 
 /// One point of the anytime curve: the incumbent after some completion.
@@ -53,6 +59,9 @@ class TrialHistory {
 
   size_t num_trials() const { return trials_.size(); }
   size_t num_failures() const { return failures_.size(); }
+
+  /// Abandoned trials whose last attempt died with `kind`.
+  size_t num_failures_of_kind(FailureKind kind) const;
 
   /// Best validation objective so far, +inf when empty.
   double best_objective() const;

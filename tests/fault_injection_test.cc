@@ -459,11 +459,49 @@ TEST(FaultInjectorTest, DrawsDependOnlyOnSeedJobAndAttempt) {
 TEST(FaultInjectorTest, RetryDelayDoublesPerFailedAttempt) {
   FaultOptions faults;
   faults.retry_backoff_seconds = 2.0;
-  EXPECT_DOUBLE_EQ(RetryDelay(faults, 1), 2.0);
-  EXPECT_DOUBLE_EQ(RetryDelay(faults, 2), 4.0);
-  EXPECT_DOUBLE_EQ(RetryDelay(faults, 3), 8.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 2)), 4.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 3)), 8.0);
   faults.retry_backoff_seconds = 0.0;
-  EXPECT_DOUBLE_EQ(RetryDelay(faults, 1), 0.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 1)), 0.0);
+}
+
+TEST(FaultInjectorTest, RetryDelayExponentIsCappedAndClampable) {
+  FaultOptions faults;
+  faults.retry_backoff_seconds = 1.0;
+  // The doubling exponent saturates: absurd attempt numbers still yield a
+  // finite delay, and past the cap every attempt gets the same one.
+  double saturated = RetryDelay(faults, 42, ProbeJob(7, 1000000));
+  EXPECT_TRUE(std::isfinite(saturated));
+  EXPECT_DOUBLE_EQ(saturated, RetryDelay(faults, 42, ProbeJob(7, 2000000)));
+  // The explicit per-delay cap clamps much earlier without touching delays
+  // already below it.
+  faults.max_retry_delay_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 30)), 10.0);
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 2)), 2.0);
+}
+
+TEST(FaultInjectorTest, RetryDelayJitterIsDeterministicAndBounded) {
+  FaultOptions faults;
+  faults.retry_backoff_seconds = 2.0;
+  faults.retry_jitter = 0.5;
+  double delay = RetryDelay(faults, 42, ProbeJob(7, 1));
+  // Deterministic: same (seed, job_id, attempt) always gives the same
+  // jittered delay.
+  EXPECT_DOUBLE_EQ(delay, RetryDelay(faults, 42, ProbeJob(7, 1)));
+  // Bounded: within +-jitter/2 of the base delay.
+  EXPECT_GE(delay, 2.0 * 0.75);
+  EXPECT_LE(delay, 2.0 * 1.25);
+  // Different jobs decorrelate (8 jobs all landing on the identical jitter
+  // draw would be astronomically unlikely).
+  bool differs = false;
+  for (int64_t id = 0; id < 8; ++id) {
+    if (RetryDelay(faults, 42, ProbeJob(id, 1)) != delay) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  // Jitter off reproduces the exact un-jittered delay.
+  faults.retry_jitter = 0.0;
+  EXPECT_DOUBLE_EQ(RetryDelay(faults, 42, ProbeJob(7, 1)), 2.0);
 }
 
 }  // namespace

@@ -130,6 +130,97 @@ uint64_t RunBatchBo(double sigma) {
   return HashHistory(result.history);
 }
 
+/// Digest for fault-enabled runs: the trial/curve hash extended with every
+/// failure record, each trial's speculative flag, and the run-level fault
+/// counters. Pins the entire fault pipeline, not just surviving trials.
+uint64_t HashFaultRun(const RunResult& result) {
+  uint64_t hash = HashHistory(result.history);
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  };
+  auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const TrialRecord& t : result.history.trials()) {
+    mix(t.speculative ? 1u : 0u);
+  }
+  for (const TrialRecord& t : result.history.failures()) {
+    mix(static_cast<uint64_t>(t.job.job_id));
+    mix(static_cast<uint64_t>(t.job.level));
+    mix(static_cast<uint64_t>(t.worker));
+    mix(static_cast<uint64_t>(t.failure_kind));
+    mix_double(t.start_time);
+    mix_double(t.end_time);
+  }
+  mix(static_cast<uint64_t>(result.failed_attempts));
+  mix(static_cast<uint64_t>(result.retries));
+  mix(static_cast<uint64_t>(result.failed_trials));
+  mix(static_cast<uint64_t>(result.crash_attempts));
+  mix(static_cast<uint64_t>(result.timeout_attempts));
+  mix(static_cast<uint64_t>(result.worker_lost_attempts));
+  mix(static_cast<uint64_t>(result.worker_deaths));
+  mix(static_cast<uint64_t>(result.workers_lost_permanently));
+  mix(static_cast<uint64_t>(result.quarantines));
+  mix(static_cast<uint64_t>(result.speculative_attempts));
+  mix(static_cast<uint64_t>(result.speculative_wins));
+  mix(static_cast<uint64_t>(result.speculative_losses));
+  mix_double(result.wasted_seconds);
+  mix_double(result.worker_down_seconds);
+  mix_double(result.speculative_wasted_seconds);
+  return hash;
+}
+
+/// A run with every fault mechanism live at once: attempt crashes and
+/// timeouts, worker deaths (some permanent), quarantine, and speculative
+/// re-execution on top of straggler noise.
+RunResult RunWorkerFaultChaos(bool check_contract) {
+  CountingOnes problem;
+  MeasurementStore store(3);
+  RandomSampler sampler(&problem.space(), &store, 17);
+  BracketSchedulerOptions options;
+  options.ladder = GoldenLadder();
+  options.selector.policy = BracketPolicy::kRoundRobin;
+  SyncBracketScheduler scheduler(&problem.space(), &store, &sampler, nullptr,
+                                 options);
+  ClusterOptions cluster_options = GoldenCluster(0.8);
+  cluster_options.check_contract = check_contract;
+  cluster_options.faults.crash_probability = 0.05;
+  cluster_options.faults.timeout_seconds = 2500.0;
+  cluster_options.faults.max_retries = 2;
+  cluster_options.faults.retry_backoff_seconds = 5.0;
+  cluster_options.faults.retry_jitter = 0.25;
+  cluster_options.worker_faults.mttf_seconds = 1500.0;
+  cluster_options.worker_faults.mttr_seconds = 200.0;
+  cluster_options.worker_faults.permanent_death_probability = 0.1;
+  cluster_options.worker_faults.quarantine_failures = 2;
+  cluster_options.worker_faults.quarantine_seconds = 120.0;
+  cluster_options.speculation.speculation_factor = 1.3;
+  cluster_options.speculation.min_samples = 3;
+  SimulatedCluster cluster(cluster_options);
+  return cluster.Run(&scheduler, problem);
+}
+
+TEST(GoldenHistoryTest, WorkerFaultChaosRunMatchesPinnedDigest) {
+  // The contract checker is pure observation: wrapping the scheduler must
+  // not perturb a single bit of the run, even under full chaos.
+  RunResult checked = RunWorkerFaultChaos(true);
+  RunResult unchecked = RunWorkerFaultChaos(false);
+  EXPECT_EQ(HashFaultRun(checked), HashFaultRun(unchecked));
+  // The pin is only meaningful if the run actually exercised every fault
+  // mechanism.
+  EXPECT_GT(checked.worker_deaths, 0);
+  EXPECT_GT(checked.worker_lost_attempts, 0);
+  EXPECT_GT(checked.speculative_attempts, 0);
+  EXPECT_GT(checked.failed_attempts, 0);
+  // Seeded lifetimes / fault draws make the whole chaos run replayable;
+  // this digest was captured from the revision that introduced worker
+  // fault domains.
+  EXPECT_EQ(HashFaultRun(checked), 9415099045545503522ULL);
+}
+
 TEST(GoldenHistoryTest, SyncBracketSchedulerMatchesSeedRevision) {
   EXPECT_EQ(RunSync(0.0), 18196916382872347268ULL);
   EXPECT_EQ(RunSync(0.4), 2318263401010243178ULL);

@@ -104,6 +104,46 @@ TEST(RunReportTest, FormatSummaryMentionsKeyNumbers) {
   EXPECT_NE(text.find("L1="), std::string::npos);
 }
 
+TEST(RunReportTest, SummaryBreaksFailuresDownByKind) {
+  RunResult run;
+  run.failed_attempts = 9;
+  run.crash_attempts = 3;
+  run.timeout_attempts = 2;
+  run.worker_lost_attempts = 4;
+  run.retries = 7;
+  run.failed_trials = 2;
+  run.worker_deaths = 5;
+  run.workers_lost_permanently = 1;
+  run.quarantines = 2;
+  run.speculative_attempts = 3;
+  run.speculative_wins = 1;
+  run.speculative_losses = 3;
+  TrialRecord crash_trial;
+  crash_trial.failure_kind = FailureKind::kCrash;
+  run.history.RecordFailure(crash_trial);
+  TrialRecord lost_trial;
+  lost_trial.failure_kind = FailureKind::kWorkerLost;
+  run.history.RecordFailure(lost_trial);
+
+  RunSummary summary = Summarize(run, 1);
+  EXPECT_EQ(summary.crash_attempts, 3);
+  EXPECT_EQ(summary.timeout_attempts, 2);
+  EXPECT_EQ(summary.worker_lost_attempts, 4);
+  EXPECT_EQ(summary.crash_trials, 1u);
+  EXPECT_EQ(summary.timeout_trials, 0u);
+  EXPECT_EQ(summary.worker_lost_trials, 1u);
+  EXPECT_EQ(summary.worker_deaths, 5);
+  EXPECT_EQ(summary.workers_lost_permanently, 1);
+  EXPECT_EQ(summary.quarantines, 2);
+  EXPECT_EQ(summary.speculative_attempts, 3);
+
+  std::string text = FormatSummary(summary);
+  EXPECT_NE(text.find("worker-lost"), std::string::npos);
+  EXPECT_NE(text.find("worker deaths: 5 (1 permanent)"), std::string::npos);
+  EXPECT_NE(text.find("quarantines: 2"), std::string::npos);
+  EXPECT_NE(text.find("speculation: 3 launched, 1 won"), std::string::npos);
+}
+
 TEST(RunReportTest, SaveRunArtifactsWritesFiles) {
   CountingOnesOptions options;
   options.num_categorical = 3;

@@ -1,5 +1,6 @@
 #include "src/runtime/store_io.h"
 
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -86,6 +87,53 @@ TEST(StoreIoTest, MalformedRowsRejected) {
   std::istringstream out_of_range(header + "1,1.0,0.1,99,1\n");
   EXPECT_EQ(ReadStoreCsv(&out_of_range, space, &store).code(),
             StatusCode::kOutOfRange);
+}
+
+TEST(StoreIoTest, NonFiniteObjectivesRejectedOnWriteAndRead) {
+  ConfigurationSpace space = MixedSpace();
+  // Write side: a store holding a failed-trial marker (+inf) or a NaN must
+  // not be persisted at all — it could never round-trip as history.
+  for (double poison : {std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::quiet_NaN()}) {
+    MeasurementStore store(1);
+    store.Add(1, Configuration({0.1, 5.0, 1.0}), 2.0);
+    store.Add(1, Configuration({0.2, 6.0, 0.0}), poison);
+    std::ostringstream out;
+    Status status = WriteStoreCsv(store, space, &out);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("non-finite"), std::string::npos);
+  }
+  // Read side: hand-edited CSVs with inf/nan objectives are rejected the
+  // same way (strtod happily parses both spellings).
+  std::string header = "level,objective,lr,depth,op\n";
+  for (const char* poison : {"inf", "nan", "-inf"}) {
+    MeasurementStore store(1);
+    std::istringstream in(header + "1," + poison + ",0.1,5,1\n");
+    EXPECT_EQ(ReadStoreCsv(&in, space, &store).code(),
+              StatusCode::kInvalidArgument)
+        << poison;
+    EXPECT_EQ(store.TotalSize(), 0u);
+  }
+}
+
+TEST(StoreIoTest, FiniteObjectiveRoundTripSurvivesExtremes) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  // Denormals and huge-but-finite magnitudes survive the 17-digit format.
+  store.Add(1, Configuration({0.1, 5.0, 1.0}),
+            std::numeric_limits<double>::denorm_min());
+  store.Add(1, Configuration({0.2, 6.0, 0.0}),
+            -std::numeric_limits<double>::max());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteStoreCsv(store, space, &out).ok());
+  MeasurementStore loaded(1);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadStoreCsv(&in, space, &loaded).ok());
+  ASSERT_EQ(loaded.group(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.group(1)[0].objective,
+                   std::numeric_limits<double>::denorm_min());
+  EXPECT_DOUBLE_EQ(loaded.group(1)[1].objective,
+                   -std::numeric_limits<double>::max());
 }
 
 TEST(StoreIoTest, FileRoundTripAndWarmStart) {
