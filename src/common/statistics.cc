@@ -13,19 +13,15 @@ double Mean(const std::vector<double>& values) {
 }
 
 double Variance(const std::vector<double>& values) {
-  if (values.empty()) return 0.0;
-  double m = Mean(values);
-  double acc = 0.0;
-  for (double v : values) acc += (v - m) * (v - m);
-  return acc / static_cast<double>(values.size());
-}
-
-double StdDev(const std::vector<double>& values) {
   if (values.size() < 2) return 0.0;
   double m = Mean(values);
   double acc = 0.0;
   for (double v : values) acc += (v - m) * (v - m);
-  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
 }
 
 double Median(std::vector<double> values) { return Quantile(std::move(values), 0.5); }

@@ -9,10 +9,11 @@ namespace hypertune {
 /// Arithmetic mean; returns 0 for empty input.
 double Mean(const std::vector<double>& values);
 
-/// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+/// Sample standard deviation, sqrt(Variance(values)); returns 0 for n < 2.
 double StdDev(const std::vector<double>& values);
 
-/// Population variance (n denominator); returns 0 for empty input.
+/// Sample variance (n-1 denominator); returns 0 for n < 2, so
+/// StdDev(v) == sqrt(Variance(v)) for every input.
 double Variance(const std::vector<double>& values);
 
 /// Median (average of the two middle elements for even n); 0 for empty input.

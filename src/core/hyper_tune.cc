@@ -59,6 +59,7 @@ TuningOutcome HyperTune::Optimize(const TuningProblem& problem,
   cluster.faults = options.faults;
   cluster.worker_faults = options.worker_faults;
   cluster.speculation = options.speculation;
+  cluster.obs = options.obs;
   return MakeOutcome(tuner->Run(problem, cluster));
 }
 
@@ -83,6 +84,7 @@ TuningOutcome HyperTune::OptimizeOnThreads(const TuningProblem& problem,
   cluster.faults = options.faults;
   cluster.worker_faults = options.worker_faults;
   cluster.speculation = options.speculation;
+  cluster.obs = options.obs;
   return MakeOutcome(tuner->RunOnThreads(problem, cluster));
 }
 

@@ -40,6 +40,11 @@ struct HyperTuneOptions {
   WorkerFaultOptions worker_faults;
   /// Speculative straggler re-execution (defaults: off).
   SpeculationOptions speculation;
+  /// Observability sink (trace events + metrics registry), forwarded to
+  /// whichever execution backend runs the tuning. Off by default; recording
+  /// perturbs no decision and no RNG, so instrumented runs are bit-identical
+  /// to uninstrumented ones. See src/obs/chrome_trace.h for exporters.
+  ObservabilityOptions obs;
   uint64_t seed = 0;
 };
 

@@ -1,0 +1,336 @@
+#include "src/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace hypertune {
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats seconds as integral trace microseconds.
+std::int64_t Micros(double seconds) {
+  return static_cast<std::int64_t>(seconds * 1e6 + 0.5);
+}
+
+constexpr int kPid = 1;
+constexpr int kDriverTid = 0;
+
+/// tid of worker `w`'s track (driver owns tid 0).
+int WorkerTid(int worker) { return worker + 1; }
+
+bool IsLaunch(TraceKind k) {
+  return k == TraceKind::kJobLaunch || k == TraceKind::kSpeculativeLaunch;
+}
+
+bool IsTerminal(TraceKind k) {
+  return k == TraceKind::kJobComplete || k == TraceKind::kJobFailed ||
+         k == TraceKind::kJobTruncated || k == TraceKind::kSpeculativeCopyLost;
+}
+
+/// Emits one JSON trace event object (no trailing comma).
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream* out) : out_(out) {}
+
+  /// Starts an event with the universal fields; finish with Arg*/Close.
+  EventWriter& Open(const std::string& name, const char* ph, std::int64_t ts,
+                    int tid) {
+    *out_ << (first_ ? "\n  " : ",\n  ");
+    first_ = false;
+    *out_ << "{\"name\":\"" << JsonEscape(name) << "\",\"ph\":\"" << ph
+          << "\",\"ts\":" << ts << ",\"pid\":" << kPid << ",\"tid\":" << tid;
+    args_open_ = false;
+    return *this;
+  }
+
+  EventWriter& Field(const char* key, std::int64_t v) {
+    *out_ << ",\"" << key << "\":" << v;
+    return *this;
+  }
+
+  EventWriter& Field(const char* key, const std::string& v) {
+    *out_ << ",\"" << key << "\":\"" << JsonEscape(v) << "\"";
+    return *this;
+  }
+
+  EventWriter& Arg(const char* key, std::int64_t v) {
+    OpenArgs();
+    *out_ << "\"" << key << "\":" << v;
+    return *this;
+  }
+
+  EventWriter& Arg(const char* key, double v) {
+    OpenArgs();
+    std::ostringstream num;
+    num.precision(17);
+    num << v;
+    *out_ << "\"" << key << "\":" << num.str();
+    return *this;
+  }
+
+  EventWriter& Arg(const char* key, const std::string& v) {
+    OpenArgs();
+    *out_ << "\"" << key << "\":\"" << JsonEscape(v) << "\"";
+    return *this;
+  }
+
+  void Close() {
+    if (args_open_) *out_ << "}";
+    *out_ << "}";
+  }
+
+ private:
+  void OpenArgs() {
+    *out_ << (args_open_ ? "," : ",\"args\":{");
+    args_open_ = true;
+  }
+
+  std::ostream* out_;
+  bool first_ = true;
+  bool args_open_ = false;
+};
+
+/// A launch waiting for its terminal event on a worker track.
+struct OpenAttempt {
+  TraceEvent launch;
+  bool valid = false;
+};
+
+}  // namespace
+
+Status WriteChromeTrace(const TraceRecorder& trace, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  const std::vector<TraceEvent> events = trace.Snapshot();
+
+  // Workers that ever appear get a named track.
+  std::set<int> workers;
+  for (const TraceEvent& e : events) {
+    if (e.worker >= 0) workers.insert(e.worker);
+  }
+
+  *out << "{\"traceEvents\":[";
+  EventWriter w(out);
+
+  w.Open("process_name", "M", 0, kDriverTid).Arg("name", std::string("hypertune"));
+  w.Close();
+  w.Open("thread_name", "M", 0, kDriverTid).Arg("name", std::string("driver"));
+  w.Close();
+  for (int worker : workers) {
+    w.Open("thread_name", "M", 0, WorkerTid(worker))
+        .Arg("name", "worker " + std::to_string(worker));
+    w.Close();
+  }
+
+  // Worker tracks carry at most one running attempt at a time, so pairing a
+  // terminal event with the last launch on the same track is exact.
+  std::map<int, OpenAttempt> open;
+
+  for (const TraceEvent& e : events) {
+    const std::int64_t ts = Micros(e.time);
+    if (IsLaunch(e.kind)) {
+      if (e.worker < 0) {
+        return Status::Internal("trace: launch event without a worker");
+      }
+      OpenAttempt& slot = open[e.worker];
+      if (slot.valid) {
+        return Status::Internal(
+            "trace: worker " + std::to_string(e.worker) +
+            " launched job " + std::to_string(e.job_id) +
+            " while still running job " + std::to_string(slot.launch.job_id));
+      }
+      slot.launch = e;
+      slot.valid = true;
+    } else if (IsTerminal(e.kind)) {
+      if (e.worker < 0) {
+        return Status::Internal("trace: terminal event without a worker");
+      }
+      OpenAttempt& slot = open[e.worker];
+      if (!slot.valid || slot.launch.job_id != e.job_id) {
+        return Status::Internal(
+            "trace: terminal event for job " + std::to_string(e.job_id) +
+            " on worker " + std::to_string(e.worker) +
+            " does not match the open launch");
+      }
+      const TraceEvent& launch = slot.launch;
+      std::string name = "job " + std::to_string(e.job_id) + " L" +
+                         std::to_string(launch.level);
+      if (launch.speculative) name += " (spec)";
+      w.Open(name, "X", Micros(launch.time), WorkerTid(e.worker))
+          .Field("dur", std::max<std::int64_t>(ts - Micros(launch.time), 0))
+          .Arg("job_id", static_cast<std::int64_t>(e.job_id))
+          .Arg("level", static_cast<std::int64_t>(launch.level))
+          .Arg("bracket", static_cast<std::int64_t>(launch.bracket))
+          .Arg("attempt", static_cast<std::int64_t>(launch.attempt))
+          .Arg("speculative",
+               std::string(launch.speculative ? "true" : "false"))
+          .Arg("outcome", std::string(TraceKindName(e.kind)));
+      if (e.kind == TraceKind::kJobComplete) {
+        w.Arg("objective", e.value);
+      } else if (e.kind == TraceKind::kJobFailed) {
+        w.Arg("failure", e.name).Arg("wasted_seconds", e.value);
+      }
+      w.Close();
+      slot.valid = false;
+    } else if (e.kind == TraceKind::kSpanBegin ||
+               e.kind == TraceKind::kSpanEnd) {
+      const char* ph = e.kind == TraceKind::kSpanBegin ? "B" : "E";
+      w.Open(e.name, ph, ts, kDriverTid);
+      w.Close();
+    } else {
+      // Everything else is an instant on the track it concerns.
+      const int tid = e.worker >= 0 ? WorkerTid(e.worker) : kDriverTid;
+      w.Open(TraceKindName(e.kind), "i", ts, tid).Field("s", std::string("t"));
+      if (e.job_id >= 0) w.Arg("job_id", static_cast<std::int64_t>(e.job_id));
+      if (e.level >= 0) w.Arg("level", static_cast<std::int64_t>(e.level));
+      if (e.bracket >= 0) {
+        w.Arg("bracket", static_cast<std::int64_t>(e.bracket));
+      }
+      if (!e.name.empty()) w.Arg("detail", e.name);
+      if (e.value != 0.0) w.Arg("value", e.value);
+      w.Close();
+    }
+  }
+
+  for (const auto& [worker, slot] : open) {
+    if (slot.valid) {
+      return Status::Internal(
+          "trace: job " + std::to_string(slot.launch.job_id) + " on worker " +
+          std::to_string(worker) + " was launched but never reached a "
+          "terminal event (backends must emit job_truncated at shutdown)");
+    }
+  }
+
+  *out << "\n]}\n";
+  if (!out->good()) return Status::Internal("chrome trace write failed");
+  return Status::Ok();
+}
+
+Status WriteWorkerTimelineCsv(const TraceRecorder& trace, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  const std::vector<TraceEvent> events = trace.Snapshot();
+  double end_time = 0.0;
+  for (const TraceEvent& e : events) end_time = std::max(end_time, e.time);
+
+  struct Interval {
+    int worker;
+    const char* state;
+    double start;
+    double end;
+    std::int64_t job_id;
+  };
+  std::vector<Interval> intervals;
+  // Open interval start per worker per state (-1 = not open).
+  std::map<int, TraceEvent> busy_since;
+  std::map<int, double> dead_since;
+  std::map<int, double> quarantined_since;
+
+  for (const TraceEvent& e : events) {
+    if (e.worker < 0) continue;
+    if (IsLaunch(e.kind)) {
+      busy_since[e.worker] = e;
+    } else if (IsTerminal(e.kind)) {
+      auto it = busy_since.find(e.worker);
+      if (it != busy_since.end()) {
+        intervals.push_back(
+            {e.worker, "busy", it->second.time, e.time, e.job_id});
+        busy_since.erase(it);
+      }
+    } else if (e.kind == TraceKind::kWorkerDeath) {
+      dead_since[e.worker] = e.time;
+    } else if (e.kind == TraceKind::kWorkerRecover) {
+      auto it = dead_since.find(e.worker);
+      if (it != dead_since.end()) {
+        intervals.push_back({e.worker, "dead", it->second, e.time, -1});
+        dead_since.erase(it);
+      }
+    } else if (e.kind == TraceKind::kQuarantineBegin) {
+      quarantined_since[e.worker] = e.time;
+    } else if (e.kind == TraceKind::kQuarantineEnd) {
+      auto it = quarantined_since.find(e.worker);
+      if (it != quarantined_since.end()) {
+        intervals.push_back({e.worker, "quarantined", it->second, e.time, -1});
+        quarantined_since.erase(it);
+      }
+    }
+  }
+  for (const auto& [worker, launch] : busy_since) {
+    intervals.push_back({worker, "busy", launch.time, end_time, launch.job_id});
+  }
+  for (const auto& [worker, since] : dead_since) {
+    intervals.push_back({worker, "dead", since, end_time, -1});
+  }
+  for (const auto& [worker, since] : quarantined_since) {
+    intervals.push_back({worker, "quarantined", since, end_time, -1});
+  }
+
+  std::stable_sort(intervals.begin(), intervals.end(),
+                   [](const Interval& a, const Interval& b) {
+                     if (a.worker != b.worker) return a.worker < b.worker;
+                     return a.start < b.start;
+                   });
+
+  *out << "worker,state,start_seconds,end_seconds,job_id\n";
+  out->precision(17);
+  for (const Interval& iv : intervals) {
+    *out << iv.worker << ',' << iv.state << ',' << iv.start << ',' << iv.end
+         << ',' << iv.job_id << '\n';
+  }
+  if (!out->good()) return Status::Internal("worker timeline write failed");
+  return Status::Ok();
+}
+
+Status SaveChromeTrace(const TraceRecorder& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::Internal("cannot open " + path);
+  return WriteChromeTrace(trace, &out);
+}
+
+Status SaveWorkerTimelineCsv(const TraceRecorder& trace,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::Internal("cannot open " + path);
+  return WriteWorkerTimelineCsv(trace, &out);
+}
+
+}  // namespace hypertune

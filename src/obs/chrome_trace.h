@@ -1,0 +1,38 @@
+#ifndef HYPERTUNE_OBS_CHROME_TRACE_H_
+#define HYPERTUNE_OBS_CHROME_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/trace_recorder.h"
+
+namespace hypertune {
+
+/// Exporters turning a recorded trace into artifacts a human can open.
+///
+/// Chrome trace: the JSON-object form of the Chrome trace_event format
+/// ({"traceEvents":[...]}), loadable in about:tracing and Perfetto. Worker
+/// attempts become complete ("X") slices on one thread track per worker;
+/// driver-side spans (surrogate fits, acquisition optimization) become
+/// nested B/E slices on the driver track; everything else — promotions,
+/// requeues, worker deaths, contract events — becomes instant events on
+/// the track it concerns. Timestamps are the recorder's seconds scaled to
+/// microseconds, so a simulated run renders on its virtual clock.
+///
+/// Worker timeline: a CSV of per-worker state intervals
+/// (worker,state,start_seconds,end_seconds,job_id) with state one of
+/// busy|dead|quarantined — the utilization series behind the paper's
+/// scalability plots. Intervals still open at the last recorded event are
+/// closed at that time.
+Status WriteChromeTrace(const TraceRecorder& trace, std::ostream* out);
+Status WriteWorkerTimelineCsv(const TraceRecorder& trace, std::ostream* out);
+
+/// File-path convenience wrappers.
+Status SaveChromeTrace(const TraceRecorder& trace, const std::string& path);
+Status SaveWorkerTimelineCsv(const TraceRecorder& trace,
+                             const std::string& path);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OBS_CHROME_TRACE_H_

@@ -1,0 +1,15 @@
+#include "src/obs/clock.h"
+
+#include <chrono>
+
+namespace hypertune {
+
+// lint: allow-file(wallclock) — this file IS the sanctioned clock seam; see
+// the header comment and the RULE_EXEMPT entry in tools/lint.py.
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hypertune

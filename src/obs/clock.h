@@ -1,0 +1,24 @@
+#ifndef HYPERTUNE_OBS_CLOCK_H_
+#define HYPERTUNE_OBS_CLOCK_H_
+
+namespace hypertune {
+
+/// The single sanctioned monotonic-clock seam of the observability layer.
+///
+/// Library code is forbidden from reading wall clocks (the determinism lint
+/// bans std::chrono clock reads outside the thread backend), because a run
+/// must be a pure function of its seed. Trace timestamps are the one
+/// legitimate exception: they *describe* a run without influencing it — no
+/// scheduling, sampling, or fault decision may ever depend on a value
+/// returned here. Both execution backends override the recorder's clock
+/// anyway (virtual time on SimulatedCluster, run-relative wall time on
+/// ThreadCluster); this seam only serves recorders used outside a cluster
+/// run, e.g. spans recorded while fitting surrogates standalone.
+///
+/// Seconds since an arbitrary process-local epoch; strictly monotone,
+/// never affected by system clock adjustments.
+double MonotonicSeconds();
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OBS_CLOCK_H_

@@ -1,0 +1,58 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+
+namespace hypertune {
+namespace {
+
+/// Log2 bucket index for a histogram observation (see HistogramSnapshot).
+int BucketFor(double value) {
+  if (!(value > 1.0)) return 0;  // also catches NaN
+  return static_cast<int>(std::ceil(std::log2(value)));
+}
+
+}  // namespace
+
+void MetricsRegistry::Increment(const std::string& name, std::int64_t delta) {
+  MutexLock lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  MutexLock lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  MutexLock lock(mu_);
+  Histogram& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    if (value < h.min) h.min = value;
+    if (value > h.max) h.max = value;
+  }
+  ++h.count;
+  h.sum += value;
+  ++h.buckets[BucketFor(value)];
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h.count;
+    s.sum = h.sum;
+    s.min = h.min;
+    s.max = h.max;
+    s.buckets = h.buckets;
+    snap.histograms[name] = std::move(s);
+  }
+  return snap;
+}
+
+}  // namespace hypertune

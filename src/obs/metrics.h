@@ -1,0 +1,78 @@
+#ifndef HYPERTUNE_OBS_METRICS_H_
+#define HYPERTUNE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/thread_annotations.h"
+
+namespace hypertune {
+
+/// Aggregate of one histogram metric. Buckets are base-2 logarithmic over
+/// the positive range: bucket b counts observations in (2^(b-1), 2^b] with
+/// bucket 0 holding everything <= 1. Enough resolution to tell a 100 ms fit
+/// from a 10 s one without per-observation storage.
+struct HistogramSnapshot {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::map<int, std::int64_t> buckets;
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Point-in-time copy of every metric in a registry. Maps (not unordered)
+/// so that iteration — and therefore every report built from a snapshot —
+/// is deterministically ordered by name.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Thread-safe registry of named counters, gauges, and histograms.
+///
+/// Lock-cheap by design: one mutex, and every operation under it is a map
+/// lookup plus O(1) arithmetic — no allocation on the hot path once a metric
+/// exists. Writers are the cluster backends, schedulers, and samplers; the
+/// only reader is Snapshot(), called at export time. Metric names are
+/// dot-separated paths ("jobs.launched", "sampler.fit_seconds").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` (default 1) to counter `name`, creating it at zero first.
+  void Increment(const std::string& name, std::int64_t delta = 1)
+      EXCLUDES(mu_);
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void SetGauge(const std::string& name, double value) EXCLUDES(mu_);
+
+  /// Records one observation into histogram `name`.
+  void Observe(const std::string& name, double value) EXCLUDES(mu_);
+
+  /// Consistent copy of all metrics (single critical section).
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
+
+ private:
+  struct Histogram {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::map<int, std::int64_t> buckets;
+  };
+
+  mutable Mutex mu_;
+  std::map<std::string, std::int64_t> counters_ GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OBS_METRICS_H_

@@ -1,0 +1,36 @@
+#ifndef HYPERTUNE_OBS_OBSERVABILITY_H_
+#define HYPERTUNE_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace_recorder.h"
+
+namespace hypertune {
+
+/// The per-run observability sink: one trace recorder plus one metrics
+/// registry, shared by the execution backend, the scheduler stack, and the
+/// samplers of a single run. Owned by the caller (typically on the stack
+/// next to HyperTune), never by the library, so its lifetime trivially
+/// spans the run and export happens after Run() returns.
+struct Observability {
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+};
+
+/// How a run opts into observability. Defaults off (null sink): with no
+/// sink installed every hook is a pointer test that fails, the recorder and
+/// registry are never touched, and — because recording consumes no random
+/// numbers and makes no scheduling decisions — the run's history is
+/// bit-identical to an instrumented one. Golden-digest tests pin this.
+struct ObservabilityOptions {
+  Observability* sink = nullptr;
+
+  bool enabled() const { return sink != nullptr; }
+  TraceRecorder* trace() const { return sink != nullptr ? &sink->trace : nullptr; }
+  MetricsRegistry* metrics() const {
+    return sink != nullptr ? &sink->metrics : nullptr;
+  }
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OBS_OBSERVABILITY_H_

@@ -1,0 +1,96 @@
+#include "src/obs/trace_recorder.h"
+
+#include <utility>
+
+#include "src/obs/clock.h"
+
+namespace hypertune {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kConfigSampled:
+      return "config_sampled";
+    case TraceKind::kJobLaunch:
+      return "job_launch";
+    case TraceKind::kJobComplete:
+      return "job_complete";
+    case TraceKind::kJobFailed:
+      return "job_failed";
+    case TraceKind::kJobTruncated:
+      return "job_truncated";
+    case TraceKind::kJobRequeued:
+      return "job_requeued";
+    case TraceKind::kJobAbandoned:
+      return "job_abandoned";
+    case TraceKind::kSpeculativeLaunch:
+      return "speculative_launch";
+    case TraceKind::kSpeculativeCopyLost:
+      return "speculative_copy_lost";
+    case TraceKind::kPromotion:
+      return "promotion";
+    case TraceKind::kWorkerDeath:
+      return "worker_death";
+    case TraceKind::kWorkerRecover:
+      return "worker_recover";
+    case TraceKind::kQuarantineBegin:
+      return "quarantine_begin";
+    case TraceKind::kQuarantineEnd:
+      return "quarantine_end";
+    case TraceKind::kSpanBegin:
+      return "span_begin";
+    case TraceKind::kSpanEnd:
+      return "span_end";
+    case TraceKind::kContract:
+      return "contract";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder() {
+  // Standalone default: run-relative monotonic seconds, so traces recorded
+  // outside a cluster run still start near zero.
+  const double base = MonotonicSeconds();
+  clock_ = [base] { return MonotonicSeconds() - base; };
+}
+
+void TraceRecorder::SetClock(std::function<double()> clock) {
+  MutexLock lock(mu_);
+  clock_ = std::move(clock);
+}
+
+double TraceRecorder::Now() const {
+  MutexLock lock(mu_);
+  return clock_();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  MutexLock lock(mu_);
+  if (event.time < 0.0) event.time = clock_();
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::BeginSpan(const std::string& name) {
+  TraceEvent e;
+  e.kind = TraceKind::kSpanBegin;
+  e.name = name;
+  Record(std::move(e));
+}
+
+void TraceRecorder::EndSpan(const std::string& name) {
+  TraceEvent e;
+  e.kind = TraceKind::kSpanEnd;
+  e.name = name;
+  Record(std::move(e));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  MutexLock lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  MutexLock lock(mu_);
+  return events_.size();
+}
+
+}  // namespace hypertune

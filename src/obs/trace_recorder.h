@@ -1,0 +1,107 @@
+#ifndef HYPERTUNE_OBS_TRACE_RECORDER_H_
+#define HYPERTUNE_OBS_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_annotations.h"
+
+namespace hypertune {
+
+/// What a trace event describes. Job events form the per-worker tracks of
+/// the exported timeline: every kJobLaunch is eventually closed by exactly
+/// one terminal event (kJobComplete, kJobFailed, or kJobTruncated) for that
+/// (job_id, attempt, speculative) attempt — obs_test replays the trace to
+/// enforce this. kSpanBegin/kSpanEnd wrap driver-side work (surrogate fits,
+/// acquisition optimization) and must nest properly per track.
+enum class TraceKind {
+  kConfigSampled,        ///< sampler emitted a new configuration
+  kJobLaunch,            ///< attempt started running on a worker
+  kJobComplete,          ///< attempt finished with an objective (terminal)
+  kJobFailed,            ///< attempt died: name holds FailureKindName (terminal)
+  kJobTruncated,         ///< run ended while the attempt was in flight (terminal)
+  kJobRequeued,          ///< failed/orphaned job went back to the retry queue
+  kJobAbandoned,         ///< retries exhausted; trial reported as failed
+  kSpeculativeLaunch,    ///< backup copy of a straggler started
+  kSpeculativeCopyLost,  ///< a sibling finished first; this copy was cancelled
+  kPromotion,            ///< D-ASHA promoted a config to a higher rung
+  kWorkerDeath,          ///< worker (node) died
+  kWorkerRecover,        ///< dead worker came back
+  kQuarantineBegin,      ///< flaky worker benched
+  kQuarantineEnd,        ///< quarantine served; worker eligible again
+  kSpanBegin,            ///< driver-side span opened (name identifies it)
+  kSpanEnd,              ///< driver-side span closed (matches last open name)
+  kContract,             ///< SchedulerContractChecker event, mirrored verbatim
+};
+
+/// Stable lowercase identifier ("job_launch", "span_begin", ...), used as
+/// the event name in exported traces and in tests.
+const char* TraceKindName(TraceKind kind);
+
+/// One structured lifecycle event. Fields default to "not applicable";
+/// producers fill only what the kind needs. `time` is in seconds on the
+/// recording clock (virtual seconds under SimulatedCluster, run-relative
+/// wall seconds under ThreadCluster); a negative time is stamped by the
+/// recorder at Record() time.
+struct TraceEvent {
+  TraceKind kind = TraceKind::kContract;
+  double time = -1.0;
+  int worker = -1;
+  std::int64_t job_id = -1;
+  int level = -1;
+  int bracket = -1;
+  int attempt = -1;
+  bool speculative = false;
+  /// Span name, failure kind, contract message — kind-dependent detail.
+  std::string name;
+  /// Kind-dependent scalar: objective for kJobComplete, wasted seconds for
+  /// kJobFailed, quarantine length for kQuarantineBegin, ...
+  double value = 0.0;
+};
+
+/// Thread-safe append-only recorder of TraceEvents.
+///
+/// The clock is injected: SimulatedCluster installs its virtual clock,
+/// ThreadCluster its run-relative steady clock, and a standalone recorder
+/// defaults to the MonotonicSeconds() seam — so the recorder itself never
+/// decides what "now" means and stays usable from deterministic code.
+/// Recording is append-under-mutex; exporters consume Snapshot().
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Replaces the timestamp source. Call before recording; events already
+  /// recorded keep their stamps.
+  void SetClock(std::function<double()> clock) EXCLUDES(mu_);
+
+  /// Current time on the installed clock.
+  double Now() const EXCLUDES(mu_);
+
+  /// Appends `event`, stamping `event.time` with Now() if negative.
+  void Record(TraceEvent event) EXCLUDES(mu_);
+
+  /// Convenience for driver-side spans: records kSpanBegin/kSpanEnd with
+  /// `name` on the driver track. Spans must be closed in LIFO order per
+  /// track (Chrome's B/E semantics).
+  void BeginSpan(const std::string& name) EXCLUDES(mu_);
+  void EndSpan(const std::string& name) EXCLUDES(mu_);
+
+  /// Copy of all events recorded so far, in record order.
+  std::vector<TraceEvent> Snapshot() const EXCLUDES(mu_);
+
+  /// Number of events recorded so far.
+  std::size_t size() const EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::function<double()> clock_ GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_OBS_TRACE_RECORDER_H_

@@ -112,7 +112,19 @@ bool BoSampler::EnsureModel() {
           ? BuildSurrogateDataWithPendingMedian(*space_, *store_, level)
           : BuildSurrogateData(*space_, *store_, level);
   auto model = MakeSurrogate();
-  if (!model->Fit(data.x, data.y).ok()) return false;
+  const std::string span = "fit surrogate L" + std::to_string(level);
+  const double fit_start = obs_ != nullptr ? obs_->trace.Now() : 0.0;
+  if (obs_ != nullptr) obs_->trace.BeginSpan(span);
+  const bool fit_ok = model->Fit(data.x, data.y).ok();
+  if (obs_ != nullptr) {
+    obs_->trace.EndSpan(span);
+    obs_->metrics.Increment("sampler.fits");
+    obs_->metrics.Observe("sampler.fit_seconds",
+                          obs_->trace.Now() - fit_start);
+    obs_->metrics.Observe("sampler.fit_points",
+                          static_cast<double>(data.x.size()));
+  }
+  if (!fit_ok) return false;
 
   model_ = std::move(model);
   fitted_version_ = store_->version();
@@ -127,8 +139,16 @@ Configuration BoSampler::ProposeFromModel() {
   opts.num_candidates = options_.num_candidates;
   opts.num_local_seeds = options_.num_local_seeds;
   opts.neighbors_per_seed = options_.neighbors_per_seed;
+  const double acq_start = obs_ != nullptr ? obs_->trace.Now() : 0.0;
+  if (obs_ != nullptr) obs_->trace.BeginSpan("acquisition");
   std::optional<Configuration> proposal = MaximizeAcquisition(
       *space_, *store_, *model_, fit_best_, last_fit_level_, opts, &rng_);
+  if (obs_ != nullptr) {
+    obs_->trace.EndSpan("acquisition");
+    obs_->metrics.Increment("sampler.acquisition_calls");
+    obs_->metrics.Observe("sampler.acquisition_seconds",
+                          obs_->trace.Now() - acq_start);
+  }
   if (proposal.has_value()) return *std::move(proposal);
   // Every candidate was a duplicate: fall back to (deduplicated) random.
   RandomSampler fallback(space_, store_,

@@ -70,6 +70,8 @@ class BoSampler : public Sampler {
 
   Configuration Sample(int target_level) override;
   std::string name() const override;
+  /// Times surrogate fits and acquisition optimization as trace spans.
+  void SetObservability(Observability* sink) override { obs_ = sink; }
 
   /// Fidelity level whose data the last model-based proposal used
   /// (0 when the model has not engaged yet). Exposed for tests.
@@ -96,6 +98,7 @@ class BoSampler : public Sampler {
   uint64_t fitted_version_ = ~uint64_t{0};
   int last_fit_level_ = 0;
   double fit_best_ = 0.0;  // best objective in the fitted group
+  Observability* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace hypertune

@@ -22,7 +22,11 @@ SurrogateData BuildSurrogateDataWithPendingMedian(
   SurrogateData data = BuildSurrogateData(space, store, level);
   if (data.num_real == 0) return data;  // no median to impute with
   double median = store.MedianObjective(level);
-  for (const Configuration& pending : store.PendingConfigs()) {
+  // Only this level's pending configs: trials running at other fidelities
+  // belong to other measurement groups, and imputing them here would
+  // pollute the level-specific fit (§3.2 imputes within the bracket being
+  // fit).
+  for (const Configuration& pending : store.PendingConfigs(level)) {
     data.x.push_back(space.Encode(pending));
     data.y.push_back(median);
     ++data.num_imputed;

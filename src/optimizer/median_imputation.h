@@ -22,8 +22,9 @@ SurrogateData BuildSurrogateData(const ConfigurationSpace& space,
                                  const MeasurementStore& store, int level);
 
 /// Algorithm 2 (lines 1–3), the algorithm-agnostic parallel sampling
-/// device: augments group `level` with every pending configuration imputed
-/// at the group's median objective. The imputed points act as a local
+/// device: augments group `level` with every configuration pending *at that
+/// level* imputed at the group's median objective (trials in flight at other
+/// fidelities belong to other measurement groups and are excluded). The imputed points act as a local
 /// penalty around busy workers' configurations, steering the acquisition
 /// away from repeated or near-duplicate evaluations without modifying the
 /// underlying sequential optimizer.

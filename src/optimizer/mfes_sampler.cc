@@ -73,7 +73,20 @@ bool MfesSampler::EnsureEnsemble() {
             ? BuildSurrogateDataWithPendingMedian(*space_, *store_, level)
             : BuildSurrogateData(*space_, *store_, level);
     auto model = MakeBaseSurrogate(level);
-    if (model->Fit(data.x, data.y).ok()) {
+    const std::string span = "fit surrogate L" + std::to_string(level);
+    const double fit_start =
+        obs_ != nullptr ? obs_->trace.Now() : 0.0;
+    if (obs_ != nullptr) obs_->trace.BeginSpan(span);
+    const bool fit_ok = model->Fit(data.x, data.y).ok();
+    if (obs_ != nullptr) {
+      obs_->trace.EndSpan(span);
+      obs_->metrics.Increment("sampler.fits");
+      obs_->metrics.Observe("sampler.fit_seconds",
+                            obs_->trace.Now() - fit_start);
+      obs_->metrics.Observe("sampler.fit_points",
+                            static_cast<double>(data.x.size()));
+    }
+    if (fit_ok) {
       base_[static_cast<size_t>(level - 1)] = std::move(model);
       fitted_sizes_[static_cast<size_t>(level - 1)] = group.size();
     }
@@ -117,8 +130,16 @@ Configuration MfesSampler::Sample(int target_level) {
   opts.num_candidates = options_.bo.num_candidates;
   opts.num_local_seeds = options_.bo.num_local_seeds;
   opts.neighbors_per_seed = options_.bo.neighbors_per_seed;
+  const double acq_start = obs_ != nullptr ? obs_->trace.Now() : 0.0;
+  if (obs_ != nullptr) obs_->trace.BeginSpan("acquisition");
   std::optional<Configuration> proposal = MaximizeAcquisition(
       *space_, *store_, ensemble_, fit_best_, best_level_, opts, &rng_);
+  if (obs_ != nullptr) {
+    obs_->trace.EndSpan("acquisition");
+    obs_->metrics.Increment("sampler.acquisition_calls");
+    obs_->metrics.Observe("sampler.acquisition_seconds",
+                          obs_->trace.Now() - acq_start);
+  }
   if (proposal.has_value()) return *std::move(proposal);
   RandomSampler fallback(space_, store_,
                          CombineSeeds(options_.bo.seed, store_->version()));

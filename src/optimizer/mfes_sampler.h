@@ -34,6 +34,8 @@ class MfesSampler : public Sampler {
 
   Configuration Sample(int target_level) override;
   std::string name() const override { return "mfes"; }
+  /// Times base-surrogate fits and acquisition optimization as trace spans.
+  void SetObservability(Observability* sink) override { obs_ = sink; }
 
   /// Ensemble weights used by the last model-based proposal (diagnostics).
   const std::vector<double>& last_theta() const { return last_theta_; }
@@ -60,6 +62,7 @@ class MfesSampler : public Sampler {
   std::vector<size_t> fitted_sizes_;
   double fit_best_ = 0.0;
   int best_level_ = 0;
+  Observability* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace hypertune

@@ -5,6 +5,7 @@
 
 #include "src/config/configuration.h"
 #include "src/config/space.h"
+#include "src/obs/observability.h"
 #include "src/runtime/measurement_store.h"
 
 namespace hypertune {
@@ -37,6 +38,12 @@ class Sampler {
 
   /// Short identifier for logs and reports.
   virtual std::string name() const = 0;
+
+  /// Installs the run's observability sink (null disables, the default).
+  /// Model-based samplers override this to time surrogate fits and
+  /// acquisition optimization as trace spans. Purely observational: a
+  /// sampler's proposals must be identical with and without a sink.
+  virtual void SetObservability(Observability* sink) { (void)sink; }
 };
 
 }  // namespace hypertune

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/obs/chrome_trace.h"
+
 namespace hypertune {
 
 RunSummary Summarize(const RunResult& result, int num_levels) {
@@ -128,6 +130,27 @@ std::string FormatSummary(const RunSummary& summary) {
   return os.str();
 }
 
+std::string FormatMetrics(const MetricsSnapshot& metrics) {
+  std::ostringstream os;
+  os << "metrics:";
+  if (metrics.counters.empty() && metrics.gauges.empty() &&
+      metrics.histograms.empty()) {
+    os << " (none recorded)";
+    return os.str();
+  }
+  for (const auto& [name, value] : metrics.counters) {
+    os << "\n  " << name << ": " << value;
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    os << "\n  " << name << ": " << value;
+  }
+  for (const auto& [name, hist] : metrics.histograms) {
+    os << "\n  " << name << ": count " << hist.count << "  mean "
+       << hist.Mean() << "  min " << hist.min << "  max " << hist.max;
+  }
+  return os.str();
+}
+
 Status SaveRunArtifacts(const RunResult& result,
                         const ConfigurationSpace& space,
                         const std::string& prefix) {
@@ -144,6 +167,22 @@ Status SaveRunArtifacts(const RunResult& result,
       return Status::Internal("cannot open " + prefix + "_curve.csv");
     }
     HT_RETURN_IF_ERROR(WriteCurveCsv(result, &curve));
+  }
+  return Status::Ok();
+}
+
+Status SaveObservabilityArtifacts(const Observability& obs,
+                                  const std::string& prefix) {
+  HT_RETURN_IF_ERROR(SaveChromeTrace(obs.trace, prefix + "_trace.json"));
+  HT_RETURN_IF_ERROR(
+      SaveWorkerTimelineCsv(obs.trace, prefix + "_timeline.csv"));
+  {
+    std::ofstream metrics(prefix + "_metrics.txt");
+    if (!metrics.is_open()) {
+      return Status::Internal("cannot open " + prefix + "_metrics.txt");
+    }
+    metrics << FormatMetrics(obs.metrics.Snapshot()) << '\n';
+    if (!metrics.good()) return Status::Internal("metrics write failed");
   }
   return Status::Ok();
 }

@@ -7,6 +7,7 @@
 
 #include "src/common/status.h"
 #include "src/config/space.h"
+#include "src/obs/observability.h"
 #include "src/runtime/simulated_cluster.h"
 
 namespace hypertune {
@@ -66,11 +67,23 @@ Status WriteCurveCsv(const RunResult& result, std::ostream* out);
 /// Renders the summary as a human-readable multi-line string.
 std::string FormatSummary(const RunSummary& summary);
 
+/// Renders a metrics snapshot as a human-readable section: counters and
+/// gauges one per line (sorted by name), histograms with count/mean/min/max.
+/// Appended to FormatSummary output when a run was instrumented.
+std::string FormatMetrics(const MetricsSnapshot& metrics);
+
 /// Convenience: writes both CSVs to `<prefix>_trials.csv` /
 /// `<prefix>_curve.csv` on disk.
 Status SaveRunArtifacts(const RunResult& result,
                         const ConfigurationSpace& space,
                         const std::string& prefix);
+
+/// Writes an instrumented run's observability artifacts:
+/// `<prefix>_trace.json` (Chrome trace_event JSON, loadable in
+/// about:tracing / Perfetto), `<prefix>_timeline.csv` (per-worker
+/// utilization timeline), and `<prefix>_metrics.txt` (FormatMetrics).
+Status SaveObservabilityArtifacts(const Observability& obs,
+                                  const std::string& prefix);
 
 }  // namespace hypertune
 

@@ -91,32 +91,34 @@ int MeasurementStore::HighestLevelWith(size_t min_count) const {
   return 0;
 }
 
-void MeasurementStore::AddPending(const Configuration& config) {
+void MeasurementStore::AddPending(const Configuration& config, int level) {
   MutexLock lock(mu_);
+  HT_CHECK(level >= 1 && level <= static_cast<int>(groups_.size()))
+      << "pending level " << level << " outside [1, " << groups_.size() << "]";
   auto& bucket = pending_[config.Hash()];
-  for (auto& [stored, count] : bucket) {
-    if (stored == config) {
-      ++count;
+  for (PendingEntry& entry : bucket) {
+    if (entry.level == level && entry.config == config) {
+      ++entry.count;
       ++num_pending_;
       ++version_;
       return;
     }
   }
-  bucket.emplace_back(config, 1);
+  bucket.push_back(PendingEntry{config, level, 1});
   ++num_pending_;
   ++version_;
 }
 
-void MeasurementStore::RemovePending(const Configuration& config) {
+void MeasurementStore::RemovePending(const Configuration& config, int level) {
   MutexLock lock(mu_);
   auto it = pending_.find(config.Hash());
   if (it == pending_.end()) return;
   auto& bucket = it->second;
   for (size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].first == config) {
+    if (bucket[i].level == level && bucket[i].config == config) {
       --num_pending_;
       ++version_;
-      if (--bucket[i].second == 0) {
+      if (--bucket[i].count == 0) {
         bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
         if (bucket.empty()) pending_.erase(it);
       }
@@ -130,8 +132,20 @@ std::vector<Configuration> MeasurementStore::PendingConfigs() const {
   std::vector<Configuration> out;
   out.reserve(num_pending_);
   for (const auto& [hash, bucket] : pending_) {
-    for (const auto& [config, count] : bucket) {
-      for (int i = 0; i < count; ++i) out.push_back(config);
+    for (const PendingEntry& entry : bucket) {
+      for (int i = 0; i < entry.count; ++i) out.push_back(entry.config);
+    }
+  }
+  return out;
+}
+
+std::vector<Configuration> MeasurementStore::PendingConfigs(int level) const {
+  MutexLock lock(mu_);
+  std::vector<Configuration> out;
+  for (const auto& [hash, bucket] : pending_) {
+    for (const PendingEntry& entry : bucket) {
+      if (entry.level != level) continue;
+      for (int i = 0; i < entry.count; ++i) out.push_back(entry.config);
     }
   }
   return out;

@@ -67,14 +67,23 @@ class MeasurementStore {
   /// Highest level with at least `min_count` measurements, or 0 if none.
   int HighestLevelWith(size_t min_count) const EXCLUDES(mu_);
 
-  /// Marks a configuration as being evaluated on some worker.
-  void AddPending(const Configuration& config) EXCLUDES(mu_);
+  /// Marks a configuration as being evaluated on some worker at `level` in
+  /// [1, K]. Pending entries are level-scoped: Algorithm 2 imputes the
+  /// pending configs of the fidelity group being fit, so a trial running at
+  /// another level must not appear in that group's C_pending.
+  void AddPending(const Configuration& config, int level) EXCLUDES(mu_);
 
-  /// Unmarks one pending instance of `config` (no-op when absent).
-  void RemovePending(const Configuration& config) EXCLUDES(mu_);
+  /// Unmarks one pending instance of `config` at `level` (no-op when
+  /// absent).
+  void RemovePending(const Configuration& config, int level) EXCLUDES(mu_);
 
-  /// Snapshot of the pending configurations (C_pending in Algorithm 2).
+  /// Snapshot of all pending configurations across every level — the right
+  /// set for duplicate-avoidance when sampling new configs.
   std::vector<Configuration> PendingConfigs() const EXCLUDES(mu_);
+
+  /// Snapshot of the configurations pending at `level` only (C_pending of
+  /// that measurement group in Algorithm 2).
+  std::vector<Configuration> PendingConfigs(int level) const EXCLUDES(mu_);
 
   size_t NumPending() const EXCLUDES(mu_);
 
@@ -98,12 +107,19 @@ class MeasurementStore {
   std::vector<Measurement>& GroupLocked(int level) REQUIRES(mu_);
   const std::vector<Measurement>& GroupLocked(int level) const REQUIRES(mu_);
 
+  /// One (config, level) entry of the pending multiset.
+  struct PendingEntry {
+    Configuration config;
+    int level = 0;
+    int count = 0;
+  };
+
   mutable Mutex mu_;
   std::vector<std::vector<Measurement>> groups_ GUARDED_BY(mu_);  // 0 <-> 1
-  /// Pending multiset: config hash -> (config, count). Hash collisions are
-  /// resolved by linear scan of the bucket vector.
-  std::unordered_map<uint64_t, std::vector<std::pair<Configuration, int>>>
-      pending_ GUARDED_BY(mu_);
+  /// Pending multiset: config hash -> (config, level, count). Hash
+  /// collisions are resolved by linear scan of the bucket vector.
+  std::unordered_map<uint64_t, std::vector<PendingEntry>> pending_
+      GUARDED_BY(mu_);
   size_t num_pending_ GUARDED_BY(mu_) = 0;
   uint64_t version_ GUARDED_BY(mu_) = 0;
   uint64_t data_version_ GUARDED_BY(mu_) = 0;

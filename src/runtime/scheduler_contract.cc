@@ -26,6 +26,14 @@ const char* SchedulerContractChecker::StateName(TrialState state) {
 }
 
 void SchedulerContractChecker::RecordEvent(std::string event) {
+  // Mirror every contract event into the run trace: a contract abort then
+  // dumps a full timeline next to the textual event list.
+  if (obs_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceKind::kContract;
+    e.name = event;
+    obs_->trace.Record(std::move(e));
+  }
   trace_.push_back(std::move(event));
   while (trace_.size() > options_.event_trace_capacity) trace_.pop_front();
 }
@@ -266,6 +274,11 @@ bool SchedulerContractChecker::Exhausted() const {
 
 void SchedulerContractChecker::CheckInvariants() const {
   inner_->CheckInvariants();
+}
+
+void SchedulerContractChecker::SetObservability(Observability* sink) {
+  obs_ = sink;
+  inner_->SetObservability(sink);
 }
 
 }  // namespace hypertune

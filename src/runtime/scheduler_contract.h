@@ -64,6 +64,9 @@ class SchedulerContractChecker : public SchedulerInterface {
   bool OnJobFailed(const Job& job, const FailureInfo& info) override;
   bool Exhausted() const override;
   void CheckInvariants() const override;
+  /// Mirrors every contract event into the trace (TraceKind::kContract) and
+  /// forwards the sink to the wrapped scheduler.
+  void SetObservability(Observability* sink) override;
 
   /// Backend-only audit hooks for speculative re-execution (the wrapped
   /// scheduler never sees duplicates, so these are not part of
@@ -120,6 +123,7 @@ class SchedulerContractChecker : public SchedulerInterface {
   mutable bool exhausted_observed_ = false;
   std::deque<std::string> trace_;
   std::vector<std::string> violations_;
+  Observability* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace hypertune

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "src/obs/observability.h"
 #include "src/runtime/job.h"
 
 namespace hypertune {
@@ -70,6 +71,12 @@ class SchedulerInterface {
   /// state continuously. The default is a no-op for schedulers without
   /// internal bookkeeping.
   virtual void CheckInvariants() const {}
+
+  /// Installs the run's observability sink (null disables, the default).
+  /// Called by the execution backend before the first NextJob(); schedulers
+  /// that own a sampler forward the sink to it. Purely observational: a
+  /// scheduler's decisions must be identical with and without a sink.
+  virtual void SetObservability(Observability* sink) { (void)sink; }
 };
 
 }  // namespace hypertune

@@ -166,6 +166,17 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   const double full_resource = problem.max_resource();
   int64_t completed = 0;
 
+  // Observability: trace events are stamped with the virtual clock, and the
+  // sink is threaded to the scheduler stack (the contract checker forwards
+  // it inward and mirrors its own events). Recording consumes no random
+  // numbers and perturbs no decision, so instrumented runs are bit-identical
+  // to uninstrumented ones.
+  Observability* const obs = options_.obs.sink;
+  if (obs != nullptr) {
+    obs->trace.SetClock([&now] { return now; });
+    scheduler->SetObservability(obs);
+  }
+
   // Seed each worker's first incarnation. Draws nothing (and schedules
   // nothing) when worker faults are off, so fault-off runs stay
   // bit-identical to the pre-fault-domain code path.
@@ -227,6 +238,21 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     running[worker] = attempt;
     job_workers[job.job_id].push_back(worker);
 
+    if (obs != nullptr) {
+      TraceEvent e;
+      e.kind = speculative_copy ? TraceKind::kSpeculativeLaunch
+                                : TraceKind::kJobLaunch;
+      e.worker = worker;
+      e.job_id = job.job_id;
+      e.level = job.level;
+      e.bracket = job.bracket;
+      e.attempt = job.attempt;
+      e.speculative = speculative_copy;
+      obs->trace.Record(std::move(e));
+      obs->metrics.Increment(speculative_copy ? "speculation.launched"
+                                              : "jobs.launched");
+    }
+
     SimEvent flight;
     flight.start_time = now;
     flight.end_time = now + plan.duration;
@@ -283,6 +309,19 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
                             double start_time, double burned) {
     ++result.failed_attempts;
     result.wasted_seconds += burned;
+    if (obs != nullptr) {
+      TraceEvent e;
+      e.kind = TraceKind::kJobFailed;
+      e.worker = worker;
+      e.job_id = job.job_id;
+      e.level = job.level;
+      e.bracket = job.bracket;
+      e.attempt = job.attempt;
+      e.name = FailureKindName(kind);
+      e.value = burned;
+      obs->trace.Record(std::move(e));
+      obs->metrics.Increment("jobs.failed_attempts");
+    }
     switch (kind) {
       case FailureKind::kCrash:
         ++result.crash_attempts;
@@ -314,6 +353,16 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       }
       Job next_attempt = job;
       ++next_attempt.attempt;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobRequeued;
+        e.job_id = job.job_id;
+        e.level = job.level;
+        e.attempt = next_attempt.attempt;
+        e.name = FailureKindName(kind);
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("jobs.requeued");
+      }
       if (kind == FailureKind::kWorkerLost) {
         // Node death is the cluster's fault: requeue immediately, no
         // backoff, budget untouched.
@@ -334,6 +383,16 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       }
     } else {
       ++result.failed_trials;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobAbandoned;
+        e.job_id = job.job_id;
+        e.level = job.level;
+        e.attempt = job.attempt;
+        e.name = FailureKindName(kind);
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("jobs.abandoned");
+      }
       TrialRecord record;
       record.job = job;
       record.result.cost_seconds = burned;
@@ -360,6 +419,14 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       ws.down_since = now;
       --available_workers;
       ++result.quarantines;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kQuarantineBegin;
+        e.worker = w;
+        e.value = wf.quarantine_seconds;
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("workers.quarantines");
+      }
       SimEvent rejoin;
       rejoin.start_time = now;
       rejoin.end_time = now + wf.quarantine_seconds;
@@ -418,6 +485,13 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (!ws.alive || ws.incarnation != flight.incarnation) continue;
       ++result.worker_deaths;
       const int w = flight.worker;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kWorkerDeath;
+        e.worker = w;
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("workers.deaths");
+      }
       if (ws.quarantined) {
         // Death supersedes quarantine: close the quarantine window (its
         // rejoin event goes stale via the incarnation bump below).
@@ -437,6 +511,18 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
             // (no scheduler notification, no budget effect).
             ++result.speculative_losses;
             result.speculative_wasted_seconds += burned;
+            if (obs != nullptr) {
+              TraceEvent e;
+              e.kind = TraceKind::kSpeculativeCopyLost;
+              e.worker = w;
+              e.job_id = attempt.job.job_id;
+              e.level = attempt.job.level;
+              e.attempt = attempt.job.attempt;
+              e.speculative = attempt.speculative;
+              e.value = burned;
+              obs->trace.Record(std::move(e));
+              obs->metrics.Increment("speculation.losses");
+            }
             if (options_.check_contract) {
               contract_checker.NoteSpeculativeCopyLost(attempt.job);
             }
@@ -474,6 +560,13 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (ws.alive || ws.incarnation != flight.incarnation) continue;
       ws.alive = true;
       ++available_workers;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kWorkerRecover;
+        e.worker = flight.worker;
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("workers.recoveries");
+      }
       result.worker_down_seconds += now - ws.down_since;
       ws.lifetime = PlanWorkerLifetime(options_.worker_faults, options_.seed,
                                        flight.worker, ws.incarnation);
@@ -501,6 +594,12 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       ws.quarantined = false;
       ++available_workers;
       result.worker_down_seconds += now - ws.down_since;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kQuarantineEnd;
+        e.worker = flight.worker;
+        obs->trace.Record(std::move(e));
+      }
       idle_workers.push_back(flight.worker);
       try_assign();
       if (no_work_left()) break;
@@ -551,6 +650,18 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
         // the worker's failure streak still counts toward quarantine.
         ++result.speculative_losses;
         result.speculative_wasted_seconds += duration;
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kSpeculativeCopyLost;
+          e.worker = w;
+          e.job_id = attempt.job.job_id;
+          e.level = attempt.job.level;
+          e.attempt = attempt.job.attempt;
+          e.speculative = attempt.speculative;
+          e.value = duration;
+          obs->trace.Record(std::move(e));
+          obs->metrics.Increment("speculation.losses");
+        }
         if (options_.check_contract) {
           contract_checker.NoteSpeculativeCopyLost(attempt.job);
         }
@@ -568,6 +679,18 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
         result.busy_seconds += loser_burned;
         result.speculative_wasted_seconds += loser_burned;
         ++result.speculative_losses;
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kSpeculativeCopyLost;
+          e.worker = loser;
+          e.job_id = attempt.job.job_id;
+          e.level = running[loser]->job.level;
+          e.attempt = running[loser]->job.attempt;
+          e.speculative = running[loser]->speculative;
+          e.value = loser_burned;
+          obs->trace.Record(std::move(e));
+          obs->metrics.Increment("speculation.losses");
+        }
         release(loser);
         job_workers.erase(attempt.job.job_id);
         idle_workers.push_back(loser);
@@ -594,6 +717,22 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       record.speculative = attempt.speculative;
       result.history.Record(record, attempt.job.resource >= full_resource);
       if (options_.observer) options_.observer(record);
+
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobComplete;
+        e.worker = w;
+        e.job_id = attempt.job.job_id;
+        e.level = attempt.job.level;
+        e.bracket = attempt.job.bracket;
+        e.attempt = attempt.job.attempt;
+        e.speculative = attempt.speculative;
+        e.value = eval.objective;
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("jobs.completed");
+        if (attempt.speculative) obs->metrics.Increment("speculation.wins");
+        obs->metrics.Observe("trial.duration_seconds", duration);
+      }
 
       scheduler->OnJobComplete(attempt.job, eval);
       if (cancelled_sibling && options_.check_contract) {
@@ -629,6 +768,30 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     }
   }
   result.Finalize(options_.num_workers);
+  if (obs != nullptr) {
+    // Close the trace: every attempt still in flight at shutdown gets its
+    // terminal event, so each launch pairs with exactly one terminal.
+    for (int w = 0; w < options_.num_workers; ++w) {
+      if (!running[w].has_value()) continue;
+      TraceEvent e;
+      e.kind = TraceKind::kJobTruncated;
+      e.time = result.elapsed_seconds;
+      e.worker = w;
+      e.job_id = running[w]->job.job_id;
+      e.level = running[w]->job.level;
+      e.bracket = running[w]->job.bracket;
+      e.attempt = running[w]->job.attempt;
+      e.speculative = running[w]->speculative;
+      obs->trace.Record(std::move(e));
+      obs->metrics.Increment("jobs.truncated");
+    }
+    obs->metrics.SetGauge("run.elapsed_seconds", result.elapsed_seconds);
+    obs->metrics.SetGauge("run.busy_seconds", result.busy_seconds);
+    obs->metrics.SetGauge("run.utilization", result.utilization);
+    // Freeze the clock: the installed lambda captures `now` by reference,
+    // which dies with this frame.
+    obs->trace.SetClock([t = result.elapsed_seconds] { return t; });
+  }
   return result;
 }
 

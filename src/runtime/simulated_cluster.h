@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/observability.h"
 #include "src/problems/problem.h"
 #include "src/runtime/fault_injector.h"
 #include "src/runtime/scheduler_interface.h"
@@ -48,6 +49,12 @@ struct ClusterOptions {
   /// RNG, so checked runs are bit-identical to unchecked ones; turn it off
   /// for microbenchmarks that measure raw scheduler overhead.
   bool check_contract = true;
+  /// Observability sink (trace events + metrics). Off by default; recording
+  /// consumes no random numbers and perturbs no decision, so instrumented
+  /// runs stay bit-identical to uninstrumented ones. The backend stamps
+  /// trace events with its own clock: virtual time here, run-relative wall
+  /// time on ThreadCluster.
+  ObservabilityOptions obs;
 };
 
 /// Aggregate outcome of a cluster run.

@@ -117,6 +117,15 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
                                          start)
         .count();
   };
+  // Trace timestamps share the trial records' run-relative wall clock (this
+  // file's sanctioned steady-clock seam). The installed lambda reads this
+  // frame's locals, so it is re-installed as a frozen value before Run
+  // returns. Recording consumes no RNG and perturbs no decision.
+  Observability* const obs = options_.obs.sink;
+  if (obs != nullptr) {
+    obs->trace.SetClock(elapsed);
+    scheduler->SetObservability(obs);
+  }
   const double full_resource = problem.max_resource();
 
   // Sleeps `seconds` in slices, aborting early when the copy's kill flag is
@@ -254,6 +263,13 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           ++state.result.worker_deaths;
           if (lifetime.permanent) ++state.result.workers_lost_permanently;
         }
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kWorkerDeath;
+          e.worker = worker_id;
+          obs->trace.Record(std::move(e));
+          obs->metrics.Increment("workers.deaths");
+        }
         state.cv.NotifyAll();
         if (lifetime.permanent) return;
         double down_started = elapsed();
@@ -262,12 +278,34 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           MutexLock lock(state.mu);
           state.result.worker_down_seconds += elapsed() - down_started;
         }
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kWorkerRecover;
+          e.worker = worker_id;
+          obs->trace.Record(std::move(e));
+          obs->metrics.Increment("workers.recoveries");
+        }
         ++incarnation;
         lifetime = PlanWorkerLifetime(options_.worker_faults, options_.seed,
                                       worker_id, incarnation);
         death_at = elapsed() + lifetime.uptime_seconds;
         consecutive_failures = 0;
         continue;
+      }
+
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = speculative_copy ? TraceKind::kSpeculativeLaunch
+                                  : TraceKind::kJobLaunch;
+        e.worker = worker_id;
+        e.job_id = job.job_id;
+        e.level = job.level;
+        e.bracket = job.bracket;
+        e.attempt = job.attempt;
+        e.speculative = speculative_copy;
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment(speculative_copy ? "speculation.launched"
+                                                : "jobs.launched");
       }
 
       double job_start = elapsed();
@@ -313,16 +351,47 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           // reported the job and retired the duplicate with the checker.
           state.result.speculative_wasted_seconds += burned;
           ++state.result.speculative_losses;
+          if (obs != nullptr) {
+            TraceEvent e;
+            e.kind = TraceKind::kSpeculativeCopyLost;
+            e.worker = worker_id;
+            e.job_id = job.job_id;
+            e.level = job.level;
+            e.attempt = job.attempt;
+            e.speculative = speculative_copy;
+            e.value = burned;
+            obs->trace.Record(std::move(e));
+            obs->metrics.Increment("speculation.losses");
+          }
           if (entry != nullptr && --entry->live_copies <= 0) {
             state.active.erase(it);
           }
         } else if (worker_died) {
           ++state.result.worker_deaths;
           if (lifetime.permanent) ++state.result.workers_lost_permanently;
+          if (obs != nullptr) {
+            TraceEvent e;
+            e.kind = TraceKind::kWorkerDeath;
+            e.worker = worker_id;
+            obs->trace.Record(std::move(e));
+            obs->metrics.Increment("workers.deaths");
+          }
           if (sibling_live) {
             // This copy dies silently; its sibling keeps racing.
             state.result.speculative_wasted_seconds += burned;
             ++state.result.speculative_losses;
+            if (obs != nullptr) {
+              TraceEvent e;
+              e.kind = TraceKind::kSpeculativeCopyLost;
+              e.worker = worker_id;
+              e.job_id = job.job_id;
+              e.level = job.level;
+              e.attempt = job.attempt;
+              e.speculative = speculative_copy;
+              e.value = burned;
+              obs->trace.Record(std::move(e));
+              obs->metrics.Increment("speculation.losses");
+            }
             if (options_.check_contract) {
               contract_checker.NoteSpeculativeCopyLost(job);
             }
@@ -335,6 +404,20 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             state.result.wasted_seconds += burned;
             ++state.result.failed_attempts;
             ++state.result.worker_lost_attempts;
+            if (obs != nullptr) {
+              TraceEvent e;
+              e.kind = TraceKind::kJobFailed;
+              e.worker = worker_id;
+              e.job_id = job.job_id;
+              e.level = job.level;
+              e.bracket = job.bracket;
+              e.attempt = job.attempt;
+              e.speculative = speculative_copy;
+              e.name = FailureKindName(FailureKind::kWorkerLost);
+              e.value = burned;
+              obs->trace.Record(std::move(e));
+              obs->metrics.Increment("jobs.failed_attempts");
+            }
             int prior = 0;
             auto fit = state.job_failures.find(job.job_id);
             if (fit != state.job_failures.end()) prior = fit->second;
@@ -349,10 +432,30 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
               ++state.result.retries;
               Job next_attempt = job;
               ++next_attempt.attempt;
+              if (obs != nullptr) {
+                TraceEvent e;
+                e.kind = TraceKind::kJobRequeued;
+                e.job_id = job.job_id;
+                e.level = job.level;
+                e.attempt = next_attempt.attempt;
+                e.name = FailureKindName(FailureKind::kWorkerLost);
+                obs->trace.Record(std::move(e));
+                obs->metrics.Increment("jobs.requeued");
+              }
               state.retry_queue.emplace_back(elapsed(),
                                              std::move(next_attempt));
             } else {
               ++state.result.failed_trials;
+              if (obs != nullptr) {
+                TraceEvent e;
+                e.kind = TraceKind::kJobAbandoned;
+                e.job_id = job.job_id;
+                e.level = job.level;
+                e.attempt = job.attempt;
+                e.name = FailureKindName(FailureKind::kWorkerLost);
+                obs->trace.Record(std::move(e));
+                obs->metrics.Increment("jobs.abandoned");
+              }
               TrialRecord record;
               record.job = job;
               record.result.cost_seconds = burned;
@@ -376,6 +479,18 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             // the worker's failure streak still counts toward quarantine.
             state.result.speculative_wasted_seconds += burned;
             ++state.result.speculative_losses;
+            if (obs != nullptr) {
+              TraceEvent e;
+              e.kind = TraceKind::kSpeculativeCopyLost;
+              e.worker = worker_id;
+              e.job_id = job.job_id;
+              e.level = job.level;
+              e.attempt = job.attempt;
+              e.speculative = speculative_copy;
+              e.value = burned;
+              obs->trace.Record(std::move(e));
+              obs->metrics.Increment("speculation.losses");
+            }
             if (options_.check_contract) {
               contract_checker.NoteSpeculativeCopyLost(job);
             }
@@ -389,6 +504,20 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
               ++state.result.crash_attempts;
             } else {
               ++state.result.timeout_attempts;
+            }
+            if (obs != nullptr) {
+              TraceEvent e;
+              e.kind = TraceKind::kJobFailed;
+              e.worker = worker_id;
+              e.job_id = job.job_id;
+              e.level = job.level;
+              e.bracket = job.bracket;
+              e.attempt = job.attempt;
+              e.speculative = speculative_copy;
+              e.name = FailureKindName(plan.kind);
+              e.value = burned;
+              obs->trace.Record(std::move(e));
+              obs->metrics.Increment("jobs.failed_attempts");
             }
             int prior = 0;
             auto fit = state.job_failures.find(job.job_id);
@@ -405,11 +534,31 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
               state.job_failures[job.job_id] = prior + 1;
               Job next_attempt = job;
               ++next_attempt.attempt;
+              if (obs != nullptr) {
+                TraceEvent e;
+                e.kind = TraceKind::kJobRequeued;
+                e.job_id = job.job_id;
+                e.level = job.level;
+                e.attempt = next_attempt.attempt;
+                e.name = FailureKindName(plan.kind);
+                obs->trace.Record(std::move(e));
+                obs->metrics.Increment("jobs.requeued");
+              }
               state.retry_queue.emplace_back(
                   elapsed() + RetryDelay(options_.faults, options_.seed, job),
                   std::move(next_attempt));
             } else {
               ++state.result.failed_trials;
+              if (obs != nullptr) {
+                TraceEvent e;
+                e.kind = TraceKind::kJobAbandoned;
+                e.job_id = job.job_id;
+                e.level = job.level;
+                e.attempt = job.attempt;
+                e.name = FailureKindName(plan.kind);
+                obs->trace.Record(std::move(e));
+                obs->metrics.Increment("jobs.abandoned");
+              }
               TrialRecord record;
               record.job = job;
               record.result.cost_seconds = burned;
@@ -445,6 +594,21 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
                                       job.resource >= full_resource);
           NotifyObserver(state, options_.observer, record);
           if (speculative_copy) ++state.result.speculative_wins;
+          if (obs != nullptr) {
+            TraceEvent e;
+            e.kind = TraceKind::kJobComplete;
+            e.worker = worker_id;
+            e.job_id = job.job_id;
+            e.level = job.level;
+            e.bracket = job.bracket;
+            e.attempt = job.attempt;
+            e.speculative = speculative_copy;
+            e.value = eval.objective;
+            obs->trace.Record(std::move(e));
+            obs->metrics.Increment("jobs.completed");
+            if (speculative_copy) obs->metrics.Increment("speculation.wins");
+            obs->metrics.Observe("trial.duration_seconds", burned);
+          }
 
           state.scheduler()->OnJobComplete(job, eval);
           if (entry != nullptr) {
@@ -486,6 +650,13 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           MutexLock lock(state.mu);
           state.result.worker_down_seconds += elapsed() - down_started;
         }
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kWorkerRecover;
+          e.worker = worker_id;
+          obs->trace.Record(std::move(e));
+          obs->metrics.Increment("workers.recoveries");
+        }
         ++incarnation;
         lifetime = PlanWorkerLifetime(options_.worker_faults, options_.seed,
                                       worker_id, incarnation);
@@ -504,11 +675,25 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             MutexLock lock(state.mu);
             ++state.result.quarantines;
           }
+          if (obs != nullptr) {
+            TraceEvent e;
+            e.kind = TraceKind::kQuarantineBegin;
+            e.worker = worker_id;
+            e.value = wf.quarantine_seconds;
+            obs->trace.Record(std::move(e));
+            obs->metrics.Increment("workers.quarantines");
+          }
           double down_started = elapsed();
           if (!wait_out(wf.quarantine_seconds)) return;
           {
             MutexLock lock(state.mu);
             state.result.worker_down_seconds += elapsed() - down_started;
+          }
+          if (obs != nullptr) {
+            TraceEvent e;
+            e.kind = TraceKind::kQuarantineEnd;
+            e.worker = worker_id;
+            obs->trace.Record(std::move(e));
           }
         }
       }
@@ -531,6 +716,13 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
   // the true elapsed time (keeps utilization = busy/capacity <= 1).
   result.elapsed_seconds = elapsed();
   result.Finalize(options_.num_workers);
+  if (obs != nullptr) {
+    obs->metrics.SetGauge("run.elapsed_seconds", result.elapsed_seconds);
+    obs->metrics.SetGauge("run.busy_seconds", result.busy_seconds);
+    obs->metrics.SetGauge("run.utilization", result.utilization);
+    // Freeze the clock: the installed lambda reads this frame's locals.
+    obs->trace.SetClock([t = result.elapsed_seconds] { return t; });
+  }
   return result;
 }
 

@@ -38,6 +38,11 @@ struct ThreadClusterOptions {
   /// ClusterOptions::check_contract). The checker runs inside the
   /// serialized scheduler section, so it needs no extra synchronization.
   bool check_contract = true;
+  /// Observability sink (trace events + metrics). Off by default. Trace
+  /// events are stamped with run-relative wall-clock seconds (the backend's
+  /// own elapsed clock); the recorder and registry are internally
+  /// synchronized, so worker threads record concurrently.
+  ObservabilityOptions obs;
 };
 
 /// Multi-threaded execution backend running one OS thread per worker.

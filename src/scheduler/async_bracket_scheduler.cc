@@ -74,7 +74,16 @@ std::optional<Job> AsyncBracketScheduler::NextJob() {
       inflight_[next_job_id_] = bracket.get();
       ++next_job_id_;
       ++promotions_issued_;
-      store_->AddPending(promotion->config);
+      store_->AddPending(promotion->config, promotion->level);
+      if (obs_ != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kPromotion;
+        e.job_id = promotion->job_id;
+        e.level = promotion->level;
+        e.bracket = promotion->bracket;
+        obs_->trace.Record(std::move(e));
+        obs_->metrics.Increment("scheduler.promotions");
+      }
       return promotion;
     }
   }
@@ -94,7 +103,17 @@ std::optional<Job> AsyncBracketScheduler::NextJob() {
   Job job = bracket->AdmitConfig(config, next_job_id_);
   inflight_[next_job_id_] = bracket;
   ++next_job_id_;
-  store_->AddPending(config);
+  store_->AddPending(config, job.level);
+  if (obs_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceKind::kConfigSampled;
+    e.job_id = job.job_id;
+    e.level = job.level;
+    e.bracket = job.bracket;
+    e.name = sampler_->name();
+    obs_->trace.Record(std::move(e));
+    obs_->metrics.Increment("sampler.configs_sampled");
+  }
   return job;
 }
 
@@ -120,10 +139,15 @@ void AsyncBracketScheduler::OnJobComplete(const Job& job,
   Bracket* bracket = it->second;
   inflight_.erase(it);
 
-  store_->RemovePending(job.config);
+  store_->RemovePending(job.config, job.level);
   store_->Add(job.level, job.config, result.objective);
   bracket->OnJobComplete(job, result.objective);
   sampler_->OnObservation(job.config, result.objective, job.level);
+}
+
+void AsyncBracketScheduler::SetObservability(Observability* sink) {
+  obs_ = sink;
+  sampler_->SetObservability(sink);
 }
 
 void AsyncBracketScheduler::CheckInvariants() const {

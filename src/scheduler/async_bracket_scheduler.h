@@ -50,6 +50,9 @@ class AsyncBracketScheduler : public SchedulerInterface {
   /// Audits every bracket's rung accounting and checks that the in-flight
   /// routing map agrees with the brackets' own in-flight counters.
   void CheckInvariants() const override;
+  /// Records promotions and sampled configs; forwards the sink to the
+  /// sampler.
+  void SetObservability(Observability* sink) override;
 
   /// Number of promotions issued so far (for sample-efficiency studies).
   int64_t promotions_issued() const { return promotions_issued_; }
@@ -74,6 +77,7 @@ class AsyncBracketScheduler : public SchedulerInterface {
   int64_t next_job_id_ = 0;
   int64_t promotions_issued_ = 0;
   int64_t trials_failed_ = 0;
+  Observability* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace hypertune

@@ -32,8 +32,17 @@ std::optional<Job> BatchBoScheduler::NextJob() {
   job.resource = options_.resource;
   job.resume_from = 0.0;
   job.bracket = -1;
-  store_->AddPending(config);
+  store_->AddPending(config, job.level);
   ++outstanding_;
+  if (obs_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceKind::kConfigSampled;
+    e.job_id = job.job_id;
+    e.level = job.level;
+    e.name = sampler_->name();
+    obs_->trace.Record(std::move(e));
+    obs_->metrics.Increment("sampler.configs_sampled");
+  }
   return job;
 }
 
@@ -64,9 +73,14 @@ void BatchBoScheduler::CheckInvariants() const {
 void BatchBoScheduler::OnJobComplete(const Job& job,
                                      const EvalResult& result) {
   --outstanding_;
-  store_->RemovePending(job.config);
+  store_->RemovePending(job.config, job.level);
   store_->Add(job.level, job.config, result.objective);
   sampler_->OnObservation(job.config, result.objective, job.level);
+}
+
+void BatchBoScheduler::SetObservability(Observability* sink) {
+  obs_ = sink;
+  sampler_->SetObservability(sink);
 }
 
 }  // namespace hypertune

@@ -42,6 +42,8 @@ class BatchBoScheduler : public SchedulerInterface {
   /// and, in synchronous mode, bounded by the batch issue counter, which
   /// itself never exceeds the configured batch size.
   void CheckInvariants() const override;
+  /// Records sampled configs; forwards the sink to the sampler.
+  void SetObservability(Observability* sink) override;
 
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }
@@ -54,6 +56,7 @@ class BatchBoScheduler : public SchedulerInterface {
   int issued_in_batch_ = 0;
   int outstanding_ = 0;
   int64_t trials_failed_ = 0;
+  Observability* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace hypertune

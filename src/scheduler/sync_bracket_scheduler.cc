@@ -40,14 +40,33 @@ std::optional<Job> SyncBracketScheduler::NextJob() {
   std::optional<Job> promotion = bracket_->NextPromotion(next_job_id_);
   if (promotion.has_value()) {
     ++next_job_id_;
-    store_->AddPending(promotion->config);
+    store_->AddPending(promotion->config, promotion->level);
+    if (obs_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceKind::kPromotion;
+      e.job_id = promotion->job_id;
+      e.level = promotion->level;
+      e.bracket = promotion->bracket;
+      obs_->trace.Record(std::move(e));
+      obs_->metrics.Increment("scheduler.promotions");
+    }
     return promotion;
   }
 
   if (bracket_->WantsNewConfig()) {
     Configuration config = sampler_->Sample(bracket_->base_level());
     Job job = bracket_->AdmitConfig(config, next_job_id_++);
-    store_->AddPending(config);
+    store_->AddPending(config, job.level);
+    if (obs_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceKind::kConfigSampled;
+      e.job_id = job.job_id;
+      e.level = job.level;
+      e.bracket = job.bracket;
+      e.name = sampler_->name();
+      obs_->trace.Record(std::move(e));
+      obs_->metrics.Increment("sampler.configs_sampled");
+    }
     return job;
   }
 
@@ -74,10 +93,15 @@ void SyncBracketScheduler::CheckInvariants() const {
 void SyncBracketScheduler::OnJobComplete(const Job& job,
                                          const EvalResult& result) {
   HT_CHECK(bracket_ != nullptr) << "completion without an active bracket";
-  store_->RemovePending(job.config);
+  store_->RemovePending(job.config, job.level);
   store_->Add(job.level, job.config, result.objective);
   bracket_->OnJobComplete(job, result.objective);
   sampler_->OnObservation(job.config, result.objective, job.level);
+}
+
+void SyncBracketScheduler::SetObservability(Observability* sink) {
+  obs_ = sink;
+  sampler_->SetObservability(sink);
 }
 
 }  // namespace hypertune

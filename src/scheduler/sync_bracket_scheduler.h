@@ -50,6 +50,9 @@ class SyncBracketScheduler : public SchedulerInterface {
   /// Audits the running bracket's rung accounting (see
   /// Bracket::CheckInvariants).
   void CheckInvariants() const override;
+  /// Records promotions and sampled configs; forwards the sink to the
+  /// sampler.
+  void SetObservability(Observability* sink) override;
 
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }
@@ -74,6 +77,7 @@ class SyncBracketScheduler : public SchedulerInterface {
   int64_t next_job_id_ = 0;
   int64_t brackets_completed_ = 0;
   int64_t trials_failed_ = 0;
+  Observability* obs_ = nullptr;  // null = observability off
 };
 
 }  // namespace hypertune

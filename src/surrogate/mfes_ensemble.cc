@@ -46,14 +46,20 @@ Status MfesEnsemble::Fit(const std::vector<std::vector<double>>&,
 
 Prediction MfesEnsemble::Predict(const std::vector<double>& x) const {
   HT_CHECK(fitted()) << "MfesEnsemble::Predict without fitted members";
+  // Mixture-of-Gaussians moments: mean Σ wᵢ μᵢ and variance
+  // Σ wᵢ (σᵢ² + μᵢ²) − μ². The second moment keeps the disagreement
+  // between member means as uncertainty; the naive Σ wᵢ² σᵢ² collapses
+  // ensemble variance toward zero as members multiply even when they
+  // contradict each other.
   Prediction out;
+  double second_moment = 0.0;
   for (size_t i = 0; i < members_.size(); ++i) {
     if (weights_[i] <= 0.0) continue;
     Prediction p = members_[i]->Predict(x);
     out.mean += weights_[i] * p.mean;
-    out.variance += weights_[i] * weights_[i] * p.variance;
+    second_moment += weights_[i] * (p.variance + p.mean * p.mean);
   }
-  out.variance = std::max(out.variance, 1e-12);
+  out.variance = std::max(second_moment - out.mean * out.mean, 1e-12);
   return out;
 }
 

@@ -63,15 +63,15 @@ TEST(MeasurementStoreTest, HighestLevelWith) {
 TEST(MeasurementStoreTest, PendingIsAMultiset) {
   MeasurementStore store(1);
   Configuration a = C({1.0});
-  store.AddPending(a);
-  store.AddPending(a);
-  store.AddPending(C({2.0}));
+  store.AddPending(a, 1);
+  store.AddPending(a, 1);
+  store.AddPending(C({2.0}), 1);
   EXPECT_EQ(store.NumPending(), 3u);
   EXPECT_EQ(store.PendingConfigs().size(), 3u);
-  store.RemovePending(a);
+  store.RemovePending(a, 1);
   EXPECT_EQ(store.NumPending(), 2u);
-  store.RemovePending(a);
-  store.RemovePending(a);  // extra remove is a no-op
+  store.RemovePending(a, 1);
+  store.RemovePending(a, 1);  // extra remove is a no-op
   EXPECT_EQ(store.NumPending(), 1u);
 }
 
@@ -79,25 +79,43 @@ TEST(MeasurementStoreTest, VersionsTrackMutations) {
   MeasurementStore store(2);
   uint64_t v0 = store.version();
   uint64_t d0 = store.data_version();
-  store.AddPending(C({1.0}));
+  store.AddPending(C({1.0}), 1);
   EXPECT_GT(store.version(), v0);
   EXPECT_EQ(store.data_version(), d0);  // pending does not move data version
   store.Add(1, C({1.0}), 0.5);
   EXPECT_GT(store.data_version(), d0);
   uint64_t v1 = store.version();
-  store.RemovePending(C({1.0}));
+  store.RemovePending(C({1.0}), 1);
   EXPECT_GT(store.version(), v1);
 }
 
 TEST(MeasurementStoreTest, RemoveUnknownPendingIsNoOp) {
   MeasurementStore store(1);
-  store.RemovePending(C({9.0}));
+  store.RemovePending(C({9.0}), 1);
   EXPECT_EQ(store.NumPending(), 0u);
+}
+
+TEST(MeasurementStoreTest, PendingIsScopedByLevel) {
+  MeasurementStore store(2);
+  Configuration a = C({1.0});
+  store.AddPending(a, 1);
+  store.AddPending(a, 2);
+  store.AddPending(C({2.0}), 2);
+  EXPECT_EQ(store.NumPending(), 3u);
+  EXPECT_EQ(store.PendingConfigs().size(), 3u);  // all levels
+  EXPECT_EQ(store.PendingConfigs(1).size(), 1u);
+  EXPECT_EQ(store.PendingConfigs(2).size(), 2u);
+  // Removal only touches the matching level.
+  store.RemovePending(a, 1);
+  EXPECT_EQ(store.PendingConfigs(1).size(), 0u);
+  EXPECT_EQ(store.PendingConfigs(2).size(), 2u);
+  store.RemovePending(a, 1);  // already empty at level 1: no-op
+  EXPECT_EQ(store.NumPending(), 2u);
 }
 
 TEST(MeasurementStoreTest, MultipleDistinctPendingConfigs) {
   MeasurementStore store(1);
-  for (double v = 0.0; v < 10.0; v += 1.0) store.AddPending(C({v}));
+  for (double v = 0.0; v < 10.0; v += 1.0) store.AddPending(C({v}), 1);
   EXPECT_EQ(store.NumPending(), 10u);
   auto pending = store.PendingConfigs();
   EXPECT_EQ(pending.size(), 10u);

@@ -35,9 +35,25 @@ TEST(MfesEnsembleTest, Equation3WeightedBagging) {
   ensemble.SetMembers({&m1, &m2}, {0.25, 0.75});
   ASSERT_TRUE(ensemble.fitted());
   Prediction p = ensemble.Predict({0.5});
-  // mu = 0.25*1 + 0.75*3 = 2.5 ; sigma^2 = 0.0625*4 + 0.5625*1 = 0.8125.
+  // mu = 0.25*1 + 0.75*3 = 2.5 ; mixture-of-Gaussians second moment:
+  // sigma^2 = 0.25*(4+1) + 0.75*(1+9) - 2.5^2 = 2.5.
   EXPECT_DOUBLE_EQ(p.mean, 2.5);
-  EXPECT_DOUBLE_EQ(p.variance, 0.8125);
+  EXPECT_DOUBLE_EQ(p.variance, 2.5);
+}
+
+TEST(MfesEnsembleTest, DisagreeingMembersInflateVariance) {
+  // Regression: the ensemble variance was the weighted sum of member
+  // variances (sum w_i^2 sigma_i^2), which is zero when every member is
+  // certain — even when the members disagree. The mixture form keeps the
+  // between-member spread: two confident members at 1 and 3 give
+  // 0.5*(0+1) + 0.5*(0+9) - 2^2 = 1.
+  StubSurrogate m1(1.0, 0.0);
+  StubSurrogate m2(3.0, 0.0);
+  MfesEnsemble ensemble;
+  ensemble.SetMembers({&m1, &m2}, {0.5, 0.5});
+  Prediction p = ensemble.Predict({0.0});
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0);
 }
 
 TEST(MfesEnsembleTest, WeightsAreNormalized) {

@@ -43,7 +43,7 @@ TEST(RandomSamplerTest, AvoidsKnownConfigsInTinySpaces) {
   MeasurementStore store(1);
   store.Add(1, Configuration({0.0, 0.0}), 0.1);
   store.Add(1, Configuration({0.0, 1.0}), 0.2);
-  store.AddPending(Configuration({1.0, 0.0}));
+  store.AddPending(Configuration({1.0, 0.0}), 1);
   RandomSampler sampler(&space, &store, 2);
   // The only unknown configuration is (1, 1); rejection sampling should
   // find it almost always.
@@ -63,7 +63,7 @@ TEST(IsKnownConfigurationTest, ChecksGroupsAndPending) {
   EXPECT_FALSE(IsKnownConfiguration(store, a));
   store.Add(2, a, 1.0);
   EXPECT_TRUE(IsKnownConfiguration(store, a));
-  store.AddPending(b);
+  store.AddPending(b, 1);
   EXPECT_TRUE(IsKnownConfiguration(store, b));
 }
 
@@ -85,8 +85,8 @@ TEST(MedianImputationTest, PendingImputedAtMedian) {
   store.Add(1, Configuration({0.1, 0.2}), 1.0);
   store.Add(1, Configuration({0.3, 0.4}), 3.0);
   store.Add(1, Configuration({0.5, 0.6}), 5.0);
-  store.AddPending(Configuration({0.9, 0.9}));
-  store.AddPending(Configuration({0.8, 0.8}));
+  store.AddPending(Configuration({0.9, 0.9}), 1);
+  store.AddPending(Configuration({0.8, 0.8}), 1);
   SurrogateData data = BuildSurrogateDataWithPendingMedian(space, store, 1);
   EXPECT_EQ(data.num_real, 3u);
   EXPECT_EQ(data.num_imputed, 2u);
@@ -95,10 +95,32 @@ TEST(MedianImputationTest, PendingImputedAtMedian) {
   EXPECT_DOUBLE_EQ(data.y[4], 3.0);
 }
 
+TEST(MedianImputationTest, OnlyImputesPendingAtTheFittedLevel) {
+  // Regression: pending configurations at *other* fidelity levels were
+  // imputed into every level's surrogate data. Algorithm 2 imputes only the
+  // configurations pending within the bracket/level being fit (§3.2).
+  ConfigurationSpace space = SmallSpace();
+  MeasurementStore store(2);
+  store.Add(1, Configuration({0.1, 0.2}), 1.0);
+  store.Add(1, Configuration({0.3, 0.4}), 3.0);
+  store.AddPending(Configuration({0.5, 0.5}), 1);
+  store.AddPending(Configuration({0.7, 0.7}), 2);  // other level: excluded
+  SurrogateData level1 = BuildSurrogateDataWithPendingMedian(space, store, 1);
+  EXPECT_EQ(level1.num_real, 2u);
+  EXPECT_EQ(level1.num_imputed, 1u);
+  ASSERT_EQ(level1.y.size(), 3u);
+  EXPECT_DOUBLE_EQ(level1.y[2], 2.0);  // median of {1, 3}
+
+  store.Add(2, Configuration({0.1, 0.2}), 0.5);
+  SurrogateData level2 = BuildSurrogateDataWithPendingMedian(space, store, 2);
+  EXPECT_EQ(level2.num_real, 1u);
+  EXPECT_EQ(level2.num_imputed, 1u);
+}
+
 TEST(MedianImputationTest, EmptyGroupYieldsNoImputation) {
   ConfigurationSpace space = SmallSpace();
   MeasurementStore store(1);
-  store.AddPending(Configuration({0.9, 0.9}));
+  store.AddPending(Configuration({0.9, 0.9}), 1);
   SurrogateData data = BuildSurrogateDataWithPendingMedian(space, store, 1);
   EXPECT_EQ(data.num_real, 0u);
   EXPECT_EQ(data.num_imputed, 0u);

@@ -16,9 +16,18 @@ TEST(StatisticsTest, MeanBasics) {
 TEST(StatisticsTest, VarianceAndStdDev) {
   EXPECT_DOUBLE_EQ(Variance({}), 0.0);
   EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
-  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 1.0);  // population
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);  // sample (n-1)
   EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
   EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 1e-3);
+}
+
+TEST(StatisticsTest, StdDevIsSqrtOfVariance) {
+  // Regression: Variance used the population (n) divisor while StdDev used
+  // the sample (n-1) divisor, so StdDev({x})^2 != Variance({x}). Both now
+  // follow the sample convention.
+  const std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(StdDev(values), std::sqrt(Variance(values)));
+  EXPECT_DOUBLE_EQ(Variance(values), 32.0 / 7.0);
 }
 
 TEST(StatisticsTest, MedianOddEven) {

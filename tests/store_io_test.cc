@@ -50,7 +50,7 @@ TEST(StoreIoTest, PendingIsNotPersisted) {
   ConfigurationSpace space = MixedSpace();
   MeasurementStore store(1);
   store.Add(1, Configuration({0.1, 5.0, 1.0}), 2.0);
-  store.AddPending(Configuration({0.2, 6.0, 0.0}));
+  store.AddPending(Configuration({0.2, 6.0, 0.0}), 1);
   std::ostringstream out;
   ASSERT_TRUE(WriteStoreCsv(store, space, &out).ok());
   MeasurementStore loaded(1);

@@ -9,9 +9,12 @@ touch them:
 
   wallclock    std::chrono clock reads (steady_clock, system_clock,
                high_resolution_clock) are allowed only in
-               src/runtime/thread_cluster.cc — the real-time backend. The
-               simulator and every scheduler/sampler must use simulated
-               time and recorded timestamps only.
+               src/runtime/thread_cluster.cc — the real-time backend — and
+               src/obs/clock.cc, the observability layer's single
+               sanctioned monotonic-clock seam (TraceRecorder's default
+               clock; both cluster backends override it with their own).
+               The simulator and every scheduler/sampler must use
+               simulated time and recorded timestamps only.
   unseeded-rng std::random_device, rand(), srand(), time() are allowed
                only in src/common/rng.cc. All randomness flows from the
                run seed through hypertune::Rng.
@@ -30,10 +33,20 @@ one rule on that line; `// lint: allow-file(<rule>)` anywhere in a file
 suppresses the rule for the whole file. Every allowance is deliberate and
 reviewable — grep for "lint: allow".
 
+A second mode, `--validate-trace PATH`, checks an exported Chrome trace
+(src/obs/chrome_trace.h) instead of the source tree: the JSON must be an
+object with a `traceEvents` list, every event needs name/ph/ts/pid/tid
+with a known phase, B/E driver spans must nest per track, and every
+complete (`X`) job slice needs a non-negative duration plus job_id and
+outcome args — the exporter's launch/terminal pairing made visible. CI
+runs an observability-enabled example and feeds its trace through here.
+
 Usage: python3 tools/lint.py [--root DIR]   (exit 1 on any violation)
+       python3 tools/lint.py --validate-trace PATH
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -65,7 +78,7 @@ DETERMINISM_RULES = [
 
 # file-relative path prefixes exempt from a rule (the files whose job it is)
 RULE_EXEMPT = {
-    "wallclock": ("src/runtime/thread_cluster.cc",),
+    "wallclock": ("src/runtime/thread_cluster.cc", "src/obs/clock.cc"),
     "unseeded-rng": ("src/common/rng.cc",),
     "raw-stdout": ("src/report/",),
 }
@@ -187,6 +200,92 @@ def check_include_order(relpath, lines, file_allows, report):
     flush()
 
 
+TRACE_PHASES = {"B", "E", "X", "i", "M"}
+
+
+def validate_trace(path):
+    """Validate an exported Chrome trace: schema + paired/nested events.
+
+    Returns a list of violation strings (empty means the trace is valid).
+    """
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return ["%s: not readable JSON: %s" % (path, exc)]
+
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        return ["%s: top level must be an object with a traceEvents list"
+                % path]
+    if not events:
+        return ["%s: traceEvents is empty" % path]
+
+    open_spans = {}  # tid -> stack of B-span names
+    slices = {}      # tid -> list of (ts, dur) for X events
+    for i, ev in enumerate(events):
+        where = "%s: traceEvents[%d]" % (path, i)
+        if not isinstance(ev, dict):
+            errors.append("%s: event must be an object" % where)
+            continue
+        missing = [k for k in ("name", "ph", "ts", "pid", "tid")
+                   if k not in ev]
+        if missing:
+            errors.append("%s: missing key(s) %s" % (where,
+                                                     ", ".join(missing)))
+            continue
+        ph = ev["ph"]
+        if ph not in TRACE_PHASES:
+            errors.append("%s: unknown phase %r" % (where, ph))
+            continue
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append("%s: ts must be a non-negative number" % where)
+            continue
+        tid = ev["tid"]
+        if ph == "B":
+            open_spans.setdefault(tid, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_spans.get(tid, [])
+            if not stack:
+                errors.append("%s: E %r on tid %s without open B span"
+                              % (where, ev["name"], tid))
+            elif stack[-1] != ev["name"]:
+                errors.append("%s: E %r does not close innermost span %r"
+                              % (where, ev["name"], stack[-1]))
+            else:
+                stack.pop()
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append("%s: X slice needs a non-negative dur"
+                              % where)
+                continue
+            args = ev.get("args")
+            if not isinstance(args, dict) or "job_id" not in args \
+                    or "outcome" not in args:
+                errors.append("%s: X job slice needs args.job_id and "
+                              "args.outcome (launch/terminal pairing)"
+                              % where)
+                continue
+            slices.setdefault(tid, []).append((ts, dur))
+    for tid, stack in sorted(open_spans.items(), key=lambda kv: str(kv[0])):
+        for name in stack:
+            errors.append("%s: B span %r on tid %s never closed"
+                          % (path, name, tid))
+    # Per worker track, job attempts are serial: slices must not overlap.
+    for tid, spans in sorted(slices.items(), key=lambda kv: str(kv[0])):
+        spans.sort()
+        for (ts_a, dur_a), (ts_b, _) in zip(spans, spans[1:]):
+            if ts_a + dur_a > ts_b + 1e-6:
+                errors.append(
+                    "%s: overlapping X slices on tid %s (one worker runs "
+                    "one attempt at a time): [%s, %s] vs start %s"
+                    % (path, tid, ts_a, ts_a + dur_a, ts_b))
+    return errors
+
+
 ALLOW_LINE_CACHE = {}
 INCLUDE_ALLOWED = set()
 ROOT = "."
@@ -197,8 +296,20 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--validate-trace", metavar="PATH",
+                        help="validate an exported Chrome trace JSON "
+                             "instead of linting the source tree")
     args = parser.parse_args()
     ROOT = args.root
+
+    if args.validate_trace:
+        trace_errors = validate_trace(args.validate_trace)
+        if trace_errors:
+            print("\n".join(trace_errors))
+            print("\n%d trace violation(s)." % len(trace_errors))
+            return 1
+        print("trace: OK (%s)" % args.validate_trace)
+        return 0
 
     violations = []
 
