@@ -7,14 +7,29 @@
 //
 // Budgets shrink with the worker count (time-to-target is the metric, so
 // large fleets do not need the sequential run's full virtual horizon).
+//
+// `bench_fig9_scalability mega` instead runs the Fig 9-extended tiers
+// (EXPERIMENTS.md): single-host discrete-event simulations of 10k / 100k /
+// 1M workers (up to 10M trials), reporting simulator events/sec and peak
+// RSS. These measure the event core itself — contract checking off,
+// aggregate-only trial retention — not tuning quality.
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench/bench_util.h"
 #include "src/common/statistics.h"
 #include "src/problems/counting_ones.h"
 #include "src/problems/xgboost_surface.h"
+#include "src/runtime/scheduler_interface.h"
+#include "src/runtime/simulated_cluster.h"
 
 namespace hypertune {
 namespace {
@@ -94,12 +109,148 @@ void RunScalability(const TuningProblem& problem,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fig 9-extended: mega-scale event-core throughput (10k / 100k / 1M workers).
+// ---------------------------------------------------------------------------
+
+/// O(1) synthetic problem for the mega tiers: the objective is a hash of the
+/// configuration, the cost is ~60 s with mild config-dependent spread.
+/// Evaluation must cost nanoseconds so the benchmark measures the simulator,
+/// not the problem.
+class StreamProblem : public TuningProblem {
+ public:
+  StreamProblem() {
+    (void)space_.Add(Parameter::Float("x0", 0.0, 1.0));
+    (void)space_.Add(Parameter::Float("x1", 0.0, 1.0));
+  }
+
+  std::string name() const override { return "stream"; }
+  const ConfigurationSpace& space() const override { return space_; }
+  double min_resource() const override { return 1.0; }
+  double max_resource() const override { return 1.0; }
+
+  EvalOutcome Evaluate(const Configuration& config, double resource,
+                       uint64_t noise_seed) const override {
+    (void)resource;
+    uint64_t h = config.Hash() ^ (noise_seed * 0x9E3779B97F4A7C15ULL);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    EvalOutcome outcome;
+    outcome.objective = static_cast<double>(h >> 11) * 0x1p-53;
+    outcome.test_objective = outcome.objective;
+    return outcome;
+  }
+
+  double EvaluationCost(const Configuration& config,
+                        double resource) const override {
+    // 60 s +- 30 s depending on the configuration; straggler noise on top.
+    return resource * (60.0 + 60.0 * (config[0] - 0.5));
+  }
+
+ private:
+  ConfigurationSpace space_;
+};
+
+/// Mints `total` independent full-fidelity random jobs, O(1) per decision —
+/// no rungs, no store — so mega runs isolate simulator throughput.
+class StreamScheduler : public SchedulerInterface {
+ public:
+  StreamScheduler(const ConfigurationSpace* space, int64_t total,
+                  uint64_t seed)
+      : space_(space), total_(total), rng_(seed) {}
+
+  std::optional<Job> NextJob() override {
+    if (issued_ >= total_) return std::nullopt;
+    Job job;
+    job.job_id = issued_++;
+    job.config = space_->Sample(&rng_);
+    job.level = 1;
+    job.resource = 1.0;
+    return job;
+  }
+  void OnJobComplete(const Job& job, const EvalResult& result) override {
+    (void)job;
+    (void)result;
+    ++completed_;
+  }
+  bool Exhausted() const override { return issued_ >= total_; }
+
+  int64_t completed() const { return completed_; }
+
+ private:
+  const ConfigurationSpace* space_;
+  int64_t total_ = 0;
+  int64_t issued_ = 0;
+  int64_t completed_ = 0;
+  Rng rng_;
+};
+
+/// Peak resident set in MiB (0 when the platform offers no getrusage).
+double PeakRssMiB() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+void RunMegaTier(int64_t workers, int64_t trials, uint64_t seed) {
+  StreamProblem problem;
+  StreamScheduler scheduler(&problem.space(), trials, seed);
+
+  ClusterOptions cluster;
+  cluster.num_workers = static_cast<int>(workers);
+  cluster.time_budget_seconds = 1e12;  // max_trials is the stop condition
+  cluster.seed = seed;
+  cluster.straggler_sigma = 0.5;  // non-uniform event spacing
+  cluster.max_trials = trials;
+  cluster.check_contract = false;  // measure the core, not the auditor
+  cluster.retention = TrialRetention::kAggregates;
+
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result = SimulatedCluster(cluster).Run(&scheduler, problem);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const double events_per_sec =
+      wall > 0.0 ? static_cast<double>(result.events_processed) / wall : 0.0;
+  std::printf("mega,workers=%lld,trials=%lld,events=%lld,wall_s=%.2f,"
+              "events_per_sec=%.0f,peak_rss_mib=%.0f,utilization=%.3f\n",
+              static_cast<long long>(workers),
+              static_cast<long long>(scheduler.completed()),
+              static_cast<long long>(result.events_processed), wall,
+              events_per_sec, PeakRssMiB(), result.utilization);
+  std::fflush(stdout);
+}
+
+/// Ascending tiers so each line's peak RSS (a process-lifetime high-water
+/// mark) is dominated by its own tier.
+void RunMegaSection(double scale) {
+  std::printf("\n=== Fig 9-extended: event-core scalability "
+              "(single host, virtual workers) ===\n");
+  RunMegaTier(10000, static_cast<int64_t>(100000 * scale), 1);
+  RunMegaTier(100000, static_cast<int64_t>(1000000 * scale), 2);
+  RunMegaTier(1000000, static_cast<int64_t>(10000000 * scale), 3);
+}
+
 }  // namespace
 }  // namespace hypertune
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hypertune;
   BenchConfig config = BenchConfig::FromEnv();
+  if (argc > 1 && std::string(argv[1]) == "mega") {
+    RunMegaSection(config.budget_scale);
+    return 0;
+  }
   std::printf("bench_fig9_scalability: seeds=%d scale=%.2f\n", config.seeds,
               config.budget_scale);
 

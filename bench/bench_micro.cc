@@ -1,19 +1,37 @@
 // Microbenchmarks (google-benchmark) for the computational kernels of the
 // library: surrogate fitting/prediction, acquisition maximization, ranking
-// loss / fidelity weights, measurement-store operations, and end-to-end
-// simulator throughput. These back the DESIGN.md claims about per-sample
-// optimizer overhead.
+// loss / fidelity weights, measurement-store operations, the scalability
+// data structures (calendar queue, rank tree, sharded stores, SoA trial
+// history), and end-to-end simulator throughput. These back the DESIGN.md
+// claims about per-sample optimizer overhead and per-event simulator cost.
+//
+// Output: besides the usual console table, every run writes BENCH_micro.json
+// (schema_version 1; see tools/lint.py --validate-bench). Flags handled here
+// before google-benchmark sees the rest:
+//   --quick            run only the cheap data-structure kernels (CI smoke)
+//   --bench_json=PATH  where to write the JSON report (default
+//                      BENCH_micro.json in the working directory)
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <fstream>
+#include <queue>
+#include <string>
+#include <vector>
+
 #include "src/allocator/fidelity_weights.h"
 #include "src/allocator/ranking_loss.h"
+#include "src/common/calendar_queue.h"
+#include "src/common/rank_tree.h"
 #include "src/common/rng.h"
 #include "src/core/tuner_factory.h"
 #include "src/optimizer/bo_sampler.h"
 #include "src/optimizer/mfes_sampler.h"
 #include "src/problems/counting_ones.h"
 #include "src/problems/nas_bench.h"
+#include "src/runtime/measurement_store.h"
+#include "src/runtime/trial_history.h"
 #include "src/surrogate/gaussian_process.h"
 #include "src/surrogate/random_forest.h"
 
@@ -215,7 +233,292 @@ void BM_HyperTuneEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_HyperTuneEndToEnd)->Unit(benchmark::kMillisecond)->Iterations(3);
 
+// ---------------------------------------------------------------------------
+// Scalability kernels: the data structures behind the planetary-scale
+// simulator (DESIGN.md §9). These are the benchmarks the CI smoke job runs
+// (`--quick`); keep them allocation-bounded so they finish in seconds.
+// ---------------------------------------------------------------------------
+
+struct QEvent {
+  double time = 0.0;
+  int64_t seq = 0;
+};
+struct QEventTime {
+  double operator()(const QEvent& e) const { return e.time; }
+};
+struct QEventLess {
+  bool operator()(const QEvent& a, const QEvent& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+};
+struct QEventGreater {
+  bool operator()(const QEvent& a, const QEvent& b) const {
+    return QEventLess()(b, a);
+  }
+};
+
+/// Classic hold model: steady-state population of `range(0)` events, each op
+/// pops the minimum and schedules a successor a random increment into the
+/// future — exactly the simulator's pop/push pattern.
+void BM_CalendarQueueHoldModel(benchmark::State& state) {
+  const size_t population = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  CalendarQueue<QEvent, QEventTime, QEventLess> queue;
+  int64_t seq = 0;
+  for (size_t i = 0; i < population; ++i) {
+    queue.Push({rng.Uniform(0.0, 100.0), seq++});
+  }
+  int64_t ops = 0;
+  for (auto _ : state) {
+    QEvent e = queue.PopMin();
+    queue.Push({e.time + 0.1 + 10.0 * rng.Uniform(), seq++});
+    benchmark::DoNotOptimize(e.seq);
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_CalendarQueueHoldModel)->Arg(1 << 10)->Arg(1 << 16);
+
+/// The O(log n) baseline the calendar queue replaced, same hold model.
+void BM_BinaryHeapHoldModel(benchmark::State& state) {
+  const size_t population = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::priority_queue<QEvent, std::vector<QEvent>, QEventGreater> queue;
+  int64_t seq = 0;
+  for (size_t i = 0; i < population; ++i) {
+    queue.push({rng.Uniform(0.0, 100.0), seq++});
+  }
+  int64_t ops = 0;
+  for (auto _ : state) {
+    QEvent e = queue.top();
+    queue.pop();
+    queue.push({e.time + 0.1 + 10.0 * rng.Uniform(), seq++});
+    benchmark::DoNotOptimize(e.seq);
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_BinaryHeapHoldModel)->Arg(1 << 10)->Arg(1 << 16);
+
+/// Insert + running-median query, the simulator's speculation pattern.
+void BM_RankTreeInsertMedian(benchmark::State& state) {
+  Rng rng(9);
+  RankTree tree;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    tree.Insert(rng.LogNormal(0.0, 1.0));
+    benchmark::DoNotOptimize(tree.key(tree.Kth((tree.size() - 1) / 2)));
+    if (tree.size() == (1 << 16)) tree = RankTree();  // bound memory
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_RankTreeInsertMedian);
+
+/// MeasurementStore::Add with the per-level hash index (dedup probe + append).
+void BM_StoreIndexedAdd(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(6);
+  MeasurementStore store(4);
+  Rng rng(10);
+  int64_t i = 0;
+  for (auto _ : state) {
+    Configuration c = space.Sample(&rng);
+    store.Add(1 + static_cast<int>(i % 4), c, rng.Uniform());
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_StoreIndexedAdd)->Iterations(200000);
+
+/// Pending-set mark/unmark churn across the 16 hash shards (the async
+/// schedulers' per-decision store traffic).
+void BM_StorePendingChurn(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(6);
+  MeasurementStore store(4);
+  Rng rng(11);
+  std::vector<Configuration> configs;
+  for (int i = 0; i < 512; ++i) configs.push_back(space.Sample(&rng));
+  int64_t i = 0;
+  for (auto _ : state) {
+    const Configuration& c = configs[static_cast<size_t>(i % 512)];
+    const int level = 1 + static_cast<int>(i % 4);
+    store.AddPending(c, level);
+    store.RemovePending(c, level);
+    ++i;
+  }
+  state.SetItemsProcessed(2 * i);
+}
+BENCHMARK(BM_StorePendingChurn);
+
+/// TrialHistory::Record under both retention policies: arg 0 = kFull (SoA
+/// columns + arena copy), arg 1 = kAggregates (counters only).
+void BM_TrialHistoryRecord(benchmark::State& state) {
+  const TrialRetention retention = state.range(0) == 0
+                                       ? TrialRetention::kFull
+                                       : TrialRetention::kAggregates;
+  ConfigurationSpace space = MakeSpace(8);
+  Rng rng(12);
+  TrialHistory history;
+  history.set_retention(retention);
+  TrialRecord record;
+  record.job.config = space.Sample(&rng);
+  record.job.level = 1;
+  record.job.resource = 1.0;
+  record.result.cost_seconds = 60.0;
+  int64_t i = 0;
+  for (auto _ : state) {
+    record.job.job_id = i;
+    record.end_time = static_cast<double>(i);
+    record.result.objective = rng.Uniform();
+    history.Record(record, /*is_full_fidelity=*/true);
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_TrialHistoryRecord)->Arg(0)->Arg(1)->Iterations(300000);
+
+/// End-to-end event-core throughput: asynchronous random search on a large
+/// fleet with the contract checker off and aggregate retention — the
+/// configuration the mega-scale runs in bench_fig9_scalability use.
+/// items/sec here is *events* per second (queue pops).
+void BM_SimCoreEvents(benchmark::State& state) {
+  CountingOnesOptions options;
+  options.num_categorical = 4;
+  options.num_continuous = 4;
+  CountingOnes problem(options);
+  int64_t events = 0;
+  for (auto _ : state) {
+    TunerFactoryOptions factory;
+    factory.method = Method::kARandom;
+    factory.seed = static_cast<uint64_t>(events) + 1;
+    std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+    ClusterOptions cluster;
+    cluster.num_workers = 256;
+    cluster.time_budget_seconds = 1e9;
+    cluster.max_trials = 20000;
+    cluster.check_contract = false;
+    cluster.retention = TrialRetention::kAggregates;
+    RunResult run = tuner->Run(problem, cluster);
+    events += run.events_processed;
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_SimCoreEvents)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+/// Benchmarks `--quick` keeps: the allocation-bounded data-structure kernels.
+constexpr char kQuickFilter[] =
+    "BM_(CalendarQueue|BinaryHeap|RankTree|StoreIndexedAdd|StorePendingChurn|"
+    "TrialHistoryRecord)";
+
+/// Console output as usual, plus BENCH_micro.json: schema_version 1, one
+/// entry per benchmark run with name / iterations / ns_per_op and, for
+/// throughput benchmarks, items_per_second. tools/lint.py --validate-bench
+/// checks the shape; compare_bench targets diff two such files.
+class JsonFileReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonFileReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      if (run.iterations > 0) {
+        entry.ns_per_op = run.real_accumulated_time /
+                          static_cast<double>(run.iterations) * 1e9;
+      }
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        entry.items_per_second = it->second.value;
+        entry.has_items = true;
+      }
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  void Finalize() override {
+    std::ofstream out(path_);
+    if (!out) {
+      GetErrorStream() << "bench_micro: cannot write " << path_ << "\n";
+      return;
+    }
+    out.precision(12);
+    out << "{\n  \"schema_version\": 1,\n  \"generated_by\": \"bench_micro\","
+        << "\n  \"benchmarks\": [";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\"name\": \"" << Escaped(e.name)
+          << "\", \"iterations\": " << e.iterations
+          << ", \"ns_per_op\": " << e.ns_per_op;
+      if (e.has_items) out << ", \"items_per_second\": " << e.items_per_second;
+      out << "}";
+    }
+    out << "\n  ]\n}\n";
+    GetOutputStream() << "\nwrote " << path_ << " (" << entries_.size()
+                      << " benchmarks)\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    int64_t iterations = 0;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+    bool has_items = false;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
+
+int RunBenchMicro(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  bool quick = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--bench_json=", 0) == 0) {
+      json_path = arg.substr(std::string("--bench_json=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string filter;
+  if (quick) {
+    filter = std::string("--benchmark_filter=") + kQuickFilter;
+    args.push_back(filter.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  JsonFileReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace hypertune
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hypertune::RunBenchMicro(argc, argv);
+}

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "bench/bench_util.h"
 #include "src/common/statistics.h"
@@ -34,9 +35,9 @@ double MeanImprovement(const SyntheticRecSys& problem, Method method,
     RunResult run = tuner->Run(problem, cluster);
     // Deployment protocol: retrain the chosen configuration on the full
     // seven days and score it on the next day's data (the test metric).
-    const TrialRecord* best = BestTrial(run);
+    const std::optional<TrialRecord> best = BestTrial(run);
     double deployed = manual_objective;  // no trials -> no improvement
-    if (best != nullptr) {
+    if (best.has_value()) {
       deployed = problem
                      .Evaluate(best->job.config, problem.max_resource(),
                                CombineSeeds(cluster.seed, 0xDE9107ULL))

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 
 #include "src/core/tuner_factory.h"
 #include "src/problems/nas_bench.h"
@@ -41,12 +42,12 @@ int main(int argc, char** argv) {
     cluster.seed = 7;
     RunResult run = tuner->Run(problem, cluster);
 
-    const TrialRecord* best = BestTrial(run);
+    const std::optional<TrialRecord> best = BestTrial(run);
     std::printf("%-14s %10.3f %10.3f %8zu %6.0f%%\n", MethodName(method),
                 run.history.best_objective(),
-                best != nullptr ? best->result.test_objective : 0.0,
+                best.has_value() ? best->result.test_objective : 0.0,
                 run.history.num_trials(), 100.0 * run.utilization);
-    if (method == Method::kHyperTune && best != nullptr) {
+    if (method == Method::kHyperTune && best.has_value()) {
       std::printf("\nHyper-Tune's best cell (%.0f epochs):\n  %s\n",
                   best->job.resource,
                   problem.space().Format(best->job.config).c_str());

@@ -1,0 +1,137 @@
+#ifndef HYPERTUNE_COMMON_ARENA_H_
+#define HYPERTUNE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+/// Append-only chunked arena for flat value spans (the chunked-memory-pool
+/// idiom): values are copied into large fixed-capacity chunks and addressed
+/// by a compact (chunk, offset, length) handle. A span never straddles a
+/// chunk boundary, so reading it back is one pointer dereference; chunks are
+/// never reallocated, so handles and raw pointers stay valid for the arena's
+/// lifetime. Used to flatten per-trial configuration vectors out of
+/// million-row histories (one heap allocation per ~64 Ki values instead of
+/// one per trial).
+template <typename T>
+class ChunkedPool {
+ public:
+  /// Handle to a span stored in the pool.
+  struct Span {
+    uint32_t chunk = 0;
+    uint32_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  explicit ChunkedPool(size_t chunk_capacity = size_t{1} << 16)
+      : chunk_capacity_(chunk_capacity) {
+    HT_CHECK(chunk_capacity_ > 0) << "chunk capacity must be positive";
+  }
+
+  /// Copies `data[0, n)` into the pool and returns its handle.
+  Span Append(const T* data, size_t n) {
+    HT_CHECK(n <= UINT32_MAX) << "span too long";
+    const size_t need = n > chunk_capacity_ ? n : chunk_capacity_;
+    if (chunks_.empty() || used_ + n > chunks_.back().capacity) {
+      chunks_.push_back(Chunk{std::make_unique<T[]>(need), need});
+      used_ = 0;
+    }
+    Chunk& chunk = chunks_.back();
+    Span span;
+    span.chunk = static_cast<uint32_t>(chunks_.size() - 1);
+    span.offset = static_cast<uint32_t>(used_);
+    span.length = static_cast<uint32_t>(n);
+    for (size_t i = 0; i < n; ++i) chunk.data[used_ + i] = data[i];
+    used_ += n;
+    total_values_ += n;
+    return span;
+  }
+
+  /// Pointer to the first value of `span` (valid for the pool's lifetime).
+  const T* Data(const Span& span) const {
+    return chunks_[span.chunk].data.get() + span.offset;
+  }
+
+  /// Total values stored across all spans.
+  size_t total_values() const { return total_values_; }
+
+  /// Bytes held by the chunks (capacity, not just used values).
+  size_t AllocatedBytes() const {
+    size_t bytes = 0;
+    for (const Chunk& c : chunks_) bytes += c.capacity * sizeof(T);
+    return bytes;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<T[]> data;
+    size_t capacity = 0;
+  };
+
+  size_t chunk_capacity_;
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;  // values used in the last chunk
+  size_t total_values_ = 0;
+};
+
+/// Slot pool with a free list: acquired values live at stable slots until
+/// released, and released slots are recycled (most-recently-freed first, so
+/// recycling is deterministic). Backs payloads that wait inside the
+/// simulator's event queue — e.g. requeued jobs parked on a retry timer —
+/// keeping the queued events themselves small and trivially movable.
+template <typename T>
+class SlabPool {
+ public:
+  static constexpr uint32_t kInvalidSlot = UINT32_MAX;
+
+  /// Stores `value` and returns its slot.
+  uint32_t Acquire(T value) {
+    ++live_;
+    if (!free_.empty()) {
+      const uint32_t slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(value);
+      return slot;
+    }
+    HT_CHECK(slots_.size() < kInvalidSlot) << "slab pool exhausted";
+    slots_.push_back(std::move(value));
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+
+  T& At(uint32_t slot) { return slots_[slot]; }
+  const T& At(uint32_t slot) const { return slots_[slot]; }
+
+  /// Moves the value out of `slot` and releases the slot.
+  T Take(uint32_t slot) {
+    T value = std::move(slots_[slot]);
+    Release(slot);
+    return value;
+  }
+
+  void Release(uint32_t slot) {
+    HT_CHECK(live_ > 0) << "release without a live slot";
+    --live_;
+    free_.push_back(slot);
+  }
+
+  /// Currently acquired slots.
+  size_t live() const { return live_; }
+  /// High-water slot count (live + free).
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::deque<T> slots_;
+  std::vector<uint32_t> free_;
+  size_t live_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_COMMON_ARENA_H_

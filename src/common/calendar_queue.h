@@ -1,0 +1,213 @@
+#ifndef HYPERTUNE_COMMON_CALENDAR_QUEUE_H_
+#define HYPERTUNE_COMMON_CALENDAR_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+/// Calendar queue (Brown 1988): an O(1)-amortized priority queue for
+/// discrete-event simulation, replacing the O(log n) binary heap in the
+/// simulator's hot loop.
+///
+/// Events hash into a power-of-two ring of buckets by `floor(time / width)`
+/// (their *virtual bucket*, i.e. the day of a conceptual calendar; the ring
+/// wraps every `bucket_count` days — one *year*). Popping drains one day at
+/// a time through a sorted "active run"; pushes into the day currently
+/// being drained insert into the run at their ordered position, pushes into
+/// future days are O(1) appends. The ring and the bucket width resize with
+/// the population, keeping expected bucket occupancy — and therefore every
+/// operation — O(1) amortized.
+///
+/// Template parameters:
+///   * `Event`:  movable event type;
+///   * `TimeFn`: functor `double operator()(const Event&)` returning the
+///     event's schedule time (must be non-negative and finite);
+///   * `Less`:   strict *total* order "a pops before b" that refines time
+///     (`Less(a, b)` implies `time(a) <= time(b)`). Totality makes the pop
+///     sequence a pure function of the push sequence — bit-identical to any
+///     other correct priority queue under the same order, which is what
+///     lets the simulator keep its golden-history pins.
+///
+/// Contract: pushes are monotone — `time(e)` is never below the time of
+/// the most recently popped event (the simulator only schedules into the
+/// future). Same-time pushes *during* the drain of their own day are
+/// ordered correctly but cost O(day population) each; the simulator's
+/// events carry strictly positive durations, so such bursts stay small.
+template <typename Event, typename TimeFn, typename Less>
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(TimeFn time_fn = TimeFn(), Less less = Less())
+      : time_(std::move(time_fn)), less_(std::move(less)) {
+    InitRing(kMinBuckets, 1.0);
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void Push(Event event) {
+    const double t = time_(event);
+    HT_CHECK(t >= 0.0 && t <= kMaxTime) << "event time out of range: " << t;
+    const int64_t vb = VirtualBucket(t);
+    if (vb <= current_day_) {
+      // The event lands in the day being drained (or, with equal times and
+      // an earlier tie-rank, "before" it): merge into the active run at its
+      // ordered position among the not-yet-popped events.
+      auto it = std::upper_bound(active_.begin() + static_cast<ptrdiff_t>(
+                                                       active_pos_),
+                                 active_.end(), event, less_);
+      active_.insert(it, std::move(event));
+    } else {
+      buckets_[static_cast<size_t>(vb) & mask_].push_back(std::move(event));
+    }
+    ++size_;
+    if (size_ > bucket_count_ * 2) Resize(bucket_count_ * 2);
+  }
+
+  /// Removes and returns the minimum event under `Less`.
+  Event PopMin() {
+    HT_CHECK(size_ > 0) << "PopMin on empty CalendarQueue";
+    if (active_pos_ >= active_.size()) AdvanceDay();
+    Event out = std::move(active_[active_pos_]);
+    ++active_pos_;
+    --size_;
+    if (active_pos_ >= active_.size()) {
+      active_.clear();
+      active_pos_ = 0;
+    }
+    if (bucket_count_ > kMinBuckets && size_ < bucket_count_ / 8) {
+      Resize(bucket_count_ / 2);
+    }
+    return out;
+  }
+
+  /// Current bucket-ring size (for tests and occupancy diagnostics).
+  size_t bucket_count() const { return bucket_count_; }
+  double bucket_width() const { return width_; }
+
+ private:
+  static constexpr size_t kMinBuckets = 16;
+  /// Times above this could overflow the virtual-bucket index at the
+  /// minimum width; the simulator's virtual clocks sit far below it.
+  static constexpr double kMaxTime = 1e15;
+  static constexpr double kMinWidth = 1e-9;
+
+  int64_t VirtualBucket(double t) const {
+    return static_cast<int64_t>(t / width_);
+  }
+
+  void InitRing(size_t count, double width) {
+    bucket_count_ = count;
+    mask_ = count - 1;
+    width_ = width;
+    buckets_.assign(count, {});
+    active_.clear();
+    active_pos_ = 0;
+    current_day_ = -1;
+  }
+
+  /// Moves the events of day `vb` out of `bucket` (which may also hold
+  /// events of other years mapping to the same slot) into the active run.
+  void ExtractDay(std::vector<Event>* bucket, int64_t vb) {
+    size_t kept = 0;
+    for (size_t i = 0; i < bucket->size(); ++i) {
+      if (VirtualBucket(time_((*bucket)[i])) == vb) {
+        active_.push_back(std::move((*bucket)[i]));
+      } else {
+        if (kept != i) (*bucket)[kept] = std::move((*bucket)[i]);
+        ++kept;
+      }
+    }
+    bucket->resize(kept);
+  }
+
+  /// Finds the next non-empty day and sorts it into the active run.
+  /// Requires size_ > 0 (some bucket holds an event).
+  void AdvanceDay() {
+    active_.clear();
+    active_pos_ = 0;
+    // Walk at most one year of days; beyond that the queue is sparse and a
+    // direct minimum scan is cheaper than stepping through empty days.
+    for (size_t step = 0; step < bucket_count_; ++step) {
+      const int64_t vb = current_day_ + 1 + static_cast<int64_t>(step);
+      ExtractDay(&buckets_[static_cast<size_t>(vb) & mask_], vb);
+      if (!active_.empty()) {
+        current_day_ = vb;
+        std::sort(active_.begin(), active_.end(), less_);
+        return;
+      }
+    }
+    int64_t min_vb = std::numeric_limits<int64_t>::max();
+    for (const auto& bucket : buckets_) {
+      for (const Event& e : bucket) {
+        min_vb = std::min(min_vb, VirtualBucket(time_(e)));
+      }
+    }
+    ExtractDay(&buckets_[static_cast<size_t>(min_vb) & mask_], min_vb);
+    current_day_ = min_vb;
+    std::sort(active_.begin(), active_.end(), less_);
+  }
+
+  /// Rebuilds the ring with `new_count` buckets and a width matched to the
+  /// current event density, redistributing every queued event.
+  void Resize(size_t new_count) {
+    std::vector<Event> events;
+    events.reserve(size_);
+    for (size_t i = active_pos_; i < active_.size(); ++i) {
+      events.push_back(std::move(active_[i]));
+    }
+    for (auto& bucket : buckets_) {
+      for (Event& e : bucket) events.push_back(std::move(e));
+    }
+
+    double min_t = std::numeric_limits<double>::infinity();
+    double max_t = 0.0;
+    for (const Event& e : events) {
+      const double t = time_(e);
+      min_t = std::min(min_t, t);
+      max_t = std::max(max_t, t);
+    }
+    // Aim for a handful of events per day over the occupied span; an empty
+    // or single-time population keeps the old width.
+    double width = width_;
+    if (!events.empty() && max_t > min_t) {
+      width = (max_t - min_t) / static_cast<double>(events.size()) * 4.0;
+    }
+    width = std::max(width, kMinWidth);
+
+    InitRing(new_count, width);
+    if (!events.empty()) {
+      // Re-anchor the drain point just before the earliest event; the
+      // monotone-push contract keeps all future pushes at or after it.
+      current_day_ = VirtualBucket(min_t) - 1;
+      for (Event& e : events) {
+        const int64_t vb = VirtualBucket(time_(e));
+        buckets_[static_cast<size_t>(vb) & mask_].push_back(std::move(e));
+      }
+    }
+  }
+
+  TimeFn time_;
+  Less less_;
+  std::vector<std::vector<Event>> buckets_;
+  size_t bucket_count_ = 0;
+  size_t mask_ = 0;
+  double width_ = 1.0;
+  /// Day currently being drained through `active_`; -1 before the first.
+  int64_t current_day_ = -1;
+  /// Events of the current day, sorted ascending; [active_pos_, end) are
+  /// not yet popped.
+  std::vector<Event> active_;
+  size_t active_pos_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_COMMON_CALENDAR_QUEUE_H_

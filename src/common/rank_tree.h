@@ -1,0 +1,221 @@
+#ifndef HYPERTUNE_COMMON_RANK_TREE_H_
+#define HYPERTUNE_COMMON_RANK_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace hypertune {
+
+/// Deterministic order-statistics tree over (key, insertion-order) pairs —
+/// a treap whose heap priorities come from a seedless integer mix of the
+/// insertion index, so its shape (and therefore every query) is a pure
+/// function of the insertion sequence on every platform.
+///
+/// Nodes are identified by their insertion index (0, 1, 2, ...) and ordered
+/// by (key, index): ascending key, ties in insertion order — the stable
+/// ascending order of the values. Each node is *open* until closed; the
+/// tree answers, in O(log n):
+///   * RankOf(node): position in the stable ascending order;
+///   * Kth(k): node at position k;
+///   * KthOpen(k): k-th open node in that order (KthOpen(0) = best open).
+///
+/// This replaces per-decision "sort everything, scan for the best
+/// un-promoted result" passes (O(n log n) each) in ASHA-style promotion
+/// rules and running-median maintenance with O(log n) incremental work.
+class RankTree {
+ public:
+  RankTree() = default;
+
+  int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t open_count() const {
+    return root_ < 0 ? 0 : nodes_[static_cast<size_t>(root_)].open;
+  }
+
+  /// Inserts `key` as the next node; returns its id (== insertion index).
+  int32_t Insert(double key) {
+    const int32_t id = static_cast<int32_t>(nodes_.size());
+    HT_CHECK(nodes_.size() < static_cast<size_t>(INT32_MAX)) << "tree full";
+    Node node;
+    node.key = key;
+    node.pri = Mix(static_cast<uint64_t>(id) + 0x9E3779B97F4A7C15ULL);
+    nodes_.push_back(node);
+    root_ = InsertRec(root_, id);
+    return id;
+  }
+
+  double key(int32_t id) const { return nodes_[static_cast<size_t>(id)].key; }
+  bool is_open(int32_t id) const {
+    return nodes_[static_cast<size_t>(id)].is_open;
+  }
+
+  /// Marks `id` closed (it keeps its rank; KthOpen skips it).
+  void Close(int32_t id) {
+    Node& target = nodes_[static_cast<size_t>(id)];
+    HT_CHECK(target.is_open) << "node " << id << " already closed";
+    target.is_open = false;
+    int32_t t = root_;
+    while (true) {
+      ++steps_;
+      Node& n = nodes_[static_cast<size_t>(t)];
+      --n.open;
+      if (t == id) return;
+      t = Before(id, t) ? n.left : n.right;
+    }
+  }
+
+  /// Position of `id` in the stable ascending order (0-based).
+  int64_t RankOf(int32_t id) const {
+    int32_t t = root_;
+    int64_t rank = 0;
+    while (true) {
+      ++steps_;
+      const Node& n = nodes_[static_cast<size_t>(t)];
+      if (t == id) return rank + Count(n.left);
+      if (Before(id, t)) {
+        t = n.left;
+      } else {
+        rank += Count(n.left) + 1;
+        t = n.right;
+      }
+    }
+  }
+
+  /// Node at position `k` of the stable ascending order.
+  int32_t Kth(int64_t k) const {
+    HT_CHECK(k >= 0 && k < size()) << "rank " << k << " out of range";
+    int32_t t = root_;
+    while (true) {
+      ++steps_;
+      const Node& n = nodes_[static_cast<size_t>(t)];
+      const int64_t left = Count(n.left);
+      if (k < left) {
+        t = n.left;
+      } else if (k == left) {
+        return t;
+      } else {
+        k -= left + 1;
+        t = n.right;
+      }
+    }
+  }
+
+  /// `k`-th open node in the stable ascending order, or -1 when fewer than
+  /// k + 1 nodes are open. KthOpen(0) is the best open node.
+  int32_t KthOpen(int64_t k) const {
+    if (k < 0 || k >= open_count()) return -1;
+    int32_t t = root_;
+    while (true) {
+      ++steps_;
+      const Node& n = nodes_[static_cast<size_t>(t)];
+      const int64_t left = OpenCount(n.left);
+      if (k < left) {
+        t = n.left;
+      } else if (k == left && n.is_open) {
+        return t;
+      } else {
+        k -= left + (n.is_open ? 1 : 0);
+        t = n.right;
+      }
+    }
+  }
+
+  /// Tree-node visits accumulated across all operations — a portable,
+  /// timing-free measure of decision work for complexity regression tests.
+  int64_t steps() const { return steps_; }
+
+ private:
+  struct Node {
+    double key = 0.0;
+    uint64_t pri = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t count = 1;  ///< subtree size
+    int32_t open = 1;   ///< open nodes in subtree
+    bool is_open = true;
+  };
+
+  /// SplitMix64 finalizer: decorrelates insertion indices into priorities.
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// Strict total order: (key, insertion index) lexicographic.
+  bool Before(int32_t a, int32_t b) const {
+    const Node& na = nodes_[static_cast<size_t>(a)];
+    const Node& nb = nodes_[static_cast<size_t>(b)];
+    if (na.key != nb.key) return na.key < nb.key;
+    return a < b;
+  }
+
+  int64_t Count(int32_t t) const {
+    return t < 0 ? 0 : nodes_[static_cast<size_t>(t)].count;
+  }
+  int64_t OpenCount(int32_t t) const {
+    return t < 0 ? 0 : nodes_[static_cast<size_t>(t)].open;
+  }
+
+  void Pull(int32_t t) {
+    Node& n = nodes_[static_cast<size_t>(t)];
+    n.count = static_cast<int32_t>(Count(n.left) + Count(n.right) + 1);
+    n.open = static_cast<int32_t>(OpenCount(n.left) + OpenCount(n.right) +
+                                  (n.is_open ? 1 : 0));
+  }
+
+  int32_t RotateRight(int32_t t) {
+    Node& n = nodes_[static_cast<size_t>(t)];
+    const int32_t l = n.left;
+    n.left = nodes_[static_cast<size_t>(l)].right;
+    nodes_[static_cast<size_t>(l)].right = t;
+    Pull(t);
+    Pull(l);
+    return l;
+  }
+
+  int32_t RotateLeft(int32_t t) {
+    Node& n = nodes_[static_cast<size_t>(t)];
+    const int32_t r = n.right;
+    n.right = nodes_[static_cast<size_t>(r)].left;
+    nodes_[static_cast<size_t>(r)].left = t;
+    Pull(t);
+    Pull(r);
+    return r;
+  }
+
+  int32_t InsertRec(int32_t t, int32_t id) {
+    ++steps_;
+    if (t < 0) return id;
+    if (Before(id, t)) {
+      nodes_[static_cast<size_t>(t)].left =
+          InsertRec(nodes_[static_cast<size_t>(t)].left, id);
+      Pull(t);
+      if (nodes_[static_cast<size_t>(nodes_[static_cast<size_t>(t)].left)]
+              .pri > nodes_[static_cast<size_t>(t)].pri) {
+        t = RotateRight(t);
+      }
+    } else {
+      nodes_[static_cast<size_t>(t)].right =
+          InsertRec(nodes_[static_cast<size_t>(t)].right, id);
+      Pull(t);
+      if (nodes_[static_cast<size_t>(nodes_[static_cast<size_t>(t)].right)]
+              .pri > nodes_[static_cast<size_t>(t)].pri) {
+        t = RotateLeft(t);
+      }
+    }
+    return t;
+  }
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  mutable int64_t steps_ = 0;
+};
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_COMMON_RANK_TREE_H_

@@ -1,12 +1,15 @@
 #include "src/core/hyper_tune.h"
 
+#include <optional>
+#include <utility>
+
 namespace hypertune {
 namespace {
 
 TuningOutcome MakeOutcome(RunResult run) {
   TuningOutcome outcome;
-  const TrialRecord* best = BestTrial(run);
-  if (best != nullptr) {
+  const std::optional<TrialRecord> best = BestTrial(run);
+  if (best.has_value()) {
     outcome.best_config = best->job.config;
     outcome.best_objective = best->result.objective;
     outcome.test_objective = best->result.test_objective;

@@ -33,14 +33,19 @@ RunResult Tuner::RunOnThreads(const TuningProblem& problem,
   return cluster.Run(scheduler_.get(), problem);
 }
 
-const TrialRecord* BestTrial(const RunResult& result) {
-  const TrialRecord* best = nullptr;
-  for (const TrialRecord& trial : result.history.trials()) {
-    if (best == nullptr || trial.result.objective < best->result.objective) {
-      best = &trial;
+std::optional<TrialRecord> BestTrial(const RunResult& result) {
+  const TrialList trials = result.history.trials();
+  if (trials.empty()) return std::nullopt;
+  size_t best = 0;
+  double best_objective = trials[0].result.objective;
+  for (size_t i = 1; i < trials.size(); ++i) {
+    const double objective = trials[i].result.objective;
+    if (objective < best_objective) {
+      best = i;
+      best_objective = objective;
     }
   }
-  return best;
+  return trials[best];
 }
 
 }  // namespace hypertune

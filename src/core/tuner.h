@@ -2,6 +2,7 @@
 #define HYPERTUNE_CORE_TUNER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/allocator/fidelity_weights.h"
@@ -49,9 +50,11 @@ class Tuner {
   bool used_ = false;
 };
 
-/// The trial with the lowest validation objective in `result`, or nullptr
-/// when the run recorded no trials.
-const TrialRecord* BestTrial(const RunResult& result);
+/// The trial with the lowest validation objective in `result`, or nullopt
+/// when the run recorded no trials. Returns by value: trial records are
+/// materialized on demand from the history's columnar storage, so there is
+/// no stable record address to point into.
+std::optional<TrialRecord> BestTrial(const RunResult& result);
 
 }  // namespace hypertune
 

@@ -6,15 +6,10 @@ namespace hypertune {
 
 bool IsKnownConfiguration(const MeasurementStore& store,
                           const Configuration& config) {
-  for (int level = 1; level <= store.num_levels(); ++level) {
-    for (const Measurement& m : store.group(level)) {
-      if (m.config == config) return true;
-    }
-  }
-  for (const Configuration& pending : store.PendingConfigs()) {
-    if (pending == config) return true;
-  }
-  return false;
+  // O(1) expected via the store's hash indexes (stored at any level, or
+  // pending at any level) — the former scan of every group and a pending
+  // snapshot made duplicate-avoidance quadratic over a long run.
+  return store.Contains(config);
 }
 
 RandomSampler::RandomSampler(const ConfigurationSpace* space,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/common/statistics.h"
@@ -12,6 +13,7 @@ MeasurementStore::MeasurementStore(int num_levels) {
   HT_CHECK(num_levels >= 1) << "MeasurementStore requires K >= 1";
   MutexLock lock(mu_);
   groups_.resize(static_cast<size_t>(num_levels));
+  index_.resize(static_cast<size_t>(num_levels));
 }
 
 std::vector<Measurement>& MeasurementStore::GroupLocked(int level) {
@@ -31,17 +33,21 @@ void MeasurementStore::Add(int level, const Configuration& config,
                            double objective) {
   MutexLock lock(mu_);
   auto& group = GroupLocked(level);
-  for (Measurement& m : group) {
+  auto& index = index_[static_cast<size_t>(level - 1)];
+  auto& positions = index[config.Hash()];
+  for (uint32_t pos : positions) {
+    Measurement& m = group[pos];
     if (m.config == config) {
       m.objective = objective;
-      ++version_;
-      ++data_version_;
+      version_.fetch_add(1, std::memory_order_release);
+      data_version_.fetch_add(1, std::memory_order_release);
       return;
     }
   }
+  positions.push_back(static_cast<uint32_t>(group.size()));
   group.push_back(Measurement{config, objective});
-  ++version_;
-  ++data_version_;
+  version_.fetch_add(1, std::memory_order_release);
+  data_version_.fetch_add(1, std::memory_order_release);
 }
 
 const std::vector<Measurement>& MeasurementStore::group(int level) const {
@@ -91,36 +97,86 @@ int MeasurementStore::HighestLevelWith(size_t min_count) const {
   return 0;
 }
 
+bool MeasurementStore::Contains(const Configuration& config) const {
+  const uint64_t hash = config.Hash();
+  {
+    MutexLock lock(mu_);
+    for (size_t level = 0; level < index_.size(); ++level) {
+      auto it = index_[level].find(hash);
+      if (it == index_[level].end()) continue;
+      const auto& group = groups_[level];
+      for (uint32_t pos : it->second) {
+        if (group[pos].config == config) return true;
+      }
+    }
+  }
+  // Group lock released: at most one lock is ever held.
+  PendingShard& shard = ShardFor(hash);
+  MutexLock lock(shard.mu);
+  auto it = shard.by_hash.find(hash);
+  if (it == shard.by_hash.end()) return false;
+  for (uint32_t pos : it->second) {
+    const PendingEntry& entry = shard.entries[pos];
+    if (entry.count > 0 && entry.config == config) return true;
+  }
+  return false;
+}
+
+void MeasurementStore::MaybeCompact(PendingShard& shard) {
+  if (shard.dead <= 32 || shard.dead * 2 <= shard.entries.size()) return;
+  std::vector<PendingEntry> live;
+  live.reserve(shard.entries.size() - shard.dead);
+  for (PendingEntry& entry : shard.entries) {
+    if (entry.count > 0) live.push_back(std::move(entry));
+  }
+  shard.entries = std::move(live);
+  shard.by_hash.clear();
+  for (uint32_t i = 0; i < shard.entries.size(); ++i) {
+    shard.by_hash[shard.entries[i].config.Hash()].push_back(i);
+  }
+  shard.dead = 0;
+}
+
 void MeasurementStore::AddPending(const Configuration& config, int level) {
-  MutexLock lock(mu_);
-  HT_CHECK(level >= 1 && level <= static_cast<int>(groups_.size()))
-      << "pending level " << level << " outside [1, " << groups_.size() << "]";
-  auto& bucket = pending_[config.Hash()];
-  for (PendingEntry& entry : bucket) {
-    if (entry.level == level && entry.config == config) {
+  {
+    MutexLock lock(mu_);
+    HT_CHECK(level >= 1 && level <= static_cast<int>(groups_.size()))
+        << "pending level " << level << " outside [1, " << groups_.size()
+        << "]";
+  }
+  const uint64_t hash = config.Hash();
+  PendingShard& shard = ShardFor(hash);
+  MutexLock lock(shard.mu);
+  auto& positions = shard.by_hash[hash];
+  for (uint32_t pos : positions) {
+    PendingEntry& entry = shard.entries[pos];
+    if (entry.count > 0 && entry.level == level && entry.config == config) {
       ++entry.count;
-      ++num_pending_;
-      ++version_;
+      num_pending_.fetch_add(1, std::memory_order_relaxed);
+      version_.fetch_add(1, std::memory_order_release);
       return;
     }
   }
-  bucket.push_back(PendingEntry{config, level, 1});
-  ++num_pending_;
-  ++version_;
+  positions.push_back(static_cast<uint32_t>(shard.entries.size()));
+  shard.entries.push_back(PendingEntry{config, level, 1});
+  num_pending_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 void MeasurementStore::RemovePending(const Configuration& config, int level) {
-  MutexLock lock(mu_);
-  auto it = pending_.find(config.Hash());
-  if (it == pending_.end()) return;
-  auto& bucket = it->second;
-  for (size_t i = 0; i < bucket.size(); ++i) {
-    if (bucket[i].level == level && bucket[i].config == config) {
-      --num_pending_;
-      ++version_;
-      if (--bucket[i].count == 0) {
-        bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
-        if (bucket.empty()) pending_.erase(it);
+  const uint64_t hash = config.Hash();
+  PendingShard& shard = ShardFor(hash);
+  MutexLock lock(shard.mu);
+  auto it = shard.by_hash.find(hash);
+  if (it == shard.by_hash.end()) return;
+  for (uint32_t pos : it->second) {
+    PendingEntry& entry = shard.entries[pos];
+    if (entry.count > 0 && entry.level == level && entry.config == config) {
+      num_pending_.fetch_sub(1, std::memory_order_relaxed);
+      version_.fetch_add(1, std::memory_order_release);
+      if (--entry.count == 0) {
+        ++shard.dead;
+        MaybeCompact(shard);
       }
       return;
     }
@@ -128,11 +184,11 @@ void MeasurementStore::RemovePending(const Configuration& config, int level) {
 }
 
 std::vector<Configuration> MeasurementStore::PendingConfigs() const {
-  MutexLock lock(mu_);
   std::vector<Configuration> out;
-  out.reserve(num_pending_);
-  for (const auto& [hash, bucket] : pending_) {
-    for (const PendingEntry& entry : bucket) {
+  out.reserve(NumPending());
+  for (const PendingShard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const PendingEntry& entry : shard.entries) {
       for (int i = 0; i < entry.count; ++i) out.push_back(entry.config);
     }
   }
@@ -140,20 +196,15 @@ std::vector<Configuration> MeasurementStore::PendingConfigs() const {
 }
 
 std::vector<Configuration> MeasurementStore::PendingConfigs(int level) const {
-  MutexLock lock(mu_);
   std::vector<Configuration> out;
-  for (const auto& [hash, bucket] : pending_) {
-    for (const PendingEntry& entry : bucket) {
+  for (const PendingShard& shard : shards_) {
+    MutexLock lock(shard.mu);
+    for (const PendingEntry& entry : shard.entries) {
       if (entry.level != level) continue;
       for (int i = 0; i < entry.count; ++i) out.push_back(entry.config);
     }
   }
   return out;
-}
-
-size_t MeasurementStore::NumPending() const {
-  MutexLock lock(mu_);
-  return num_pending_;
 }
 
 }  // namespace hypertune

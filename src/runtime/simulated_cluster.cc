@@ -6,13 +6,15 @@
 #include <deque>
 #include <limits>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
+#include "src/common/calendar_queue.h"
 #include "src/common/logging.h"
+#include "src/common/rank_tree.h"
 #include "src/common/rng.h"
 #include "src/runtime/scheduler_contract.h"
 
@@ -58,31 +60,45 @@ int EventRank(EventKind kind) {
   return 8;
 }
 
-/// A queued simulator event. Attempt events (kComplete/kCrash/kTimeout) and
-/// kSpeculate carry the epoch of the worker's attempt at push time; they are
-/// stale — skipped without effect — once the worker's epoch moved on
-/// (attempt resolved, cancelled, or the worker died). Worker lifecycle
-/// events validate against the worker's incarnation instead.
+/// A queued simulator event — 40 bytes, no heap payload. Attempt events
+/// (kComplete/kCrash/kTimeout) and kSpeculate carry the epoch of the
+/// worker's attempt at push time in `token`; they are stale — skipped
+/// without effect — once the worker's epoch moved on (attempt resolved,
+/// cancelled, or the worker died), and read their Job from the worker's
+/// running slot, which is live exactly as long as the epoch matches.
+/// Worker lifecycle events validate `token` against the worker's
+/// incarnation instead. kRetryReady events own the only out-of-line
+/// payload — the requeued Job, parked in a slab pool slot.
 struct SimEvent {
   double end_time = 0.0;
-  double start_time = 0.0;
-  int worker = -1;
-  Job job;
-  EventKind kind = EventKind::kComplete;
-  int64_t epoch = 0;
-  int64_t incarnation = 0;
+  /// The issuing job for attempt/retry/speculate events (the second
+  /// tie-break key); -1 for worker lifecycle events.
+  int64_t job_id = -1;
   /// Monotone push counter: the final deterministic tie-break.
   int64_t seq = 0;
+  /// Attempt epoch or worker incarnation, depending on `kind`.
+  int64_t token = 0;
+  int32_t worker = -1;
+  EventKind kind = EventKind::kComplete;
+  /// Slab slot of the requeued Job (kRetryReady only).
+  uint32_t retry_slot = SlabPool<Job>::kInvalidSlot;
 };
 
-struct LaterEvent {
+struct SimEventTime {
+  double operator()(const SimEvent& e) const { return e.end_time; }
+};
+
+/// Total order "a resolves before b": (end_time, rank, job_id, seq) — the
+/// exact inverse of the pre-calendar-queue heap comparator, so the pop
+/// sequence (and every golden history) is bit-identical.
+struct EarlierEvent {
   bool operator()(const SimEvent& a, const SimEvent& b) const {
-    if (a.end_time != b.end_time) return a.end_time > b.end_time;
-    int rank_a = EventRank(a.kind);
-    int rank_b = EventRank(b.kind);
-    if (rank_a != rank_b) return rank_a > rank_b;
-    if (a.job.job_id != b.job.job_id) return a.job.job_id > b.job.job_id;
-    return a.seq > b.seq;
+    if (a.end_time != b.end_time) return a.end_time < b.end_time;
+    const int rank_a = EventRank(a.kind);
+    const int rank_b = EventRank(b.kind);
+    if (rank_a != rank_b) return rank_a < rank_b;
+    if (a.job_id != b.job_id) return a.job_id < b.job_id;
+    return a.seq < b.seq;
   }
 };
 
@@ -128,14 +144,17 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   SchedulerContractChecker contract_checker(scheduler);
   if (options_.check_contract) scheduler = &contract_checker;
   RunResult result;
+  result.history.set_retention(options_.retention);
   Rng straggler_rng(CombineSeeds(options_.seed, 0x5772A667ULL));
 
-  std::priority_queue<SimEvent, std::vector<SimEvent>, LaterEvent> queue;
+  CalendarQueue<SimEvent, SimEventTime, EarlierEvent> queue;
   int64_t next_seq = 0;
   auto push_event = [&](SimEvent event) {
     event.seq = next_seq++;
-    queue.push(std::move(event));
+    queue.Push(event);
   };
+  /// Requeued jobs parked on a retry timer, addressed by event.retry_slot.
+  SlabPool<Job> retry_slab;
 
   std::vector<int> idle_workers;
   for (int w = options_.num_workers - 1; w >= 0; --w) idle_workers.push_back(w);
@@ -143,6 +162,9 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   std::vector<std::optional<RunningAttempt>> running(options_.num_workers);
   /// Workers that are alive and not quarantined (idle or busy).
   int available_workers = options_.num_workers;
+  /// Attempts currently occupying workers (== count of engaged `running`
+  /// slots); makes the termination check O(1) instead of a worker scan.
+  int running_attempts = 0;
 
   /// Requeued jobs whose backoff already expired, awaiting an idle worker.
   std::deque<Job> ready_retries;
@@ -157,9 +179,10 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   /// Which workers currently run a copy of each job (1, or 2 while a
   /// speculative duplicate races its primary).
   std::unordered_map<int64_t, std::vector<int>> job_workers;
-  /// Sorted completed-attempt durations per fidelity level, for the running
-  /// median that drives straggler detection.
-  std::unordered_map<int, std::vector<double>> level_durations;
+  /// Completed-attempt durations per fidelity level, in a rank tree so the
+  /// running median that drives straggler detection is O(log n) to read
+  /// (the former sorted-vector insert was O(n) per completion).
+  std::unordered_map<int, RankTree> level_durations;
 
   double now = 0.0;
   const double budget = options_.time_budget_seconds;
@@ -188,8 +211,8 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       death.end_time = workers[w].lifetime.uptime_seconds;
       death.worker = w;
       death.kind = EventKind::kWorkerDeath;
-      death.incarnation = 0;
-      push_event(std::move(death));
+      death.token = 0;  // incarnation
+      push_event(death);
     }
   }
 
@@ -197,6 +220,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   /// events. Does NOT return the worker to the idle pool.
   auto release = [&](int w) {
     running[w].reset();
+    --running_attempts;
     ++workers[w].epoch;
   };
 
@@ -235,7 +259,8 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     attempt.job = job;
     attempt.start_time = now;
     attempt.speculative = speculative_copy;
-    running[worker] = attempt;
+    running[worker] = std::move(attempt);
+    ++running_attempts;
     job_workers[job.job_id].push_back(worker);
 
     if (obs != nullptr) {
@@ -254,16 +279,15 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     }
 
     SimEvent flight;
-    flight.start_time = now;
     flight.end_time = now + plan.duration;
     flight.worker = worker;
-    flight.job = job;
+    flight.job_id = job.job_id;
     flight.kind = plan.failed ? (plan.kind == FailureKind::kCrash
                                     ? EventKind::kCrash
                                     : EventKind::kTimeout)
                               : EventKind::kComplete;
-    flight.epoch = workers[worker].epoch;
-    push_event(std::move(flight));
+    flight.token = workers[worker].epoch;
+    push_event(flight);
 
     // Arm the straggler watchdog for primaries once the level's median is
     // trustworthy. The watchdog goes stale automatically (epoch mismatch)
@@ -273,16 +297,16 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (it != level_durations.end() &&
           static_cast<int>(it->second.size()) >=
               options_.speculation.min_samples) {
-        double median = it->second[(it->second.size() - 1) / 2];
+        const RankTree& tree = it->second;
+        double median = tree.key(tree.Kth((tree.size() - 1) / 2));
         SimEvent watchdog;
-        watchdog.start_time = now;
         watchdog.end_time =
             now + options_.speculation.speculation_factor * median;
         watchdog.worker = worker;
-        watchdog.job = job;
+        watchdog.job_id = job.job_id;
         watchdog.kind = EventKind::kSpeculate;
-        watchdog.epoch = workers[worker].epoch;
-        push_event(std::move(watchdog));
+        watchdog.token = workers[worker].epoch;
+        push_event(watchdog);
       }
     }
   };
@@ -291,7 +315,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     while (!idle_workers.empty() && now < budget) {
       // Requeued jobs take priority over fresh scheduler work.
       if (!ready_retries.empty()) {
-        Job job = ready_retries.front();
+        Job job = std::move(ready_retries.front());
         ready_retries.pop_front();
         launch(job, /*speculative_copy=*/false);
         continue;
@@ -366,20 +390,20 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (kind == FailureKind::kWorkerLost) {
         // Node death is the cluster's fault: requeue immediately, no
         // backoff, budget untouched.
-        ready_retries.push_back(next_attempt);
+        ready_retries.push_back(std::move(next_attempt));
         return;
       }
       double delay = RetryDelay(options_.faults, options_.seed, job);
       if (delay > 0.0) {
         SimEvent timer;
-        timer.start_time = now;
         timer.end_time = now + delay;
-        timer.job = next_attempt;
+        timer.job_id = next_attempt.job_id;
         timer.kind = EventKind::kRetryReady;
-        push_event(std::move(timer));
+        timer.retry_slot = retry_slab.Acquire(std::move(next_attempt));
+        push_event(timer);
         ++pending_retry_timers;
       } else {
-        ready_retries.push_back(next_attempt);
+        ready_retries.push_back(std::move(next_attempt));
       }
     } else {
       ++result.failed_trials;
@@ -428,12 +452,11 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
         obs->metrics.Increment("workers.quarantines");
       }
       SimEvent rejoin;
-      rejoin.start_time = now;
       rejoin.end_time = now + wf.quarantine_seconds;
       rejoin.worker = w;
       rejoin.kind = EventKind::kQuarantineEnd;
-      rejoin.incarnation = ws.incarnation;
-      push_event(std::move(rejoin));
+      rejoin.token = ws.incarnation;
+      push_event(rejoin);
     } else {
       idle_workers.push_back(w);
     }
@@ -443,19 +466,18 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   /// lifecycle events: nothing running, nothing requeued, scheduler done.
   /// With recoveries enabled the queue never empties (death and rebirth
   /// events chain forever), so termination must not rely on queue.empty().
+  /// O(1): running attempts are counted, not scanned.
   auto no_work_left = [&]() {
     if (!ready_retries.empty() || pending_retry_timers > 0) return false;
-    for (int i = 0; i < options_.num_workers; ++i) {
-      if (running[i].has_value()) return false;
-    }
+    if (running_attempts > 0) return false;
     return scheduler->Exhausted();
   };
 
   try_assign();
 
   while (!queue.empty()) {
-    SimEvent flight = queue.top();
-    queue.pop();
+    SimEvent flight = queue.PopMin();
+    ++result.events_processed;
     if (flight.end_time > budget) {
       // The earliest remaining event lands past the budget: the run is
       // over. Worker time spent inside the budget by still-running
@@ -475,14 +497,14 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
 
     if (flight.kind == EventKind::kRetryReady) {
       --pending_retry_timers;
-      ready_retries.push_back(flight.job);
+      ready_retries.push_back(retry_slab.Take(flight.retry_slot));
       try_assign();
       continue;
     }
 
     if (flight.kind == EventKind::kWorkerDeath) {
       WorkerState& ws = workers[flight.worker];
-      if (!ws.alive || ws.incarnation != flight.incarnation) continue;
+      if (!ws.alive || ws.incarnation != flight.token) continue;
       ++result.worker_deaths;
       const int w = flight.worker;
       if (obs != nullptr) {
@@ -543,12 +565,11 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
         ++result.workers_lost_permanently;
       } else {
         SimEvent rebirth;
-        rebirth.start_time = now;
         rebirth.end_time = now + ws.lifetime.downtime_seconds;
         rebirth.worker = w;
         rebirth.kind = EventKind::kWorkerRecover;
-        rebirth.incarnation = ws.incarnation;
-        push_event(std::move(rebirth));
+        rebirth.token = ws.incarnation;
+        push_event(rebirth);
       }
       try_assign();
       if (no_work_left()) break;
@@ -557,7 +578,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
 
     if (flight.kind == EventKind::kWorkerRecover) {
       WorkerState& ws = workers[flight.worker];
-      if (ws.alive || ws.incarnation != flight.incarnation) continue;
+      if (ws.alive || ws.incarnation != flight.token) continue;
       ws.alive = true;
       ++available_workers;
       if (obs != nullptr) {
@@ -572,12 +593,11 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
                                        flight.worker, ws.incarnation);
       if (std::isfinite(ws.lifetime.uptime_seconds)) {
         SimEvent death;
-        death.start_time = now;
         death.end_time = now + ws.lifetime.uptime_seconds;
         death.worker = flight.worker;
         death.kind = EventKind::kWorkerDeath;
-        death.incarnation = ws.incarnation;
-        push_event(std::move(death));
+        death.token = ws.incarnation;
+        push_event(death);
       }
       idle_workers.push_back(flight.worker);
       try_assign();
@@ -587,8 +607,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
 
     if (flight.kind == EventKind::kQuarantineEnd) {
       WorkerState& ws = workers[flight.worker];
-      if (!ws.alive || !ws.quarantined ||
-          ws.incarnation != flight.incarnation) {
+      if (!ws.alive || !ws.quarantined || ws.incarnation != flight.token) {
         continue;
       }
       ws.quarantined = false;
@@ -610,9 +629,8 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       const int w = flight.worker;
       // Still the same attempt, still un-duplicated, and a spare worker is
       // idle right now — otherwise the watchdog expires without effect.
-      if (workers[w].epoch != flight.epoch || !running[w].has_value() ||
-          duplicated_jobs.count(flight.job.job_id) > 0 ||
-          idle_workers.empty()) {
+      if (workers[w].epoch != flight.token || !running[w].has_value() ||
+          duplicated_jobs.count(flight.job_id) > 0 || idle_workers.empty()) {
         continue;
       }
       Job duplicate = running[w]->job;
@@ -628,7 +646,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     // From here on: an attempt outcome (kComplete/kCrash/kTimeout). Skip it
     // if the attempt was cancelled or orphaned in the meantime — its worker
     // time was already charged at cancellation.
-    if (workers[flight.worker].epoch != flight.epoch ||
+    if (workers[flight.worker].epoch != flight.token ||
         !running[flight.worker].has_value()) {
       continue;
     }
@@ -742,10 +760,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       job_failures.erase(attempt.job.job_id);
       duplicated_jobs.erase(attempt.job.job_id);
 
-      auto& durations = level_durations[attempt.job.level];
-      durations.insert(
-          std::upper_bound(durations.begin(), durations.end(), duration),
-          duration);
+      level_durations[attempt.job.level].Insert(duration);
 
       idle_workers.push_back(w);
       ++completed;

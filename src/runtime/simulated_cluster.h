@@ -43,6 +43,10 @@ struct ClusterOptions {
   SpeculationOptions speculation;
   /// Optional per-completion callback.
   TrialObserver observer;
+  /// How much per-trial detail the run's TrialHistory keeps. kAggregates
+  /// drops per-trial records (keeping counters and the improvement-only
+  /// anytime curve) so mega-scale simulations run in O(1) memory per trial.
+  TrialRetention retention = TrialRetention::kFull;
   /// Audit the scheduler contract on every call by wrapping the scheduler
   /// in a SchedulerContractChecker (aborts with an event dump on the first
   /// violation). On by default — the checker perturbs no decision and no
@@ -108,6 +112,11 @@ struct RunResult {
   int64_t speculative_losses = 0;
   /// Worker seconds burned by losing speculative copies.
   double speculative_wasted_seconds = 0.0;
+
+  /// Simulator events processed (queue pops), SimulatedCluster only. The
+  /// denominator-free throughput measure for scalability benchmarks:
+  /// events / wall seconds is the event core's processing rate.
+  int64_t events_processed = 0;
 
   /// Derives idle_seconds and utilization from elapsed/busy. Utilization is
   /// busy / (busy + idle) and defined as 0 for a zero-trial run (no time

@@ -1,9 +1,14 @@
 #ifndef HYPERTUNE_RUNTIME_TRIAL_HISTORY_H_
 #define HYPERTUNE_RUNTIME_TRIAL_HISTORY_H_
 
+#include <array>
+#include <cstdint>
+#include <iterator>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/runtime/job.h"
 
 namespace hypertune {
@@ -34,12 +39,113 @@ struct CurvePoint {
   double incumbent_test = std::numeric_limits<double>::infinity();
 };
 
+/// How much per-trial detail a TrialHistory keeps.
+enum class TrialRetention {
+  /// Every trial and failure record is materializable (default). The
+  /// anytime curve gets one point per completion.
+  kFull,
+  /// Only aggregates: counts, total cost, and an improvement-only anytime
+  /// curve. trials()/failures() are empty; best_objective(),
+  /// BestObjectiveAt(), TimeToReach() and the counters stay exact. For
+  /// simulations with millions of trials where O(trials) memory is the
+  /// bottleneck, not the answer.
+  kAggregates,
+};
+
+namespace internal {
+
+/// Structure-of-arrays trial storage: one flat column per TrialRecord field,
+/// with configuration vectors flattened into a chunked arena. Recording a
+/// trial is a handful of column appends and one arena copy — no per-trial
+/// heap allocation beyond amortized column growth.
+struct TrialColumns {
+  std::vector<int64_t> job_id;
+  std::vector<int32_t> level;
+  std::vector<int32_t> bracket;
+  std::vector<int32_t> attempt;
+  std::vector<int32_t> worker;
+  std::vector<double> resource;
+  std::vector<double> resume_from;
+  std::vector<double> start_time;
+  std::vector<double> end_time;
+  std::vector<double> objective;
+  std::vector<double> test_objective;
+  std::vector<double> cost_seconds;
+  std::vector<uint8_t> failure_kind;
+  std::vector<uint8_t> speculative;
+  std::vector<ChunkedPool<double>::Span> config;
+  ChunkedPool<double> config_values;
+
+  size_t size() const { return job_id.size(); }
+  void Append(const TrialRecord& trial);
+  TrialRecord Materialize(size_t i) const;
+};
+
+}  // namespace internal
+
+/// Read-only view over a TrialColumns store that materializes TrialRecord
+/// values on demand. Iterators return records *by value*; range-for with
+/// `const TrialRecord&` binds the temporary as usual. The view is invalidated
+/// by the next Record/RecordFailure on the owning history.
+class TrialList {
+ public:
+  explicit TrialList(const internal::TrialColumns* columns)
+      : columns_(columns) {}
+
+  size_t size() const { return columns_->size(); }
+  bool empty() const { return size() == 0; }
+  TrialRecord operator[](size_t i) const { return columns_->Materialize(i); }
+  TrialRecord front() const { return (*this)[0]; }
+  TrialRecord back() const { return (*this)[size() - 1]; }
+
+  class Iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = TrialRecord;
+    using difference_type = ptrdiff_t;
+    using pointer = const TrialRecord*;
+    using reference = TrialRecord;
+
+    Iterator(const internal::TrialColumns* columns, size_t i)
+        : columns_(columns), i_(i) {}
+    TrialRecord operator*() const { return columns_->Materialize(i_); }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iterator& other) const { return i_ == other.i_; }
+    bool operator!=(const Iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const internal::TrialColumns* columns_;
+    size_t i_;
+  };
+
+  Iterator begin() const { return Iterator(columns_, 0); }
+  Iterator end() const { return Iterator(columns_, size()); }
+
+ private:
+  const internal::TrialColumns* columns_;
+};
+
 /// Accumulates completed trials and exposes the anytime (best-so-far)
 /// optimization curve that the paper's figures plot, plus utilization
 /// statistics for the scheduling experiments.
+///
+/// Storage is structure-of-arrays with configurations flattened into a
+/// chunked arena (see internal::TrialColumns); trials()/failures() return
+/// materializing views. A config-id index, sharded by hash into fixed
+/// sub-maps (mirroring the measurement store's pending-shard layout),
+/// answers "which rows evaluated this configuration" in O(1). Like every
+/// other accessor of this class, it follows the backends' single-writer
+/// discipline: histories are written by one thread and read after the run.
 class TrialHistory {
  public:
   TrialHistory() = default;
+
+  /// Sets the retention policy. Must be called before the first record.
+  void set_retention(TrialRetention retention);
+  TrialRetention retention() const { return retention_; }
 
   /// Appends a completed trial; `is_full_fidelity` marks evaluations that
   /// used the maximum training resource.
@@ -51,14 +157,14 @@ class TrialHistory {
   /// curve — they exist for failure accounting and post-mortems.
   void RecordFailure(const TrialRecord& trial);
 
-  const std::vector<TrialRecord>& trials() const { return trials_; }
+  TrialList trials() const { return TrialList(&trials_); }
   const std::vector<CurvePoint>& curve() const { return curve_; }
 
   /// Trials abandoned by the fault runtime (empty when faults are off).
-  const std::vector<TrialRecord>& failures() const { return failures_; }
+  TrialList failures() const { return TrialList(&failures_); }
 
-  size_t num_trials() const { return trials_.size(); }
-  size_t num_failures() const { return failures_.size(); }
+  size_t num_trials() const { return num_trials_; }
+  size_t num_failures() const { return num_failures_; }
 
   /// Abandoned trials whose last attempt died with `kind`.
   size_t num_failures_of_kind(FailureKind kind) const;
@@ -82,10 +188,32 @@ class TrialHistory {
   /// Sum of evaluation cost over all recorded trials (worker busy seconds).
   double TotalEvaluationCost() const;
 
+  /// Row indices (into trials()) of completions of the configuration with
+  /// this hash, in completion order. Keyed on Configuration::Hash(), so a
+  /// 64-bit hash collision could alias two configurations. Empty under
+  /// kAggregates retention.
+  std::vector<int64_t> TrialsForConfig(uint64_t config_hash) const;
+
  private:
-  std::vector<TrialRecord> trials_;
-  std::vector<TrialRecord> failures_;
+  static constexpr size_t kConfigShards = 16;
+  struct ConfigShard {
+    /// config hash -> trial row indices, in completion order.
+    std::unordered_map<uint64_t, std::vector<int64_t>> rows;
+  };
+
+  /// Folds `trial` into the anytime curve. kFull appends one point per
+  /// completion; kAggregates appends only when an incumbent improves.
+  void UpdateCurve(const TrialRecord& trial, bool is_full_fidelity);
+
+  TrialRetention retention_ = TrialRetention::kFull;
+  internal::TrialColumns trials_;
+  internal::TrialColumns failures_;
   std::vector<CurvePoint> curve_;
+  size_t num_trials_ = 0;
+  size_t num_failures_ = 0;
+  std::array<size_t, 3> failures_by_kind_ = {0, 0, 0};
+  double total_cost_ = 0.0;
+  std::array<ConfigShard, kConfigShards> config_index_;
 };
 
 }  // namespace hypertune

@@ -146,17 +146,23 @@ std::optional<Job> Bracket::FindAsyncPromotion(int64_t job_id) {
       }
     }
 
-    // Top 1/eta of completed results not yet promoted.
-    std::vector<size_t> order(cur.results.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return cur.results[a].first < cur.results[b].first;
-    });
-    for (int64_t rank = 0; rank < eligible; ++rank) {
+    // Top 1/eta of completed results not yet promoted. The rank tree keeps
+    // completions in ascending objective order with consumed (or
+    // duplicate-hash) nodes closed, so the candidate is the best open node —
+    // O(log n) — instead of a fresh sort-and-scan of the whole rung. A
+    // closed node is permanently skippable: its hash is in `promoted`, which
+    // the scan below would always skip anyway.
+    while (true) {
+      const int32_t node = cur.order.KthOpen(0);
+      if (node < 0) break;
+      if (cur.order.RankOf(node) >= eligible) break;
       const Configuration& candidate =
-          cur.results[order[static_cast<size_t>(rank)]].second;
-      if (cur.promoted.count(candidate.Hash()) > 0) continue;
-      cur.promoted.insert(candidate.Hash());
+          cur.results[static_cast<size_t>(node)].second;
+      const uint64_t hash = candidate.Hash();
+      cur.order.Close(node);
+      if (cur.promoted.count(hash) > 0) continue;  // duplicate completion
+      cur.promoted.insert(hash);
+      cur.promoted_to_verify.push_back(hash);
       Rung& next = rung(k + 1);
       ++next.issued;
       ++in_flight_;
@@ -173,18 +179,16 @@ void Bracket::MaybeQueueSyncPromotions(int level) {
 
   Rung& next = rung(level + 1);
   int64_t to_promote = next.target;
-  std::vector<size_t> order(cur.results.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return cur.results[a].first < cur.results[b].first;
-  });
-  for (int64_t rank = 0;
-       rank < to_promote && rank < static_cast<int64_t>(order.size());
+  // Walk the top ranks of the rung's order tree (stable ascending by
+  // objective) — O(log n) per rank instead of sorting the whole rung.
+  for (int64_t rank = 0; rank < to_promote && rank < cur.order.size();
        ++rank) {
+    const int32_t node = cur.order.Kth(rank);
     const Configuration& candidate =
-        cur.results[order[static_cast<size_t>(rank)]].second;
+        cur.results[static_cast<size_t>(node)].second;
     if (cur.promoted.count(candidate.Hash()) > 0) continue;
     cur.promoted.insert(candidate.Hash());
+    cur.promoted_to_verify.push_back(candidate.Hash());
     sync_promotions_.emplace_back(candidate, level);
   }
 
@@ -211,6 +215,10 @@ void Bracket::OnJobComplete(const Job& job, double objective) {
   ++r.completed;
   --in_flight_;
   r.results.emplace_back(objective, job.config);
+  const int32_t node = r.order.Insert(objective);
+  HT_CHECK(static_cast<size_t>(node) + 1 == r.results.size())
+      << "rung order tree out of sync with results";
+  ++r.completed_hash_counts[job.config.Hash()];
   HT_CHECK(r.completed <= r.issued) << "rung accounting corrupted";
   if (options_.synchronous) MaybeQueueSyncPromotions(job.level);
 }
@@ -249,16 +257,20 @@ void Bracket::CheckInvariants() const {
           << "bracket " << options_.index << " rung " << r.level
           << ": issued " << r.issued << " beyond target " << r.target;
     }
-    std::unordered_set<uint64_t> completed_hashes;
-    completed_hashes.reserve(r.results.size());
-    for (const auto& [objective, config] : r.results) {
-      completed_hashes.insert(config.Hash());
-    }
-    for (uint64_t hash : r.promoted) {
-      HT_CHECK(completed_hashes.count(hash) > 0)
+    HT_CHECK(r.order.size() == r.completed)
+        << "bracket " << options_.index << " rung " << r.level
+        << ": order tree holds " << r.order.size() << " nodes but "
+        << r.completed << " completions";
+    // Incremental audit: each promotion is checked against the completed
+    // multiset exactly once, on the first call after it happened — O(new
+    // promotions) amortized instead of rebuilding a hash set per call.
+    for (uint64_t hash : r.promoted_to_verify) {
+      auto it = r.completed_hash_counts.find(hash);
+      HT_CHECK(it != r.completed_hash_counts.end() && it->second > 0)
           << "bracket " << options_.index << " rung " << r.level
           << ": promoted a configuration that never completed on the rung";
     }
+    r.promoted_to_verify.clear();
     in_flight_sum += r.issued - r.completed;
   }
   HT_CHECK(in_flight_sum == in_flight_)
@@ -295,18 +307,27 @@ bool Bracket::Quiescent() const {
         continue;
       }
     }
-    std::vector<size_t> order(cur.results.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return cur.results[a].first < cur.results[b].first;
-    });
-    for (int64_t rank = 0; rank < eligible; ++rank) {
-      const Configuration& candidate =
-          cur.results[order[static_cast<size_t>(rank)]].second;
-      if (cur.promoted.count(candidate.Hash()) == 0) return false;
+    // Mirror FindAsyncPromotion without committing: walk the open nodes in
+    // ascending-objective order; an open node with an un-promoted hash
+    // inside the eligible prefix means a promotion is available. Open nodes
+    // whose hash was already promoted (duplicate completions) are skipped,
+    // exactly as the committing scan would close-and-continue them.
+    for (int64_t j = 0;; ++j) {
+      const int32_t node = cur.order.KthOpen(j);
+      if (node < 0) break;
+      if (cur.order.RankOf(node) >= eligible) break;
+      const uint64_t hash =
+          cur.results[static_cast<size_t>(node)].second.Hash();
+      if (cur.promoted.count(hash) == 0) return false;
     }
   }
   return true;
+}
+
+int64_t Bracket::decision_work() const {
+  int64_t total = 0;
+  for (const Rung& r : rungs_) total += r.order.steps();
+  return total;
 }
 
 bool Bracket::Complete() const {

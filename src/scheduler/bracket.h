@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/rank_tree.h"
 #include "src/config/configuration.h"
 #include "src/runtime/job.h"
 
@@ -119,8 +121,17 @@ class Bracket {
   /// never drops below its resolved members, every promoted configuration
   /// completed on that rung, and the bracket-level in-flight counter equals
   /// the per-rung issued-minus-completed sum. Called continuously by
-  /// SchedulerContractChecker through the schedulers' CheckInvariants().
+  /// SchedulerContractChecker through the schedulers' CheckInvariants();
+  /// promoted-configuration checks are incremental (each promotion is
+  /// verified once, on the first call after it happened), so the per-event
+  /// cost is O(rungs) amortized rather than O(completions).
   void CheckInvariants() const;
+
+  /// Total rank-tree node visits spent on promotion decisions so far — a
+  /// portable, timing-free measure of per-decision work. Grows
+  /// O(log completions) per completion/promotion when decisions are
+  /// indexed; complexity regression tests assert against this.
+  int64_t decision_work() const;
 
  private:
   struct Rung {
@@ -131,8 +142,20 @@ class Bracket {
     int64_t completed = 0;
     /// Completed (objective, config) pairs.
     std::vector<std::pair<double, Configuration>> results;
+    /// Order-statistics tree over result objectives; node id == results
+    /// index. Async promotions close nodes as they are consumed, so "best
+    /// un-promoted completion" is an O(log n) query instead of a fresh
+    /// sort-and-scan per decision.
+    RankTree order;
     /// Hashes of configurations already promoted out of this rung.
     std::unordered_set<uint64_t> promoted;
+    /// Multiset of completed configuration hashes (a config admitted twice
+    /// completes twice), for incremental promoted-subset-of-completed
+    /// invariant checks.
+    std::unordered_map<uint64_t, int64_t> completed_hash_counts;
+    /// Promotions not yet audited by CheckInvariants. Mutable: the audit
+    /// is observably const (it only verifies and forgets).
+    mutable std::vector<uint64_t> promoted_to_verify;
   };
 
   Rung& rung(int level);

@@ -1,0 +1,105 @@
+#include "src/common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hypertune {
+namespace {
+
+TEST(ChunkedPoolTest, RoundTripsSpans) {
+  ChunkedPool<double> pool(8);
+  std::vector<std::vector<double>> inputs = {
+      {1.0, 2.0, 3.0}, {}, {4.0}, {5.0, 6.0, 7.0, 8.0, 9.0}};
+  std::vector<ChunkedPool<double>::Span> spans;
+  for (const auto& in : inputs) spans.push_back(pool.Append(in.data(), in.size()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(spans[i].length, inputs[i].size());
+    const double* data = pool.Data(spans[i]);
+    for (size_t j = 0; j < inputs[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(data[j], inputs[i][j]);
+    }
+  }
+  EXPECT_EQ(pool.total_values(), 9u);
+}
+
+TEST(ChunkedPoolTest, SpansNeverStraddleChunks) {
+  // Chunk capacity 4: three 3-value spans cannot share chunks pairwise;
+  // each span must be readable as one contiguous block.
+  ChunkedPool<int> pool(4);
+  std::vector<int> a = {1, 2, 3};
+  std::vector<int> b = {4, 5, 6};
+  auto sa = pool.Append(a.data(), a.size());
+  auto sb = pool.Append(b.data(), b.size());
+  EXPECT_NE(sa.chunk, sb.chunk);  // 3 + 3 > 4 forces a fresh chunk
+  const int* pb = pool.Data(sb);
+  EXPECT_EQ(pb[0], 4);
+  EXPECT_EQ(pb[2], 6);
+}
+
+TEST(ChunkedPoolTest, OversizedSpanGetsDedicatedChunk) {
+  ChunkedPool<int> pool(4);
+  std::vector<int> big(100);
+  for (int i = 0; i < 100; ++i) big[static_cast<size_t>(i)] = i;
+  auto span = pool.Append(big.data(), big.size());
+  ASSERT_EQ(span.length, 100u);
+  const int* data = pool.Data(span);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(data[i], i);
+}
+
+TEST(ChunkedPoolTest, PointersSurviveGrowth) {
+  // Unlike one flat std::vector, chunks never reallocate: a pointer taken
+  // early stays valid after thousands of later appends.
+  ChunkedPool<double> pool(16);
+  double v = 42.0;
+  auto span = pool.Append(&v, 1);
+  const double* p = pool.Data(span);
+  for (int i = 0; i < 10000; ++i) {
+    double x = static_cast<double>(i);
+    pool.Append(&x, 1);
+  }
+  EXPECT_DOUBLE_EQ(*p, 42.0);
+  EXPECT_GT(pool.AllocatedBytes(), 0u);
+}
+
+TEST(SlabPoolTest, AcquireTakeRoundTrip) {
+  SlabPool<std::string> pool;
+  uint32_t a = pool.Acquire("alpha");
+  uint32_t b = pool.Acquire("beta");
+  EXPECT_EQ(pool.live(), 2u);
+  EXPECT_EQ(pool.At(a), "alpha");
+  EXPECT_EQ(pool.Take(b), "beta");
+  EXPECT_EQ(pool.live(), 1u);
+  EXPECT_EQ(pool.Take(a), "alpha");
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(SlabPoolTest, RecyclesSlotsDeterministically) {
+  SlabPool<int> pool;
+  uint32_t a = pool.Acquire(1);
+  uint32_t b = pool.Acquire(2);
+  pool.Take(a);
+  pool.Take(b);
+  // Most-recently-freed first: b's slot is reused before a's.
+  EXPECT_EQ(pool.Acquire(3), b);
+  EXPECT_EQ(pool.Acquire(4), a);
+  // No new slots were created by the churn.
+  EXPECT_EQ(pool.capacity(), 2u);
+}
+
+TEST(SlabPoolTest, CapacityTracksHighWater) {
+  SlabPool<int> pool;
+  std::vector<uint32_t> slots;
+  for (int i = 0; i < 100; ++i) slots.push_back(pool.Acquire(i));
+  EXPECT_EQ(pool.capacity(), 100u);
+  for (uint32_t s : slots) pool.Release(s);
+  EXPECT_EQ(pool.live(), 0u);
+  // Re-acquiring reuses the freed slots without growing.
+  for (int i = 0; i < 100; ++i) pool.Acquire(i);
+  EXPECT_EQ(pool.capacity(), 100u);
+}
+
+}  // namespace
+}  // namespace hypertune

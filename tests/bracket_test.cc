@@ -238,7 +238,11 @@ TEST(BracketTest, DelayedPromotionThrottlesAsha) {
 }
 
 TEST(BracketTest, AsyncDelayedPromotesFewerThanPlain) {
-  // Same completion stream through both variants; count promotions.
+  // Same completion stream through both variants; record the cumulative
+  // promotion count after each admission. The delay condition must never
+  // let the delayed variant lead, and must strictly throttle it at some
+  // point mid-stream (it may catch up by the end — the delay postpones
+  // promotions rather than cancelling them).
   auto run = [](bool delayed) {
     BracketOptions options;
     options.index = 1;
@@ -249,19 +253,32 @@ TEST(BracketTest, AsyncDelayedPromotesFewerThanPlain) {
     Bracket bracket(options);
     int64_t job_id = 0;
     int promotions = 0;
+    std::vector<int> cumulative;
     for (int i = 0; i < 40; ++i) {
       Job j = bracket.AdmitConfig(C(i), job_id++);
-      bracket.OnJobComplete(j, static_cast<double>(i % 7));
+      // Cycle through 7 quality tiers with a tiny tie-break so objectives
+      // are distinct (promotion order among exact ties is unspecified).
+      bracket.OnJobComplete(j, static_cast<double>(i % 7) + 1e-9 * i);
       while (auto p = bracket.NextPromotion(job_id)) {
         ++job_id;
         ++promotions;
         // Promotions complete immediately in this sequential harness.
         bracket.OnJobComplete(*p, p->config[0]);
       }
+      cumulative.push_back(promotions);
     }
-    return promotions;
+    return cumulative;
   };
-  EXPECT_LT(run(true), run(false));
+  const std::vector<int> delayed = run(true);
+  const std::vector<int> plain = run(false);
+  ASSERT_EQ(delayed.size(), plain.size());
+  bool strictly_behind = false;
+  for (size_t i = 0; i < delayed.size(); ++i) {
+    EXPECT_LE(delayed[i], plain[i]) << "delayed variant led at step " << i;
+    if (delayed[i] < plain[i]) strictly_behind = true;
+  }
+  EXPECT_TRUE(strictly_behind)
+      << "delay condition never throttled a promotion";
 }
 
 TEST(BracketTest, QuotaLimitsAdmissions) {

@@ -139,17 +139,18 @@ void CheckInvariants(const RunResult& result, const FaultOptions& faults,
 }
 
 void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
-  auto expect_same_records = [](const std::vector<TrialRecord>& x,
-                                const std::vector<TrialRecord>& y) {
+  auto expect_same_records = [](const TrialList& x, const TrialList& y) {
     ASSERT_EQ(x.size(), y.size());
     for (size_t i = 0; i < x.size(); ++i) {
-      EXPECT_EQ(x[i].job.job_id, y[i].job.job_id);
-      EXPECT_EQ(x[i].job.attempt, y[i].job.attempt);
-      EXPECT_EQ(x[i].job.level, y[i].job.level);
-      EXPECT_EQ(x[i].worker, y[i].worker);
-      EXPECT_DOUBLE_EQ(x[i].start_time, y[i].start_time);
-      EXPECT_DOUBLE_EQ(x[i].end_time, y[i].end_time);
-      EXPECT_DOUBLE_EQ(x[i].result.objective, y[i].result.objective);
+      const TrialRecord rx = x[i];
+      const TrialRecord ry = y[i];
+      EXPECT_EQ(rx.job.job_id, ry.job.job_id);
+      EXPECT_EQ(rx.job.attempt, ry.job.attempt);
+      EXPECT_EQ(rx.job.level, ry.job.level);
+      EXPECT_EQ(rx.worker, ry.worker);
+      EXPECT_DOUBLE_EQ(rx.start_time, ry.start_time);
+      EXPECT_DOUBLE_EQ(rx.end_time, ry.end_time);
+      EXPECT_DOUBLE_EQ(rx.result.objective, ry.result.objective);
     }
   };
   expect_same_records(a.history.trials(), b.history.trials());

@@ -1,0 +1,126 @@
+#include "src/common/rank_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace hypertune {
+namespace {
+
+TEST(RankTreeTest, KthMatchesStableSort) {
+  RankTree tree;
+  Rng rng(5);
+  std::vector<double> keys;
+  for (int i = 0; i < 500; ++i) {
+    // Coarse values to force ties: stable order must break them by
+    // insertion index.
+    double key = std::floor(rng.Uniform(0.0, 20.0));
+    EXPECT_EQ(tree.Insert(key), i);
+    keys.push_back(key);
+  }
+  std::vector<int32_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(b)];
+  });
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    EXPECT_EQ(tree.Kth(static_cast<int64_t>(rank)), order[rank]);
+    EXPECT_EQ(tree.RankOf(order[rank]), static_cast<int64_t>(rank));
+  }
+}
+
+TEST(RankTreeTest, KthOpenSkipsClosedNodes) {
+  RankTree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(static_cast<double>(i));
+  EXPECT_EQ(tree.open_count(), 10);
+  EXPECT_EQ(tree.KthOpen(0), 0);
+
+  tree.Close(0);
+  tree.Close(3);
+  EXPECT_EQ(tree.open_count(), 8);
+  EXPECT_FALSE(tree.is_open(0));
+  EXPECT_TRUE(tree.is_open(1));
+
+  // Open nodes in ascending order: 1, 2, 4, 5, ...
+  EXPECT_EQ(tree.KthOpen(0), 1);
+  EXPECT_EQ(tree.KthOpen(1), 2);
+  EXPECT_EQ(tree.KthOpen(2), 4);
+  EXPECT_EQ(tree.KthOpen(7), 9);
+  EXPECT_EQ(tree.KthOpen(8), -1);
+
+  // Ranks are positions among ALL nodes, closed included.
+  EXPECT_EQ(tree.RankOf(1), 1);
+  EXPECT_EQ(tree.RankOf(4), 4);
+}
+
+TEST(RankTreeTest, RunningMedianMatchesSortedVector) {
+  RankTree tree;
+  Rng rng(11);
+  std::vector<double> sorted;
+  for (int i = 0; i < 300; ++i) {
+    double value = rng.LogNormal(0.0, 1.0);
+    tree.Insert(value);
+    sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), value),
+                  value);
+    // The simulator's running median: element at (n - 1) / 2.
+    double expect = sorted[(sorted.size() - 1) / 2];
+    double got = tree.key(tree.Kth((tree.size() - 1) / 2));
+    ASSERT_DOUBLE_EQ(got, expect);
+  }
+}
+
+TEST(RankTreeTest, StepsGrowLogarithmically) {
+  // The treap's total work over n inserts + n queries must be O(n log n):
+  // assert the step counter stays under a generous C * n * log2(n) bound
+  // (a degenerate linear-depth tree would exceed it by orders of
+  // magnitude).
+  RankTree tree;
+  Rng rng(17);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int32_t id = tree.Insert(rng.Uniform());
+    tree.RankOf(id);
+  }
+  const double bound =
+      24.0 * static_cast<double>(n) * std::log2(static_cast<double>(n));
+  EXPECT_LT(static_cast<double>(tree.steps()), bound);
+}
+
+TEST(RankTreeTest, AscendingInsertionStaysBalanced) {
+  // Sorted input is the worst case for a plain BST; the treap's mixed
+  // priorities must keep it balanced.
+  RankTree tree;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) tree.Insert(static_cast<double>(i));
+  const int64_t before = tree.steps();
+  tree.RankOf(n / 2);
+  const int64_t probe = tree.steps() - before;
+  // A single query touches O(log n) nodes, far below n.
+  EXPECT_LT(probe, 200);
+}
+
+TEST(RankTreeTest, DeterministicAcrossInstances) {
+  // Same insertion sequence -> same shape -> same step counts and queries.
+  RankTree a;
+  RankTree b;
+  Rng rng(23);
+  std::vector<double> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(rng.Uniform());
+  for (double k : keys) {
+    a.Insert(k);
+    b.Insert(k);
+  }
+  EXPECT_EQ(a.steps(), b.steps());
+  for (int64_t rank = 0; rank < a.size(); ++rank) {
+    EXPECT_EQ(a.Kth(rank), b.Kth(rank));
+  }
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <deque>
 #include <optional>
+#include <vector>
 
+#include "src/common/rng.h"
 #include "src/optimizer/random_sampler.h"
 #include "src/problems/counting_ones.h"
 #include "src/runtime/scheduler_contract.h"
@@ -274,6 +277,54 @@ TEST(SchedulerContractCheckerTest, RealSchedulerConformsEndToEnd) {
 
   EXPECT_GT(result.history.num_trials(), 0u);
   EXPECT_TRUE(checker.violations().empty()) << checker.violations().front();
+}
+
+/// Complexity regression: promotion decisions must stay indexed. Each
+/// completion inserts into a rung's order-statistics tree and each decision
+/// probes it, so total decision work over N completions is O(N log N) node
+/// visits. The old implementation re-sorted and re-scanned a rung's results
+/// on every decision — O(N) per decision, O(N^2) total — which exceeds this
+/// bound by orders of magnitude at this N.
+TEST(SchedulerContractCheckerTest, BracketDecisionWorkStaysLogarithmic) {
+  BracketOptions options;
+  options.index = 1;
+  options.ladder.eta = 3.0;
+  options.ladder.num_levels = 4;
+  options.ladder.max_resource = 27.0;
+  options.synchronous = false;
+  options.base_quota = -1;  // unlimited: admission never throttles the loop
+  Bracket bracket(options);
+
+  Rng rng(29);
+  const int64_t n = 4000;
+  int64_t next_job_id = 0;
+  int64_t completions = 0;
+  std::vector<Job> outstanding;
+  for (int64_t i = 0; i < n; ++i) {
+    Configuration config(
+        std::vector<double>{rng.Uniform(), static_cast<double>(i)});
+    outstanding.push_back(bracket.AdmitConfig(config, next_job_id++));
+    // Complete everything outstanding, then drain eligible promotions; the
+    // interleave keeps every rung's tree growing while decisions run.
+    for (const Job& job : outstanding) {
+      bracket.OnJobComplete(job, rng.Uniform());
+      ++completions;
+    }
+    outstanding.clear();
+    while (std::optional<Job> promo = bracket.NextPromotion(next_job_id)) {
+      ++next_job_id;
+      outstanding.push_back(*promo);
+    }
+    bracket.CheckInvariants();
+  }
+
+  const double total = static_cast<double>(completions);
+  const double bound = 64.0 * total * std::log2(total);
+  EXPECT_LT(static_cast<double>(bracket.decision_work()), bound)
+      << "decision_work=" << bracket.decision_work()
+      << " completions=" << completions;
+  // Sanity: the counter is actually measuring something.
+  EXPECT_GT(bracket.decision_work(), 0);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "src/runtime/simulated_cluster.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -216,6 +218,147 @@ TEST_F(SimulatedClusterTest, BestObjectiveAtQueries) {
   EXPECT_TRUE(std::isinf(history.BestObjectiveAt(5.0)));  // before first
   EXPECT_DOUBLE_EQ(history.BestObjectiveAt(1e9), history.best_objective());
   EXPECT_GE(history.BestObjectiveAt(20.0), history.best_objective());
+}
+
+// --- Calendar-queue event-core edge cases. ---
+
+TEST_F(SimulatedClusterTest, SameTimestampCompletionsKeepJobIdOrder) {
+  // All workers start identical-duration jobs at t = 0, so every completion
+  // lands on the same timestamp: the event total order's job_id tie-break
+  // must record them in issue order, every run.
+  for (int trial = 0; trial < 3; ++trial) {
+    FixedJobScheduler scheduler(problem_.space(), 16, 10.0);
+    ClusterOptions options;
+    options.num_workers = 16;
+    options.time_budget_seconds = 1e4;
+    SimulatedCluster cluster(options);
+    RunResult result = cluster.Run(&scheduler, problem_);
+    ASSERT_EQ(result.history.num_trials(), 16u);
+    const TrialList trials = result.history.trials();
+    for (size_t i = 0; i < trials.size(); ++i) {
+      EXPECT_EQ(trials[i].job.job_id, static_cast<int64_t>(i));
+      EXPECT_DOUBLE_EQ(trials[i].end_time, 10.0);
+    }
+  }
+}
+
+TEST_F(SimulatedClusterTest, EpochStaleEventsAreDropped) {
+  // A dying worker orphans its attempt; the attempt's completion event is
+  // still queued but must be skipped as stale (epoch mismatch), then the
+  // job is requeued and completes exactly once.
+  FixedJobScheduler scheduler(problem_.space(), 6, 50.0);
+  ClusterOptions options;
+  options.num_workers = 2;
+  options.time_budget_seconds = 1e5;
+  options.worker_faults.mttf_seconds = 80.0;
+  options.worker_faults.mttr_seconds = 10.0;
+  options.seed = 5;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  // Every issued job eventually completed exactly once despite deaths.
+  EXPECT_EQ(result.history.num_trials() + result.history.num_failures(), 6u);
+  if (result.worker_deaths > 0) {
+    // Orphaned attempts were requeued, not double-completed.
+    EXPECT_EQ(scheduler.completed(),
+              static_cast<int64_t>(result.history.num_trials()));
+  }
+}
+
+TEST_F(SimulatedClusterTest, WidelySpreadDurationsStayDeterministic) {
+  // Huge straggler noise scatters event times across orders of magnitude —
+  // the calendar ring resizes, rolls over its year boundary, and falls back
+  // to direct-min scans. Two identically seeded runs must still be
+  // bit-identical, and events must be processed in nondecreasing time.
+  auto run = [&] {
+    FixedJobScheduler scheduler(problem_.space(), 100, 5.0);
+    ClusterOptions options;
+    options.num_workers = 8;
+    options.time_budget_seconds = 1e12;
+    options.straggler_sigma = 4.0;  // multiplicative spread of ~e^4 sigmas
+    options.seed = 9;
+    SimulatedCluster cluster(options);
+    return cluster.Run(&scheduler, problem_);
+  };
+  RunResult a = run();
+  RunResult b = run();
+  ASSERT_EQ(a.history.num_trials(), b.history.num_trials());
+  ASSERT_EQ(a.history.num_trials(), 100u);
+  const TrialList ta = a.history.trials();
+  const TrialList tb = b.history.trials();
+  double last_end = 0.0;
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].job.job_id, tb[i].job.job_id);
+    EXPECT_DOUBLE_EQ(ta[i].end_time, tb[i].end_time);
+    EXPECT_GE(ta[i].end_time, last_end);
+    last_end = ta[i].end_time;
+  }
+}
+
+TEST_F(SimulatedClusterTest, EventsProcessedCountsQueuePops) {
+  FixedJobScheduler scheduler(problem_.space(), 25, 4.0);
+  ClusterOptions options;
+  options.num_workers = 5;
+  options.time_budget_seconds = 1e4;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  // Fault-free: one completion event per trial, nothing else.
+  EXPECT_EQ(result.events_processed, 25);
+}
+
+TEST_F(SimulatedClusterTest, AggregatesRetentionKeepsAnswersExact) {
+  auto run = [&](TrialRetention retention) {
+    FixedJobScheduler scheduler(problem_.space(), 300, 3.0);
+    ClusterOptions options;
+    options.num_workers = 6;
+    options.time_budget_seconds = 1e5;
+    options.retention = retention;
+    options.seed = 4;
+    SimulatedCluster cluster(options);
+    return cluster.Run(&scheduler, problem_);
+  };
+  RunResult full = run(TrialRetention::kFull);
+  RunResult aggregates = run(TrialRetention::kAggregates);
+
+  // Aggregates keep no per-trial records...
+  EXPECT_EQ(full.history.trials().size(), 300u);
+  EXPECT_EQ(aggregates.history.trials().size(), 0u);
+  // ...but every aggregate answer matches the full history exactly.
+  EXPECT_EQ(aggregates.history.num_trials(), full.history.num_trials());
+  EXPECT_DOUBLE_EQ(aggregates.history.best_objective(),
+                   full.history.best_objective());
+  EXPECT_DOUBLE_EQ(aggregates.history.incumbent_test(),
+                   full.history.incumbent_test());
+  EXPECT_DOUBLE_EQ(aggregates.history.TotalEvaluationCost(),
+                   full.history.TotalEvaluationCost());
+  for (double t : {10.0, 50.0, 100.0, 149.5, 1e5}) {
+    EXPECT_DOUBLE_EQ(aggregates.history.BestObjectiveAt(t),
+                     full.history.BestObjectiveAt(t));
+  }
+  const double target = full.history.best_objective();
+  EXPECT_DOUBLE_EQ(aggregates.history.TimeToReach(target),
+                   full.history.TimeToReach(target));
+  // The improvement-only curve is a (weak) subset of the full curve.
+  EXPECT_LE(aggregates.history.curve().size(), full.history.curve().size());
+}
+
+TEST_F(SimulatedClusterTest, TrialsForConfigIndexesCompletions) {
+  FixedJobScheduler scheduler(problem_.space(), 50, 2.0);
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 1e5;
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(&scheduler, problem_);
+  const TrialList trials = result.history.trials();
+  ASSERT_EQ(trials.size(), 50u);
+  for (size_t i = 0; i < trials.size(); ++i) {
+    const TrialRecord record = trials[i];
+    std::vector<int64_t> rows =
+        result.history.TrialsForConfig(record.job.config.Hash());
+    // The row of this trial appears in its config's index.
+    EXPECT_NE(std::find(rows.begin(), rows.end(), static_cast<int64_t>(i)),
+              rows.end());
+  }
+  EXPECT_TRUE(result.history.TrialsForConfig(0xDEADBEEFULL).empty());
 }
 
 }  // namespace

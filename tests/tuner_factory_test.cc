@@ -123,8 +123,8 @@ TEST(TunerFactoryTest, BestTrialFindsMinimum) {
   cluster.num_workers = 4;
   cluster.time_budget_seconds = 20000.0;
   RunResult result = tuner->Run(problem, cluster);
-  const TrialRecord* best = BestTrial(result);
-  ASSERT_NE(best, nullptr);
+  const std::optional<TrialRecord> best = BestTrial(result);
+  ASSERT_TRUE(best.has_value());
   for (const TrialRecord& t : result.history.trials()) {
     EXPECT_GE(t.result.objective, best->result.objective);
   }
@@ -133,7 +133,7 @@ TEST(TunerFactoryTest, BestTrialFindsMinimum) {
 
 TEST(TunerFactoryTest, BestTrialNullOnEmptyRun) {
   RunResult empty;
-  EXPECT_EQ(BestTrial(empty), nullptr);
+  EXPECT_FALSE(BestTrial(empty).has_value());
 }
 
 }  // namespace

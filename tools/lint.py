@@ -41,8 +41,17 @@ complete (`X`) job slice needs a non-negative duration plus job_id and
 outcome args — the exporter's launch/terminal pairing made visible. CI
 runs an observability-enabled example and feeds its trace through here.
 
+A third mode, `--validate-bench PATH`, checks a BENCH_*.json report
+(written by bench_micro): a top-level object with schema_version 1 and a
+non-empty `benchmarks` list whose entries carry a unique non-empty string
+`name`, integer `iterations` > 0, numeric `ns_per_op` >= 0, and — when
+present — a numeric `items_per_second` or `events_per_second` >= 0. CI's
+bench-smoke job runs `bench_micro --quick` and feeds the output through
+here before uploading it as an artifact.
+
 Usage: python3 tools/lint.py [--root DIR]   (exit 1 on any violation)
        python3 tools/lint.py --validate-trace PATH
+       python3 tools/lint.py --validate-bench PATH
 """
 
 import argparse
@@ -286,6 +295,62 @@ def validate_trace(path):
     return errors
 
 
+def validate_bench(path):
+    """Validate a BENCH_*.json microbenchmark report.
+
+    Returns a list of violation strings (empty means the report is valid).
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return ["%s: not readable JSON: %s" % (path, exc)]
+
+    if not isinstance(doc, dict):
+        return ["%s: top level must be an object" % path]
+    errors = []
+    if doc.get("schema_version") != 1:
+        errors.append("%s: schema_version must be 1 (got %r)"
+                      % (path, doc.get("schema_version")))
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append("%s: benchmarks must be a non-empty list" % path)
+        return errors
+
+    seen_names = set()
+    for i, entry in enumerate(benchmarks):
+        where = "%s: benchmarks[%d]" % (path, i)
+        if not isinstance(entry, dict):
+            errors.append("%s: entry must be an object" % where)
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append("%s: name must be a non-empty string" % where)
+        elif name in seen_names:
+            errors.append("%s: duplicate name %r" % (where, name))
+        else:
+            seen_names.add(name)
+        iterations = entry.get("iterations")
+        if not isinstance(iterations, int) or isinstance(iterations, bool) \
+                or iterations <= 0:
+            errors.append("%s: iterations must be a positive integer"
+                          % where)
+        ns_per_op = entry.get("ns_per_op")
+        if not isinstance(ns_per_op, (int, float)) \
+                or isinstance(ns_per_op, bool) or ns_per_op < 0:
+            errors.append("%s: ns_per_op must be a non-negative number"
+                          % where)
+        for rate_key in ("items_per_second", "events_per_second"):
+            if rate_key not in entry:
+                continue
+            rate = entry[rate_key]
+            if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
+                    or rate < 0:
+                errors.append("%s: %s must be a non-negative number"
+                              % (where, rate_key))
+    return errors
+
+
 ALLOW_LINE_CACHE = {}
 INCLUDE_ALLOWED = set()
 ROOT = "."
@@ -299,6 +364,9 @@ def main():
     parser.add_argument("--validate-trace", metavar="PATH",
                         help="validate an exported Chrome trace JSON "
                              "instead of linting the source tree")
+    parser.add_argument("--validate-bench", metavar="PATH",
+                        help="validate a BENCH_*.json microbenchmark "
+                             "report instead of linting the source tree")
     args = parser.parse_args()
     ROOT = args.root
 
@@ -309,6 +377,15 @@ def main():
             print("\n%d trace violation(s)." % len(trace_errors))
             return 1
         print("trace: OK (%s)" % args.validate_trace)
+        return 0
+
+    if args.validate_bench:
+        bench_errors = validate_bench(args.validate_bench)
+        if bench_errors:
+            print("\n".join(bench_errors))
+            print("\n%d bench-report violation(s)." % len(bench_errors))
+            return 1
+        print("bench report: OK (%s)" % args.validate_bench)
         return 0
 
     violations = []
