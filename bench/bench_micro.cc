@@ -30,6 +30,7 @@
 #include "src/optimizer/mfes_sampler.h"
 #include "src/problems/counting_ones.h"
 #include "src/problems/nas_bench.h"
+#include "src/runtime/journal.h"
 #include "src/runtime/measurement_store.h"
 #include "src/runtime/trial_history.h"
 #include "src/surrogate/gaussian_process.h"
@@ -378,6 +379,33 @@ void BM_TrialHistoryRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_TrialHistoryRecord)->Arg(0)->Arg(1)->Iterations(300000);
 
+/// Write-ahead journal append cost: encode + CRC-frame + buffer one
+/// kComplete record (the most common and largest journal record). This is
+/// the per-transition overhead a journaled simulator run pays, so it bounds
+/// the slowdown of crash-consistent runs versus bare ones.
+void BM_JournalAppend(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(8);
+  Rng rng(13);
+  Job job;
+  job.config = space.Sample(&rng);
+  job.level = 1;
+  job.resource = 729.0;
+  EvalResult result;
+  result.objective = 0.5;
+  result.test_objective = 0.6;
+  result.cost_seconds = 60.0;
+  std::unique_ptr<RunJournal> journal = RunJournal::CreateInMemory(0x1234);
+  int64_t i = 0;
+  for (auto _ : state) {
+    job.job_id = i;
+    journal->Complete(job, result, static_cast<int>(i % 256), 0.0,
+                      static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+}
+BENCHMARK(BM_JournalAppend)->Iterations(200000);
+
 /// End-to-end event-core throughput: asynchronous random search on a large
 /// fleet with the contract checker off and aggregate retention — the
 /// configuration the mega-scale runs in bench_fig9_scalability use.
@@ -409,7 +437,7 @@ BENCHMARK(BM_SimCoreEvents)->Unit(benchmark::kMillisecond)->Iterations(3);
 /// Benchmarks `--quick` keeps: the allocation-bounded data-structure kernels.
 constexpr char kQuickFilter[] =
     "BM_(CalendarQueue|BinaryHeap|RankTree|StoreIndexedAdd|StorePendingChurn|"
-    "TrialHistoryRecord)";
+    "TrialHistoryRecord|JournalAppend)";
 
 /// Console output as usual, plus BENCH_micro.json: schema_version 1, one
 /// entry per benchmark run with name / iterations / ns_per_op and, for

@@ -23,6 +23,28 @@ BracketSelector::BracketSelector(int num_brackets,
   }
 }
 
+void BracketSelector::Snapshot(WireEncoder* enc) const {
+  enc->PutString(rng_.SerializeState());
+  enc->PutI32(num_selections_);
+  enc->PutDoubles(last_weights_);
+}
+
+Status BracketSelector::Restore(WireDecoder* dec) {
+  std::string rng_state;
+  HT_RETURN_IF_ERROR(dec->GetString(&rng_state));
+  int32_t selections = 0;
+  HT_RETURN_IF_ERROR(dec->GetI32(&selections));
+  if (selections < 0) {
+    return Status::InvalidArgument("selector: negative selection count");
+  }
+  std::vector<double> weights;
+  HT_RETURN_IF_ERROR(dec->GetDoubles(&weights));
+  HT_RETURN_IF_ERROR(rng_.DeserializeState(rng_state));
+  num_selections_ = selections;
+  last_weights_ = std::move(weights);
+  return Status::Ok();
+}
+
 int BracketSelector::Select(const MeasurementStore& store) {
   int64_t selection = num_selections_++;
 

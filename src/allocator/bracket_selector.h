@@ -6,6 +6,8 @@
 
 #include "src/allocator/fidelity_weights.h"
 #include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/runtime/wire_format.h"
 
 namespace hypertune {
 
@@ -61,6 +63,15 @@ class BracketSelector {
 
   /// Number of Select calls so far.
   int num_selections() const { return num_selections_; }
+
+  /// Serializes the selector's mutable state (RNG stream, selection count,
+  /// last learned distribution) for scheduler snapshots. FidelityWeights is
+  /// recomputed from the store on demand and carries no state to persist.
+  void Snapshot(WireEncoder* enc) const;
+
+  /// Restores state produced by Snapshot() on an identically configured
+  /// selector.
+  Status Restore(WireDecoder* dec);
 
  private:
   int num_brackets_;

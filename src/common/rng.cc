@@ -1,6 +1,7 @@
 #include "src/common/rng.h"
 
 #include <cmath>
+#include <sstream>
 
 namespace hypertune {
 
@@ -39,6 +40,32 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     }
   }
   return weights.size() - 1;
+}
+
+std::string Rng::SerializeState() const {
+  // The standard guarantees operator<</>> round-trip engines and
+  // distributions exactly (the normal distribution's cached second draw
+  // included), using only digits and spaces.
+  std::ostringstream out;
+  out << engine_ << ' ' << unit_ << ' ' << normal_;
+  return out.str();
+}
+
+Status Rng::DeserializeState(const std::string& state) {
+  std::istringstream in(state);
+  Rng fresh(0);
+  in >> fresh.engine_ >> fresh.unit_ >> fresh.normal_;
+  if (!in) return Status::InvalidArgument("rng: malformed serialized state");
+  // Reject trailing garbage: a truncated-then-padded token stream must not
+  // silently restore.
+  std::string extra;
+  if (in >> extra) {
+    return Status::InvalidArgument("rng: trailing bytes in serialized state");
+  }
+  engine_ = fresh.engine_;
+  unit_ = fresh.unit_;
+  normal_ = fresh.normal_;
+  return Status::Ok();
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {

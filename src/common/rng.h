@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
+
+#include "src/common/status.h"
 
 namespace hypertune {
 
@@ -70,6 +73,16 @@ class Rng {
 
   /// Access to the underlying engine for std distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the complete generator state (engine plus the cached state
+  /// of the unit/normal distributions) as a portable text token stream.
+  /// A restored Rng continues the exact draw sequence — the contract
+  /// scheduler snapshots rely on.
+  std::string SerializeState() const;
+
+  /// Restores state produced by SerializeState(). Rejects malformed input
+  /// with InvalidArgument and leaves the generator unchanged on failure.
+  Status DeserializeState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

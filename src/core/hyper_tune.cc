@@ -1,7 +1,11 @@
 #include "src/core/hyper_tune.h"
 
+#include <memory>
 #include <optional>
 #include <utility>
+
+#include "src/common/logging.h"
+#include "src/runtime/journal.h"
 
 namespace hypertune {
 namespace {
@@ -17,6 +21,32 @@ TuningOutcome MakeOutcome(RunResult run) {
   }
   outcome.run = std::move(run);
   return outcome;
+}
+
+TunerFactoryOptions MakeFactoryOptions(const HyperTuneOptions& options) {
+  TunerFactoryOptions factory;
+  factory.method = HyperTune::MethodFor(options);
+  factory.eta = options.eta;
+  factory.max_brackets = options.max_brackets;
+  factory.batch_size = options.num_workers;
+  factory.surrogate = options.surrogate;
+  factory.seed = options.seed;
+  return factory;
+}
+
+/// The simulator configuration Optimize runs under. Resume rebuilds the
+/// same one, so the journal fingerprint ties a journal to its options.
+ClusterOptions MakeClusterOptions(const HyperTuneOptions& options) {
+  ClusterOptions cluster;
+  cluster.num_workers = options.num_workers;
+  cluster.time_budget_seconds = options.time_budget_seconds;
+  cluster.seed = options.seed;
+  cluster.straggler_sigma = options.straggler_sigma;
+  cluster.faults = options.faults;
+  cluster.worker_faults = options.worker_faults;
+  cluster.speculation = options.speculation;
+  cluster.obs = options.obs;
+  return cluster;
 }
 
 }  // namespace
@@ -45,39 +75,42 @@ Method HyperTune::MethodFor(const HyperTuneOptions& options) {
 
 TuningOutcome HyperTune::Optimize(const TuningProblem& problem,
                                   const HyperTuneOptions& options) {
-  TunerFactoryOptions factory;
-  factory.method = MethodFor(options);
-  factory.eta = options.eta;
-  factory.max_brackets = options.max_brackets;
-  factory.batch_size = options.num_workers;
-  factory.surrogate = options.surrogate;
-  factory.seed = options.seed;
-  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  std::unique_ptr<Tuner> tuner =
+      CreateTuner(problem, MakeFactoryOptions(options));
+  ClusterOptions cluster = MakeClusterOptions(options);
 
-  ClusterOptions cluster;
-  cluster.num_workers = options.num_workers;
-  cluster.time_budget_seconds = options.time_budget_seconds;
-  cluster.seed = options.seed;
-  cluster.straggler_sigma = options.straggler_sigma;
-  cluster.faults = options.faults;
-  cluster.worker_faults = options.worker_faults;
-  cluster.speculation = options.speculation;
-  cluster.obs = options.obs;
+  std::unique_ptr<RunJournal> journal;
+  if (!options.journal_path.empty()) {
+    Result<std::unique_ptr<RunJournal>> created = RunJournal::Create(
+        options.journal_path, ClusterFingerprint(cluster));
+    HT_CHECK(created.ok()) << "cannot open run journal: "
+                           << created.status().message();
+    journal = std::move(created).value();
+    cluster.journal = journal.get();
+  }
   return MakeOutcome(tuner->Run(problem, cluster));
+}
+
+Result<TuningOutcome> HyperTune::Resume(const TuningProblem& problem,
+                                        const HyperTuneOptions& options) {
+  if (options.journal_path.empty()) {
+    return Status::InvalidArgument(
+        "HyperTune::Resume requires options.journal_path");
+  }
+  std::unique_ptr<Tuner> tuner =
+      CreateTuner(problem, MakeFactoryOptions(options));
+  Result<RunResult> run = tuner->Resume(problem, MakeClusterOptions(options),
+                                        options.journal_path);
+  if (!run.ok()) return run.status();
+  return MakeOutcome(std::move(run).value());
 }
 
 TuningOutcome HyperTune::OptimizeOnThreads(const TuningProblem& problem,
                                            const HyperTuneOptions& options,
                                            double wall_budget_seconds,
                                            double cost_sleep_scale) {
-  TunerFactoryOptions factory;
-  factory.method = MethodFor(options);
-  factory.eta = options.eta;
-  factory.max_brackets = options.max_brackets;
-  factory.batch_size = options.num_workers;
-  factory.surrogate = options.surrogate;
-  factory.seed = options.seed;
-  std::unique_ptr<Tuner> tuner = CreateTuner(problem, factory);
+  std::unique_ptr<Tuner> tuner =
+      CreateTuner(problem, MakeFactoryOptions(options));
 
   ThreadClusterOptions cluster;
   cluster.num_workers = options.num_workers;

@@ -2,6 +2,7 @@
 #define HYPERTUNE_CORE_HYPER_TUNE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/core/tuner.h"
 #include "src/core/tuner_factory.h"
@@ -45,6 +46,12 @@ struct HyperTuneOptions {
   /// perturbs no decision and no RNG, so instrumented runs are bit-identical
   /// to uninstrumented ones. See src/obs/chrome_trace.h for exporters.
   ObservabilityOptions obs;
+  /// When non-empty, Optimize writes a write-ahead journal to this path
+  /// (simulator backend only): every state transition is logged before it
+  /// is applied, so a killed run can be resumed with HyperTune::Resume and
+  /// finish bit-identically to an uninterrupted one. Journaling perturbs no
+  /// decision and no RNG. See src/runtime/journal.h.
+  std::string journal_path;
   uint64_t seed = 0;
 };
 
@@ -84,6 +91,14 @@ class HyperTune {
                                          const HyperTuneOptions& options,
                                          double wall_budget_seconds,
                                          double cost_sleep_scale = 0.0);
+
+  /// Resumes a killed Optimize run from `options.journal_path`. `options`
+  /// must be identical to the run that wrote the journal (the fingerprint
+  /// check in the journal header rejects anything else); the resumed run
+  /// finishes bit-identically to the uninterrupted one and keeps appending
+  /// to the journal past the crash point.
+  static Result<TuningOutcome> Resume(const TuningProblem& problem,
+                                      const HyperTuneOptions& options);
 
   /// Maps the component toggles onto the corresponding Method.
   static Method MethodFor(const HyperTuneOptions& options);

@@ -1,0 +1,76 @@
+#include "src/core/run_recovery.h"
+
+#include <memory>
+#include <utility>
+
+namespace hypertune {
+namespace {
+
+Result<RunResult> RunWithJournal(std::unique_ptr<RunJournal> journal,
+                                 ClusterOptions options,
+                                 SchedulerInterface* scheduler,
+                                 const TuningProblem& problem,
+                                 std::string* final_journal) {
+  options.journal = journal.get();
+  SimulatedCluster cluster(options);
+  RunResult result = cluster.Run(scheduler, problem);
+  // A replay divergence or append failure latched the journal and stopped
+  // the run early; surface it instead of a silently truncated result.
+  if (!journal->ok()) return journal->status();
+  if (journal->replaying()) {
+    return Status::DataLoss(
+        "resume: run ended before the journal was fully replayed (the "
+        "journal belongs to a longer run than this configuration produces)");
+  }
+  if (final_journal != nullptr) *final_journal = journal->bytes();
+  return result;
+}
+
+}  // namespace
+
+Result<RunResult> ResumeRun(const std::string& journal_path,
+                            ClusterOptions options,
+                            SchedulerInterface* scheduler,
+                            const TuningProblem& problem,
+                            JournalOptions journal_options) {
+  Result<std::unique_ptr<RunJournal>> journal = RunJournal::OpenForResume(
+      journal_path, ClusterFingerprint(options), options.obs,
+      journal_options);
+  if (!journal.ok()) return journal.status();
+  return RunWithJournal(std::move(journal).value(), std::move(options),
+                        scheduler, problem, /*final_journal=*/nullptr);
+}
+
+Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
+                                     ClusterOptions options,
+                                     SchedulerInterface* scheduler,
+                                     const TuningProblem& problem,
+                                     JournalOptions journal_options,
+                                     std::string* final_journal) {
+  Result<std::unique_ptr<RunJournal>> journal = RunJournal::ResumeFromBytes(
+      journal_bytes, ClusterFingerprint(options), options.obs,
+      journal_options);
+  if (!journal.ok()) return journal.status();
+  return RunWithJournal(std::move(journal).value(), std::move(options),
+                        scheduler, problem, final_journal);
+}
+
+Status RecoverStoreFromJournal(const RunJournal& journal,
+                               MeasurementStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  for (const std::string& payload : journal.loaded_records()) {
+    JournalRecord type;
+    HT_RETURN_IF_ERROR(JournalRecordTypeOf(payload, &type));
+    if (type != JournalRecord::kComplete) continue;
+    CompleteRecord record;
+    HT_RETURN_IF_ERROR(DecodeCompleteRecord(payload, &record));
+    if (record.job.level < 1 || record.job.level > store->num_levels()) {
+      return Status::InvalidArgument(
+          "journal completion has a level outside the target store's range");
+    }
+    store->Add(record.job.level, record.job.config, record.result.objective);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hypertune

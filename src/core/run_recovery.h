@@ -1,0 +1,60 @@
+#ifndef HYPERTUNE_CORE_RUN_RECOVERY_H_
+#define HYPERTUNE_CORE_RUN_RECOVERY_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/problems/problem.h"
+#include "src/runtime/journal.h"
+#include "src/runtime/measurement_store.h"
+#include "src/runtime/scheduler_interface.h"
+#include "src/runtime/simulated_cluster.h"
+
+namespace hypertune {
+
+/// Crash recovery for journaled simulator runs.
+///
+/// A SimulatedCluster run is a pure function of its ClusterOptions, the
+/// scheduler configuration, and the problem, so resuming a killed run means
+/// re-executing it with the journal in replay-verify mode (see
+/// runtime/journal.h): the regenerated record stream is byte-compared
+/// against what the dead run logged — proving the resumed execution is the
+/// same execution — and once the log is exhausted the journal switches to
+/// live append and the run continues to completion. The final RunResult is
+/// bit-identical to what the uninterrupted run would have produced (the
+/// crash-point matrix in tests/journal_recovery_test.cc asserts this via
+/// golden digests for every possible kill point).
+
+/// Resumes a killed run from its journal file. `options` and `scheduler`
+/// must be configured identically to the run that wrote the journal (the
+/// scheduler freshly constructed); the fingerprint check rejects anything
+/// else. A torn tail is truncated from the file before replay, and new
+/// records are appended to it as the run proceeds past the crash point.
+/// `options.journal` is overwritten internally and need not be set.
+Result<RunResult> ResumeRun(const std::string& journal_path,
+                            ClusterOptions options,
+                            SchedulerInterface* scheduler,
+                            const TuningProblem& problem,
+                            JournalOptions journal_options = {});
+
+/// ResumeRun for an in-memory journal byte stream (crash-point tests).
+/// When `final_journal` is non-null it receives the resumed journal's full
+/// byte stream (verified prefix + newly appended records).
+Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
+                                     ClusterOptions options,
+                                     SchedulerInterface* scheduler,
+                                     const TuningProblem& problem,
+                                     JournalOptions journal_options = {},
+                                     std::string* final_journal = nullptr);
+
+/// Rebuilds completed measurements from a resumed journal's kComplete
+/// records into `store` (level + configuration + objective). Pending
+/// entries are transient worker state and are not recoverable. Useful for
+/// warm-starting a *different* run from a dead run's partial history
+/// without re-executing it.
+Status RecoverStoreFromJournal(const RunJournal& journal,
+                               MeasurementStore* store);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_CORE_RUN_RECOVERY_H_

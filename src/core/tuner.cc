@@ -1,6 +1,7 @@
 #include "src/core/tuner.h"
 
 #include "src/common/logging.h"
+#include "src/core/run_recovery.h"
 
 namespace hypertune {
 
@@ -31,6 +32,16 @@ RunResult Tuner::RunOnThreads(const TuningProblem& problem,
   used_ = true;
   ThreadCluster cluster(options);
   return cluster.Run(scheduler_.get(), problem);
+}
+
+Result<RunResult> Tuner::Resume(const TuningProblem& problem,
+                                const ClusterOptions& options,
+                                const std::string& journal_path,
+                                JournalOptions journal_options) {
+  HT_CHECK(!used_) << "Tuner instances are single-use; build a fresh one";
+  used_ = true;
+  return ResumeRun(journal_path, options, scheduler_.get(), problem,
+                   journal_options);
 }
 
 std::optional<TrialRecord> BestTrial(const RunResult& result) {

@@ -7,6 +7,7 @@
 
 #include "src/allocator/fidelity_weights.h"
 #include "src/optimizer/sampler.h"
+#include "src/runtime/journal.h"
 #include "src/runtime/measurement_store.h"
 #include "src/runtime/scheduler_interface.h"
 #include "src/runtime/simulated_cluster.h"
@@ -35,6 +36,16 @@ class Tuner {
   /// Runs on real worker threads (wall-clock budget).
   RunResult RunOnThreads(const TuningProblem& problem,
                          const ThreadClusterOptions& options);
+
+  /// Resumes a killed simulator run from its write-ahead journal (see
+  /// core/run_recovery.h). This tuner must be freshly built with the same
+  /// configuration as the one that wrote the journal, and `options` must
+  /// match the dead run's ClusterOptions — the journal's fingerprint check
+  /// rejects anything else. Counts as this tuner's single use.
+  Result<RunResult> Resume(const TuningProblem& problem,
+                           const ClusterOptions& options,
+                           const std::string& journal_path,
+                           JournalOptions journal_options = {});
 
   const std::string& method_name() const { return method_name_; }
   MeasurementStore* store() { return store_.get(); }

@@ -42,6 +42,12 @@ const char* TraceKindName(TraceKind kind) {
       return "span_end";
     case TraceKind::kContract:
       return "contract";
+    case TraceKind::kJournalFlush:
+      return "journal_flush";
+    case TraceKind::kJournalReplay:
+      return "journal_replay";
+    case TraceKind::kJournalTornTail:
+      return "journal_torn_tail";
   }
   return "?";
 }

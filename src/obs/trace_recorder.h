@@ -34,6 +34,9 @@ enum class TraceKind {
   kSpanBegin,            ///< driver-side span opened (name identifies it)
   kSpanEnd,              ///< driver-side span closed (matches last open name)
   kContract,             ///< SchedulerContractChecker event, mirrored verbatim
+  kJournalFlush,         ///< WAL checkpoint record durably appended
+  kJournalReplay,        ///< journal replay finished; switching to live append
+  kJournalTornTail,      ///< corrupt/torn journal suffix dropped at open
 };
 
 /// Stable lowercase identifier ("job_launch", "span_begin", ...), used as

@@ -18,6 +18,17 @@ RandomSampler::RandomSampler(const ConfigurationSpace* space,
   HT_CHECK(space_ != nullptr) << "RandomSampler needs a space";
 }
 
+Status RandomSampler::SnapshotState(WireEncoder* enc) const {
+  enc->PutString(rng_.SerializeState());
+  return Status::Ok();
+}
+
+Status RandomSampler::RestoreState(WireDecoder* dec) {
+  std::string state;
+  HT_RETURN_IF_ERROR(dec->GetString(&state));
+  return rng_.DeserializeState(state);
+}
+
 Configuration RandomSampler::Sample(int /*target_level*/) {
   constexpr int kMaxAttempts = 16;
   Configuration config = space_->Sample(&rng_);

@@ -21,6 +21,10 @@ class RandomSampler : public Sampler {
   Configuration Sample(int target_level) override;
   std::string name() const override { return "random"; }
 
+  /// Random search's only private state is the RNG stream.
+  Status SnapshotState(WireEncoder* enc) const override;
+  Status RestoreState(WireDecoder* dec) override;
+
  private:
   const ConfigurationSpace* space_;
   const MeasurementStore* store_;

@@ -3,10 +3,12 @@
 
 #include <string>
 
+#include "src/common/status.h"
 #include "src/config/configuration.h"
 #include "src/config/space.h"
 #include "src/obs/observability.h"
 #include "src/runtime/measurement_store.h"
+#include "src/runtime/wire_format.h"
 
 namespace hypertune {
 
@@ -44,6 +46,23 @@ class Sampler {
   /// acquisition optimization as trace spans. Purely observational: a
   /// sampler's proposals must be identical with and without a sink.
   virtual void SetObservability(Observability* sink) { (void)sink; }
+
+  /// Serializes the sampler's private state (RNG, populations) onto `enc`
+  /// so scheduler Snapshot() can embed it. Samplers that refit their model
+  /// from the shared store on every proposal have no private state beyond
+  /// the RNG; samplers that decline (the default) simply opt the owning
+  /// scheduler out of journal checkpointing.
+  virtual Status SnapshotState(WireEncoder* enc) const {
+    (void)enc;
+    return Status::Unimplemented("sampler does not snapshot");
+  }
+
+  /// Restores state produced by SnapshotState() on an identically
+  /// constructed sampler.
+  virtual Status RestoreState(WireDecoder* dec) {
+    (void)dec;
+    return Status::Unimplemented("sampler does not snapshot");
+  }
 };
 
 }  // namespace hypertune

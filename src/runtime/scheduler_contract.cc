@@ -281,4 +281,14 @@ void SchedulerContractChecker::SetObservability(Observability* sink) {
   inner_->SetObservability(sink);
 }
 
+Status SchedulerContractChecker::Snapshot(WireEncoder* enc) const {
+  return inner_->Snapshot(enc);
+}
+
+Status SchedulerContractChecker::Restore(WireDecoder* /*dec*/) {
+  return Status::FailedPrecondition(
+      "contract checker cannot restore audit state; restore the wrapped "
+      "scheduler directly, then wrap it");
+}
+
 }  // namespace hypertune

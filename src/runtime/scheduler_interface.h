@@ -3,8 +3,10 @@
 
 #include <optional>
 
+#include "src/common/status.h"
 #include "src/obs/observability.h"
 #include "src/runtime/job.h"
+#include "src/runtime/wire_format.h"
 
 namespace hypertune {
 
@@ -77,6 +79,27 @@ class SchedulerInterface {
   /// that own a sampler forward the sink to it. Purely observational: a
   /// scheduler's decisions must be identical with and without a sink.
   virtual void SetObservability(Observability* sink) { (void)sink; }
+
+  /// Serializes the scheduler's complete decision state (rungs, in-flight
+  /// maps, counters, sampler RNG) onto `enc` in the versioned wire format.
+  /// The contract: a freshly constructed scheduler with identical
+  /// construction parameters that Restore()s these bytes must make
+  /// bit-identical decisions from then on. Snapshots feed the write-ahead
+  /// journal's periodic checkpoint records (RunJournal::MaybeCheckpoint)
+  /// and the thread backend's warm starts. The default declines — journal
+  /// checkpointing silently skips schedulers without snapshot support.
+  virtual Status Snapshot(WireEncoder* enc) const {
+    (void)enc;
+    return Status::Unimplemented("scheduler does not snapshot");
+  }
+
+  /// Restores state produced by Snapshot() on an identically configured,
+  /// freshly constructed scheduler. Rejects malformed bytes with a non-OK
+  /// Status and must leave the scheduler unused on failure.
+  virtual Status Restore(WireDecoder* dec) {
+    (void)dec;
+    return Status::Unimplemented("scheduler does not snapshot");
+  }
 };
 
 }  // namespace hypertune

@@ -16,6 +16,7 @@
 #include "src/common/logging.h"
 #include "src/common/rank_tree.h"
 #include "src/common/rng.h"
+#include "src/runtime/journal.h"
 #include "src/runtime/scheduler_contract.h"
 
 namespace hypertune {
@@ -200,6 +201,13 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     scheduler->SetObservability(obs);
   }
 
+  // Write-ahead journal: every transition below is appended (or, on a
+  // resumed run, byte-verified against the loaded stream) *before* it is
+  // applied. The hooks consume no random numbers and perturb no decision,
+  // so journaled runs are bit-identical to unjournaled ones.
+  RunJournal* const journal = options_.journal;
+  if (journal != nullptr) journal->SetObservability(options_.obs);
+
   // Seed each worker's first incarnation. Draws nothing (and schedules
   // nothing) when worker faults are off, so fault-off runs stay
   // bit-identical to the pre-fault-domain code path.
@@ -277,6 +285,10 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       obs->metrics.Increment(speculative_copy ? "speculation.launched"
                                               : "jobs.launched");
     }
+    if (journal != nullptr) {
+      journal->Launch(job.job_id, job.attempt, worker, speculative_copy,
+                      plan.duration, now);
+    }
 
     SimEvent flight;
     flight.end_time = now + plan.duration;
@@ -322,6 +334,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       }
       std::optional<Job> job = scheduler->NextJob();
       if (!job.has_value()) break;
+      if (journal != nullptr) journal->Decision(*job, now);
       launch(*job, /*speculative_copy=*/false);
     }
   };
@@ -370,6 +383,9 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     info.wasted_seconds = burned;
     info.worker = worker;
 
+    if (journal != nullptr) {
+      journal->Failed(job.job_id, job.attempt, kind, worker, burned, now);
+    }
     if (scheduler->OnJobFailed(job, info)) {
       ++result.retries;
       if (kind != FailureKind::kWorkerLost) {
@@ -390,10 +406,17 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (kind == FailureKind::kWorkerLost) {
         // Node death is the cluster's fault: requeue immediately, no
         // backoff, budget untouched.
+        if (journal != nullptr) {
+          journal->Requeue(job.job_id, next_attempt.attempt, now, now);
+        }
         ready_retries.push_back(std::move(next_attempt));
         return;
       }
       double delay = RetryDelay(options_.faults, options_.seed, job);
+      if (journal != nullptr) {
+        journal->Requeue(job.job_id, next_attempt.attempt,
+                         delay > 0.0 ? now + delay : now, now);
+      }
       if (delay > 0.0) {
         SimEvent timer;
         timer.end_time = now + delay;
@@ -407,6 +430,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       }
     } else {
       ++result.failed_trials;
+      if (journal != nullptr) journal->Abandon(job.job_id, job.attempt, now);
       if (obs != nullptr) {
         TraceEvent e;
         e.kind = TraceKind::kJobAbandoned;
@@ -438,6 +462,9 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     const WorkerFaultOptions& wf = options_.worker_faults;
     if (wf.quarantine_failures > 0 && wf.quarantine_seconds > 0.0 &&
         ws.consecutive_failures >= wf.quarantine_failures) {
+      if (journal != nullptr) {
+        journal->QuarantineBegin(w, now + wf.quarantine_seconds, now);
+      }
       ws.quarantined = true;
       ws.consecutive_failures = 0;
       ws.down_since = now;
@@ -476,6 +503,10 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
   try_assign();
 
   while (!queue.empty()) {
+    // A failed append or a replay-verify divergence latches the journal
+    // into an error state; applying further unjournaled transitions would
+    // defeat the write-ahead guarantee, so the run stops here.
+    if (journal != nullptr && !journal->ok()) break;
     SimEvent flight = queue.PopMin();
     ++result.events_processed;
     if (flight.end_time > budget) {
@@ -505,6 +536,9 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     if (flight.kind == EventKind::kWorkerDeath) {
       WorkerState& ws = workers[flight.worker];
       if (!ws.alive || ws.incarnation != flight.token) continue;
+      if (journal != nullptr) {
+        journal->WorkerDeath(flight.worker, ws.lifetime.permanent, now);
+      }
       ++result.worker_deaths;
       const int w = flight.worker;
       if (obs != nullptr) {
@@ -579,6 +613,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     if (flight.kind == EventKind::kWorkerRecover) {
       WorkerState& ws = workers[flight.worker];
       if (ws.alive || ws.incarnation != flight.token) continue;
+      if (journal != nullptr) journal->WorkerRecover(flight.worker, now);
       ws.alive = true;
       ++available_workers;
       if (obs != nullptr) {
@@ -610,6 +645,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       if (!ws.alive || !ws.quarantined || ws.incarnation != flight.token) {
         continue;
       }
+      if (journal != nullptr) journal->QuarantineEnd(flight.worker, now);
       ws.quarantined = false;
       ++available_workers;
       result.worker_down_seconds += now - ws.down_since;
@@ -634,6 +670,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
         continue;
       }
       Job duplicate = running[w]->job;
+      if (journal != nullptr) journal->Speculate(duplicate.job_id, w, now);
       duplicated_jobs.insert(duplicate.job_id);
       ++result.speculative_attempts;
       if (options_.check_contract) {
@@ -726,6 +763,10 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
       eval.test_objective = outcome.test_objective;
       eval.cost_seconds = duration;
 
+      if (journal != nullptr) {
+        journal->Complete(attempt.job, eval, w, attempt.start_time, now);
+      }
+
       TrialRecord record;
       record.job = attempt.job;
       record.result = eval;
@@ -764,6 +805,9 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
 
       idle_workers.push_back(w);
       ++completed;
+      if (journal != nullptr) {
+        journal->MaybeCheckpoint(*scheduler, completed, now);
+      }
       if (options_.max_trials > 0 && completed >= options_.max_trials) break;
     }
 
@@ -783,6 +827,7 @@ RunResult SimulatedCluster::Run(SchedulerInterface* scheduler,
     }
   }
   result.Finalize(options_.num_workers);
+  if (journal != nullptr && journal->ok()) journal->RunEnd(result);
   if (obs != nullptr) {
     // Close the trace: every attempt still in flight at shutdown gets its
     // terminal event, so each launch pairs with exactly one terminal.

@@ -12,6 +12,8 @@
 
 namespace hypertune {
 
+class RunJournal;
+
 /// Observer invoked after every completed trial (progress reporting,
 /// live dashboards, external early-stopping). Called on the simulator's
 /// driving thread / under the thread backend's completion lock — keep it
@@ -59,6 +61,15 @@ struct ClusterOptions {
   /// trace events with its own clock: virtual time here, run-relative wall
   /// time on ThreadCluster.
   ObservabilityOptions obs;
+  /// Optional write-ahead journal (borrowed; may be null). When set, every
+  /// state transition — scheduler decision, launch, completion, failure,
+  /// requeue, worker death/recovery, quarantine, speculation — is appended
+  /// (and flushed) *before* the transition is applied, so a killed run can
+  /// be resumed bit-identically (see core/run_recovery.h). Journal hooks
+  /// consume no random numbers and perturb no decision: journal-on and
+  /// journal-off runs are bit-identical. Deliberately excluded from
+  /// ClusterFingerprint for the same reason.
+  RunJournal* journal = nullptr;
 };
 
 /// Aggregate outcome of a cluster run.

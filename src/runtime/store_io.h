@@ -16,15 +16,42 @@ namespace hypertune {
 /// weights and bracket selection start from history instead of from
 /// scratch.
 ///
-/// Format: CSV with header "level,objective,<param names...>"; one row per
-/// measurement, parameter values as raw stored doubles (choice indices for
-/// categorical parameters). Pending entries are intentionally not
-/// persisted — they are transient worker state.
+/// Two formats exist:
+///
+///   * v1 (current, what SaveStore writes): the versioned binary wire
+///     format of runtime/wire_format.h — a 4-byte magic, then CRC-guarded
+///     length-prefixed records (one header record naming the space's
+///     parameters, one record per measurement). Doubles round-trip
+///     bit-exactly and corruption is detected per record.
+///   * v0 (legacy CSV): header "level,objective,<param names...>", one row
+///     per measurement, values as raw stored doubles. LoadStore still
+///     reads it (the magic disambiguates), so stores saved by older builds
+///     keep warm-starting new ones.
+///
+/// Pending entries are intentionally not persisted — they are transient
+/// worker state.
 
-/// Writes every measurement group of `store` to `out`. Non-finite
-/// objectives (the +inf marker of failed trials, NaN from a broken
-/// problem) are rejected with InvalidArgument: a store CSV must
-/// round-trip, and failure markers do not belong in warm-start history.
+/// Magic prefix of a v1 binary store stream.
+inline constexpr char kStoreWireMagic[4] = {'H', 'T', 'W', 'S'};
+
+/// Serializes every measurement group of `store` into the v1 binary wire
+/// format. Non-finite objectives (the +inf marker of failed trials, NaN
+/// from a broken problem) are rejected with InvalidArgument: a persisted
+/// store must round-trip, and failure markers do not belong in warm-start
+/// history.
+Status EncodeStoreWire(const MeasurementStore& store,
+                       const ConfigurationSpace& space, std::string* out);
+
+/// Decodes a v1 binary store stream into `store`. The stream's parameter
+/// names must match `space` exactly (order included); a version newer than
+/// kWireFormatVersion is rejected with a clear upgrade error; truncated or
+/// corrupt records are rejected with DataLoss.
+Status DecodeStoreWire(const std::string& bytes,
+                       const ConfigurationSpace& space,
+                       MeasurementStore* store);
+
+/// Writes every measurement group of `store` to `out` as legacy v0 CSV.
+/// Same non-finite-objective rejection as EncodeStoreWire.
 Status WriteStoreCsv(const MeasurementStore& store,
                      const ConfigurationSpace& space, std::ostream* out);
 
@@ -36,7 +63,8 @@ Status WriteStoreCsv(const MeasurementStore& store,
 Status ReadStoreCsv(std::istream* in, const ConfigurationSpace& space,
                     MeasurementStore* store);
 
-/// File-path convenience wrappers.
+/// File-path convenience wrappers. SaveStore writes the v1 binary format;
+/// LoadStore sniffs the magic and reads either v1 binary or legacy v0 CSV.
 Status SaveStore(const MeasurementStore& store,
                  const ConfigurationSpace& space, const std::string& path);
 Status LoadStore(const std::string& path, const ConfigurationSpace& space,

@@ -15,6 +15,7 @@
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/thread_annotations.h"
+#include "src/runtime/journal.h"
 #include "src/runtime/scheduler_contract.h"
 
 namespace hypertune {
@@ -126,6 +127,11 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
     obs->trace.SetClock(elapsed);
     scheduler->SetObservability(obs);
   }
+  // Write-ahead journal: internally synchronized, so workers append
+  // concurrently. Appends happen before the transition is applied; hooks
+  // consume no RNG and perturb no decision.
+  RunJournal* const journal = options_.journal;
+  if (journal != nullptr) journal->SetObservability(options_.obs);
   const double full_resource = problem.max_resource();
 
   // Sleeps `seconds` in slices, aborting early when the copy's kill flag is
@@ -176,6 +182,9 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
       {
         MutexLock lock(state.mu);
         for (;;) {
+          // A failed journal append latches an error; applying further
+          // unjournaled transitions would defeat the write-ahead guarantee.
+          if (journal != nullptr && !journal->ok()) state.stop = true;
           if (state.stop || elapsed() >= options_.time_budget_seconds) return;
           if (elapsed() >= death_at) {
             died_idle = true;
@@ -199,6 +208,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           std::optional<Job> next = state.scheduler()->NextJob();
           if (next.has_value()) {
             job = *std::move(next);
+            if (journal != nullptr) journal->Decision(job, elapsed());
             ++state.in_flight;
             break;
           }
@@ -224,6 +234,9 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             }
             if (straggler >= 0) {
               ActiveAttempt& entry = state.active[straggler];
+              if (journal != nullptr) {
+                journal->Speculate(straggler, worker_id, elapsed());
+              }
               entry.live_copies = 2;
               entry.kills[1] = std::make_shared<std::atomic<bool>>(false);
               state.duplicated_jobs.insert(straggler);
@@ -258,6 +271,9 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
       }
 
       if (died_idle) {
+        if (journal != nullptr) {
+          journal->WorkerDeath(worker_id, lifetime.permanent, elapsed());
+        }
         {
           MutexLock lock(state.mu);
           ++state.result.worker_deaths;
@@ -278,6 +294,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           MutexLock lock(state.mu);
           state.result.worker_down_seconds += elapsed() - down_started;
         }
+        if (journal != nullptr) journal->WorkerRecover(worker_id, elapsed());
         if (obs != nullptr) {
           TraceEvent e;
           e.kind = TraceKind::kWorkerRecover;
@@ -318,6 +335,10 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
       AttemptPlan plan =
           PlanAttempt(options_.faults, options_.seed, job, nominal_sleep,
                       speculative_copy ? kSpeculativeStreamSalt : 0);
+      if (journal != nullptr) {
+        journal->Launch(job.job_id, job.attempt, worker_id, speculative_copy,
+                        plan.duration, job_start);
+      }
 
       // Evaluate up front (cheap synthetic problems), then sleep out the
       // attempt's planned occupancy; the result is discarded if the attempt
@@ -367,6 +388,9 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             state.active.erase(it);
           }
         } else if (worker_died) {
+          if (journal != nullptr) {
+            journal->WorkerDeath(worker_id, lifetime.permanent, job_end);
+          }
           ++state.result.worker_deaths;
           if (lifetime.permanent) ++state.result.workers_lost_permanently;
           if (obs != nullptr) {
@@ -428,10 +452,19 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
                 std::max(0, options_.faults.max_retries - prior);
             info.wasted_seconds = burned;
             info.worker = worker_id;
+            if (journal != nullptr) {
+              journal->Failed(job.job_id, job.attempt,
+                              FailureKind::kWorkerLost, worker_id, burned,
+                              job_end);
+            }
             if (state.scheduler()->OnJobFailed(job, info)) {
               ++state.result.retries;
               Job next_attempt = job;
               ++next_attempt.attempt;
+              if (journal != nullptr) {
+                journal->Requeue(job.job_id, next_attempt.attempt, job_end,
+                                 job_end);
+              }
               if (obs != nullptr) {
                 TraceEvent e;
                 e.kind = TraceKind::kJobRequeued;
@@ -445,6 +478,9 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
               state.retry_queue.emplace_back(elapsed(),
                                              std::move(next_attempt));
             } else {
+              if (journal != nullptr) {
+                journal->Abandon(job.job_id, job.attempt, job_end);
+              }
               ++state.result.failed_trials;
               if (obs != nullptr) {
                 TraceEvent e;
@@ -529,11 +565,21 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
                 std::max(0, options_.faults.max_retries - prior);
             info.wasted_seconds = burned;
             info.worker = worker_id;
+            if (journal != nullptr) {
+              journal->Failed(job.job_id, job.attempt, plan.kind, worker_id,
+                              burned, job_end);
+            }
             if (state.scheduler()->OnJobFailed(job, info)) {
               ++state.result.retries;
               state.job_failures[job.job_id] = prior + 1;
               Job next_attempt = job;
               ++next_attempt.attempt;
+              double ready_at =
+                  elapsed() + RetryDelay(options_.faults, options_.seed, job);
+              if (journal != nullptr) {
+                journal->Requeue(job.job_id, next_attempt.attempt, ready_at,
+                                 job_end);
+              }
               if (obs != nullptr) {
                 TraceEvent e;
                 e.kind = TraceKind::kJobRequeued;
@@ -544,10 +590,12 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
                 obs->trace.Record(std::move(e));
                 obs->metrics.Increment("jobs.requeued");
               }
-              state.retry_queue.emplace_back(
-                  elapsed() + RetryDelay(options_.faults, options_.seed, job),
-                  std::move(next_attempt));
+              state.retry_queue.emplace_back(ready_at,
+                                             std::move(next_attempt));
             } else {
+              if (journal != nullptr) {
+                journal->Abandon(job.job_id, job.attempt, job_end);
+              }
               ++state.result.failed_trials;
               if (obs != nullptr) {
                 TraceEvent e;
@@ -582,6 +630,10 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           eval.objective = outcome.objective;
           eval.test_objective = outcome.test_objective;
           eval.cost_seconds = burned;
+
+          if (journal != nullptr) {
+            journal->Complete(job, eval, worker_id, job_start, job_end);
+          }
 
           TrialRecord record;
           record.job = job;
@@ -634,6 +686,10 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           consecutive_failures = 0;
           --state.in_flight;
           ++state.completed;
+          if (journal != nullptr) {
+            journal->MaybeCheckpoint(*state.scheduler(), state.completed,
+                                     job_end);
+          }
           if (options_.max_trials > 0 &&
               state.completed >= options_.max_trials) {
             state.stop = true;
@@ -650,6 +706,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
           MutexLock lock(state.mu);
           state.result.worker_down_seconds += elapsed() - down_started;
         }
+        if (journal != nullptr) journal->WorkerRecover(worker_id, elapsed());
         if (obs != nullptr) {
           TraceEvent e;
           e.kind = TraceKind::kWorkerRecover;
@@ -671,6 +728,11 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
         if (wf.quarantine_failures > 0 && wf.quarantine_seconds > 0.0 &&
             consecutive_failures >= wf.quarantine_failures) {
           consecutive_failures = 0;
+          if (journal != nullptr) {
+            journal->QuarantineBegin(worker_id,
+                                     elapsed() + wf.quarantine_seconds,
+                                     elapsed());
+          }
           {
             MutexLock lock(state.mu);
             ++state.result.quarantines;
@@ -689,6 +751,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
             MutexLock lock(state.mu);
             state.result.worker_down_seconds += elapsed() - down_started;
           }
+          if (journal != nullptr) journal->QuarantineEnd(worker_id, elapsed());
           if (obs != nullptr) {
             TraceEvent e;
             e.kind = TraceKind::kQuarantineEnd;
@@ -716,6 +779,7 @@ RunResult ThreadCluster::Run(SchedulerInterface* scheduler,
   // the true elapsed time (keeps utilization = busy/capacity <= 1).
   result.elapsed_seconds = elapsed();
   result.Finalize(options_.num_workers);
+  if (journal != nullptr && journal->ok()) journal->RunEnd(result);
   if (obs != nullptr) {
     obs->metrics.SetGauge("run.elapsed_seconds", result.elapsed_seconds);
     obs->metrics.SetGauge("run.busy_seconds", result.busy_seconds);

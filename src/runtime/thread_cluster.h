@@ -43,6 +43,13 @@ struct ThreadClusterOptions {
   /// own elapsed clock); the recorder and registry are internally
   /// synchronized, so worker threads record concurrently.
   ObservabilityOptions obs;
+  /// Optional write-ahead journal (borrowed; may be null). Every transition
+  /// is appended before it is applied, exactly as on SimulatedCluster. The
+  /// journal is internally synchronized, so worker threads append
+  /// concurrently. Thread interleaving is not reproducible, so a thread
+  /// journal serves durability (store recovery, post-mortems) rather than
+  /// bit-identical replay — resume deterministic runs on the simulator.
+  RunJournal* journal = nullptr;
 };
 
 /// Multi-threaded execution backend running one OS thread per worker.

@@ -1,6 +1,7 @@
 #include "src/scheduler/async_bracket_scheduler.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -148,6 +149,90 @@ void AsyncBracketScheduler::OnJobComplete(const Job& job,
 void AsyncBracketScheduler::SetObservability(Observability* sink) {
   obs_ = sink;
   sampler_->SetObservability(sink);
+}
+
+Status AsyncBracketScheduler::Snapshot(WireEncoder* enc) const {
+  enc->PutI64(next_job_id_);
+  enc->PutI64(promotions_issued_);
+  enc->PutI64(trials_failed_);
+  selector_.Snapshot(enc);
+  HT_RETURN_IF_ERROR(sampler_->SnapshotState(enc));
+
+  enc->PutU32(static_cast<uint32_t>(brackets_.size()));
+  std::unordered_map<const Bracket*, uint32_t> bracket_index;
+  for (uint32_t i = 0; i < brackets_.size(); ++i) {
+    brackets_[i]->Snapshot(enc);
+    bracket_index[brackets_[i].get()] = i;
+  }
+
+  // In-flight routing map as (job id, bracket vector index) pairs, sorted
+  // by job id so the bytes are independent of hash iteration order.
+  std::vector<std::pair<int64_t, uint32_t>> inflight;
+  inflight.reserve(inflight_.size());
+  for (const auto& [job_id, bracket] : inflight_) {
+    auto it = bracket_index.find(bracket);
+    HT_CHECK(it != bracket_index.end())
+        << "in-flight job " << job_id << " routed to an unknown bracket";
+    inflight.emplace_back(job_id, it->second);
+  }
+  std::sort(inflight.begin(), inflight.end());
+  enc->PutU32(static_cast<uint32_t>(inflight.size()));
+  for (const auto& [job_id, index] : inflight) {
+    enc->PutI64(job_id);
+    enc->PutU32(index);
+  }
+  return Status::Ok();
+}
+
+Status AsyncBracketScheduler::Restore(WireDecoder* dec) {
+  int64_t next_job_id = 0;
+  int64_t promotions_issued = 0;
+  int64_t trials_failed = 0;
+  HT_RETURN_IF_ERROR(dec->GetI64(&next_job_id));
+  HT_RETURN_IF_ERROR(dec->GetI64(&promotions_issued));
+  HT_RETURN_IF_ERROR(dec->GetI64(&trials_failed));
+  if (next_job_id < 0 || promotions_issued < 0 || trials_failed < 0) {
+    return Status::InvalidArgument("async scheduler: negative counter");
+  }
+  HT_RETURN_IF_ERROR(selector_.Restore(dec));
+  HT_RETURN_IF_ERROR(sampler_->RestoreState(dec));
+
+  uint32_t num_brackets = 0;
+  HT_RETURN_IF_ERROR(dec->GetU32(&num_brackets));
+  if (num_brackets != brackets_.size()) {
+    return Status::InvalidArgument(
+        "async scheduler: snapshot bracket count does not match this "
+        "scheduler's configuration");
+  }
+  for (auto& bracket : brackets_) {
+    HT_RETURN_IF_ERROR(bracket->Restore(dec));
+  }
+
+  uint32_t num_inflight = 0;
+  HT_RETURN_IF_ERROR(dec->GetU32(&num_inflight));
+  std::unordered_map<int64_t, Bracket*> inflight;
+  inflight.reserve(num_inflight);
+  for (uint32_t i = 0; i < num_inflight; ++i) {
+    int64_t job_id = 0;
+    uint32_t index = 0;
+    HT_RETURN_IF_ERROR(dec->GetI64(&job_id));
+    HT_RETURN_IF_ERROR(dec->GetU32(&index));
+    if (index >= brackets_.size()) {
+      return Status::InvalidArgument(
+          "async scheduler: in-flight job routed to a bracket index outside "
+          "the snapshot");
+    }
+    if (!inflight.emplace(job_id, brackets_[index].get()).second) {
+      return Status::InvalidArgument(
+          "async scheduler: duplicate in-flight job id in snapshot");
+    }
+  }
+
+  next_job_id_ = next_job_id;
+  promotions_issued_ = promotions_issued;
+  trials_failed_ = trials_failed;
+  inflight_ = std::move(inflight);
+  return Status::Ok();
 }
 
 void AsyncBracketScheduler::CheckInvariants() const {

@@ -83,4 +83,38 @@ void BatchBoScheduler::SetObservability(Observability* sink) {
   sampler_->SetObservability(sink);
 }
 
+Status BatchBoScheduler::Snapshot(WireEncoder* enc) const {
+  enc->PutI64(next_job_id_);
+  enc->PutI32(issued_in_batch_);
+  enc->PutI32(outstanding_);
+  enc->PutI64(trials_failed_);
+  return sampler_->SnapshotState(enc);
+}
+
+Status BatchBoScheduler::Restore(WireDecoder* dec) {
+  int64_t next_job_id = 0;
+  int32_t issued_in_batch = 0;
+  int32_t outstanding = 0;
+  int64_t trials_failed = 0;
+  HT_RETURN_IF_ERROR(dec->GetI64(&next_job_id));
+  HT_RETURN_IF_ERROR(dec->GetI32(&issued_in_batch));
+  HT_RETURN_IF_ERROR(dec->GetI32(&outstanding));
+  HT_RETURN_IF_ERROR(dec->GetI64(&trials_failed));
+  if (next_job_id < 0 || trials_failed < 0 || outstanding < 0 ||
+      outstanding > next_job_id) {
+    return Status::InvalidArgument("batch scheduler: inconsistent counters");
+  }
+  if (issued_in_batch < 0 ||
+      (options_.synchronous && issued_in_batch > options_.batch_size)) {
+    return Status::InvalidArgument(
+        "batch scheduler: batch issue counter outside the configured batch");
+  }
+  HT_RETURN_IF_ERROR(sampler_->RestoreState(dec));
+  next_job_id_ = next_job_id;
+  issued_in_batch_ = issued_in_batch;
+  outstanding_ = outstanding;
+  trials_failed_ = trials_failed;
+  return Status::Ok();
+}
+
 }  // namespace hypertune

@@ -45,6 +45,15 @@ class BatchBoScheduler : public SchedulerInterface {
   /// Records sampled configs; forwards the sink to the sampler.
   void SetObservability(Observability* sink) override;
 
+  /// Serializes the scheduler's mutable state (job/batch counters and the
+  /// sampler RNG) for journal checkpoints and warm starts. The measurement
+  /// store is shared runtime infrastructure and is persisted separately.
+  Status Snapshot(WireEncoder* enc) const override;
+  /// Restores a Snapshot() image onto a freshly constructed, identically
+  /// configured scheduler. On failure the scheduler may be partially
+  /// mutated and must be discarded.
+  Status Restore(WireDecoder* dec) override;
+
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -328,6 +329,113 @@ int64_t Bracket::decision_work() const {
   int64_t total = 0;
   for (const Rung& r : rungs_) total += r.order.steps();
   return total;
+}
+
+void Bracket::Snapshot(WireEncoder* enc) const {
+  enc->PutI64(admitted_);
+  enc->PutI64(in_flight_);
+  enc->PutU32(static_cast<uint32_t>(rungs_.size()));
+  for (const Rung& r : rungs_) {
+    enc->PutI64(r.target);
+    enc->PutI64(r.issued);
+    enc->PutI64(r.completed);
+    enc->PutU32(static_cast<uint32_t>(r.results.size()));
+    for (size_t i = 0; i < r.results.size(); ++i) {
+      enc->PutF64(r.results[i].first);
+      EncodeConfiguration(r.results[i].second, enc);
+      enc->PutBool(!r.order.is_open(static_cast<int32_t>(i)));
+    }
+    std::vector<uint64_t> promoted(r.promoted.begin(), r.promoted.end());
+    std::sort(promoted.begin(), promoted.end());
+    enc->PutU32(static_cast<uint32_t>(promoted.size()));
+    for (uint64_t hash : promoted) enc->PutU64(hash);
+  }
+  enc->PutU32(static_cast<uint32_t>(sync_promotions_.size()));
+  for (const auto& [config, from_level] : sync_promotions_) {
+    EncodeConfiguration(config, enc);
+    enc->PutI32(from_level);
+  }
+}
+
+Status Bracket::Restore(WireDecoder* dec) {
+  int64_t admitted;
+  int64_t in_flight;
+  uint32_t num_rungs;
+  HT_RETURN_IF_ERROR(dec->GetI64(&admitted));
+  HT_RETURN_IF_ERROR(dec->GetI64(&in_flight));
+  HT_RETURN_IF_ERROR(dec->GetU32(&num_rungs));
+  if (admitted < 0 || in_flight < 0) {
+    return Status::InvalidArgument("bracket: negative counter in snapshot");
+  }
+  if (num_rungs != rungs_.size()) {
+    return Status::InvalidArgument(
+        "bracket: snapshot rung count does not match this bracket's ladder");
+  }
+  std::vector<Rung> rungs(rungs_.size());
+  for (size_t ri = 0; ri < rungs.size(); ++ri) {
+    Rung& r = rungs[ri];
+    r.level = rungs_[ri].level;
+    uint32_t num_results;
+    HT_RETURN_IF_ERROR(dec->GetI64(&r.target));
+    HT_RETURN_IF_ERROR(dec->GetI64(&r.issued));
+    HT_RETURN_IF_ERROR(dec->GetI64(&r.completed));
+    HT_RETURN_IF_ERROR(dec->GetU32(&num_results));
+    if (static_cast<int64_t>(num_results) != r.completed ||
+        r.completed > r.issued || r.completed < 0) {
+      return Status::InvalidArgument("bracket: inconsistent rung counters");
+    }
+    r.results.reserve(num_results);
+    std::vector<bool> closed(num_results);
+    for (uint32_t i = 0; i < num_results; ++i) {
+      double objective;
+      Configuration config;
+      bool was_closed;
+      HT_RETURN_IF_ERROR(dec->GetF64(&objective));
+      HT_RETURN_IF_ERROR(DecodeConfiguration(dec, &config));
+      HT_RETURN_IF_ERROR(dec->GetBool(&was_closed));
+      r.results.emplace_back(objective, std::move(config));
+      closed[i] = was_closed;
+    }
+    // Rebuild the order tree by re-inserting completions in completion
+    // order (node id == results index, as OnJobComplete guarantees), then
+    // re-close the consumed nodes.
+    for (uint32_t i = 0; i < num_results; ++i) {
+      const int32_t node = r.order.Insert(r.results[i].first);
+      if (static_cast<uint32_t>(node) != i) {
+        return Status::Internal("bracket: order tree rebuild out of sync");
+      }
+      ++r.completed_hash_counts[r.results[i].second.Hash()];
+    }
+    for (uint32_t i = 0; i < num_results; ++i) {
+      if (closed[i]) r.order.Close(static_cast<int32_t>(i));
+    }
+    uint32_t num_promoted;
+    HT_RETURN_IF_ERROR(dec->GetU32(&num_promoted));
+    for (uint32_t i = 0; i < num_promoted; ++i) {
+      uint64_t hash;
+      HT_RETURN_IF_ERROR(dec->GetU64(&hash));
+      r.promoted.insert(hash);
+    }
+  }
+  uint32_t num_queued;
+  HT_RETURN_IF_ERROR(dec->GetU32(&num_queued));
+  std::deque<std::pair<Configuration, int>> queued;
+  for (uint32_t i = 0; i < num_queued; ++i) {
+    Configuration config;
+    int32_t from_level;
+    HT_RETURN_IF_ERROR(DecodeConfiguration(dec, &config));
+    HT_RETURN_IF_ERROR(dec->GetI32(&from_level));
+    if (from_level < base_level() || from_level >= top_level()) {
+      return Status::InvalidArgument(
+          "bracket: queued promotion from invalid rung");
+    }
+    queued.emplace_back(std::move(config), from_level);
+  }
+  admitted_ = admitted;
+  in_flight_ = in_flight;
+  rungs_ = std::move(rungs);
+  sync_promotions_ = std::move(queued);
+  return Status::Ok();
 }
 
 bool Bracket::Complete() const {

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "src/common/rank_tree.h"
+#include "src/common/status.h"
 #include "src/config/configuration.h"
 #include "src/runtime/job.h"
+#include "src/runtime/wire_format.h"
 
 namespace hypertune {
 
@@ -132,6 +134,22 @@ class Bracket {
   /// O(log completions) per completion/promotion when decisions are
   /// indexed; complexity regression tests assert against this.
   int64_t decision_work() const;
+
+  /// Serializes the bracket's complete mutable state (rung counters,
+  /// completed results, consumed/promoted sets, queued sync promotions)
+  /// onto `enc`. Promoted hashes are written sorted so the bytes are
+  /// independent of unordered-container iteration order. Construction
+  /// parameters (BracketOptions) are NOT serialized: Restore() requires an
+  /// identically configured fresh bracket.
+  void Snapshot(WireEncoder* enc) const;
+
+  /// Restores state produced by Snapshot() on a freshly constructed
+  /// bracket with identical BracketOptions. The rank trees are rebuilt by
+  /// re-inserting completions in their original order (order statistics —
+  /// and therefore every future decision — are exact; only the internal
+  /// step counter may differ). Rejects malformed or mismatched bytes with
+  /// a non-OK Status.
+  Status Restore(WireDecoder* dec);
 
  private:
   struct Rung {

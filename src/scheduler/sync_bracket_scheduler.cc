@@ -1,5 +1,8 @@
 #include "src/scheduler/sync_bracket_scheduler.h"
 
+#include <memory>
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace hypertune {
@@ -102,6 +105,55 @@ void SyncBracketScheduler::OnJobComplete(const Job& job,
 void SyncBracketScheduler::SetObservability(Observability* sink) {
   obs_ = sink;
   sampler_->SetObservability(sink);
+}
+
+Status SyncBracketScheduler::Snapshot(WireEncoder* enc) const {
+  enc->PutI64(next_job_id_);
+  enc->PutI64(brackets_completed_);
+  enc->PutI64(trials_failed_);
+  enc->PutI32(current_index_);
+  selector_.Snapshot(enc);
+  HT_RETURN_IF_ERROR(sampler_->SnapshotState(enc));
+  enc->PutBool(bracket_ != nullptr);
+  if (bracket_ != nullptr) bracket_->Snapshot(enc);
+  return Status::Ok();
+}
+
+Status SyncBracketScheduler::Restore(WireDecoder* dec) {
+  int64_t next_job_id = 0;
+  int64_t brackets_completed = 0;
+  int64_t trials_failed = 0;
+  int32_t current_index = 0;
+  HT_RETURN_IF_ERROR(dec->GetI64(&next_job_id));
+  HT_RETURN_IF_ERROR(dec->GetI64(&brackets_completed));
+  HT_RETURN_IF_ERROR(dec->GetI64(&trials_failed));
+  HT_RETURN_IF_ERROR(dec->GetI32(&current_index));
+  if (next_job_id < 0 || brackets_completed < 0 || trials_failed < 0) {
+    return Status::InvalidArgument("sync scheduler: negative counter");
+  }
+  HT_RETURN_IF_ERROR(selector_.Restore(dec));
+  HT_RETURN_IF_ERROR(sampler_->RestoreState(dec));
+  bool has_bracket = false;
+  HT_RETURN_IF_ERROR(dec->GetBool(&has_bracket));
+  std::unique_ptr<Bracket> bracket;
+  if (has_bracket) {
+    if (current_index < 1 || current_index > options_.ladder.num_levels) {
+      return Status::InvalidArgument(
+          "sync scheduler: bracket index outside the ladder");
+    }
+    BracketOptions bracket_options;
+    bracket_options.index = current_index;
+    bracket_options.ladder = options_.ladder;
+    bracket_options.synchronous = true;
+    bracket = std::make_unique<Bracket>(bracket_options);
+    HT_RETURN_IF_ERROR(bracket->Restore(dec));
+  }
+  next_job_id_ = next_job_id;
+  brackets_completed_ = brackets_completed;
+  trials_failed_ = trials_failed;
+  current_index_ = current_index;
+  bracket_ = std::move(bracket);
+  return Status::Ok();
 }
 
 }  // namespace hypertune

@@ -1,0 +1,496 @@
+// Crash-consistency proof for the write-ahead journal: for every scheduler
+// (sync bracket, async bracket, batch BO) with fault injection off and on,
+// a journaled run is snapshot-killed after *every* journal record, resumed
+// with a freshly built identical configuration, and the resumed run must be
+// bit-identical to the uninterrupted one — same RunResultDigest, same final
+// journal byte stream. Torn tails, fingerprint mismatches, configuration
+// divergence, and the store-recovery path are covered alongside.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/hyper_tune.h"
+#include "src/core/run_recovery.h"
+#include "src/core/tuner.h"
+#include "src/obs/observability.h"
+#include "src/optimizer/random_sampler.h"
+#include "src/problems/counting_ones.h"
+#include "src/runtime/journal.h"
+#include "src/runtime/scheduler_contract.h"
+#include "src/runtime/simulated_cluster.h"
+#include "src/runtime/store_io.h"
+#include "src/scheduler/async_bracket_scheduler.h"
+#include "src/scheduler/batch_bo_scheduler.h"
+#include "src/scheduler/sync_bracket_scheduler.h"
+
+namespace hypertune {
+namespace {
+
+enum class Sched { kSync, kAsync, kBatchBo };
+
+const char* SchedName(Sched which) {
+  switch (which) {
+    case Sched::kSync:
+      return "sync";
+    case Sched::kAsync:
+      return "async";
+    case Sched::kBatchBo:
+      return "batch_bo";
+  }
+  return "?";
+}
+
+/// One run's worth of freshly constructed tuning state. The problem owns
+/// the configuration space the sampler and schedulers point into, so
+/// everything lives together and a new RunSetup is a bit-exact clean slate.
+struct RunSetup {
+  CountingOnes problem;
+  std::unique_ptr<MeasurementStore> store;
+  std::unique_ptr<RandomSampler> sampler;
+  std::unique_ptr<SchedulerInterface> scheduler;
+};
+
+ResourceLadder TestLadder() {
+  ResourceLadder ladder;
+  ladder.eta = 3.0;
+  ladder.num_levels = 3;
+  ladder.max_resource = 729.0;
+  return ladder;
+}
+
+std::unique_ptr<RunSetup> MakeSetup(Sched which, uint64_t sampler_seed = 17) {
+  auto setup = std::make_unique<RunSetup>();
+  const int levels = which == Sched::kBatchBo ? 1 : 3;
+  setup->store = std::make_unique<MeasurementStore>(levels);
+  setup->sampler = std::make_unique<RandomSampler>(
+      &setup->problem.space(), setup->store.get(), sampler_seed);
+  switch (which) {
+    case Sched::kSync: {
+      BracketSchedulerOptions options;
+      options.ladder = TestLadder();
+      options.selector.policy = BracketPolicy::kRoundRobin;
+      setup->scheduler = std::make_unique<SyncBracketScheduler>(
+          &setup->problem.space(), setup->store.get(), setup->sampler.get(),
+          nullptr, options);
+      break;
+    }
+    case Sched::kAsync: {
+      BracketSchedulerOptions options;
+      options.ladder = TestLadder();
+      options.selector.policy = BracketPolicy::kRoundRobin;
+      options.delayed_promotion = true;
+      setup->scheduler = std::make_unique<AsyncBracketScheduler>(
+          &setup->problem.space(), setup->store.get(), setup->sampler.get(),
+          nullptr, options);
+      break;
+    }
+    case Sched::kBatchBo: {
+      BatchBoSchedulerOptions options;
+      options.synchronous = true;
+      options.batch_size = 4;
+      options.resource = 729.0;
+      options.level = 1;
+      setup->scheduler = std::make_unique<BatchBoScheduler>(
+          setup->store.get(), setup->sampler.get(), options);
+      break;
+    }
+  }
+  return setup;
+}
+
+ClusterOptions MatrixCluster(bool with_faults) {
+  ClusterOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 2500.0;
+  options.seed = 42;
+  options.straggler_sigma = with_faults ? 0.8 : 0.4;
+  if (with_faults) {
+    options.faults.crash_probability = 0.05;
+    options.faults.timeout_seconds = 2000.0;
+    options.faults.max_retries = 2;
+    options.faults.retry_backoff_seconds = 5.0;
+    options.faults.retry_jitter = 0.25;
+    options.worker_faults.mttf_seconds = 800.0;
+    options.worker_faults.mttr_seconds = 150.0;
+    options.worker_faults.permanent_death_probability = 0.1;
+    options.worker_faults.quarantine_failures = 2;
+    options.worker_faults.quarantine_seconds = 100.0;
+    options.speculation.speculation_factor = 1.3;
+    options.speculation.min_samples = 3;
+  }
+  return options;
+}
+
+/// A short checkpoint interval so the matrix also kills and resumes across
+/// kCheckpoint records (default 64 would rarely fire in these short runs).
+JournalOptions TestJournalOptions() {
+  JournalOptions options;
+  options.checkpoint_interval = 8;
+  return options;
+}
+
+struct JournaledRun {
+  RunResult result;
+  uint64_t digest = 0;
+  std::string journal_bytes;
+};
+
+JournaledRun RunToCompletion(Sched which, const ClusterOptions& options) {
+  std::unique_ptr<RunSetup> setup = MakeSetup(which);
+  std::unique_ptr<RunJournal> journal = RunJournal::CreateInMemory(
+      ClusterFingerprint(options), TestJournalOptions());
+  ClusterOptions journaled = options;
+  journaled.journal = journal.get();
+  SimulatedCluster cluster(journaled);
+  JournaledRun run;
+  run.result = cluster.Run(setup->scheduler.get(), setup->problem);
+  EXPECT_TRUE(journal->ok()) << journal->status().ToString();
+  run.digest = RunResultDigest(run.result);
+  run.journal_bytes = journal->bytes();
+  return run;
+}
+
+/// Byte offset of the end of record `k` (1-based count of whole records).
+std::vector<size_t> RecordBoundaries(const std::string& journal_bytes) {
+  RecordScan scan = ScanRecords(journal_bytes);
+  EXPECT_TRUE(scan.tail.ok());
+  std::vector<size_t> ends;
+  size_t offset = 0;
+  for (const std::string& record : scan.records) {
+    offset += 8 + record.size();
+    ends.push_back(offset);
+  }
+  return ends;
+}
+
+TEST(JournalRecoveryTest, CrashPointMatrix) {
+  for (Sched which : {Sched::kSync, Sched::kAsync, Sched::kBatchBo}) {
+    for (bool with_faults : {false, true}) {
+      SCOPED_TRACE(std::string(SchedName(which)) +
+                   (with_faults ? "+faults" : ""));
+      const ClusterOptions options = MatrixCluster(with_faults);
+      const JournaledRun golden = RunToCompletion(which, options);
+      ASSERT_FALSE(golden.result.history.trials().empty());
+      if (with_faults) {
+        // The matrix is only meaningful if the fault half actually
+        // exercised the fault record types.
+        EXPECT_GT(golden.result.failed_attempts, 0);
+        EXPECT_GT(golden.result.worker_deaths, 0);
+      }
+
+      const std::vector<size_t> ends = RecordBoundaries(golden.journal_bytes);
+      ASSERT_GT(ends.size(), 2u);
+      // Kill after every journal record — from "header only" (a crash
+      // before any work) through "complete journal" (a crash after the
+      // run finished) — and resume each prefix to completion.
+      for (size_t k = 1; k <= ends.size(); ++k) {
+        const std::string prefix = golden.journal_bytes.substr(0, ends[k - 1]);
+        std::unique_ptr<RunSetup> setup = MakeSetup(which);
+        std::string final_journal;
+        Result<RunResult> resumed = ResumeRunFromBytes(
+            prefix, options, setup->scheduler.get(), setup->problem,
+            TestJournalOptions(), &final_journal);
+        ASSERT_TRUE(resumed.ok())
+            << "kill after record " << k << ": " << resumed.status().ToString();
+        EXPECT_EQ(RunResultDigest(*resumed), golden.digest)
+            << "kill after record " << k;
+        EXPECT_EQ(final_journal, golden.journal_bytes)
+            << "kill after record " << k;
+      }
+    }
+  }
+}
+
+TEST(JournalRecoveryTest, JournalingIsInvisibleToTheRun) {
+  // Journal-on and journal-off runs of the same configuration must be
+  // bit-identical: the hooks consume no randomness and perturb no decision.
+  for (bool with_faults : {false, true}) {
+    const ClusterOptions options = MatrixCluster(with_faults);
+    const JournaledRun journaled = RunToCompletion(Sched::kSync, options);
+    std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+    SimulatedCluster cluster(options);
+    RunResult bare = cluster.Run(setup->scheduler.get(), setup->problem);
+    EXPECT_EQ(RunResultDigest(bare), journaled.digest);
+  }
+}
+
+TEST(JournalRecoveryTest, TornTailIsDroppedCountedAndRecovered) {
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  const std::vector<size_t> ends = RecordBoundaries(golden.journal_bytes);
+  ASSERT_GT(ends.size(), 3u);
+  // Tear the journal mid-record: a clean prefix plus 5 bytes of the next
+  // frame, as if the driver died inside a write.
+  const size_t clean = ends[ends.size() - 3];
+  std::string torn = golden.journal_bytes.substr(0, clean + 5);
+
+  Observability sink;
+  ObservabilityOptions obs;
+  obs.sink = &sink;
+  Result<std::unique_ptr<RunJournal>> reopened = RunJournal::ResumeFromBytes(
+      torn, ClusterFingerprint(options), obs, TestJournalOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->records_dropped(), 1);
+  EXPECT_EQ((*reopened)->bytes_dropped(), 5);
+  MetricsSnapshot metrics = sink.metrics.Snapshot();
+  EXPECT_EQ(metrics.counters["journal.torn_tail_records"], 1);
+  EXPECT_EQ(metrics.counters["journal.torn_tail_bytes"], 5);
+  bool saw_torn_tail_event = false;
+  for (const TraceEvent& event : sink.trace.Snapshot()) {
+    if (event.kind == TraceKind::kJournalTornTail) saw_torn_tail_event = true;
+  }
+  EXPECT_TRUE(saw_torn_tail_event);
+
+  // The resumed run still reproduces the uninterrupted one exactly: the
+  // torn suffix — and only the torn suffix — was lost, and re-execution
+  // regenerates it.
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  std::string final_journal;
+  Result<RunResult> resumed =
+      ResumeRunFromBytes(torn, options, setup->scheduler.get(),
+                         setup->problem, TestJournalOptions(), &final_journal);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(RunResultDigest(*resumed), golden.digest);
+  EXPECT_EQ(final_journal, golden.journal_bytes);
+}
+
+TEST(JournalRecoveryTest, CorruptedLastRecordIsDroppedByCrc) {
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  // Flip one payload bit inside the final record; the CRC must reject it
+  // and recovery must treat it exactly like a torn tail.
+  std::string corrupt = golden.journal_bytes;
+  corrupt[corrupt.size() - 1] = static_cast<char>(corrupt.back() ^ 0x10);
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  std::string final_journal;
+  Result<RunResult> resumed = ResumeRunFromBytes(
+      corrupt, options, setup->scheduler.get(), setup->problem,
+      TestJournalOptions(), &final_journal);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(RunResultDigest(*resumed), golden.digest);
+  EXPECT_EQ(final_journal, golden.journal_bytes);
+}
+
+TEST(JournalRecoveryTest, FingerprintMismatchIsRejected) {
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  ClusterOptions other = options;
+  other.seed = 43;
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  Result<RunResult> resumed =
+      ResumeRunFromBytes(golden.journal_bytes, other, setup->scheduler.get(),
+                         setup->problem, TestJournalOptions());
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JournalRecoveryTest, SchedulerDivergenceIsDataLoss) {
+  // The cluster fingerprint cannot see inside the scheduler, so resuming
+  // with a differently seeded sampler passes the header check — and must
+  // then be caught by replay verification at the first diverging record.
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync, /*sampler_seed=*/18);
+  Result<RunResult> resumed =
+      ResumeRunFromBytes(golden.journal_bytes, options, setup->scheduler.get(),
+                         setup->problem, TestJournalOptions());
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(resumed.status().message().find("diverged"), std::string::npos);
+}
+
+TEST(JournalRecoveryTest, MalformedJournalsAreRejectedCleanly) {
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  {
+    // Empty stream: nothing to resume from.
+    Result<RunResult> resumed =
+        ResumeRunFromBytes("", options, setup->scheduler.get(),
+                           setup->problem, TestJournalOptions());
+    ASSERT_FALSE(resumed.ok());
+    EXPECT_EQ(resumed.status().code(), StatusCode::kDataLoss);
+  }
+  {
+    // First record is not a run header.
+    std::string stream;
+    WireEncoder enc;
+    enc.PutU8(static_cast<uint8_t>(JournalRecord::kAbandon));
+    enc.PutF64(0.0);
+    enc.PutI64(1);
+    enc.PutI32(1);
+    AppendRecord(enc.Release(), &stream);
+    Result<std::unique_ptr<RunJournal>> journal = RunJournal::ResumeFromBytes(
+        stream, ClusterFingerprint(options), {}, TestJournalOptions());
+    ASSERT_FALSE(journal.ok());
+    EXPECT_EQ(journal.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A header from a future wire format version.
+    std::string stream;
+    WireEncoder enc;
+    enc.PutU8(static_cast<uint8_t>(JournalRecord::kRunHeader));
+    enc.PutU32(kWireFormatVersion + 1);
+    enc.PutU64(ClusterFingerprint(options));
+    AppendRecord(enc.Release(), &stream);
+    Result<std::unique_ptr<RunJournal>> journal = RunJournal::ResumeFromBytes(
+        stream, ClusterFingerprint(options), {}, TestJournalOptions());
+    ASSERT_FALSE(journal.ok());
+    EXPECT_EQ(journal.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(journal.status().message().find("newer wire format"),
+              std::string::npos);
+  }
+}
+
+TEST(JournalRecoveryTest, SchedulerSnapshotsRoundTripByteExactly) {
+  // Snapshot → Restore into a fresh scheduler → Snapshot must reproduce
+  // the exact bytes, and both schedulers must then mint the same next job.
+  for (Sched which : {Sched::kSync, Sched::kAsync, Sched::kBatchBo}) {
+    SCOPED_TRACE(SchedName(which));
+    const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+    std::unique_ptr<RunSetup> original = MakeSetup(which);
+    SimulatedCluster cluster(options);
+    (void)cluster.Run(original->scheduler.get(), original->problem);
+
+    WireEncoder snapshot;
+    ASSERT_TRUE(original->scheduler->Snapshot(&snapshot).ok());
+
+    std::unique_ptr<RunSetup> restored = MakeSetup(which);
+    // The measurement store is persisted separately (store_io); mirror it
+    // by hand so sampler-visible state matches the snapshot's premise.
+    for (int level = 1; level <= original->store->num_levels(); ++level) {
+      for (const Measurement& m : original->store->group(level)) {
+        restored->store->Add(level, m.config, m.objective);
+      }
+    }
+    WireDecoder dec(snapshot.bytes());
+    ASSERT_TRUE(restored->scheduler->Restore(&dec).ok());
+    ASSERT_TRUE(dec.AtEnd());
+
+    WireEncoder again;
+    ASSERT_TRUE(restored->scheduler->Snapshot(&again).ok());
+    EXPECT_EQ(snapshot.bytes(), again.bytes());
+
+    std::optional<Job> next_original = original->scheduler->NextJob();
+    std::optional<Job> next_restored = restored->scheduler->NextJob();
+    ASSERT_EQ(next_original.has_value(), next_restored.has_value());
+    if (next_original.has_value()) {
+      EXPECT_EQ(next_original->job_id, next_restored->job_id);
+      EXPECT_EQ(next_original->level, next_restored->level);
+      ASSERT_EQ(next_original->config.size(), next_restored->config.size());
+      for (size_t d = 0; d < next_original->config.size(); ++d) {
+        EXPECT_EQ(next_original->config[d], next_restored->config[d]);
+      }
+    }
+  }
+}
+
+TEST(JournalRecoveryTest, ContractCheckerRefusesRestoreButForwardsSnapshot) {
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  SchedulerContractChecker checker(setup->scheduler.get(), {});
+  WireEncoder enc;
+  EXPECT_TRUE(checker.Snapshot(&enc).ok());  // forwards to the wrapped one
+  WireDecoder dec(enc.bytes());
+  EXPECT_EQ(checker.Restore(&dec).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JournalRecoveryTest, RecoverStoreFromJournalRebuildsMeasurements) {
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  Result<std::unique_ptr<RunJournal>> journal = RunJournal::ResumeFromBytes(
+      golden.journal_bytes, ClusterFingerprint(options), {},
+      TestJournalOptions());
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+
+  MeasurementStore store(3);
+  ASSERT_TRUE(RecoverStoreFromJournal(**journal, &store).ok());
+  size_t recovered = 0;
+  for (int level = 1; level <= store.num_levels(); ++level) {
+    recovered += store.group(level).size();
+  }
+  EXPECT_EQ(recovered, golden.result.history.trials().size());
+
+  // A one-level store cannot hold level-3 completions.
+  MeasurementStore shallow(1);
+  EXPECT_EQ(RecoverStoreFromJournal(**journal, &shallow).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(JournalRecoveryTest, FileBackedResumeTruncatesTornTailAndAppends) {
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  const std::vector<size_t> ends = RecordBoundaries(golden.journal_bytes);
+  ASSERT_GT(ends.size(), 4u);
+
+  const std::string path =
+      testing::TempDir() + "/journal_recovery_torn.journal";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    const size_t clean = ends[ends.size() / 2];
+    out.write(golden.journal_bytes.data(),
+              static_cast<std::streamsize>(clean));
+    out.write("\x01\x02\x03", 3);  // the write the crash interrupted
+  }
+
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  Result<RunResult> resumed = ResumeRun(path, options, setup->scheduler.get(),
+                                        setup->problem, TestJournalOptions());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(RunResultDigest(*resumed), golden.digest);
+
+  // The file was truncated past the torn bytes and extended to the full
+  // journal, so a second crash-and-resume starts from a clean log.
+  std::ifstream in(path, std::ios::binary);
+  std::string on_disk((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(on_disk, golden.journal_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(JournalRecoveryTest, HyperTuneFacadeWritesAndResumesJournal) {
+  CountingOnes problem;
+  HyperTuneOptions options;
+  options.num_workers = 4;
+  options.time_budget_seconds = 400.0;
+  options.max_brackets = 3;
+  options.seed = 7;
+  options.journal_path = testing::TempDir() + "/hyper_tune_run.journal";
+
+  TuningOutcome full = HyperTune::Optimize(problem, options);
+  ASSERT_FALSE(full.run.history.trials().empty());
+  const uint64_t full_digest = RunResultDigest(full.run);
+
+  // Kill the run partway: keep a journal prefix, then resume.
+  std::string journal_bytes;
+  {
+    std::ifstream in(options.journal_path, std::ios::binary);
+    journal_bytes.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+  }
+  const std::vector<size_t> ends = RecordBoundaries(journal_bytes);
+  ASSERT_GT(ends.size(), 4u);
+  {
+    std::ofstream out(options.journal_path,
+                      std::ios::binary | std::ios::trunc);
+    out.write(journal_bytes.data(),
+              static_cast<std::streamsize>(ends[ends.size() / 2]));
+  }
+
+  Result<TuningOutcome> resumed = HyperTune::Resume(problem, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(RunResultDigest(resumed->run), full_digest);
+  EXPECT_EQ(resumed->best_objective, full.best_objective);
+  std::remove(options.journal_path.c_str());
+
+  HyperTuneOptions no_path = options;
+  no_path.journal_path.clear();
+  EXPECT_EQ(HyperTune::Resume(problem, no_path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -1,5 +1,7 @@
 #include "src/runtime/store_io.h"
 
+#include <cstring>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
@@ -8,6 +10,7 @@
 #include "src/common/rng.h"
 #include "src/core/tuner_factory.h"
 #include "src/problems/counting_ones.h"
+#include "src/runtime/wire_format.h"
 
 namespace hypertune {
 namespace {
@@ -176,6 +179,115 @@ TEST(StoreIoTest, LoadMissingFileIsNotFound) {
   MeasurementStore store(1);
   EXPECT_EQ(LoadStore("/nonexistent/path.csv", space, &store).code(),
             StatusCode::kNotFound);
+}
+
+TEST(StoreIoTest, SaveStoreWritesBinaryAndRoundTripsExactly) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(3);
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    store.Add(1 + i % 3, space.Sample(&rng), rng.Gaussian(5.0, 2.0));
+  }
+  std::string path = ::testing::TempDir() + "/hypertune_store_v1.bin";
+  ASSERT_TRUE(SaveStore(store, space, path).ok());
+
+  // What landed on disk is the v1 binary format, not CSV.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GE(bytes.size(), sizeof(kStoreWireMagic));
+  EXPECT_EQ(
+      std::memcmp(bytes.data(), kStoreWireMagic, sizeof(kStoreWireMagic)), 0);
+
+  MeasurementStore loaded(3);
+  ASSERT_TRUE(LoadStore(path, space, &loaded).ok());
+  ASSERT_EQ(loaded.GroupSizes(), store.GroupSizes());
+  for (int level = 1; level <= 3; ++level) {
+    const auto& a = store.group(level);
+    const auto& b = loaded.group(level);
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].config == b[i].config) << "level " << level;
+      // Bit-exact, not just close: binary doubles skip text formatting.
+      EXPECT_EQ(a[i].objective, b[i].objective);
+    }
+  }
+}
+
+TEST(StoreIoTest, LegacyV0CsvFixtureStillLoads) {
+  // A store file committed in the v0 (CSV) era must keep loading through
+  // LoadStore's magic sniff even though SaveStore now writes binary.
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(2);
+  ASSERT_TRUE(
+      LoadStore(HYPERTUNE_TESTDATA_DIR "/store_v0.csv", space, &store).ok());
+  ASSERT_EQ(store.group(1).size(), 2u);
+  ASSERT_EQ(store.group(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.group(1)[0].objective, 2.5);
+  EXPECT_DOUBLE_EQ(store.group(1)[0].config[0], 0.1);
+  EXPECT_DOUBLE_EQ(store.group(1)[1].config[1], 7.0);
+  EXPECT_DOUBLE_EQ(store.group(2)[0].objective, 0.5);
+}
+
+TEST(StoreIoTest, NewerWireVersionIsRejectedWithClearError) {
+  ConfigurationSpace space = MixedSpace();
+  // A header claiming version kWireFormatVersion + 1, as a future build
+  // would write it. The reader must refuse with an upgrade hint rather
+  // than misparse records it cannot understand.
+  std::string bytes(kStoreWireMagic, sizeof(kStoreWireMagic));
+  WireEncoder header;
+  header.PutU8(1);  // store header tag
+  header.PutU32(kWireFormatVersion + 1);
+  header.PutU32(2);  // num_levels
+  header.PutU32(3);  // num_params
+  for (const char* name : {"lr", "depth", "op"}) {
+    header.PutString(name);
+  }
+  AppendRecord(header.Release(), &bytes);
+
+  MeasurementStore store(2);
+  Status status = DecodeStoreWire(bytes, space, &store);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("newer wire format version"),
+            std::string::npos);
+  EXPECT_EQ(store.TotalSize(), 0u);
+}
+
+TEST(StoreIoTest, CorruptBinaryStoreIsRejected) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  store.Add(1, Configuration({0.1, 5.0, 1.0}), 2.0);
+  std::string bytes;
+  ASSERT_TRUE(EncodeStoreWire(store, space, &bytes).ok());
+
+  // Bad magic: not recognized as a binary stream at all.
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  MeasurementStore loaded(1);
+  EXPECT_EQ(DecodeStoreWire(wrong_magic, space, &loaded).code(),
+            StatusCode::kInvalidArgument);
+
+  // A flipped payload bit trips the record CRC.
+  std::string flipped = bytes;
+  flipped[flipped.size() - 3] =
+      static_cast<char>(flipped[flipped.size() - 3] ^ 0x40);
+  EXPECT_EQ(DecodeStoreWire(flipped, space, &loaded).code(),
+            StatusCode::kDataLoss);
+
+  // A truncated tail is detected rather than silently dropped.
+  std::string truncated = bytes.substr(0, bytes.size() - 2);
+  EXPECT_EQ(DecodeStoreWire(truncated, space, &loaded).code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(StoreIoTest, BinaryEncodeRejectsNonFiniteObjectives) {
+  ConfigurationSpace space = MixedSpace();
+  MeasurementStore store(1);
+  store.Add(1, Configuration({0.1, 5.0, 1.0}),
+            std::numeric_limits<double>::infinity());
+  std::string bytes;
+  Status status = EncodeStoreWire(store, space, &bytes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos);
 }
 
 }  // namespace

@@ -49,9 +49,20 @@ present — a numeric `items_per_second` or `events_per_second` >= 0. CI's
 bench-smoke job runs `bench_micro --quick` and feeds the output through
 here before uploading it as an artifact.
 
+A fourth mode, `--ratchet-bench CURRENT BASELINE`, turns the committed
+BENCH_micro.json into a performance ratchet: every benchmark present in
+both reports must not be slower in CURRENT than BASELINE by more than the
+noise band (`--ratchet-tolerance`, default 2.0x — generous because CI
+machines are shared and the quick kernels are nanosecond-scale). Names
+only in the baseline are reported but tolerated, so `--quick` subsets
+ratchet the kernels they cover; names only in CURRENT are new benchmarks
+and pass (they join the ratchet when the baseline is regenerated). An
+empty intersection fails: a ratchet that compares nothing guards nothing.
+
 Usage: python3 tools/lint.py [--root DIR]   (exit 1 on any violation)
        python3 tools/lint.py --validate-trace PATH
        python3 tools/lint.py --validate-bench PATH
+       python3 tools/lint.py --ratchet-bench CURRENT BASELINE
 """
 
 import argparse
@@ -351,6 +362,51 @@ def validate_bench(path):
     return errors
 
 
+def ratchet_bench(current_path, baseline_path, tolerance):
+    """Compare two BENCH_*.json reports name-by-name as a perf ratchet.
+
+    Returns a list of violation strings (empty means no regression).
+    """
+    errors = validate_bench(current_path) + validate_bench(baseline_path)
+    if errors:
+        return errors
+
+    def entries(path):
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        return {e["name"]: e for e in doc["benchmarks"]}
+
+    current = entries(current_path)
+    baseline = entries(baseline_path)
+
+    compared = 0
+    for name in sorted(baseline):
+        if name not in current:
+            print("ratchet: %s only in baseline (not run here); skipped"
+                  % name)
+            continue
+        base_ns = baseline[name]["ns_per_op"]
+        cur_ns = current[name]["ns_per_op"]
+        if base_ns <= 0:
+            continue
+        compared += 1
+        ratio = cur_ns / base_ns
+        if ratio > tolerance:
+            errors.append(
+                "%s: %s regressed %.2fx over baseline (%.1f ns/op vs "
+                "%.1f ns/op; tolerance %.2fx)"
+                % (current_path, name, ratio, cur_ns, base_ns, tolerance))
+        else:
+            print("ratchet: %s %.2fx of baseline" % (name, ratio))
+    for name in sorted(set(current) - set(baseline)):
+        print("ratchet: %s is new (no baseline); passes" % name)
+    if compared == 0:
+        errors.append("%s vs %s: no benchmark names in common — the "
+                      "ratchet compared nothing" % (current_path,
+                                                    baseline_path))
+    return errors
+
+
 ALLOW_LINE_CACHE = {}
 INCLUDE_ALLOWED = set()
 ROOT = "."
@@ -367,6 +423,13 @@ def main():
     parser.add_argument("--validate-bench", metavar="PATH",
                         help="validate a BENCH_*.json microbenchmark "
                              "report instead of linting the source tree")
+    parser.add_argument("--ratchet-bench", nargs=2,
+                        metavar=("CURRENT", "BASELINE"),
+                        help="fail when a benchmark in CURRENT regressed "
+                             "past the noise band over BASELINE")
+    parser.add_argument("--ratchet-tolerance", type=float, default=2.0,
+                        help="allowed ns_per_op ratio CURRENT/BASELINE "
+                             "before --ratchet-bench fails (default 2.0)")
     args = parser.parse_args()
     ROOT = args.root
 
@@ -386,6 +449,18 @@ def main():
             print("\n%d bench-report violation(s)." % len(bench_errors))
             return 1
         print("bench report: OK (%s)" % args.validate_bench)
+        return 0
+
+    if args.ratchet_bench:
+        ratchet_errors = ratchet_bench(args.ratchet_bench[0],
+                                       args.ratchet_bench[1],
+                                       args.ratchet_tolerance)
+        if ratchet_errors:
+            print("\n".join(ratchet_errors))
+            print("\n%d bench-ratchet violation(s)." % len(ratchet_errors))
+            return 1
+        print("bench ratchet: OK (%s vs %s)" % (args.ratchet_bench[0],
+                                                args.ratchet_bench[1]))
         return 0
 
     violations = []
