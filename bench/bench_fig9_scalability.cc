@@ -120,8 +120,8 @@ void RunScalability(const TuningProblem& problem,
 class StreamProblem : public TuningProblem {
  public:
   StreamProblem() {
-    (void)space_.Add(Parameter::Float("x0", 0.0, 1.0));
-    (void)space_.Add(Parameter::Float("x1", 0.0, 1.0));
+    space_.Add(Parameter::Float("x0", 0.0, 1.0)).IgnoreError();
+    space_.Add(Parameter::Float("x1", 0.0, 1.0)).IgnoreError();
   }
 
   std::string name() const override { return "stream"; }

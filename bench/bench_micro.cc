@@ -42,7 +42,8 @@ namespace {
 ConfigurationSpace MakeSpace(size_t dims) {
   ConfigurationSpace space;
   for (size_t i = 0; i < dims; ++i) {
-    (void)space.Add(Parameter::Float("x" + std::to_string(i), 0.0, 1.0));
+    space.Add(Parameter::Float("x" + std::to_string(i), 0.0, 1.0))
+        .IgnoreError();
   }
   return space;
 }
@@ -81,7 +82,7 @@ void BM_GpPredict(benchmark::State& state) {
   std::vector<double> y;
   FillData(100, 6, &x, &y);
   GaussianProcess gp;
-  (void)gp.Fit(x, y);
+  gp.Fit(x, y).IgnoreError();
   std::vector<double> query(6, 0.3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(gp.Predict(query));
@@ -106,7 +107,7 @@ void BM_RfPredict(benchmark::State& state) {
   std::vector<double> y;
   FillData(400, 9, &x, &y);
   RandomForest rf;
-  (void)rf.Fit(x, y);
+  rf.Fit(x, y).IgnoreError();
   std::vector<double> query(9, 0.4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(rf.Predict(query));

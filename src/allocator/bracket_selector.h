@@ -71,7 +71,7 @@ class BracketSelector {
 
   /// Restores state produced by Snapshot() on an identically configured
   /// selector.
-  Status Restore(WireDecoder* dec);
+  [[nodiscard]] Status Restore(WireDecoder* dec);
 
  private:
   int num_brackets_;

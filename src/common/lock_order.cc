@@ -1,0 +1,130 @@
+#include "src/common/lock_order.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace hypertune {
+
+// Definitions for the TSA phantom-capability chain (never locked, never
+// odr-used beyond their declarations; they exist so the attributes in the
+// header have well-formed objects behind them).
+LockRankLevel rank_cluster_run_state;
+LockRankLevel rank_thread_pool;
+LockRankLevel rank_journal;
+LockRankLevel rank_store_groups;
+LockRankLevel rank_store_pending_shard;
+LockRankLevel rank_trace_recorder;
+LockRankLevel rank_metrics_registry;
+LockRankLevel rank_log_sink;
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked:
+      return "unranked";
+    case LockRank::kClusterRunState:
+      return "cluster.run_state";
+    case LockRank::kThreadPool:
+      return "thread_pool.queue";
+    case LockRank::kJournal:
+      return "journal.stream";
+    case LockRank::kStoreGroups:
+      return "store.groups";
+    case LockRank::kStorePendingShard:
+      return "store.pending_shard";
+    case LockRank::kTraceRecorder:
+      return "obs.trace";
+    case LockRank::kMetricsRegistry:
+      return "obs.metrics";
+    case LockRank::kLogSink:
+      return "log.sink";
+  }
+  return "?";
+}
+
+namespace lockdep {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// One ranked lock the thread currently holds. The stack is rank-monotone
+/// by construction (OnAcquire aborts before a non-increasing push), so its
+/// back is always the thread's highest held rank.
+struct Held {
+  LockRank rank;
+  const char* name;
+};
+
+std::vector<Held>& Stack() {
+  // Function-local so first use from any thread constructs it; trivially
+  // cheap afterwards. The vector's heap storage is the checker's only
+  // allocation and is reused across acquisitions.
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+[[noreturn]] void Die(const Held& held, LockRank rank, const char* name) {
+  // Deliberately not HT_CHECK / HT_LOG: the fatal path of logging takes the
+  // log sink mutex, and the inversion being reported may involve it —
+  // re-entering the checker mid-abort would recurse. Plain stderr writes
+  // only. (fputs over printf keeps the determinism lint's printf ban
+  // meaningful; the message itself is the process's last output.)
+  std::string msg("[FATAL lockdep] lock-order inversion: acquiring \"");
+  msg += name != nullptr ? name : "?";
+  msg += "\" (rank ";
+  msg += std::to_string(static_cast<int>(rank));
+  msg += ") while holding \"";
+  msg += held.name != nullptr ? held.name : "?";
+  msg += "\" (rank ";
+  msg += std::to_string(static_cast<int>(held.rank));
+  msg += "); the global order in src/common/lock_order.h requires strictly "
+         "increasing ranks\n";
+  std::fputs(msg.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool CompiledIn() {
+#if HYPERTUNE_LOCKDEP
+  return true;
+#else
+  return false;
+#endif
+}
+
+void SetEnabledForTesting(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int HeldRankedLocks() { return static_cast<int>(Stack().size()); }
+
+void OnAcquire(LockRank rank, const char* name) {
+  if (rank == LockRank::kUnranked) return;
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  std::vector<Held>& stack = Stack();
+  if (!stack.empty() && stack.back().rank >= rank) {
+    Die(stack.back(), rank, name);
+  }
+  stack.push_back(Held{rank, name});
+}
+
+void OnRelease(LockRank rank, const char* name) {
+  if (rank == LockRank::kUnranked) return;
+  std::vector<Held>& stack = Stack();
+  // Releases are almost always LIFO (MutexLock), but manual Lock/Unlock may
+  // interleave; drop the most recent matching entry. A miss means the
+  // checker was toggled mid-hold (tests) — tolerate it silently.
+  for (size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1].rank == rank && stack[i - 1].name == name) {
+      stack.erase(stack.begin() + static_cast<ptrdiff_t>(i) - 1);
+      return;
+    }
+  }
+}
+
+}  // namespace lockdep
+}  // namespace hypertune

@@ -15,7 +15,9 @@ std::atomic<LogLevel> g_log_level{LogLevel::kWarning};
 /// workers, pool tasks) never interleave within a message. fputs is atomic
 /// on POSIX stdio, but the fatal path streams multiple writes.
 Mutex& SinkMutex() {
-  static Mutex mu;
+  // Innermost rank in the global order (lock_order.h): HT_LOG must be
+  // callable while holding any other library lock.
+  static Mutex mu{LockRank::kLogSink, "log.sink"};
   return mu;
 }
 

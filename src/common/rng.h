@@ -82,7 +82,7 @@ class Rng {
 
   /// Restores state produced by SerializeState(). Rejects malformed input
   /// with InvalidArgument and leaves the generator unchanged on failure.
-  Status DeserializeState(const std::string& state);
+  [[nodiscard]] Status DeserializeState(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -30,39 +30,52 @@ const char* StatusCodeName(StatusCode code);
 ///
 ///   Status s = space.AddParameter(...);
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// forces the caller to consume it, and -Werror=unused-result (on for every
+/// build) turns a dropped one into a build break. The only sanctioned way
+/// to drop a Status on purpose is an explicit, greppable IgnoreError()
+/// call — never a (void) cast, which reads as an accident.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status DataLoss(std::string msg) {
+  [[nodiscard]] static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Explicitly discards this status. The one sanctioned way to drop a
+  /// Status on purpose: unlike a (void) cast it is greppable, reviewable,
+  /// and states intent at the call site. tools/analyze.py bans discarded
+  /// Status calls even on compilers that ignore [[nodiscard]], and this
+  /// call is its only escape hatch.
+  void IgnoreError() const {}
 
   /// Formats as "Code: message" (or "OK").
   std::string ToString() const;
@@ -79,9 +92,11 @@ class Status {
 /// A value-or-error holder, analogous to absl::StatusOr<T>.
 ///
 /// Access the value only after checking ok(); value access on an error
-/// Result aborts in debug builds via assert-like checking.
+/// Result aborts in debug builds via assert-like checking. [[nodiscard]]
+/// like Status: a dropped Result hides an error *and* leaks the value, so
+/// -Werror=unused-result breaks the build on one.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -105,6 +120,10 @@ class Result {
   T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
   }
+
+  /// Explicitly discards this result (error and value). See
+  /// Status::IgnoreError().
+  void IgnoreError() const {}
 
  private:
   Status status_;

@@ -5,6 +5,9 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "src/common/lock_order.h"
+#include "src/common/thread_annotations_defs.h"
+
 /// Clang Thread Safety Analysis annotations and lockable wrappers.
 ///
 /// Every mutex-protected structure in this library annotates its guarded
@@ -12,77 +15,65 @@
 /// Clang build with -Wthread-safety (enabled automatically; promoted to an
 /// error by the HYPERTUNE_WERROR_ANALYSIS CMake option) proves at compile
 /// time that no annotated field is ever touched without its lock. GCC
-/// builds compile the annotations away to nothing.
+/// builds compile the annotations away to nothing. (The attribute macros
+/// themselves live in thread_annotations_defs.h; this header adds the
+/// lockable types.)
 ///
 /// The analysis only understands lock types that are themselves annotated,
 /// so this header provides CAPABILITY-annotated wrappers around std::mutex
 /// (Mutex, MutexLock) and std::condition_variable (CondVar). Use these —
-/// not the std types directly — for any new synchronized state. CondVar
-/// deliberately has no predicate overload: write the wait loop inline
-/// (`while (!ready) cv.Wait(mu);`) so the guarded reads in the predicate
-/// stay visible to the intraprocedural analysis.
-#if defined(__clang__) && (!defined(SWIG))
-#define HT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
-#else
-#define HT_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
-#endif
-
-#define CAPABILITY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
-
-#define SCOPED_CAPABILITY HT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
-
-#define GUARDED_BY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
-
-#define PT_GUARDED_BY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
-
-#define ACQUIRED_BEFORE(...) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
-
-#define ACQUIRED_AFTER(...) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
-
-#define REQUIRES(...) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
-
-#define REQUIRES_SHARED(...) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
-
-#define ACQUIRE(...) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
-
-#define RELEASE(...) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
-
-#define EXCLUDES(...) HT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
-
-#define ASSERT_CAPABILITY(x) \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
-
-#define RETURN_CAPABILITY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
-
-#define NO_THREAD_SAFETY_ANALYSIS \
-  HT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+/// not the std types directly — for any new synchronized state
+/// (tools/analyze.py enforces it). CondVar deliberately has no predicate
+/// overload: write the wait loop inline (`while (!ready) cv.Wait(mu);`) so
+/// the guarded reads in the predicate stay visible to the intraprocedural
+/// analysis.
 
 namespace hypertune {
 
 /// Annotated exclusive lock. Prefer the scoped MutexLock; call Lock/Unlock
 /// directly only when the critical section cannot be a lexical scope.
+///
+/// Long-lived library mutexes are constructed *ranked*, with a LockRank
+/// from the global order table in lock_order.h plus a stable name. In
+/// checked builds (HYPERTUNE_LOCKDEP) every ranked acquisition is verified
+/// against the thread's held ranks and an inversion aborts naming both
+/// locks; in Release the hook compiles away and a ranked Mutex costs
+/// exactly what an unranked one does. Default-constructed (unranked)
+/// mutexes are exempt from ordering checks — acceptable for test locals,
+/// not for library state.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  Mutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
+  void Lock() ACQUIRE() {
+#if HYPERTUNE_LOCKDEP
+    lockdep::OnAcquire(rank_, name_);
+#endif
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if HYPERTUNE_LOCKDEP
+    lockdep::OnRelease(rank_, name_);
+#endif
+  }
 
   /// Documents (and under the analysis, asserts) that the caller holds the
   /// lock through some path the analysis cannot see.
   void AssertHeld() ASSERT_CAPABILITY(this) {}
 
+  LockRank rank() const { return rank_; }
+  /// Registry name for ranked mutexes; nullptr when unranked.
+  const char* name() const { return name_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = nullptr;
 };
 
 /// RAII critical section over a Mutex.
@@ -101,6 +92,12 @@ class SCOPED_CAPABILITY MutexLock {
 /// Condition variable bound to the annotated Mutex. Waits require the lock
 /// to be held and hold it again on return, which is exactly what the
 /// REQUIRES annotation states.
+///
+/// Lockdep note: a wait releases and reacquires the mutex through the
+/// condition variable, not through Mutex::Lock, so the lock stays on the
+/// waiting thread's acquisition stack for the duration — which is the
+/// conservative reading (the blocked thread acquires nothing else, and on
+/// wake it holds the lock again exactly as recorded).
 class CondVar {
  public:
   CondVar() = default;

@@ -1,0 +1,51 @@
+#ifndef HYPERTUNE_COMMON_THREAD_ANNOTATIONS_DEFS_H_
+#define HYPERTUNE_COMMON_THREAD_ANNOTATIONS_DEFS_H_
+
+/// The Clang Thread Safety Analysis attribute macros, split out of
+/// thread_annotations.h so headers that only need the annotations — not the
+/// Mutex/MutexLock/CondVar wrappers — can use them without pulling in the
+/// lockable types (lock_order.h sits *under* thread_annotations.h and needs
+/// exactly this). See thread_annotations.h for the usage discipline.
+#if defined(__clang__) && (!defined(SWIG))
+#define HT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HT_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY HT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) HT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) HT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // HYPERTUNE_COMMON_THREAD_ANNOTATIONS_DEFS_H_

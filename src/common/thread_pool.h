@@ -38,7 +38,7 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPool, "thread_pool.queue"};
   CondVar task_available_;
   CondVar all_idle_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);

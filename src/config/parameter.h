@@ -58,7 +58,7 @@ class Parameter {
   bool is_discrete() const { return type_ != ParameterType::kFloat; }
 
   /// Validates that `value` is a legal stored value for this parameter.
-  Status Validate(double value) const;
+  [[nodiscard]] Status Validate(double value) const;
 
   /// Draws a uniform random value (log-uniform when log-scaled).
   double SampleValue(Rng* rng) const;

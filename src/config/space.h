@@ -22,7 +22,7 @@ class ConfigurationSpace {
   ConfigurationSpace() = default;
 
   /// Appends a parameter. Fails with InvalidArgument on duplicate names.
-  Status Add(Parameter parameter);
+  [[nodiscard]] Status Add(Parameter parameter);
 
   /// Number of parameters (the dimensionality of the space).
   size_t size() const { return parameters_.size(); }
@@ -32,13 +32,13 @@ class ConfigurationSpace {
   const std::vector<Parameter>& parameters() const { return parameters_; }
 
   /// Index of the parameter with `name`, or error if absent.
-  Result<size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<size_t> IndexOf(const std::string& name) const;
 
   /// Uniform random configuration.
   Configuration Sample(Rng* rng) const;
 
   /// Validates dimensionality and each value against its parameter.
-  Status Validate(const Configuration& config) const;
+  [[nodiscard]] Status Validate(const Configuration& config) const;
 
   /// Encodes a configuration into [0,1]^d for surrogate models.
   std::vector<double> Encode(const Configuration& config) const;

@@ -97,6 +97,7 @@ class HyperTune {
   /// check in the journal header rejects anything else); the resumed run
   /// finishes bit-identically to the uninterrupted one and keeps appending
   /// to the journal past the crash point.
+  [[nodiscard]]
   static Result<TuningOutcome> Resume(const TuningProblem& problem,
                                       const HyperTuneOptions& options);
 

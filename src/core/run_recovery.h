@@ -31,7 +31,7 @@ namespace hypertune {
 /// else. A torn tail is truncated from the file before replay, and new
 /// records are appended to it as the run proceeds past the crash point.
 /// `options.journal` is overwritten internally and need not be set.
-Result<RunResult> ResumeRun(const std::string& journal_path,
+[[nodiscard]] Result<RunResult> ResumeRun(const std::string& journal_path,
                             ClusterOptions options,
                             SchedulerInterface* scheduler,
                             const TuningProblem& problem,
@@ -40,6 +40,7 @@ Result<RunResult> ResumeRun(const std::string& journal_path,
 /// ResumeRun for an in-memory journal byte stream (crash-point tests).
 /// When `final_journal` is non-null it receives the resumed journal's full
 /// byte stream (verified prefix + newly appended records).
+[[nodiscard]]
 Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
                                      ClusterOptions options,
                                      SchedulerInterface* scheduler,
@@ -52,7 +53,7 @@ Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
 /// entries are transient worker state and are not recoverable. Useful for
 /// warm-starting a *different* run from a dead run's partial history
 /// without re-executing it.
-Status RecoverStoreFromJournal(const RunJournal& journal,
+[[nodiscard]] Status RecoverStoreFromJournal(const RunJournal& journal,
                                MeasurementStore* store);
 
 }  // namespace hypertune

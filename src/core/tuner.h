@@ -42,7 +42,7 @@ class Tuner {
   /// configuration as the one that wrote the journal, and `options` must
   /// match the dead run's ClusterOptions — the journal's fingerprint check
   /// rejects anything else. Counts as this tuner's single use.
-  Result<RunResult> Resume(const TuningProblem& problem,
+  [[nodiscard]] Result<RunResult> Resume(const TuningProblem& problem,
                            const ClusterOptions& options,
                            const std::string& journal_path,
                            JournalOptions journal_options = {});

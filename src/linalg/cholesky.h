@@ -15,7 +15,7 @@ class Cholesky {
  public:
   /// Factorizes A = L L^T. Returns InvalidArgument for non-square input and
   /// FailedPrecondition when A is not positive definite.
-  Status Factorize(const Matrix& a);
+  [[nodiscard]] Status Factorize(const Matrix& a);
 
   /// True once Factorize succeeded.
   bool ok() const { return factored_; }
@@ -44,6 +44,7 @@ class Cholesky {
 /// `initial_jitter`, multiplied by 10 up to `max_attempts` times) until the
 /// factorization succeeds. Returns the jitter actually used through
 /// `*jitter_used` (may be 0). Fails only if every attempt fails.
+[[nodiscard]]
 Status CholeskyWithJitter(const Matrix& a, Cholesky* chol, double* jitter_used,
                           double initial_jitter = 1e-10, int max_attempts = 8);
 

@@ -25,12 +25,15 @@ namespace hypertune {
 /// busy|dead|quarantined — the utilization series behind the paper's
 /// scalability plots. Intervals still open at the last recorded event are
 /// closed at that time.
+[[nodiscard]]
 Status WriteChromeTrace(const TraceRecorder& trace, std::ostream* out);
+[[nodiscard]]
 Status WriteWorkerTimelineCsv(const TraceRecorder& trace, std::ostream* out);
 
 /// File-path convenience wrappers.
+[[nodiscard]]
 Status SaveChromeTrace(const TraceRecorder& trace, const std::string& path);
-Status SaveWorkerTimelineCsv(const TraceRecorder& trace,
+[[nodiscard]] Status SaveWorkerTimelineCsv(const TraceRecorder& trace,
                              const std::string& path);
 
 }  // namespace hypertune

@@ -67,7 +67,7 @@ class MetricsRegistry {
     std::map<int, std::int64_t> buckets;
   };
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kMetricsRegistry, "obs.metrics"};
   std::map<std::string, std::int64_t> counters_ GUARDED_BY(mu_);
   std::map<std::string, double> gauges_ GUARDED_BY(mu_);
   std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);

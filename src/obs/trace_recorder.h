@@ -100,7 +100,7 @@ class TraceRecorder {
   std::size_t size() const EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kTraceRecorder, "obs.trace"};
   std::function<double()> clock_ GUARDED_BY(mu_);
   std::vector<TraceEvent> events_ GUARDED_BY(mu_);
 };

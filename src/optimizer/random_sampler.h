@@ -22,8 +22,8 @@ class RandomSampler : public Sampler {
   std::string name() const override { return "random"; }
 
   /// Random search's only private state is the RNG stream.
-  Status SnapshotState(WireEncoder* enc) const override;
-  Status RestoreState(WireDecoder* dec) override;
+  [[nodiscard]] Status SnapshotState(WireEncoder* enc) const override;
+  [[nodiscard]] Status RestoreState(WireDecoder* dec) override;
 
  private:
   const ConfigurationSpace* space_;

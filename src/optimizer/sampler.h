@@ -52,14 +52,14 @@ class Sampler {
   /// from the shared store on every proposal have no private state beyond
   /// the RNG; samplers that decline (the default) simply opt the owning
   /// scheduler out of journal checkpointing.
-  virtual Status SnapshotState(WireEncoder* enc) const {
+  [[nodiscard]] virtual Status SnapshotState(WireEncoder* enc) const {
     (void)enc;
     return Status::Unimplemented("sampler does not snapshot");
   }
 
   /// Restores state produced by SnapshotState() on an identically
   /// constructed sampler.
-  virtual Status RestoreState(WireDecoder* dec) {
+  [[nodiscard]] virtual Status RestoreState(WireDecoder* dec) {
     (void)dec;
     return Status::Unimplemented("sampler does not snapshot");
   }

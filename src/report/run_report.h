@@ -58,11 +58,12 @@ RunSummary Summarize(const RunResult& result, int num_levels);
 ///   trial,worker,bracket,level,resource,start,end,objective,test,<params...>
 /// Parameter columns are named from `space`. Returns a stream error as
 /// Internal status.
+[[nodiscard]]
 Status WriteTrialsCsv(const RunResult& result, const ConfigurationSpace& space,
                       std::ostream* out);
 
 /// Writes the anytime curve as CSV: time,best_objective,incumbent_test.
-Status WriteCurveCsv(const RunResult& result, std::ostream* out);
+[[nodiscard]] Status WriteCurveCsv(const RunResult& result, std::ostream* out);
 
 /// Renders the summary as a human-readable multi-line string.
 std::string FormatSummary(const RunSummary& summary);
@@ -74,7 +75,7 @@ std::string FormatMetrics(const MetricsSnapshot& metrics);
 
 /// Convenience: writes both CSVs to `<prefix>_trials.csv` /
 /// `<prefix>_curve.csv` on disk.
-Status SaveRunArtifacts(const RunResult& result,
+[[nodiscard]] Status SaveRunArtifacts(const RunResult& result,
                         const ConfigurationSpace& space,
                         const std::string& prefix);
 
@@ -82,7 +83,7 @@ Status SaveRunArtifacts(const RunResult& result,
 /// `<prefix>_trace.json` (Chrome trace_event JSON, loadable in
 /// about:tracing / Perfetto), `<prefix>_timeline.csv` (per-worker
 /// utilization timeline), and `<prefix>_metrics.txt` (FormatMetrics).
-Status SaveObservabilityArtifacts(const Observability& obs,
+[[nodiscard]] Status SaveObservabilityArtifacts(const Observability& obs,
                                   const std::string& prefix);
 
 }  // namespace hypertune

@@ -85,9 +85,11 @@ struct CompleteRecord {
 };
 
 /// Reads the tag byte of a journal record payload.
+[[nodiscard]]
 Status JournalRecordTypeOf(const std::string& payload, JournalRecord* out);
 
 /// Decodes a kComplete payload (rejects other record types).
+[[nodiscard]]
 Status DecodeCompleteRecord(const std::string& payload, CompleteRecord* out);
 
 struct JournalOptions {
@@ -106,7 +108,7 @@ struct JournalOptions {
 class RunJournal {
  public:
   /// Fresh file-backed journal; truncates `path` and writes the run header.
-  static Result<std::unique_ptr<RunJournal>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<RunJournal>> Create(
       const std::string& path, uint64_t fingerprint,
       JournalOptions options = {});
 
@@ -119,12 +121,12 @@ class RunJournal {
   /// torn tail — emitting kJournalTornTail plus counters on `obs` — and
   /// positions the journal to verify the loaded records against the
   /// re-executed run before switching to live append.
-  static Result<std::unique_ptr<RunJournal>> OpenForResume(
+  [[nodiscard]] static Result<std::unique_ptr<RunJournal>> OpenForResume(
       const std::string& path, uint64_t fingerprint,
       const ObservabilityOptions& obs, JournalOptions options = {});
 
   /// OpenForResume for an in-memory byte stream (crash-point tests).
-  static Result<std::unique_ptr<RunJournal>> ResumeFromBytes(
+  [[nodiscard]] static Result<std::unique_ptr<RunJournal>> ResumeFromBytes(
       const std::string& bytes, uint64_t fingerprint,
       const ObservabilityOptions& obs, JournalOptions options = {});
 
@@ -167,7 +169,7 @@ class RunJournal {
   /// False once any append failed or replay-verify diverged; the backends
   /// stop the run rather than apply unjournaled transitions.
   bool ok() const EXCLUDES(mu_);
-  Status status() const EXCLUDES(mu_);
+  [[nodiscard]] Status status() const EXCLUDES(mu_);
 
   /// True while loaded records are still being verified against the
   /// re-executed run (resume in progress).
@@ -197,7 +199,7 @@ class RunJournal {
  private:
   explicit RunJournal(JournalOptions options) : options_(options) {}
 
-  static Result<std::unique_ptr<RunJournal>> ResumeCommon(
+  [[nodiscard]] static Result<std::unique_ptr<RunJournal>> ResumeCommon(
       const std::string& bytes, uint64_t fingerprint,
       const ObservabilityOptions& obs, JournalOptions options);
 
@@ -211,7 +213,7 @@ class RunJournal {
   int64_t records_dropped_ = 0;
   int64_t bytes_dropped_ = 0;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kJournal, "journal.stream"};
   Status status_ GUARDED_BY(mu_);
   std::vector<std::string> loaded_;  // written once before the run
   size_t replay_cursor_ GUARDED_BY(mu_) = 0;

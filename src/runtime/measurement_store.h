@@ -141,7 +141,7 @@ class MeasurementStore {
   /// tombstones the entry (count = 0); Compact() rebuilds both containers
   /// once tombstones dominate, so churn cost stays amortized O(1).
   struct PendingShard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kStorePendingShard, "store.pending_shard"};
     std::vector<PendingEntry> entries GUARDED_BY(mu);
     std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash GUARDED_BY(mu);
     /// Tombstoned entries in `entries`.
@@ -155,7 +155,7 @@ class MeasurementStore {
   /// Drops tombstones and rebuilds by_hash when they dominate the shard.
   static void MaybeCompact(PendingShard& shard) REQUIRES(shard.mu);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kStoreGroups, "store.groups"};
   std::vector<std::vector<Measurement>> groups_ GUARDED_BY(mu_);  // 0 <-> 1
   /// Per-level index over groups_: config hash -> positions in the group
   /// (hash collisions resolved by config equality at those positions).

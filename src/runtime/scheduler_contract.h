@@ -70,12 +70,12 @@ class SchedulerContractChecker : public SchedulerInterface {
   /// Forwards to the wrapped scheduler: a checkpoint of a checked run
   /// serializes the real scheduler's state (the checker's audit log is
   /// derived observation, not decision state).
-  Status Snapshot(WireEncoder* enc) const override;
+  [[nodiscard]] Status Snapshot(WireEncoder* enc) const override;
   /// Refused: the checker's audit state (issued/outstanding job tracking)
   /// cannot be reconstructed from a scheduler snapshot, so a restored inner
   /// scheduler behind a fresh checker would trip spurious violations.
   /// Restore the wrapped scheduler directly, then wrap it.
-  Status Restore(WireDecoder* dec) override;
+  [[nodiscard]] Status Restore(WireDecoder* dec) override;
 
   /// Backend-only audit hooks for speculative re-execution (the wrapped
   /// scheduler never sees duplicates, so these are not part of

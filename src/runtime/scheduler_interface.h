@@ -88,7 +88,7 @@ class SchedulerInterface {
   /// journal's periodic checkpoint records (RunJournal::MaybeCheckpoint)
   /// and the thread backend's warm starts. The default declines — journal
   /// checkpointing silently skips schedulers without snapshot support.
-  virtual Status Snapshot(WireEncoder* enc) const {
+  [[nodiscard]] virtual Status Snapshot(WireEncoder* enc) const {
     (void)enc;
     return Status::Unimplemented("scheduler does not snapshot");
   }
@@ -96,7 +96,7 @@ class SchedulerInterface {
   /// Restores state produced by Snapshot() on an identically configured,
   /// freshly constructed scheduler. Rejects malformed bytes with a non-OK
   /// Status and must leave the scheduler unused on failure.
-  virtual Status Restore(WireDecoder* dec) {
+  [[nodiscard]] virtual Status Restore(WireDecoder* dec) {
     (void)dec;
     return Status::Unimplemented("scheduler does not snapshot");
   }

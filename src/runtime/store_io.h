@@ -39,20 +39,20 @@ inline constexpr char kStoreWireMagic[4] = {'H', 'T', 'W', 'S'};
 /// from a broken problem) are rejected with InvalidArgument: a persisted
 /// store must round-trip, and failure markers do not belong in warm-start
 /// history.
-Status EncodeStoreWire(const MeasurementStore& store,
+[[nodiscard]] Status EncodeStoreWire(const MeasurementStore& store,
                        const ConfigurationSpace& space, std::string* out);
 
 /// Decodes a v1 binary store stream into `store`. The stream's parameter
 /// names must match `space` exactly (order included); a version newer than
 /// kWireFormatVersion is rejected with a clear upgrade error; truncated or
 /// corrupt records are rejected with DataLoss.
-Status DecodeStoreWire(const std::string& bytes,
+[[nodiscard]] Status DecodeStoreWire(const std::string& bytes,
                        const ConfigurationSpace& space,
                        MeasurementStore* store);
 
 /// Writes every measurement group of `store` to `out` as legacy v0 CSV.
 /// Same non-finite-objective rejection as EncodeStoreWire.
-Status WriteStoreCsv(const MeasurementStore& store,
+[[nodiscard]] Status WriteStoreCsv(const MeasurementStore& store,
                      const ConfigurationSpace& space, std::ostream* out);
 
 /// Reads measurements from `in` (format above) into `store`. The header's
@@ -60,13 +60,15 @@ Status WriteStoreCsv(const MeasurementStore& store,
 /// outside [1, store->num_levels()], non-finite objectives, and malformed
 /// rows are rejected with InvalidArgument, leaving already-loaded rows in
 /// place.
+[[nodiscard]]
 Status ReadStoreCsv(std::istream* in, const ConfigurationSpace& space,
                     MeasurementStore* store);
 
 /// File-path convenience wrappers. SaveStore writes the v1 binary format;
 /// LoadStore sniffs the magic and reads either v1 binary or legacy v0 CSV.
-Status SaveStore(const MeasurementStore& store,
+[[nodiscard]] Status SaveStore(const MeasurementStore& store,
                  const ConfigurationSpace& space, const std::string& path);
+[[nodiscard]]
 Status LoadStore(const std::string& path, const ConfigurationSpace& space,
                  MeasurementStore* store);
 

@@ -57,7 +57,7 @@ struct ActiveAttempt {
 /// ThreadCluster serializes calls with its own mutex") is thereby enforced
 /// at compile time, not just promised in a comment.
 struct RunState {
-  Mutex mu;
+  Mutex mu{LockRank::kClusterRunState, "cluster.run_state"};
   CondVar cv;
   /// Issued jobs not yet completed/abandoned (includes jobs waiting out a
   /// retry backoff).

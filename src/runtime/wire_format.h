@@ -75,22 +75,22 @@ class WireDecoder {
   explicit WireDecoder(const std::string& bytes)
       : WireDecoder(bytes.data(), bytes.size()) {}
 
-  Status GetU8(uint8_t* out);
-  Status GetU32(uint32_t* out);
-  Status GetU64(uint64_t* out);
-  Status GetI32(int32_t* out);
-  Status GetI64(int64_t* out);
-  Status GetF64(double* out);
-  Status GetBool(bool* out);
-  Status GetString(std::string* out);
-  Status GetDoubles(std::vector<double>* out);
+  [[nodiscard]] Status GetU8(uint8_t* out);
+  [[nodiscard]] Status GetU32(uint32_t* out);
+  [[nodiscard]] Status GetU64(uint64_t* out);
+  [[nodiscard]] Status GetI32(int32_t* out);
+  [[nodiscard]] Status GetI64(int64_t* out);
+  [[nodiscard]] Status GetF64(double* out);
+  [[nodiscard]] Status GetBool(bool* out);
+  [[nodiscard]] Status GetString(std::string* out);
+  [[nodiscard]] Status GetDoubles(std::vector<double>* out);
 
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
   /// Returns InvalidArgument naming `what` unless the cursor consumed the
   /// whole range — decoders call this last to reject trailing garbage.
-  Status ExpectEnd(const char* what) const;
+  [[nodiscard]] Status ExpectEnd(const char* what) const;
 
  private:
   const uint8_t* data_;
@@ -125,13 +125,13 @@ inline RecordScan ScanRecords(const std::string& bytes) {
 /// decoders validate ranges (finite doubles where the runtime requires
 /// them are the caller's concern — these check structure, not semantics).
 void EncodeConfiguration(const Configuration& config, WireEncoder* enc);
-Status DecodeConfiguration(WireDecoder* dec, Configuration* out);
+[[nodiscard]] Status DecodeConfiguration(WireDecoder* dec, Configuration* out);
 
 void EncodeJob(const Job& job, WireEncoder* enc);
-Status DecodeJob(WireDecoder* dec, Job* out);
+[[nodiscard]] Status DecodeJob(WireDecoder* dec, Job* out);
 
 void EncodeEvalResult(const EvalResult& result, WireEncoder* enc);
-Status DecodeEvalResult(WireDecoder* dec, EvalResult* out);
+[[nodiscard]] Status DecodeEvalResult(WireDecoder* dec, EvalResult* out);
 
 }  // namespace hypertune
 

@@ -59,11 +59,11 @@ class AsyncBracketScheduler : public SchedulerInterface {
   /// routing map (sorted by job id so the bytes are deterministic) — for
   /// journal checkpoints and warm starts. The measurement store is shared
   /// runtime infrastructure and is persisted separately (store_io).
-  Status Snapshot(WireEncoder* enc) const override;
+  [[nodiscard]] Status Snapshot(WireEncoder* enc) const override;
   /// Restores a Snapshot() image onto a freshly constructed, identically
   /// configured scheduler. On failure the scheduler may be partially
   /// mutated and must be discarded.
-  Status Restore(WireDecoder* dec) override;
+  [[nodiscard]] Status Restore(WireDecoder* dec) override;
 
   /// Number of promotions issued so far (for sample-efficiency studies).
   int64_t promotions_issued() const { return promotions_issued_; }

@@ -50,7 +50,6 @@ bool BatchBoScheduler::OnJobFailed(const Job& job, const FailureInfo& info) {
   if (SchedulerInterface::OnJobFailed(job, info)) return true;
   // Abandoned: the batch (sync mode) must not barrier on the dead job. The
   // configuration is deliberately left pending for median imputation.
-  (void)job;
   ++trials_failed_;
   --outstanding_;
   return false;

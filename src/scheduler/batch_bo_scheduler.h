@@ -48,11 +48,11 @@ class BatchBoScheduler : public SchedulerInterface {
   /// Serializes the scheduler's mutable state (job/batch counters and the
   /// sampler RNG) for journal checkpoints and warm starts. The measurement
   /// store is shared runtime infrastructure and is persisted separately.
-  Status Snapshot(WireEncoder* enc) const override;
+  [[nodiscard]] Status Snapshot(WireEncoder* enc) const override;
   /// Restores a Snapshot() image onto a freshly constructed, identically
   /// configured scheduler. On failure the scheduler may be partially
   /// mutated and must be discarded.
-  Status Restore(WireDecoder* dec) override;
+  [[nodiscard]] Status Restore(WireDecoder* dec) override;
 
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }

@@ -149,7 +149,7 @@ class Bracket {
   /// and therefore every future decision — are exact; only the internal
   /// step counter may differ). Rejects malformed or mismatched bytes with
   /// a non-OK Status.
-  Status Restore(WireDecoder* dec);
+  [[nodiscard]] Status Restore(WireDecoder* dec);
 
  private:
   struct Rung {

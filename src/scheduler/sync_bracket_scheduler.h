@@ -58,11 +58,11 @@ class SyncBracketScheduler : public SchedulerInterface {
   /// selector, sampler RNG, and the running bracket (if any) — for journal
   /// checkpoints and warm starts. The measurement store is shared runtime
   /// infrastructure and is persisted separately (store_io).
-  Status Snapshot(WireEncoder* enc) const override;
+  [[nodiscard]] Status Snapshot(WireEncoder* enc) const override;
   /// Restores a Snapshot() image onto a freshly constructed, identically
   /// configured scheduler. On failure the scheduler may be partially
   /// mutated and must be discarded.
-  Status Restore(WireDecoder* dec) override;
+  [[nodiscard]] Status Restore(WireDecoder* dec) override;
 
   /// Trials abandoned by the fault runtime.
   int64_t trials_failed() const { return trials_failed_; }

@@ -37,7 +37,7 @@ class GaussianProcess : public Surrogate {
  public:
   explicit GaussianProcess(GaussianProcessOptions options = {});
 
-  Status Fit(const std::vector<std::vector<double>>& x,
+  [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& x,
              const std::vector<double>& y) override;
   Prediction Predict(const std::vector<double>& x) const override;
   bool fitted() const override { return fitted_; }

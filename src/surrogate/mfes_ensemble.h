@@ -34,7 +34,7 @@ class MfesEnsemble : public Surrogate {
 
   /// MfesEnsemble is combined from pre-fitted members; calling Fit is a
   /// contract violation and returns FailedPrecondition.
-  Status Fit(const std::vector<std::vector<double>>& x,
+  [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& x,
              const std::vector<double>& y) override;
 
   Prediction Predict(const std::vector<double>& x) const override;

@@ -45,7 +45,7 @@ class RandomForest : public Surrogate {
   /// splits). Must be called before Fit; sizes must then match the data.
   void SetCategoricalFeatures(std::vector<bool> categorical);
 
-  Status Fit(const std::vector<std::vector<double>>& x,
+  [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& x,
              const std::vector<double>& y) override;
   Prediction Predict(const std::vector<double>& x) const override;
   bool fitted() const override { return fitted_; }

@@ -29,7 +29,7 @@ class Surrogate {
 
   /// Fits the model on design matrix `x` (n rows, d columns) and targets
   /// `y` (n values). Refitting replaces previous state.
-  virtual Status Fit(const std::vector<std::vector<double>>& x,
+  [[nodiscard]] virtual Status Fit(const std::vector<std::vector<double>>& x,
                      const std::vector<double>& y) = 0;
 
   /// Posterior mean/variance at `x`. Requires fitted().

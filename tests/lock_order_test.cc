@@ -1,0 +1,153 @@
+#include "src/common/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_annotations.h"
+
+namespace hypertune {
+namespace {
+
+/// Restores the checker's enabled state even when an assertion fails.
+class LockdepEnabledGuard {
+ public:
+  explicit LockdepEnabledGuard(bool enabled) {
+    lockdep::SetEnabledForTesting(enabled);
+  }
+  ~LockdepEnabledGuard() { lockdep::SetEnabledForTesting(true); }
+};
+
+TEST(LockRankTable, RanksAreStrictlyMonotone) {
+  const LockRank order[] = {
+      LockRank::kClusterRunState,   LockRank::kThreadPool,
+      LockRank::kJournal,           LockRank::kStoreGroups,
+      LockRank::kStorePendingShard, LockRank::kTraceRecorder,
+      LockRank::kMetricsRegistry,   LockRank::kLogSink,
+  };
+  LockRank prev = LockRank::kUnranked;
+  for (LockRank rank : order) {
+    EXPECT_LT(static_cast<int>(prev), static_cast<int>(rank))
+        << LockRankName(rank) << " does not increase over "
+        << LockRankName(prev);
+    prev = rank;
+  }
+}
+
+TEST(LockRankTable, EveryRankHasAStableName) {
+  EXPECT_STREQ("unranked", LockRankName(LockRank::kUnranked));
+  EXPECT_STREQ("cluster.run_state", LockRankName(LockRank::kClusterRunState));
+  EXPECT_STREQ("thread_pool.queue", LockRankName(LockRank::kThreadPool));
+  EXPECT_STREQ("journal.stream", LockRankName(LockRank::kJournal));
+  EXPECT_STREQ("store.groups", LockRankName(LockRank::kStoreGroups));
+  EXPECT_STREQ("store.pending_shard",
+               LockRankName(LockRank::kStorePendingShard));
+  EXPECT_STREQ("obs.trace", LockRankName(LockRank::kTraceRecorder));
+  EXPECT_STREQ("obs.metrics", LockRankName(LockRank::kMetricsRegistry));
+  EXPECT_STREQ("log.sink", LockRankName(LockRank::kLogSink));
+}
+
+TEST(LockOrder, RankedMutexCarriesRankAndName) {
+  Mutex mu(LockRank::kJournal, "journal.stream");
+  EXPECT_EQ(LockRank::kJournal, mu.rank());
+  EXPECT_STREQ("journal.stream", mu.name());
+
+  Mutex unranked;
+  EXPECT_EQ(LockRank::kUnranked, unranked.rank());
+  EXPECT_EQ(nullptr, unranked.name());
+}
+
+TEST(LockOrder, InOrderAcquisitionIsClean) {
+  if (!lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled out";
+  Mutex outer(LockRank::kClusterRunState, "cluster.run_state");
+  Mutex middle(LockRank::kStoreGroups, "store.groups");
+  Mutex inner(LockRank::kLogSink, "log.sink");
+  {
+    MutexLock a(outer);
+    EXPECT_EQ(1, lockdep::HeldRankedLocks());
+    MutexLock b(middle);
+    MutexLock c(inner);
+    EXPECT_EQ(3, lockdep::HeldRankedLocks());
+  }
+  EXPECT_EQ(0, lockdep::HeldRankedLocks());
+}
+
+TEST(LockOrder, ReacquiringAfterFullReleaseIsClean) {
+  if (!lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled out";
+  Mutex outer(LockRank::kJournal, "journal.stream");
+  Mutex inner(LockRank::kMetricsRegistry, "obs.metrics");
+  // Sequential (non-nested) use in any order is legal; only *held-while-
+  // acquiring* ordering is constrained.
+  {
+    MutexLock a(inner);
+  }
+  {
+    MutexLock b(outer);
+    MutexLock c(inner);
+  }
+  EXPECT_EQ(0, lockdep::HeldRankedLocks());
+}
+
+TEST(LockOrder, UnrankedMutexesAreExemptFromOrdering) {
+  if (!lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled out";
+  Mutex ranked(LockRank::kLogSink, "log.sink");
+  Mutex unranked;
+  // An unranked lock under (or over) any ranked lock never trips the
+  // checker — it is simply not tracked.
+  MutexLock a(ranked);
+  MutexLock b(unranked);
+  EXPECT_EQ(1, lockdep::HeldRankedLocks());
+}
+
+TEST(LockOrder, DisabledCheckerIsANoOp) {
+  if (!lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled out";
+  LockdepEnabledGuard guard(false);
+  Mutex inner(LockRank::kLogSink, "log.sink");
+  Mutex outer(LockRank::kClusterRunState, "cluster.run_state");
+  // Inverted order: would abort with the checker enabled.
+  MutexLock a(inner);
+  MutexLock b(outer);
+  EXPECT_EQ(0, lockdep::HeldRankedLocks());
+}
+
+TEST(LockOrder, InversionIsHarmlessWhenCompiledOut) {
+  if (lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled in";
+  // Release builds: the hook does not exist, so even a real inversion is
+  // invisible (and free). The death test below covers checked builds.
+  Mutex inner(LockRank::kLogSink, "log.sink");
+  Mutex outer(LockRank::kClusterRunState, "cluster.run_state");
+  MutexLock a(inner);
+  MutexLock b(outer);
+  EXPECT_EQ(0, lockdep::HeldRankedLocks());
+}
+
+using LockOrderDeathTest = ::testing::Test;
+
+TEST(LockOrderDeathTest, InversionAbortsNamingBothLocks) {
+  if (!lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled out";
+  Mutex journal(LockRank::kJournal, "journal.stream");
+  Mutex run_state(LockRank::kClusterRunState, "cluster.run_state");
+  EXPECT_DEATH(
+      {
+        MutexLock a(journal);
+        MutexLock b(run_state);  // outer rank acquired under an inner lock
+      },
+      "lockdep.*acquiring \"cluster\\.run_state\".*"
+      "while holding \"journal\\.stream\"");
+}
+
+TEST(LockOrderDeathTest, SameRankNestingAborts) {
+  if (!lockdep::CompiledIn()) GTEST_SKIP() << "lockdep compiled out";
+  // The 16 pending shards share one rank precisely because no path may
+  // hold two shards at once; the checker turns that comment into a trap.
+  Mutex shard_a(LockRank::kStorePendingShard, "store.pending_shard");
+  Mutex shard_b(LockRank::kStorePendingShard, "store.pending_shard");
+  EXPECT_DEATH(
+      {
+        MutexLock a(shard_a);
+        MutexLock b(shard_b);
+      },
+      "lockdep.*acquiring \"store\\.pending_shard\".*"
+      "while holding \"store\\.pending_shard\"");
+}
+
+}  // namespace
+}  // namespace hypertune

@@ -299,13 +299,13 @@ TEST(WireFormatTest, RandomBytesNeverCrashTheScannerOrDecoders) {
     for (const std::string& payload : scan.records) {
       WireDecoder dec(payload);
       Job job;
-      (void)DecodeJob(&dec, &job);
+      DecodeJob(&dec, &job).IgnoreError();
       WireDecoder dec2(payload);
       EvalResult result;
-      (void)DecodeEvalResult(&dec2, &result);
+      DecodeEvalResult(&dec2, &result).IgnoreError();
       WireDecoder dec3(payload);
       std::string s;
-      (void)dec3.GetString(&s);
+      dec3.GetString(&s).IgnoreError();
     }
   }
 }
