@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <queue>
 #include <string>
@@ -406,6 +407,43 @@ void BM_JournalAppend(benchmark::State& state) {
   state.SetItemsProcessed(i);
 }
 BENCHMARK(BM_JournalAppend)->Iterations(200000);
+
+/// Same append stream against a real file under each fsync policy
+/// (arg 0 = kNone, 1 = kOnCheckpoint, 2 = kEveryRecord). The spread
+/// between arg 0 and arg 2 is the price of a durability barrier per
+/// record — the number that justifies kOnCheckpoint as the default.
+void BM_JournalAppendFsync(benchmark::State& state) {
+  ConfigurationSpace space = MakeSpace(8);
+  Rng rng(13);
+  Job job;
+  job.config = space.Sample(&rng);
+  job.level = 1;
+  job.resource = 729.0;
+  EvalResult result;
+  result.objective = 0.5;
+  result.test_objective = 0.6;
+  result.cost_seconds = 60.0;
+  const std::string path = "/tmp/hypertune_bench_journal.bin";
+  JournalOptions options;
+  options.fsync_policy = static_cast<FsyncPolicy>(state.range(0));
+  Result<std::unique_ptr<RunJournal>> journal =
+      RunJournal::Create(path, 0x1234, options);
+  if (!journal.ok()) {
+    state.SkipWithError(journal.status().ToString().c_str());
+    return;
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    job.job_id = i;
+    (*journal)->Complete(job, result, static_cast<int>(i % 256), 0.0,
+                         static_cast<double>(i));
+    ++i;
+  }
+  state.SetItemsProcessed(i);
+  journal->reset();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppendFsync)->Arg(0)->Arg(1)->Arg(2)->Iterations(2000);
 
 /// End-to-end event-core throughput: asynchronous random search on a large
 /// fleet with the contract checker off and aggregate retention — the

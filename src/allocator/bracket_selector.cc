@@ -27,6 +27,10 @@ void BracketSelector::Snapshot(WireEncoder* enc) const {
   enc->PutString(rng_.SerializeState());
   enc->PutI32(num_selections_);
   enc->PutDoubles(last_weights_);
+  // The learned policy samples from w = c o theta, and FidelityWeights only
+  // refreshes theta every refresh_interval versions — that lag is part of
+  // the trajectory and must travel with the snapshot.
+  if (weights_ != nullptr) weights_->Snapshot(enc);
 }
 
 Status BracketSelector::Restore(WireDecoder* dec) {
@@ -42,6 +46,7 @@ Status BracketSelector::Restore(WireDecoder* dec) {
   HT_RETURN_IF_ERROR(rng_.DeserializeState(rng_state));
   num_selections_ = selections;
   last_weights_ = std::move(weights);
+  if (weights_ != nullptr) HT_RETURN_IF_ERROR(weights_->Restore(dec));
   return Status::Ok();
 }
 

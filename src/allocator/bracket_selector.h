@@ -65,8 +65,9 @@ class BracketSelector {
   int num_selections() const { return num_selections_; }
 
   /// Serializes the selector's mutable state (RNG stream, selection count,
-  /// last learned distribution) for scheduler snapshots. FidelityWeights is
-  /// recomputed from the store on demand and carries no state to persist.
+  /// last learned distribution) for scheduler snapshots, plus the attached
+  /// FidelityWeights' theta cache when one is present — its refresh lag is
+  /// trajectory-bearing, so it must be restored rather than recomputed.
   void Snapshot(WireEncoder* enc) const;
 
   /// Restores state produced by Snapshot() on an identically configured

@@ -61,6 +61,36 @@ FidelityWeights::FidelityWeights(const ConfigurationSpace* space,
   };
 }
 
+void FidelityWeights::Snapshot(WireEncoder* enc) const {
+  enc->PutDoubles(cached_theta_);
+  enc->PutU64(cached_version_);
+  enc->PutU64(static_cast<uint64_t>(cached_high_size_));
+  enc->PutI32(cached_levels_);
+  enc->PutBool(used_ranking_loss_);
+}
+
+Status FidelityWeights::Restore(WireDecoder* dec) {
+  std::vector<double> theta;
+  uint64_t version = 0;
+  uint64_t high_size = 0;
+  int32_t levels = 0;
+  bool used = false;
+  HT_RETURN_IF_ERROR(dec->GetDoubles(&theta));
+  HT_RETURN_IF_ERROR(dec->GetU64(&version));
+  HT_RETURN_IF_ERROR(dec->GetU64(&high_size));
+  HT_RETURN_IF_ERROR(dec->GetI32(&levels));
+  HT_RETURN_IF_ERROR(dec->GetBool(&used));
+  if (levels < 0) {
+    return Status::InvalidArgument("fidelity weights: negative level count");
+  }
+  cached_theta_ = std::move(theta);
+  cached_version_ = version;
+  cached_high_size_ = static_cast<size_t>(high_size);
+  cached_levels_ = levels;
+  used_ranking_loss_ = used;
+  return Status::Ok();
+}
+
 const std::vector<double>& FidelityWeights::ComputeTheta(
     const MeasurementStore& store) {
   const int num_levels = store.num_levels();

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "src/allocator/ranking_loss.h"
+#include "src/common/status.h"
 #include "src/config/space.h"
 #include "src/runtime/measurement_store.h"
+#include "src/runtime/wire_format.h"
 
 namespace hypertune {
 
@@ -64,6 +66,19 @@ class FidelityWeights {
   /// True when the last ComputeTheta used ranking losses (not the
   /// data-availability fallback). For tests and diagnostics.
   bool used_ranking_loss() const { return used_ranking_loss_; }
+
+  /// Serializes the theta cache. The cache is trajectory-bearing: theta is
+  /// refreshed only every `refresh_interval` store versions, so a resumed
+  /// run must keep serving the same (deliberately lagged) estimate the
+  /// original run was holding — recomputing eagerly at the restore point
+  /// would hand the bracket selector a different distribution and diverge
+  /// from replay. Each recomputation itself is deterministic (seeded from
+  /// the store version), so the cache fields are the entire mutable state.
+  void Snapshot(WireEncoder* enc) const;
+
+  /// Restores state produced by Snapshot() on an identically configured
+  /// instance.
+  [[nodiscard]] Status Restore(WireDecoder* dec);
 
  private:
   const ConfigurationSpace* space_;

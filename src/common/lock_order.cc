@@ -12,6 +12,8 @@ namespace hypertune {
 // odr-used beyond their declarations; they exist so the attributes in the
 // header have well-formed objects behind them).
 LockRankLevel rank_cluster_run_state;
+LockRankLevel rank_process_inbox;
+LockRankLevel rank_process_worker_io;
 LockRankLevel rank_thread_pool;
 LockRankLevel rank_journal;
 LockRankLevel rank_store_groups;
@@ -26,6 +28,10 @@ const char* LockRankName(LockRank rank) {
       return "unranked";
     case LockRank::kClusterRunState:
       return "cluster.run_state";
+    case LockRank::kProcessInbox:
+      return "process.inbox";
+    case LockRank::kProcessWorkerIo:
+      return "process.worker_io";
     case LockRank::kThreadPool:
       return "thread_pool.queue";
     case LockRank::kJournal:

@@ -33,6 +33,13 @@
 ///    100 | cluster.run_state   | ThreadCluster RunState::mu — the backend
 ///        |                     | lock serializing scheduler calls; held
 ///        |                     | while journaling, storing, and tracing
+///    150 | process.inbox       | ProcessCluster inbox mutex — per-worker
+///        |                     | reader threads hand inbound wire frames
+///        |                     | to the supervisor loop through it
+///    160 | process.worker_io   | hypertune_worker's socket-write mutex
+///        |                     | (heartbeat thread vs. result writes; lives
+///        |                     | in the worker process, never nested with
+///        |                     | driver locks)
 ///    200 | thread_pool.queue   | ThreadPool::mu_ (task queue / idle wait)
 ///    300 | journal.stream      | RunJournal::mu_ — held while the commit
 ///        |                     | path records journal trace events/metrics
@@ -73,6 +80,8 @@ namespace hypertune {
 enum class LockRank : int {
   kUnranked = 0,
   kClusterRunState = 100,
+  kProcessInbox = 150,
+  kProcessWorkerIo = 160,
   kThreadPool = 200,
   kJournal = 300,
   kStoreGroups = 400,
@@ -99,7 +108,9 @@ const char* LockRankName(LockRank rank);
 /// Instance-precise enforcement is lockdep's job below.
 class CAPABILITY("lock_rank") LockRankLevel {};
 extern LockRankLevel rank_cluster_run_state;
-extern LockRankLevel rank_thread_pool ACQUIRED_AFTER(rank_cluster_run_state);
+extern LockRankLevel rank_process_inbox ACQUIRED_AFTER(rank_cluster_run_state);
+extern LockRankLevel rank_process_worker_io ACQUIRED_AFTER(rank_process_inbox);
+extern LockRankLevel rank_thread_pool ACQUIRED_AFTER(rank_process_worker_io);
 extern LockRankLevel rank_journal ACQUIRED_AFTER(rank_thread_pool);
 extern LockRankLevel rank_store_groups ACQUIRED_AFTER(rank_journal);
 extern LockRankLevel rank_store_pending_shard ACQUIRED_AFTER(rank_store_groups);

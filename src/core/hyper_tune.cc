@@ -124,4 +124,26 @@ TuningOutcome HyperTune::OptimizeOnThreads(const TuningProblem& problem,
   return MakeOutcome(tuner->RunOnThreads(problem, cluster));
 }
 
+TuningOutcome HyperTune::OptimizeOnProcesses(const TuningProblem& problem,
+                                             const HyperTuneOptions& options,
+                                             const std::string& worker_binary,
+                                             const std::string& problem_spec,
+                                             double wall_budget_seconds,
+                                             double cost_sleep_scale) {
+  std::unique_ptr<Tuner> tuner =
+      CreateTuner(problem, MakeFactoryOptions(options));
+
+  ProcessClusterOptions cluster;
+  cluster.num_workers = options.num_workers;
+  cluster.time_budget_seconds = wall_budget_seconds;
+  cluster.seed = options.seed;
+  cluster.worker_binary = worker_binary;
+  cluster.problem_spec = problem_spec;
+  cluster.cost_sleep_scale = cost_sleep_scale;
+  cluster.faults = options.faults;
+  cluster.worker_faults = options.worker_faults;
+  cluster.obs = options.obs;
+  return MakeOutcome(tuner->RunOnProcesses(problem, cluster));
+}
+
 }  // namespace hypertune

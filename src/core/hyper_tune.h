@@ -92,6 +92,18 @@ class HyperTune {
                                          double wall_budget_seconds,
                                          double cost_sleep_scale = 0.0);
 
+  /// Runs on worker subprocesses with heartbeat supervision (see
+  /// runtime/process_cluster.h). `worker_binary` is the hypertune_worker
+  /// executable; `problem_spec` is a problem-registry spec that must denote
+  /// `problem` (workers rebuild it by name on their side of the process
+  /// boundary). `wall_budget_seconds` is wall-clock.
+  static TuningOutcome OptimizeOnProcesses(const TuningProblem& problem,
+                                           const HyperTuneOptions& options,
+                                           const std::string& worker_binary,
+                                           const std::string& problem_spec,
+                                           double wall_budget_seconds,
+                                           double cost_sleep_scale = 0.0);
+
   /// Resumes a killed Optimize run from `options.journal_path`. `options`
   /// must be identical to the run that wrote the journal (the fingerprint
   /// check in the journal header rejects anything else); the resumed run

@@ -2,18 +2,206 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace hypertune {
 namespace {
+
+/// Serves the pre-checkpoint prefix of a resumed run from the journal
+/// itself, so the real scheduler never re-decides it. The simulator calls
+/// this facade exactly where it would call the scheduler; while the
+/// journal's replay cursor is at or before the restored checkpoint the
+/// answers are decoded from the loaded records (which the subsequent
+/// journal hook then re-encodes and byte-verifies — divergence detection is
+/// identical to full replay), and once the cursor passes the checkpoint
+/// every call delegates to the Restore()d real scheduler.
+///
+/// The shared MeasurementStore is mirrored while in the prefix — AddPending
+/// on every issued decision, RemovePending + Add on every completion,
+/// nothing on abandonment — which is exactly the store discipline all three
+/// schedulers follow, so at the switch point the store holds the state the
+/// checkpoint snapshot was taken against (snapshots deliberately exclude
+/// store contents; see scheduler Snapshot() implementations).
+class JournalPrefixScheduler : public SchedulerInterface {
+ public:
+  JournalPrefixScheduler(RunJournal* journal, SchedulerInterface* real,
+                         MeasurementStore* store, size_t switch_index)
+      : journal_(journal),
+        real_(real),
+        store_(store),
+        switch_index_(switch_index) {}
+
+  std::optional<Job> NextJob() override {
+    if (!InPrefix()) return real_->NextJob();
+    const std::string* next = Peek();
+    if (next == nullptr) return std::nullopt;
+    JournalRecord type;
+    if (!JournalRecordTypeOf(*next, &type).ok() ||
+        type != JournalRecord::kDecision) {
+      // The real run issued no job at this point: a NextJob that returns a
+      // job is immediately followed by its kDecision record, so a next
+      // record of any other type proves this call answered nullopt.
+      return std::nullopt;
+    }
+    WireDecoder dec(*next);
+    uint8_t tag = 0;
+    double now = 0.0;
+    Job job;
+    if (!dec.GetU8(&tag).ok() || !dec.GetF64(&now).ok() ||
+        !DecodeJob(&dec, &job).ok()) {
+      // Malformed decision record; answering nullopt makes the regenerated
+      // stream diverge and replay-verify latch DataLoss.
+      return std::nullopt;
+    }
+    if (store_ != nullptr && job.level >= 1 &&
+        job.level <= store_->num_levels()) {
+      store_->AddPending(job.config, job.level);
+    }
+    return job;
+  }
+
+  void OnJobComplete(const Job& job, const EvalResult& result) override {
+    if (!InPrefix()) {
+      real_->OnJobComplete(job, result);
+      return;
+    }
+    if (store_ != nullptr) {
+      store_->RemovePending(job.config, job.level);
+      store_->Add(job.level, job.config, result.objective);
+    }
+  }
+
+  bool OnJobFailed(const Job& job, const FailureInfo& info) override {
+    if (!InPrefix()) return real_->OnJobFailed(job, info);
+    // The kFailed record was just verified; the very next record is the
+    // verdict the real scheduler gave (no hook runs in between).
+    const std::string* next = Peek();
+    if (next != nullptr) {
+      JournalRecord type;
+      if (JournalRecordTypeOf(*next, &type).ok() &&
+          type == JournalRecord::kRequeue) {
+        return true;
+      }
+    }
+    // kAbandon — or a malformed journal, which the subsequent replay-verify
+    // byte compare rejects either way. Abandoned configs stay pending for
+    // median imputation, matching every scheduler's abandonment path.
+    return false;
+  }
+
+  bool Exhausted() const override {
+    // The prefix continues past this call in the journal, so the real run's
+    // scheduler answered false whenever the backend consulted it here.
+    if (!InPrefix()) return real_->Exhausted();
+    return false;
+  }
+
+  void CheckInvariants() const override {
+    if (!InPrefix()) real_->CheckInvariants();
+  }
+
+  void SetObservability(Observability* sink) override {
+    real_->SetObservability(sink);
+  }
+
+  [[nodiscard]] Status Snapshot(WireEncoder* enc) const override {
+    if (!InPrefix()) return real_->Snapshot(enc);
+    // MaybeCheckpoint only resets its interval when Snapshot succeeds, so
+    // echoing the stored bytes exactly when the next record is a checkpoint
+    // — and declining otherwise — reproduces the real run's checkpoint
+    // cadence bit-for-bit.
+    const std::string* next = Peek();
+    if (next != nullptr) {
+      CheckpointRecord rec;
+      if (DecodeCheckpointRecord(*next, &rec).ok()) {
+        enc->PutRaw(rec.snapshot);
+        return Status::Ok();
+      }
+    }
+    return Status::Unimplemented(
+        "fast path: the real run wrote no checkpoint here");
+  }
+
+ private:
+  bool InPrefix() const {
+    return journal_->replay_position() <= switch_index_;
+  }
+
+  const std::string* Peek() const {
+    const size_t pos = journal_->replay_position();
+    const std::vector<std::string>& loaded = journal_->loaded_records();
+    if (pos >= loaded.size()) return nullptr;
+    return &loaded[pos];
+  }
+
+  RunJournal* const journal_;
+  SchedulerInterface* const real_;
+  MeasurementStore* const store_;
+  const size_t switch_index_;
+};
+
+struct FastPathPlan {
+  bool engaged = false;
+  size_t switch_index = 0;  // loaded-record index of the restored checkpoint
+};
+
+/// Walks the journal's kCheckpoint records newest-first and Restore()s the
+/// first snapshot `scheduler` accepts. Restore leaves the scheduler unused
+/// on failure (its documented contract), so a torn or rejected checkpoint
+/// simply falls back to the previous one — and with none restorable the
+/// caller falls back to full replay on the still-fresh scheduler.
+FastPathPlan PlanFastPath(const RunJournal& journal,
+                          SchedulerInterface* scheduler) {
+  const std::vector<std::string>& loaded = journal.loaded_records();
+  FastPathPlan plan;
+  std::vector<size_t> checkpoints;
+  for (size_t i = 1; i < loaded.size(); ++i) {
+    JournalRecord type;
+    if (JournalRecordTypeOf(loaded[i], &type).ok() &&
+        type == JournalRecord::kCheckpoint) {
+      checkpoints.push_back(i);
+    }
+  }
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    CheckpointRecord rec;
+    if (!DecodeCheckpointRecord(loaded[*it], &rec).ok()) continue;
+    WireDecoder dec(rec.snapshot);
+    Status restored = scheduler->Restore(&dec);
+    if (restored.ok()) {
+      plan.engaged = true;
+      plan.switch_index = *it;
+      return plan;
+    }
+  }
+  return plan;
+}
 
 Result<RunResult> RunWithJournal(std::unique_ptr<RunJournal> journal,
                                  ClusterOptions options,
                                  SchedulerInterface* scheduler,
                                  const TuningProblem& problem,
+                                 const ResumeOptions& resume,
                                  std::string* final_journal) {
+  SchedulerInterface* driver = scheduler;
+  std::unique_ptr<JournalPrefixScheduler> facade;
+  if (resume.use_checkpoint_fast_path && resume.store != nullptr) {
+    FastPathPlan plan = PlanFastPath(*journal, scheduler);
+    if (plan.engaged) {
+      facade = std::make_unique<JournalPrefixScheduler>(
+          journal.get(), scheduler, resume.store, plan.switch_index);
+      driver = facade.get();
+      if (options.obs.metrics() != nullptr) {
+        options.obs.metrics()->Increment("journal.checkpoint_restored");
+        options.obs.metrics()->Increment(
+            "journal.replayed_suffix_records",
+            static_cast<int64_t>(journal->loaded_records().size() -
+                                 plan.switch_index - 1));
+      }
+    }
+  }
   options.journal = journal.get();
   SimulatedCluster cluster(options);
-  RunResult result = cluster.Run(scheduler, problem);
+  RunResult result = cluster.Run(driver, problem);
   // A replay divergence or append failure latched the journal and stopped
   // the run early; surface it instead of a silently truncated result.
   if (!journal->ok()) return journal->status();
@@ -32,13 +220,15 @@ Result<RunResult> ResumeRun(const std::string& journal_path,
                             ClusterOptions options,
                             SchedulerInterface* scheduler,
                             const TuningProblem& problem,
-                            JournalOptions journal_options) {
+                            JournalOptions journal_options,
+                            ResumeOptions resume) {
   Result<std::unique_ptr<RunJournal>> journal = RunJournal::OpenForResume(
       journal_path, ClusterFingerprint(options), options.obs,
       journal_options);
   if (!journal.ok()) return journal.status();
   return RunWithJournal(std::move(journal).value(), std::move(options),
-                        scheduler, problem, /*final_journal=*/nullptr);
+                        scheduler, problem, resume,
+                        /*final_journal=*/nullptr);
 }
 
 Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
@@ -46,13 +236,14 @@ Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
                                      SchedulerInterface* scheduler,
                                      const TuningProblem& problem,
                                      JournalOptions journal_options,
-                                     std::string* final_journal) {
+                                     std::string* final_journal,
+                                     ResumeOptions resume) {
   Result<std::unique_ptr<RunJournal>> journal = RunJournal::ResumeFromBytes(
       journal_bytes, ClusterFingerprint(options), options.obs,
       journal_options);
   if (!journal.ok()) return journal.status();
   return RunWithJournal(std::move(journal).value(), std::move(options),
-                        scheduler, problem, final_journal);
+                        scheduler, problem, resume, final_journal);
 }
 
 Status RecoverStoreFromJournal(const RunJournal& journal,

@@ -24,6 +24,40 @@ namespace hypertune {
 /// bit-identical to what the uninterrupted run would have produced (the
 /// crash-point matrix in tests/journal_recovery_test.cc asserts this via
 /// golden digests for every possible kill point).
+///
+/// Checkpoint fast path. Full replay re-executes every scheduler decision
+/// from record 1, so resume cost scales with run length. When the journal
+/// holds kCheckpoint records (periodic scheduler Snapshot()s) and the
+/// caller supplies the scheduler's freshly constructed MeasurementStore,
+/// resume instead Restore()s the scheduler from the latest restorable
+/// checkpoint and serves every prefix scheduler call *from the journal
+/// itself* through an internal facade: NextJob decodes the next kDecision
+/// record, OnJobFailed reads the following kRequeue/kAbandon verdict,
+/// Snapshot echoes the stored checkpoint bytes, and the store is mirrored
+/// record-by-record (AddPending on decisions, RemovePending+Add on
+/// completions) so the restored scheduler resumes over exactly the store
+/// state it snapshotted against. The simulator still re-executes the prefix
+/// events — every regenerated record is byte-verified as in full replay, so
+/// divergence detection is undiminished — but sampler fits and scheduler
+/// decisions are only computed for the suffix. A checkpoint whose snapshot
+/// fails Restore() (Restore leaves the scheduler unused on failure) falls
+/// back to the previous checkpoint, and a journal with no restorable
+/// checkpoint falls back to full replay. Both paths produce bit-identical
+/// RunResults; scheduler-internal trace events (promotions, sampler fits)
+/// are elided for the prefix on the fast path.
+
+struct ResumeOptions {
+  /// The freshly constructed (empty) MeasurementStore the scheduler under
+  /// resume was built over. Required for the checkpoint fast path — the
+  /// facade mirrors the journal's measurements into it so the restored
+  /// scheduler sees the store state its snapshot was taken against. When
+  /// null, resume always uses full replay.
+  MeasurementStore* store = nullptr;
+
+  /// Disable to force full replay even when a restorable checkpoint and a
+  /// store are available (tests compare both paths).
+  bool use_checkpoint_fast_path = true;
+};
 
 /// Resumes a killed run from its journal file. `options` and `scheduler`
 /// must be configured identically to the run that wrote the journal (the
@@ -35,7 +69,8 @@ namespace hypertune {
                             ClusterOptions options,
                             SchedulerInterface* scheduler,
                             const TuningProblem& problem,
-                            JournalOptions journal_options = {});
+                            JournalOptions journal_options = {},
+                            ResumeOptions resume = {});
 
 /// ResumeRun for an in-memory journal byte stream (crash-point tests).
 /// When `final_journal` is non-null it receives the resumed journal's full
@@ -46,7 +81,8 @@ Result<RunResult> ResumeRunFromBytes(const std::string& journal_bytes,
                                      SchedulerInterface* scheduler,
                                      const TuningProblem& problem,
                                      JournalOptions journal_options = {},
-                                     std::string* final_journal = nullptr);
+                                     std::string* final_journal = nullptr,
+                                     ResumeOptions resume = {});
 
 /// Rebuilds completed measurements from a resumed journal's kComplete
 /// records into `store` (level + configuration + objective). Pending

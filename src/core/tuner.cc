@@ -34,14 +34,27 @@ RunResult Tuner::RunOnThreads(const TuningProblem& problem,
   return cluster.Run(scheduler_.get(), problem);
 }
 
+RunResult Tuner::RunOnProcesses(const TuningProblem& problem,
+                                const ProcessClusterOptions& options) {
+  HT_CHECK(!used_) << "Tuner instances are single-use; build a fresh one";
+  used_ = true;
+  ProcessCluster cluster(options);
+  return cluster.Run(scheduler_.get(), problem);
+}
+
 Result<RunResult> Tuner::Resume(const TuningProblem& problem,
                                 const ClusterOptions& options,
                                 const std::string& journal_path,
                                 JournalOptions journal_options) {
   HT_CHECK(!used_) << "Tuner instances are single-use; build a fresh one";
   used_ = true;
+  // The tuner owns the scheduler's (still fresh) store, so resume can take
+  // the checkpoint fast path whenever the journal holds a restorable
+  // checkpoint; it falls back to full replay otherwise.
+  ResumeOptions resume;
+  resume.store = store_.get();
   return ResumeRun(journal_path, options, scheduler_.get(), problem,
-                   journal_options);
+                   journal_options, resume);
 }
 
 std::optional<TrialRecord> BestTrial(const RunResult& result) {

@@ -9,6 +9,7 @@
 #include "src/optimizer/sampler.h"
 #include "src/runtime/journal.h"
 #include "src/runtime/measurement_store.h"
+#include "src/runtime/process_cluster.h"
 #include "src/runtime/scheduler_interface.h"
 #include "src/runtime/simulated_cluster.h"
 #include "src/runtime/thread_cluster.h"
@@ -36,6 +37,12 @@ class Tuner {
   /// Runs on real worker threads (wall-clock budget).
   RunResult RunOnThreads(const TuningProblem& problem,
                          const ThreadClusterOptions& options);
+
+  /// Runs on worker subprocesses (wall-clock budget). `options` must name
+  /// the hypertune_worker binary and a registry spec for `problem` (see
+  /// runtime/process_cluster.h).
+  RunResult RunOnProcesses(const TuningProblem& problem,
+                           const ProcessClusterOptions& options);
 
   /// Resumes a killed simulator run from its write-ahead journal (see
   /// core/run_recovery.h). This tuner must be freshly built with the same

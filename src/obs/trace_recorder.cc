@@ -48,6 +48,12 @@ const char* TraceKindName(TraceKind kind) {
       return "journal_replay";
     case TraceKind::kJournalTornTail:
       return "journal_torn_tail";
+    case TraceKind::kProcessSpawn:
+      return "process_spawn";
+    case TraceKind::kProcessExit:
+      return "process_exit";
+    case TraceKind::kHeartbeatMiss:
+      return "heartbeat_miss";
   }
   return "?";
 }

@@ -37,6 +37,9 @@ enum class TraceKind {
   kJournalFlush,         ///< WAL checkpoint record durably appended
   kJournalReplay,        ///< journal replay finished; switching to live append
   kJournalTornTail,      ///< corrupt/torn journal suffix dropped at open
+  kProcessSpawn,         ///< worker subprocess forked (value holds the pid)
+  kProcessExit,          ///< worker subprocess reaped (name holds the cause)
+  kHeartbeatMiss,        ///< worker missed its heartbeat deadline; killed
 };
 
 /// Stable lowercase identifier ("job_launch", "span_begin", ...), used as

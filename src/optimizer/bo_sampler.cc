@@ -81,6 +81,24 @@ std::string BoSampler::name() const {
   return options_.surrogate == SurrogateKind::kRandomForest ? "bo-rf" : "bo-gp";
 }
 
+Status BoSampler::SnapshotState(WireEncoder* enc) const {
+  enc->PutString(rng_.SerializeState());
+  return Status::Ok();
+}
+
+Status BoSampler::RestoreState(WireDecoder* dec) {
+  std::string state;
+  HT_RETURN_IF_ERROR(dec->GetString(&state));
+  HT_RETURN_IF_ERROR(rng_.DeserializeState(state));
+  // Drop the surrogate cache: the next Sample() refits from the restored
+  // store, reproducing the model the snapshotted run was holding.
+  model_ = nullptr;
+  fitted_version_ = ~uint64_t{0};
+  last_fit_level_ = 0;
+  fit_best_ = 0.0;
+  return Status::Ok();
+}
+
 std::unique_ptr<Surrogate> BoSampler::MakeSurrogate() const {
   if (options_.surrogate == SurrogateKind::kGaussianProcess) {
     GaussianProcessOptions gp;

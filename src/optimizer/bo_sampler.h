@@ -77,6 +77,15 @@ class BoSampler : public Sampler {
   /// (0 when the model has not engaged yet). Exposed for tests.
   int last_fit_level() const { return last_fit_level_; }
 
+  /// The RNG is the only trajectory-bearing private state: the surrogate
+  /// cache is invalidated by any store version change, so it is a pure
+  /// function of the (snapshot-restored) store and refits identically
+  /// after RestoreState. This is what lets BO-backed schedulers emit
+  /// journal checkpoints (MFES declines: its deliberately-stale
+  /// low-fidelity members are historical state, not derivable).
+  [[nodiscard]] Status SnapshotState(WireEncoder* enc) const override;
+  [[nodiscard]] Status RestoreState(WireDecoder* dec) override;
+
  private:
   /// Returns a fresh surrogate of the configured kind.
   std::unique_ptr<Surrogate> MakeSurrogate() const;

@@ -1,0 +1,90 @@
+#include "src/problems/problem_registry.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "src/problems/counting_ones.h"
+
+namespace hypertune {
+namespace {
+
+struct SpecOption {
+  std::string key;
+  std::string value;
+};
+
+/// Splits "k1=v1,k2=v2" into pairs; rejects empty keys and missing '='.
+Status ParseOptions(const std::string& text, std::vector<SpecOption>* out) {
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("problem spec: expected key=value, got '" +
+                                     item + "'");
+    }
+    out->push_back({item.substr(0, eq), item.substr(eq + 1)});
+    pos = comma + 1;
+  }
+  return Status::Ok();
+}
+
+Status ParseDouble(const SpecOption& opt, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(opt.value.c_str(), &end);
+  if (end == opt.value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("problem spec: option '" + opt.key +
+                                   "' needs a numeric value, got '" +
+                                   opt.value + "'");
+  }
+  *out = value;
+  return Status::Ok();
+}
+
+Status ParseInt(const SpecOption& opt, int* out) {
+  double value = 0.0;
+  HT_RETURN_IF_ERROR(ParseDouble(opt, &value));
+  *out = static_cast<int>(value);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<TuningProblem>> MakeCountingOnes(
+    const std::vector<SpecOption>& options) {
+  CountingOnesOptions opts;
+  for (const SpecOption& opt : options) {
+    if (opt.key == "categorical") {
+      HT_RETURN_IF_ERROR(ParseInt(opt, &opts.num_categorical));
+    } else if (opt.key == "continuous") {
+      HT_RETURN_IF_ERROR(ParseInt(opt, &opts.num_continuous));
+    } else if (opt.key == "max_samples") {
+      HT_RETURN_IF_ERROR(ParseDouble(opt, &opts.max_samples));
+    } else if (opt.key == "seconds_per_sample") {
+      HT_RETURN_IF_ERROR(ParseDouble(opt, &opts.seconds_per_sample));
+    } else {
+      return Status::InvalidArgument(
+          "problem spec: counting-ones has no option '" + opt.key + "'");
+    }
+  }
+  return std::unique_ptr<TuningProblem>(
+      std::make_unique<CountingOnes>(opts));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TuningProblem>> MakeRegisteredProblem(
+    const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  std::vector<SpecOption> options;
+  if (colon != std::string::npos) {
+    HT_RETURN_IF_ERROR(ParseOptions(spec.substr(colon + 1), &options));
+  }
+  if (name == "counting-ones") return MakeCountingOnes(options);
+  return Status::InvalidArgument("problem spec: unknown problem '" + name +
+                                 "'");
+}
+
+}  // namespace hypertune

@@ -1,0 +1,33 @@
+#ifndef HYPERTUNE_PROBLEMS_PROBLEM_REGISTRY_H_
+#define HYPERTUNE_PROBLEMS_PROBLEM_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/problems/problem.h"
+
+namespace hypertune {
+
+/// Constructs a TuningProblem from a textual spec, so a problem can cross
+/// a process boundary by name: the ProcessCluster driver passes the spec
+/// on the worker binary's command line and both sides materialize the same
+/// problem (Evaluate is deterministic given (config, resource, seed), so
+/// name identity is problem identity).
+///
+/// Spec grammar: "<name>" or "<name>:<key>=<value>,<key>=<value>,...".
+/// A pure function over a hardcoded dispatch table — no global mutable
+/// registration state, no locks, no static initialization order to worry
+/// about. Registered problems:
+///
+///   counting-ones   CountingOnes (keys: categorical, continuous,
+///                   max_samples, seconds_per_sample)
+///
+/// Returns InvalidArgument for unknown names, malformed option lists, or
+/// non-numeric values.
+[[nodiscard]] Result<std::unique_ptr<TuningProblem>> MakeRegisteredProblem(
+    const std::string& spec);
+
+}  // namespace hypertune
+
+#endif  // HYPERTUNE_PROBLEMS_PROBLEM_REGISTRY_H_

@@ -138,6 +138,31 @@ std::string FormatMetrics(const MetricsSnapshot& metrics) {
     os << " (none recorded)";
     return os.str();
   }
+  const auto counter = [&metrics](const char* name) -> int64_t {
+    const auto it = metrics.counters.find(name);
+    return it == metrics.counters.end() ? 0 : it->second;
+  };
+  // Recovery accounting up front: whether this run resumed through the
+  // checkpoint fast path or a full replay, and what a torn tail cost.
+  const int64_t restored = counter("journal.checkpoint_restored");
+  const int64_t suffix = counter("journal.replayed_suffix_records");
+  const int64_t replayed = counter("journal.records_replayed");
+  const int64_t torn_records = counter("journal.torn_tail_records");
+  const int64_t torn_bytes = counter("journal.torn_tail_bytes");
+  if (restored > 0 || replayed > 0 || torn_records > 0) {
+    os << "\n  recovery: ";
+    if (restored > 0) {
+      os << "checkpoint fast path (" << suffix << " suffix records replayed)";
+    } else if (replayed > 0) {
+      os << "full replay (" << replayed << " records)";
+    } else {
+      os << "none";
+    }
+    if (torn_records > 0 || torn_bytes > 0) {
+      os << ", torn tail dropped " << torn_records << " record"
+         << (torn_records == 1 ? "" : "s") << " / " << torn_bytes << " bytes";
+    }
+  }
   for (const auto& [name, value] : metrics.counters) {
     os << "\n  " << name << ": " << value;
   }

@@ -70,6 +70,9 @@ std::string FormatSummary(const RunSummary& summary);
 
 /// Renders a metrics snapshot as a human-readable section: counters and
 /// gauges one per line (sorted by name), histograms with count/mean/min/max.
+/// When the run resumed from a journal, a leading `recovery:` line
+/// interprets the journal.* counters — checkpoint fast path vs. full
+/// replay, suffix records replayed, and what a torn tail dropped.
 /// Appended to FormatSummary output when a run was instrumented.
 std::string FormatMetrics(const MetricsSnapshot& metrics);
 

@@ -1,5 +1,8 @@
 #include "src/runtime/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <utility>
@@ -150,6 +153,23 @@ Status JournalRecordTypeOf(const std::string& payload, JournalRecord* out) {
   return Status::Ok();
 }
 
+Status DecodeCheckpointRecord(const std::string& payload,
+                              CheckpointRecord* out) {
+  WireDecoder dec(payload);
+  uint8_t tag;
+  HT_RETURN_IF_ERROR(dec.GetU8(&tag));
+  if (tag != static_cast<uint8_t>(JournalRecord::kCheckpoint)) {
+    return Status::InvalidArgument("journal: not a checkpoint record");
+  }
+  CheckpointRecord rec;
+  HT_RETURN_IF_ERROR(dec.GetF64(&rec.now));
+  HT_RETURN_IF_ERROR(dec.GetI64(&rec.completions));
+  HT_RETURN_IF_ERROR(dec.GetString(&rec.snapshot));
+  HT_RETURN_IF_ERROR(dec.ExpectEnd("checkpoint record"));
+  *out = std::move(rec);
+  return Status::Ok();
+}
+
 Status DecodeCompleteRecord(const std::string& payload, CompleteRecord* out) {
   WireDecoder dec(payload);
   uint8_t tag;
@@ -178,6 +198,7 @@ Result<std::unique_ptr<RunJournal>> RunJournal::Create(
       return Status::NotFound("journal: cannot open for writing: " + path);
     }
   }
+  journal->OpenSyncFd(path);
   journal->WriteHeader(fingerprint);
   if (!journal->ok()) return journal->status();
   return journal;
@@ -216,11 +237,15 @@ Result<std::unique_ptr<RunJournal>> RunJournal::OpenForResume(
                               path + ": " + ec.message());
     }
   }
-  MutexLock lock((*journal)->mu_);
-  (*journal)->file_.open(path, std::ios::binary | std::ios::app);
-  if (!(*journal)->file_) {
-    return Status::NotFound("journal: cannot reopen for append: " + path);
+  {
+    MutexLock lock((*journal)->mu_);
+    (*journal)->file_.open(path, std::ios::binary | std::ios::app);
+    if (!(*journal)->file_) {
+      return Status::NotFound("journal: cannot reopen for append: " + path);
+    }
   }
+  (*journal)->OpenSyncFd(path);
+  if (!(*journal)->ok()) return (*journal)->status();
   return journal;
 }
 
@@ -298,8 +323,50 @@ Result<std::unique_ptr<RunJournal>> RunJournal::ResumeCommon(
   return journal;
 }
 
+RunJournal::~RunJournal() {
+  MutexLock lock(mu_);
+  if (sync_fd_ >= 0) {
+    ::close(sync_fd_);
+    sync_fd_ = -1;
+  }
+}
+
 void RunJournal::SetObservability(const ObservabilityOptions& obs) {
   obs_ = obs;
+}
+
+void RunJournal::OpenSyncFd(const std::string& path) {
+  if (options_.fsync_policy == FsyncPolicy::kNone) return;
+  MutexLock lock(mu_);
+  sync_fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (sync_fd_ < 0) {
+    status_ = Status::Internal("journal: cannot open fsync handle for " +
+                               path);
+  }
+}
+
+void RunJournal::MaybeFsyncLocked(uint8_t tag) {
+  if (sync_fd_ < 0) return;
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kNone:
+      return;
+    case FsyncPolicy::kOnCheckpoint:
+      if (tag != static_cast<uint8_t>(JournalRecord::kCheckpoint) &&
+          tag != static_cast<uint8_t>(JournalRecord::kRunEnd)) {
+        return;
+      }
+      break;
+    case FsyncPolicy::kEveryRecord:
+      break;
+  }
+  if (::fsync(sync_fd_) != 0) {
+    status_ = Status::Internal("journal: fsync failed");
+    return;
+  }
+  ++fsyncs_;
+  if (obs_.metrics() != nullptr) {
+    obs_.metrics()->Increment("journal.fsyncs");
+  }
 }
 
 void RunJournal::WriteHeader(uint64_t fingerprint) {
@@ -359,6 +426,8 @@ void RunJournal::CommitLocked(std::string payload) {
       status_ = Status::Internal("journal: write to disk failed");
       return;
     }
+    MaybeFsyncLocked(payload.empty() ? 0 : static_cast<uint8_t>(payload[0]));
+    if (!status_.ok()) return;
   }
   ++appended_;
   if (obs_.metrics() != nullptr) {
@@ -478,15 +547,26 @@ void RunJournal::Speculate(int64_t job_id, int worker, double now) {
 void RunJournal::MaybeCheckpoint(const SchedulerInterface& scheduler,
                                  int64_t completions, double now) {
   if (options_.checkpoint_interval <= 0) return;
+  {
+    MutexLock lock(mu_);
+    if (!status_.ok()) return;
+    if (completions - last_checkpoint_completions_ <
+        options_.checkpoint_interval) {
+      return;
+    }
+  }
+  // Snapshot outside the journal lock: the checkpoint fast path's prefix
+  // facade (core/run_recovery) answers Snapshot() by consulting this
+  // journal's replay cursor, which takes mu_.
+  WireEncoder snapshot;
+  Status snap = scheduler.Snapshot(&snapshot);
+  if (!snap.ok()) return;  // scheduler declines; event stream still suffices
   MutexLock lock(mu_);
   if (!status_.ok()) return;
   if (completions - last_checkpoint_completions_ <
       options_.checkpoint_interval) {
-    return;
+    return;  // a concurrent caller checkpointed while we snapshotted
   }
-  WireEncoder snapshot;
-  Status snap = scheduler.Snapshot(&snapshot);
-  if (!snap.ok()) return;  // scheduler declines; event stream still suffices
   last_checkpoint_completions_ = completions;
   const bool was_replaying = replay_cursor_ < loaded_.size();
   WireEncoder enc;
@@ -545,6 +625,16 @@ int64_t RunJournal::records_verified() const {
 int64_t RunJournal::checkpoints_emitted() const {
   MutexLock lock(mu_);
   return checkpoints_;
+}
+
+int64_t RunJournal::fsyncs() const {
+  MutexLock lock(mu_);
+  return fsyncs_;
+}
+
+size_t RunJournal::replay_position() const {
+  MutexLock lock(mu_);
+  return replay_cursor_;
 }
 
 std::string RunJournal::bytes() const {

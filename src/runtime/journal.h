@@ -84,6 +84,16 @@ struct CompleteRecord {
   double now = 0.0;
 };
 
+/// Decoded payload of a kCheckpoint journal record: the scheduler's
+/// Snapshot() bytes plus the completion count and clock at which it was
+/// taken. The checkpoint fast path (core/run_recovery) Restore()s the most
+/// recent one instead of re-deciding the whole prefix.
+struct CheckpointRecord {
+  double now = 0.0;
+  int64_t completions = 0;
+  std::string snapshot;
+};
+
 /// Reads the tag byte of a journal record payload.
 [[nodiscard]]
 Status JournalRecordTypeOf(const std::string& payload, JournalRecord* out);
@@ -92,12 +102,31 @@ Status JournalRecordTypeOf(const std::string& payload, JournalRecord* out);
 [[nodiscard]]
 Status DecodeCompleteRecord(const std::string& payload, CompleteRecord* out);
 
+/// Decodes a kCheckpoint payload (rejects other record types).
+[[nodiscard]]
+Status DecodeCheckpointRecord(const std::string& payload,
+                              CheckpointRecord* out);
+
+/// How aggressively a file-backed journal pushes appended records to
+/// stable storage. Every policy still flushes the stream buffer per
+/// record; fsync is the extra page-cache barrier.
+enum class FsyncPolicy : uint8_t {
+  kNone = 0,          // flush only; a power loss may drop the OS-cached tail
+  kOnCheckpoint = 1,  // fsync after kCheckpoint and kRunEnd records
+  kEveryRecord = 2,   // fsync after every append (durability over latency)
+};
+
 struct JournalOptions {
   /// Completions between scheduler-snapshot checkpoint records; <= 0
   /// disables checkpointing (the event stream alone still suffices for
   /// replay-verify recovery). Schedulers whose Snapshot() declines are
   /// skipped silently.
   int64_t checkpoint_interval = 64;
+
+  /// Durability knob for file-backed journals (ignored in-memory). A crash
+  /// between append and sync can still only lose a *suffix*: the CRC scan
+  /// at resume truncates any partially persisted tail to a valid prefix.
+  FsyncPolicy fsync_policy = FsyncPolicy::kNone;
 };
 
 /// Append/replay handle for one run's write-ahead journal. Created fresh
@@ -132,6 +161,7 @@ class RunJournal {
 
   RunJournal(const RunJournal&) = delete;
   RunJournal& operator=(const RunJournal&) = delete;
+  ~RunJournal();
 
   /// Installs the run's observability sink (the backends call this at run
   /// start so journal flush/replay events land in the run's trace).
@@ -181,6 +211,14 @@ class RunJournal {
   int64_t records_dropped() const { return records_dropped_; }
   int64_t bytes_dropped() const { return bytes_dropped_; }
   int64_t checkpoints_emitted() const EXCLUDES(mu_);
+  /// fsync barriers issued (file-backed journals under a non-none policy).
+  int64_t fsyncs() const EXCLUDES(mu_);
+
+  /// Index into loaded_records() of the next record awaiting replay
+  /// verification (== loaded_records().size() once replay has finished or
+  /// for fresh journals). The checkpoint fast path keys its
+  /// prefix-vs-suffix switch off this cursor.
+  size_t replay_position() const EXCLUDES(mu_);
 
   /// Full serialized stream: the verified prefix plus everything appended.
   /// For in-memory journals this is the complete journal; for file-backed
@@ -207,6 +245,12 @@ class RunJournal {
   /// Appends or replay-verifies one encoded payload.
   void Commit(std::string payload) EXCLUDES(mu_);
   void CommitLocked(std::string payload) REQUIRES(mu_);
+  /// Issues the fsync barrier mandated by `fsync_policy` for a record with
+  /// tag `tag` (no-op in-memory or when the policy does not require one).
+  void MaybeFsyncLocked(uint8_t tag) REQUIRES(mu_);
+  /// Opens the fd used for fsync barriers alongside file_ (no-op when the
+  /// policy is kNone). Any failure latches status_.
+  void OpenSyncFd(const std::string& path) EXCLUDES(mu_);
 
   const JournalOptions options_;
   ObservabilityOptions obs_;  // set for resumed journals; null otherwise
@@ -219,9 +263,11 @@ class RunJournal {
   size_t replay_cursor_ GUARDED_BY(mu_) = 0;
   std::string buffer_ GUARDED_BY(mu_);  // full stream (header included)
   std::ofstream file_ GUARDED_BY(mu_);  // open for file-backed journals
+  int sync_fd_ GUARDED_BY(mu_) = -1;    // fsync handle for file-backed
   int64_t appended_ GUARDED_BY(mu_) = 0;
   int64_t verified_ GUARDED_BY(mu_) = 0;
   int64_t checkpoints_ GUARDED_BY(mu_) = 0;
+  int64_t fsyncs_ GUARDED_BY(mu_) = 0;
   int64_t last_checkpoint_completions_ GUARDED_BY(mu_) = 0;
 };
 

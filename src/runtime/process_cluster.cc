@@ -1,0 +1,717 @@
+#include "src/runtime/process_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
+#include "src/runtime/fault_injector.h"
+#include "src/runtime/journal.h"
+#include "src/runtime/process_protocol.h"
+#include "src/runtime/scheduler_contract.h"
+
+namespace hypertune {
+namespace {
+
+/// Supervisor poll granularity: the longest the driver sleeps on its inbox
+/// before rechecking deadlines (heartbeats, watchdogs, retry backoffs).
+constexpr double kPollSeconds = 0.01;
+
+/// Grace window the drain gives workers between the shutdown frame and
+/// SIGKILL.
+constexpr double kDrainGraceSeconds = 2.0;
+
+/// One inbound event from a worker's reader thread: a protocol frame, or
+/// EOF (the single entry point for worker-loss handling).
+struct InboxMessage {
+  int worker = -1;
+  int64_t incarnation = 0;
+  bool eof = false;
+  std::string payload;
+};
+
+/// The only state shared between the supervisor and the reader threads.
+/// Readers push under the inbox lock; the supervisor drains under it and
+/// does everything else — scheduler calls, journal, slot bookkeeping —
+/// single-threaded outside it.
+struct Inbox {
+  Mutex mu{LockRank::kProcessInbox, "process.inbox"};
+  CondVar cv;
+  std::deque<InboxMessage> messages GUARDED_BY(mu);
+
+  void Push(InboxMessage msg) EXCLUDES(mu) {
+    MutexLock lock(mu);
+    messages.push_back(std::move(msg));
+    cv.NotifyOne();
+  }
+
+  /// Moves out every queued message, waiting up to `timeout_seconds` for
+  /// the first one.
+  std::vector<InboxMessage> Drain(double timeout_seconds) EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (messages.empty() && timeout_seconds > 0.0) {
+      cv.WaitFor(mu, timeout_seconds);
+    }
+    std::vector<InboxMessage> out(
+        std::make_move_iterator(messages.begin()),
+        std::make_move_iterator(messages.end()));
+    messages.clear();
+    return out;
+  }
+};
+
+/// Driver-side view of one worker slot across its process incarnations.
+/// Touched only by the supervisor thread.
+struct WorkerSlot {
+  int id = -1;
+  pid_t pid = -1;
+  int fd = -1;
+  int64_t incarnation = 0;
+  bool alive = false;
+  bool hello_seen = false;
+  bool permanently_failed = false;
+  std::thread reader;
+
+  /// Wall time (run-relative) of the last inbound message.
+  double last_heartbeat = 0.0;
+  /// The attempt currently executing on this worker, if any.
+  std::optional<Job> busy;
+  double job_start = 0.0;
+  /// Set when the driver itself decided to kill the process (heartbeat
+  /// miss, watchdog timeout); classifies the EOF that follows.
+  bool kill_pending = false;
+  FailureKind pending_kill_kind = FailureKind::kWorkerLost;
+  /// SIGSTOP chaos was applied to this incarnation.
+  bool stopped = false;
+
+  /// Deaths since the last completed hello handshake (fail-fast counter).
+  int prehello_deaths = 0;
+  /// Deaths since the last hello (backoff counter; reset on hello).
+  int consecutive_deaths = 0;
+  /// Respawn due time for a dead slot.
+  double respawn_at = 0.0;
+
+  /// Consecutive job-level failures reported by a *surviving* worker
+  /// (clean FailureMessage); drives quarantine.
+  int consecutive_failures = 0;
+  bool in_quarantine = false;
+  double quarantine_until = 0.0;
+  double quarantine_started = 0.0;
+};
+
+}  // namespace
+
+RunResult ProcessCluster::Run(SchedulerInterface* scheduler,
+                              const TuningProblem& problem) {
+  HT_CHECK(options_.num_workers >= 1) << "need at least one worker";
+  HT_CHECK(!options_.worker_binary.empty())
+      << "ProcessClusterOptions::worker_binary is required";
+  HT_CHECK(!options_.problem_spec.empty())
+      << "ProcessClusterOptions::problem_spec is required";
+
+  // Every scheduler call happens on this (the supervisor) thread, so the
+  // contract audit needs no synchronization.
+  SchedulerContractChecker contract_checker(scheduler);
+  if (options_.check_contract) scheduler = &contract_checker;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  Observability* const obs = options_.obs.sink;
+  if (obs != nullptr) {
+    obs->trace.SetClock(elapsed);
+    scheduler->SetObservability(obs);
+  }
+  RunJournal* const journal = options_.journal;
+  if (journal != nullptr) journal->SetObservability(options_.obs);
+  const double full_resource = problem.max_resource();
+
+  Inbox inbox;
+  std::vector<WorkerSlot> slots(static_cast<size_t>(options_.num_workers));
+  RunResult result;
+  std::deque<std::pair<double, Job>> retry_queue;  // (ready_at, job)
+  std::unordered_map<int64_t, int> job_failures;   // job-level failures
+  int in_flight = 0;
+  int64_t completed = 0;
+  int64_t dispatched = 0;
+  bool stop = false;
+
+  // Worker argv is identical across slots except the worker id; the
+  // stable pieces are formatted once.
+  const std::string seed_arg = std::to_string(options_.seed);
+  const std::string sleep_arg = std::to_string(options_.cost_sleep_scale);
+  const std::string beat_arg =
+      std::to_string(options_.heartbeat_interval_seconds);
+
+  auto spawn = [&](WorkerSlot& slot) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) != 0) {
+      slot.permanently_failed = true;
+      HT_LOG(kError) << "process backend: socketpair failed for worker "
+                    << slot.id;
+      return;
+    }
+    ++slot.incarnation;
+    const std::string id_arg = std::to_string(slot.id);
+    // execv wants mutable char*; the strings outlive the child's exec.
+    std::string argv0 = options_.worker_binary;
+    std::string spec = options_.problem_spec;
+    std::string a1 = id_arg, a3 = seed_arg, a4 = sleep_arg, a5 = beat_arg;
+    char* argv[] = {argv0.data(), a1.data(), spec.data(),
+                    a3.data(),    a4.data(), a5.data(),
+                    nullptr};
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      slot.permanently_failed = true;
+      HT_LOG(kError) << "process backend: fork failed for worker " << slot.id;
+      return;
+    }
+    if (pid == 0) {
+      // Child. Only async-signal-safe calls until exec. dup2 onto fd 3
+      // clears CLOEXEC on the duplicate, so exactly one end survives exec.
+      ::dup2(fds[1], 3);
+      ::execv(argv[0], argv);
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    slot.pid = pid;
+    slot.fd = fds[0];
+    slot.alive = true;
+    slot.hello_seen = false;
+    slot.kill_pending = false;
+    slot.stopped = false;
+    slot.busy.reset();
+    slot.last_heartbeat = elapsed();
+    const int worker = slot.id;
+    const int fd = slot.fd;
+    const int64_t inc = slot.incarnation;
+    slot.reader = std::thread([fd, worker, inc, &inbox] {
+      for (;;) {
+        InboxMessage msg;
+        msg.worker = worker;
+        msg.incarnation = inc;
+        if (!ReadFrame(fd, &msg.payload).ok()) {
+          msg.eof = true;
+          msg.payload.clear();
+          inbox.Push(std::move(msg));
+          return;
+        }
+        inbox.Push(std::move(msg));
+      }
+    });
+    if (obs != nullptr) {
+      TraceEvent e;
+      e.kind = TraceKind::kProcessSpawn;
+      e.worker = worker;
+      e.value = static_cast<double>(pid);
+      obs->trace.Record(std::move(e));
+      obs->metrics.Increment("process.spawns");
+      if (inc > 1) obs->metrics.Increment("process.respawns");
+    }
+  };
+
+  // Settles the accounting for a failed attempt (orphan, crash, timeout):
+  // journal + trace, then the scheduler's requeue-or-abandon verdict.
+  // Worker-level loss never touches the retry budget.
+  auto handle_attempt_failure = [&](const Job& job, FailureKind kind,
+                                    int worker, double burned,
+                                    double job_start, double now) {
+    result.busy_seconds += burned;
+    result.wasted_seconds += burned;
+    ++result.failed_attempts;
+    const bool job_level = kind != FailureKind::kWorkerLost;
+    if (kind == FailureKind::kCrash) ++result.crash_attempts;
+    if (kind == FailureKind::kTimeout) ++result.timeout_attempts;
+    if (kind == FailureKind::kWorkerLost) ++result.worker_lost_attempts;
+    if (journal != nullptr) {
+      journal->Failed(job.job_id, job.attempt, kind, worker, burned, now);
+    }
+    if (obs != nullptr) {
+      TraceEvent e;
+      e.kind = TraceKind::kJobFailed;
+      e.worker = worker;
+      e.job_id = job.job_id;
+      e.level = job.level;
+      e.bracket = job.bracket;
+      e.attempt = job.attempt;
+      e.name = FailureKindName(kind);
+      e.value = burned;
+      obs->trace.Record(std::move(e));
+      obs->metrics.Increment("jobs.failed_attempts");
+    }
+    int prior = 0;
+    auto fit = job_failures.find(job.job_id);
+    if (fit != job_failures.end()) prior = fit->second;
+    FailureInfo info;
+    info.kind = kind;
+    info.attempt = job.attempt;
+    info.retries_remaining = std::max(0, options_.faults.max_retries - prior);
+    info.wasted_seconds = burned;
+    info.worker = worker;
+    if (scheduler->OnJobFailed(job, info)) {
+      ++result.retries;
+      if (job_level) job_failures[job.job_id] = prior + 1;
+      Job next_attempt = job;
+      ++next_attempt.attempt;
+      const double ready_at =
+          job_level ? now + RetryDelay(options_.faults, options_.seed, job)
+                    : now;
+      if (journal != nullptr) {
+        journal->Requeue(job.job_id, next_attempt.attempt, ready_at, now);
+      }
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobRequeued;
+        e.job_id = job.job_id;
+        e.level = job.level;
+        e.attempt = next_attempt.attempt;
+        e.name = FailureKindName(kind);
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("jobs.requeued");
+      }
+      retry_queue.emplace_back(ready_at, std::move(next_attempt));
+    } else {
+      if (journal != nullptr) {
+        journal->Abandon(job.job_id, job.attempt, now);
+      }
+      ++result.failed_trials;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobAbandoned;
+        e.job_id = job.job_id;
+        e.level = job.level;
+        e.attempt = job.attempt;
+        e.name = FailureKindName(kind);
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("jobs.abandoned");
+      }
+      TrialRecord record;
+      record.job = job;
+      record.result.cost_seconds = burned;
+      record.start_time = job_start;
+      record.end_time = now;
+      record.worker = worker;
+      record.failure_kind = kind;
+      result.history.RecordFailure(record);
+      --in_flight;
+      job_failures.erase(job.job_id);
+    }
+  };
+
+  // Reaps a dead worker after its EOF: joins the reader, classifies the
+  // exit, requeues the orphaned attempt, and schedules the respawn.
+  auto handle_death = [&](WorkerSlot& slot) {
+    if (slot.reader.joinable()) slot.reader.join();
+    int status = 0;
+    ::waitpid(slot.pid, &status, 0);
+    ::close(slot.fd);
+    slot.fd = -1;
+    const double now = elapsed();
+
+    FailureKind kind = FailureKind::kWorkerLost;
+    const char* cause = "signal";
+    if (slot.kill_pending) {
+      kind = slot.pending_kill_kind;
+      cause = kind == FailureKind::kTimeout ? "watchdog" : "heartbeat";
+    } else if (WIFSIGNALED(status)) {
+      kind = FailureKind::kWorkerLost;
+      cause = "signal";
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+      // A nonzero self-exit mid-attempt is the worker's own fault — the
+      // injected-crash path and real evaluation aborts land here.
+      kind = FailureKind::kCrash;
+      cause = "exit";
+    } else {
+      cause = "clean";
+    }
+
+    const bool prehello = !slot.hello_seen;
+    if (prehello) ++slot.prehello_deaths;
+    ++slot.consecutive_deaths;
+    slot.permanently_failed =
+        slot.permanently_failed ||
+        (prehello &&
+         slot.prehello_deaths >= options_.max_consecutive_spawn_failures);
+
+    ++result.worker_deaths;
+    if (slot.permanently_failed) ++result.workers_lost_permanently;
+    if (journal != nullptr) {
+      journal->WorkerDeath(slot.id, slot.permanently_failed, now);
+    }
+    if (obs != nullptr) {
+      TraceEvent death;
+      death.kind = TraceKind::kWorkerDeath;
+      death.worker = slot.id;
+      obs->trace.Record(std::move(death));
+      obs->metrics.Increment("workers.deaths");
+      TraceEvent e;
+      e.kind = TraceKind::kProcessExit;
+      e.worker = slot.id;
+      e.name = cause;
+      e.value = static_cast<double>(slot.pid);
+      obs->trace.Record(std::move(e));
+      obs->metrics.Increment("process.exits");
+    }
+
+    if (slot.busy.has_value()) {
+      const Job job = *slot.busy;
+      handle_attempt_failure(job, kind, slot.id, now - slot.job_start,
+                             slot.job_start, now);
+    }
+
+    slot.alive = false;
+    slot.busy.reset();
+    slot.kill_pending = false;
+    slot.stopped = false;
+    slot.pid = -1;
+    if (!slot.permanently_failed) {
+      const int exponent =
+          std::min(slot.consecutive_deaths - 1, 16);  // overflow guard
+      double backoff = options_.respawn_backoff_seconds *
+                       std::pow(2.0, static_cast<double>(exponent));
+      if (options_.respawn_backoff_cap_seconds > 0.0) {
+        backoff = std::min(backoff, options_.respawn_backoff_cap_seconds);
+      }
+      if (options_.respawn_jitter > 0.0) {
+        Rng rng(CombineSeeds(CombineSeeds(options_.seed,
+                                          static_cast<uint64_t>(slot.id)),
+                             static_cast<uint64_t>(slot.incarnation)));
+        backoff *= 1.0 + options_.respawn_jitter * (rng.Uniform() - 0.5);
+      }
+      slot.respawn_at = now + backoff;
+    }
+  };
+
+  for (int i = 0; i < options_.num_workers; ++i) {
+    slots[static_cast<size_t>(i)].id = i;
+    spawn(slots[static_cast<size_t>(i)]);
+  }
+
+  while (!stop) {
+    const double now = elapsed();
+    // A failed journal append latches an error; applying further
+    // unjournaled transitions would defeat the write-ahead guarantee.
+    if (journal != nullptr && !journal->ok()) break;
+    if (now >= options_.time_budget_seconds) break;
+
+    bool any_usable = false;
+    for (WorkerSlot& slot : slots) {
+      // Respawn dead slots whose backoff expired.
+      if (!slot.alive && !slot.permanently_failed && slot.respawn_at <= now) {
+        spawn(slot);
+      }
+      if (!slot.permanently_failed) any_usable = true;
+      if (!slot.alive) continue;
+
+      // Heartbeat supervision: a silent worker — frozen, wedged, or
+      // SIGSTOPped — is declared lost and killed; the EOF that follows
+      // completes the handling.
+      if (!slot.kill_pending &&
+          now - slot.last_heartbeat > options_.heartbeat_timeout_seconds) {
+        slot.kill_pending = true;
+        slot.pending_kill_kind = FailureKind::kWorkerLost;
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kHeartbeatMiss;
+          e.worker = slot.id;
+          e.value = now - slot.last_heartbeat;
+          obs->trace.Record(std::move(e));
+          obs->metrics.Increment("process.heartbeat_misses");
+        }
+        ::kill(slot.pid, SIGKILL);
+        continue;
+      }
+      // Per-attempt watchdog (FaultOptions::timeout_seconds, wall clock).
+      if (!slot.kill_pending && slot.busy.has_value() &&
+          options_.faults.timeout_seconds > 0.0 &&
+          now - slot.job_start > options_.faults.timeout_seconds) {
+        slot.kill_pending = true;
+        slot.pending_kill_kind = FailureKind::kTimeout;
+        ::kill(slot.pid, SIGKILL);
+        continue;
+      }
+      // Quarantine bookkeeping.
+      if (slot.in_quarantine && slot.quarantine_until <= now) {
+        slot.in_quarantine = false;
+        result.worker_down_seconds += now - slot.quarantine_started;
+        if (journal != nullptr) journal->QuarantineEnd(slot.id, now);
+        if (obs != nullptr) {
+          TraceEvent e;
+          e.kind = TraceKind::kQuarantineEnd;
+          e.worker = slot.id;
+          obs->trace.Record(std::move(e));
+        }
+      }
+
+      // Dispatch one job to an idle, healthy worker: expired retries
+      // first, then a fresh scheduler decision.
+      if (slot.busy.has_value() || !slot.hello_seen || slot.kill_pending ||
+          slot.in_quarantine) {
+        continue;
+      }
+      Job job;
+      bool have_job = false;
+      auto ready = retry_queue.end();
+      for (auto it = retry_queue.begin(); it != retry_queue.end(); ++it) {
+        if (it->first <= now) {
+          ready = it;
+          break;
+        }
+      }
+      if (ready != retry_queue.end()) {
+        job = std::move(ready->second);
+        retry_queue.erase(ready);
+        have_job = true;
+      } else {
+        std::optional<Job> next = scheduler->NextJob();
+        if (next.has_value()) {
+          job = *std::move(next);
+          if (journal != nullptr) journal->Decision(job, now);
+          ++in_flight;
+          have_job = true;
+        }
+      }
+      if (!have_job) continue;
+
+      // Crash injection is decided driver-side (seeded, keyed on
+      // (seed, job_id, attempt)) and delivered in the job frame.
+      AttemptPlan plan = PlanAttempt(options_.faults, options_.seed, job,
+                                     /*nominal_duration=*/0.0);
+      JobMessage msg;
+      msg.job = job;
+      msg.inject_crash = plan.failed && plan.kind == FailureKind::kCrash;
+      if (journal != nullptr) {
+        journal->Launch(job.job_id, job.attempt, slot.id,
+                        /*speculative=*/false, 0.0, now);
+      }
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobLaunch;
+        e.worker = slot.id;
+        e.job_id = job.job_id;
+        e.level = job.level;
+        e.bracket = job.bracket;
+        e.attempt = job.attempt;
+        obs->trace.Record(std::move(e));
+        obs->metrics.Increment("jobs.launched");
+      }
+      slot.busy = job;
+      slot.job_start = now;
+      // A write failure means the worker died; its EOF handles the rest.
+      (void)WriteFrame(slot.fd, EncodeJobMessage(msg));
+
+      ++dispatched;
+      if (options_.chaos_kill_every > 0 &&
+          dispatched % options_.chaos_kill_every == 0) {
+        ::kill(slot.pid, SIGKILL);  // chaos: hard loss mid-attempt
+      } else if (options_.chaos_stop_every > 0 &&
+                 dispatched % options_.chaos_stop_every == 0) {
+        ::kill(slot.pid, SIGSTOP);  // chaos: freeze; heartbeat must catch
+        slot.stopped = true;
+      }
+    }
+
+    if (!any_usable) break;  // every slot failed permanently
+
+    const bool busy_somewhere = std::any_of(
+        slots.begin(), slots.end(),
+        [](const WorkerSlot& s) { return s.busy.has_value(); });
+    if (!busy_somewhere && retry_queue.empty() && in_flight == 0 &&
+        scheduler->Exhausted()) {
+      break;
+    }
+
+    for (InboxMessage& msg : inbox.Drain(kPollSeconds)) {
+      WorkerSlot& slot = slots[static_cast<size_t>(msg.worker)];
+      if (msg.incarnation != slot.incarnation) continue;  // stale reader
+      if (msg.eof) {
+        handle_death(slot);
+        continue;
+      }
+      const double msg_now = elapsed();
+      slot.last_heartbeat = msg_now;
+      ProcessMessage type;
+      if (!ProcessMessageTypeOf(msg.payload, &type).ok()) continue;
+      switch (type) {
+        case ProcessMessage::kHello: {
+          slot.hello_seen = true;
+          slot.prehello_deaths = 0;
+          slot.consecutive_deaths = 0;
+          break;
+        }
+        case ProcessMessage::kHeartbeat:
+          break;  // deadline already refreshed
+        case ProcessMessage::kResult: {
+          ResultMessage res;
+          if (!DecodeResultMessage(msg.payload, &res).ok()) break;
+          if (!slot.busy.has_value() ||
+              slot.busy->job_id != res.job.job_id ||
+              slot.busy->attempt != res.job.attempt) {
+            break;  // stale result from before a kill decision
+          }
+          const Job job = *slot.busy;
+          const double burned = msg_now - slot.job_start;
+          result.busy_seconds += burned;
+          EvalResult eval = res.result;
+          eval.cost_seconds = burned;
+          if (journal != nullptr) {
+            journal->Complete(job, eval, slot.id, slot.job_start, msg_now);
+          }
+          TrialRecord record;
+          record.job = job;
+          record.result = eval;
+          record.start_time = slot.job_start;
+          record.end_time = msg_now;
+          record.worker = slot.id;
+          result.history.Record(record, job.resource >= full_resource);
+          if (options_.observer) options_.observer(record);
+          if (obs != nullptr) {
+            TraceEvent e;
+            e.kind = TraceKind::kJobComplete;
+            e.worker = slot.id;
+            e.job_id = job.job_id;
+            e.level = job.level;
+            e.bracket = job.bracket;
+            e.attempt = job.attempt;
+            e.value = eval.objective;
+            obs->trace.Record(std::move(e));
+            obs->metrics.Increment("jobs.completed");
+            obs->metrics.Observe("trial.duration_seconds", burned);
+          }
+          scheduler->OnJobComplete(job, eval);
+          job_failures.erase(job.job_id);
+          slot.busy.reset();
+          slot.consecutive_failures = 0;
+          --in_flight;
+          ++completed;
+          if (journal != nullptr) {
+            journal->MaybeCheckpoint(*scheduler, completed, msg_now);
+          }
+          if (options_.max_trials > 0 && completed >= options_.max_trials) {
+            stop = true;
+          }
+          break;
+        }
+        case ProcessMessage::kFailure: {
+          // A clean in-process evaluation failure: the worker survives and
+          // goes idle; budget-wise this is a crash-kind job failure.
+          FailureMessage fail;
+          if (!DecodeFailureMessage(msg.payload, &fail).ok()) break;
+          if (!slot.busy.has_value() ||
+              slot.busy->job_id != fail.job_id ||
+              slot.busy->attempt != fail.attempt) {
+            break;
+          }
+          const Job job = *slot.busy;
+          slot.busy.reset();
+          handle_attempt_failure(job, FailureKind::kCrash, slot.id,
+                                 msg_now - slot.job_start, slot.job_start,
+                                 msg_now);
+          ++slot.consecutive_failures;
+          const WorkerFaultOptions& wf = options_.worker_faults;
+          if (wf.quarantine_failures > 0 && wf.quarantine_seconds > 0.0 &&
+              slot.consecutive_failures >= wf.quarantine_failures) {
+            slot.consecutive_failures = 0;
+            slot.in_quarantine = true;
+            slot.quarantine_started = msg_now;
+            slot.quarantine_until = msg_now + wf.quarantine_seconds;
+            ++result.quarantines;
+            if (journal != nullptr) {
+              journal->QuarantineBegin(slot.id, slot.quarantine_until,
+                                       msg_now);
+            }
+            if (obs != nullptr) {
+              TraceEvent e;
+              e.kind = TraceKind::kQuarantineBegin;
+              e.worker = slot.id;
+              e.value = wf.quarantine_seconds;
+              obs->trace.Record(std::move(e));
+              obs->metrics.Increment("workers.quarantines");
+            }
+          }
+          break;
+        }
+        case ProcessMessage::kJob:
+        case ProcessMessage::kShutdown:
+          break;  // driver-to-worker messages; ignore if echoed
+      }
+      if (stop) break;
+    }
+  }
+
+  // Drain: truncation traces for in-flight attempts, a shutdown frame to
+  // every live worker, a grace window, SIGKILL for stragglers (SIGKILL
+  // also terminates SIGSTOPped processes), then reap and join everything.
+  for (WorkerSlot& slot : slots) {
+    if (slot.alive && slot.busy.has_value()) {
+      result.busy_seconds += elapsed() - slot.job_start;
+      if (obs != nullptr) {
+        TraceEvent e;
+        e.kind = TraceKind::kJobTruncated;
+        e.worker = slot.id;
+        e.job_id = slot.busy->job_id;
+        e.level = slot.busy->level;
+        e.attempt = slot.busy->attempt;
+        obs->trace.Record(std::move(e));
+      }
+    }
+    if (slot.alive) (void)WriteFrame(slot.fd, EncodeShutdown());
+  }
+  const double drain_start = elapsed();
+  for (WorkerSlot& slot : slots) {
+    if (!slot.alive) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped == slot.pid || reaped < 0) break;
+      if (elapsed() - drain_start > kDrainGraceSeconds) {
+        ::kill(slot.pid, SIGKILL);
+        ::waitpid(slot.pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    slot.alive = false;
+  }
+  for (WorkerSlot& slot : slots) {
+    if (slot.reader.joinable()) slot.reader.join();
+    if (slot.fd >= 0) {
+      ::close(slot.fd);
+      slot.fd = -1;
+    }
+  }
+
+  result.elapsed_seconds = elapsed();
+  result.Finalize(options_.num_workers);
+  if (journal != nullptr && journal->ok()) journal->RunEnd(result);
+  if (obs != nullptr) {
+    obs->metrics.SetGauge("run.elapsed_seconds", result.elapsed_seconds);
+    obs->metrics.SetGauge("run.busy_seconds", result.busy_seconds);
+    obs->metrics.SetGauge("run.utilization", result.utilization);
+    // Freeze the clock: the installed lambda reads this frame's locals.
+    obs->trace.SetClock([t = result.elapsed_seconds] { return t; });
+  }
+  return result;
+}
+
+}  // namespace hypertune

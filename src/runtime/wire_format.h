@@ -54,6 +54,9 @@ class WireEncoder {
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
   /// u32 byte count followed by the raw bytes.
   void PutString(const std::string& s);
+  /// The bytes verbatim, no length prefix — for echoing an
+  /// already-encoded sub-stream (e.g. a stored scheduler snapshot).
+  void PutRaw(const std::string& s) { buffer_.append(s); }
   /// u32 element count followed by the doubles.
   void PutDoubles(const std::vector<double>& v);
 

@@ -1,0 +1,146 @@
+// hypertune_worker: the evaluation subprocess of the ProcessCluster
+// backend (runtime/process_cluster.h).
+//
+//   hypertune_worker <worker_id> <problem_spec> <seed> <cost_sleep_scale>
+//                    <heartbeat_interval_seconds>
+//
+// File descriptor 3 is the socketpair to the driver. The worker is
+// deliberately stateless: materialize the problem from its registry spec,
+// announce itself with a hello message, then loop — read a job frame,
+// evaluate, write the result — while a heartbeat thread proves liveness on
+// the same socket. All writes share one ranked mutex (process.worker_io)
+// so heartbeat and result frames never interleave mid-frame. Any read
+// failure means the driver is gone and the worker exits; an injected
+// crash (JobMessage::inject_crash) calls _exit mid-attempt, which is
+// exactly what a real evaluation segfault looks like from the driver.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
+#include "src/problems/problem_registry.h"
+#include "src/runtime/process_protocol.h"
+
+namespace hypertune {
+namespace {
+
+constexpr int kSocketFd = 3;
+
+/// Shared write-side state: the heartbeat thread and the evaluation loop
+/// both write frames to the driver socket.
+struct WorkerIo {
+  Mutex mu{LockRank::kProcessWorkerIo, "process.worker_io"};
+  bool stop GUARDED_BY(mu) = false;
+  bool write_failed GUARDED_BY(mu) = false;
+
+  /// Writes one frame under the io lock; latches write_failed so both
+  /// threads stop promptly once the driver is gone.
+  void Send(const std::string& payload) EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (write_failed) return;
+    if (!WriteFrame(kSocketFd, payload).ok()) write_failed = true;
+  }
+
+  bool ShouldStop() EXCLUDES(mu) {
+    MutexLock lock(mu);
+    return stop || write_failed;
+  }
+};
+
+int WorkerMain(int argc, char** argv) {
+  if (argc != 6) return kStartupFailureExitCode;
+  const int worker_id = std::atoi(argv[1]);
+  const std::string problem_spec = argv[2];
+  const uint64_t seed = std::strtoull(argv[3], nullptr, 10);
+  const double cost_sleep_scale = std::strtod(argv[4], nullptr);
+  const double heartbeat_interval = std::strtod(argv[5], nullptr);
+
+  Result<std::unique_ptr<TuningProblem>> problem =
+      MakeRegisteredProblem(problem_spec);
+  if (!problem.ok()) return kStartupFailureExitCode;
+
+  WorkerIo io;
+  HelloMessage hello;
+  hello.worker = worker_id;
+  hello.pid = static_cast<int64_t>(::getpid());
+  io.Send(EncodeHello(hello));
+
+  std::thread heartbeat([&io, worker_id, heartbeat_interval] {
+    int64_t sequence = 0;
+    const auto interval =
+        std::chrono::duration<double>(heartbeat_interval > 0.0
+                                          ? heartbeat_interval
+                                          : 0.05);
+    while (!io.ShouldStop()) {
+      std::this_thread::sleep_for(interval);
+      HeartbeatMessage beat;
+      beat.worker = worker_id;
+      beat.sequence = ++sequence;
+      io.Send(EncodeHeartbeat(beat));
+    }
+  });
+
+  int exit_code = 0;
+  for (;;) {
+    std::string payload;
+    if (!ReadFrame(kSocketFd, &payload).ok()) break;  // driver gone
+    ProcessMessage type;
+    if (!ProcessMessageTypeOf(payload, &type).ok()) break;
+    if (type == ProcessMessage::kShutdown) break;
+    if (type != ProcessMessage::kJob) continue;
+
+    JobMessage msg;
+    if (!DecodeJobMessage(payload, &msg).ok()) {
+      exit_code = kStartupFailureExitCode;
+      break;
+    }
+    if (msg.inject_crash) {
+      // Simulated hard crash: no shutdown handshake, no flush, no exit
+      // handlers — the driver sees EOF plus this exit status.
+      ::_exit(kCrashExitCode);
+    }
+
+    const Job& job = msg.job;
+    const uint64_t noise_seed = CombineSeeds(seed, job.config.Hash());
+    const EvalOutcome outcome =
+        problem.value()->Evaluate(job.config, job.resource, noise_seed);
+    if (cost_sleep_scale > 0.0) {
+      const double cost =
+          problem.value()->EvaluationCost(job.config, job.resource) -
+          problem.value()->EvaluationCost(job.config, job.resume_from);
+      if (cost > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cost * cost_sleep_scale));
+      }
+    }
+
+    ResultMessage result;
+    result.job = job;
+    result.result.objective = outcome.objective;
+    result.result.test_objective = outcome.test_objective;
+    result.result.cost_seconds = 0.0;  // driver stamps wall time
+    io.Send(EncodeResultMessage(result));
+    if (io.ShouldStop()) break;
+  }
+
+  {
+    MutexLock lock(io.mu);
+    io.stop = true;
+  }
+  heartbeat.join();
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace hypertune
+
+int main(int argc, char** argv) {
+  return hypertune::WorkerMain(argc, argv);
+}

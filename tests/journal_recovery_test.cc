@@ -14,10 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/allocator/fidelity_weights.h"
 #include "src/core/hyper_tune.h"
 #include "src/core/run_recovery.h"
 #include "src/core/tuner.h"
 #include "src/obs/observability.h"
+#include "src/optimizer/bo_sampler.h"
 #include "src/optimizer/random_sampler.h"
 #include "src/problems/counting_ones.h"
 #include "src/runtime/journal.h"
@@ -31,7 +33,7 @@
 namespace hypertune {
 namespace {
 
-enum class Sched { kSync, kAsync, kBatchBo };
+enum class Sched { kSync, kAsync, kBatchBo, kAsyncBo, kLearnedBo };
 
 const char* SchedName(Sched which) {
   switch (which) {
@@ -41,6 +43,10 @@ const char* SchedName(Sched which) {
       return "async";
     case Sched::kBatchBo:
       return "batch_bo";
+    case Sched::kAsyncBo:
+      return "async_bo";
+    case Sched::kLearnedBo:
+      return "learned_bo";
   }
   return "?";
 }
@@ -51,7 +57,8 @@ const char* SchedName(Sched which) {
 struct RunSetup {
   CountingOnes problem;
   std::unique_ptr<MeasurementStore> store;
-  std::unique_ptr<RandomSampler> sampler;
+  std::unique_ptr<Sampler> sampler;
+  std::unique_ptr<FidelityWeights> weights;  // kLearnedBo only
   std::unique_ptr<SchedulerInterface> scheduler;
 };
 
@@ -67,8 +74,17 @@ std::unique_ptr<RunSetup> MakeSetup(Sched which, uint64_t sampler_seed = 17) {
   auto setup = std::make_unique<RunSetup>();
   const int levels = which == Sched::kBatchBo ? 1 : 3;
   setup->store = std::make_unique<MeasurementStore>(levels);
-  setup->sampler = std::make_unique<RandomSampler>(
-      &setup->problem.space(), setup->store.get(), sampler_seed);
+  if (which == Sched::kAsyncBo || which == Sched::kLearnedBo) {
+    // Model-based sampler: its RNG snapshots and its surrogate cache refits
+    // from the restored store, so BO-backed schedulers checkpoint too.
+    BoSamplerOptions bo;
+    bo.seed = sampler_seed;
+    setup->sampler = std::make_unique<BoSampler>(&setup->problem.space(),
+                                                 setup->store.get(), bo);
+  } else {
+    setup->sampler = std::make_unique<RandomSampler>(
+        &setup->problem.space(), setup->store.get(), sampler_seed);
+  }
   switch (which) {
     case Sched::kSync: {
       BracketSchedulerOptions options;
@@ -79,7 +95,8 @@ std::unique_ptr<RunSetup> MakeSetup(Sched which, uint64_t sampler_seed = 17) {
           nullptr, options);
       break;
     }
-    case Sched::kAsync: {
+    case Sched::kAsync:
+    case Sched::kAsyncBo: {
       BracketSchedulerOptions options;
       options.ladder = TestLadder();
       options.selector.policy = BracketPolicy::kRoundRobin;
@@ -87,6 +104,24 @@ std::unique_ptr<RunSetup> MakeSetup(Sched which, uint64_t sampler_seed = 17) {
       setup->scheduler = std::make_unique<AsyncBracketScheduler>(
           &setup->problem.space(), setup->store.get(), setup->sampler.get(),
           nullptr, options);
+      break;
+    }
+    case Sched::kLearnedBo: {
+      // The facade's "Hyper-Tune w/o MFES" shape: learned bracket selection
+      // backed by FidelityWeights, whose refresh-lagged theta cache must
+      // travel inside checkpoints for the fast path to stay bit-exact.
+      FidelityWeightsOptions weight_options;
+      weight_options.seed = sampler_seed + 0xF1DEULL;
+      setup->weights = std::make_unique<FidelityWeights>(
+          &setup->problem.space(), weight_options);
+      BracketSchedulerOptions options;
+      options.ladder = TestLadder();
+      options.selector.policy = BracketPolicy::kLearned;
+      options.selector.seed = sampler_seed + 0x5E1ECULL;
+      options.delayed_promotion = true;
+      setup->scheduler = std::make_unique<AsyncBracketScheduler>(
+          &setup->problem.space(), setup->store.get(), setup->sampler.get(),
+          setup->weights.get(), options);
       break;
     }
     case Sched::kBatchBo: {
@@ -140,10 +175,12 @@ struct JournaledRun {
   std::string journal_bytes;
 };
 
-JournaledRun RunToCompletion(Sched which, const ClusterOptions& options) {
+JournaledRun RunToCompletion(Sched which, const ClusterOptions& options,
+                             JournalOptions journal_options =
+                                 TestJournalOptions()) {
   std::unique_ptr<RunSetup> setup = MakeSetup(which);
   std::unique_ptr<RunJournal> journal = RunJournal::CreateInMemory(
-      ClusterFingerprint(options), TestJournalOptions());
+      ClusterFingerprint(options), journal_options);
   ClusterOptions journaled = options;
   journaled.journal = journal.get();
   SimulatedCluster cluster(journaled);
@@ -203,6 +240,295 @@ TEST(JournalRecoveryTest, CrashPointMatrix) {
             << "kill after record " << k;
       }
     }
+  }
+}
+
+/// Loaded-record indexes (and byte extents) of every kCheckpoint record.
+struct CheckpointSite {
+  size_t record_index = 0;  // index into ScanRecords().records
+  size_t begin = 0;         // byte offset of the record's frame
+  size_t end = 0;           // one past the frame's last byte
+};
+
+std::vector<CheckpointSite> CheckpointSites(const std::string& journal_bytes) {
+  RecordScan scan = ScanRecords(journal_bytes);
+  std::vector<CheckpointSite> sites;
+  size_t offset = 0;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const size_t frame = 8 + scan.records[i].size();
+    JournalRecord type;
+    if (JournalRecordTypeOf(scan.records[i], &type).ok() &&
+        type == JournalRecord::kCheckpoint) {
+      sites.push_back({i, offset, offset + frame});
+    }
+    offset += frame;
+  }
+  return sites;
+}
+
+TEST(JournalRecoveryTest, CheckpointFastPathMatchesFullReplayAtEveryCrashPoint) {
+  // The acceptance matrix for the fast path: kill the driver after every
+  // journal record and resume twice — once forced onto full replay, once
+  // with the checkpoint fast path armed — and both must reproduce the
+  // golden digest and the golden journal bytes. The fast path must also
+  // actually engage (checkpoint restores > 0) once prefixes contain
+  // checkpoints, or this test would pass vacuously. kAsyncBo runs the
+  // matrix with a model-based sampler, so Restore also rebuilds a
+  // surrogate-backed sampler mid-trajectory; kLearnedBo adds learned
+  // bracket selection, so the FidelityWeights theta cache rides along too.
+  for (Sched which : {Sched::kSync, Sched::kAsync, Sched::kBatchBo,
+                      Sched::kAsyncBo, Sched::kLearnedBo}) {
+    for (bool with_faults : {false, true}) {
+      SCOPED_TRACE(std::string(SchedName(which)) +
+                   (with_faults ? "+faults" : ""));
+      const ClusterOptions options = MatrixCluster(with_faults);
+      // Checkpoint every 2 completions so even the shortest configuration
+      // (batch BO under faults) puts checkpoints in most kill prefixes.
+      JournalOptions journal_options = TestJournalOptions();
+      journal_options.checkpoint_interval = 2;
+      const JournaledRun golden =
+          RunToCompletion(which, options, journal_options);
+      const std::vector<size_t> ends = RecordBoundaries(golden.journal_bytes);
+      ASSERT_GT(ends.size(), 2u);
+      ASSERT_FALSE(CheckpointSites(golden.journal_bytes).empty())
+          << "golden run wrote no checkpoints; shrink checkpoint_interval";
+
+      int64_t engagements = 0;
+      for (size_t k = 1; k <= ends.size(); ++k) {
+        const std::string prefix = golden.journal_bytes.substr(0, ends[k - 1]);
+
+        std::unique_ptr<RunSetup> slow_setup = MakeSetup(which);
+        ResumeOptions slow;
+        slow.store = slow_setup->store.get();
+        slow.use_checkpoint_fast_path = false;
+        std::string slow_journal;
+        Result<RunResult> replayed = ResumeRunFromBytes(
+            prefix, options, slow_setup->scheduler.get(), slow_setup->problem,
+            journal_options, &slow_journal, slow);
+        ASSERT_TRUE(replayed.ok())
+            << "kill after record " << k << ": "
+            << replayed.status().ToString();
+
+        Observability sink;
+        ClusterOptions observed = options;
+        observed.obs.sink = &sink;
+        std::unique_ptr<RunSetup> fast_setup = MakeSetup(which);
+        ResumeOptions fast;
+        fast.store = fast_setup->store.get();
+        std::string fast_journal;
+        Result<RunResult> resumed = ResumeRunFromBytes(
+            prefix, observed, fast_setup->scheduler.get(),
+            fast_setup->problem, journal_options, &fast_journal, fast);
+        ASSERT_TRUE(resumed.ok())
+            << "kill after record " << k << ": " << resumed.status().ToString();
+
+        EXPECT_EQ(RunResultDigest(*replayed), golden.digest)
+            << "full replay, kill after record " << k;
+        EXPECT_EQ(RunResultDigest(*resumed), golden.digest)
+            << "fast path, kill after record " << k;
+        EXPECT_EQ(slow_journal, golden.journal_bytes)
+            << "full replay, kill after record " << k;
+        EXPECT_EQ(fast_journal, golden.journal_bytes)
+            << "fast path, kill after record " << k;
+        MetricsSnapshot metrics = sink.metrics.Snapshot();
+        engagements += metrics.counters["journal.checkpoint_restored"];
+      }
+      EXPECT_GT(engagements, 0);
+    }
+  }
+}
+
+TEST(JournalRecoveryTest, FastPathFallsBackAcrossTornCheckpoint) {
+  // Kill the driver mid-checkpoint-write: the journal ends with a partial
+  // kCheckpoint frame. The CRC scan drops the torn record, and the fast
+  // path restores the *previous* checkpoint instead — the resumed run is
+  // still bit-identical to the uninterrupted one.
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  const std::vector<CheckpointSite> sites =
+      CheckpointSites(golden.journal_bytes);
+  ASSERT_GE(sites.size(), 2u)
+      << "need two checkpoints to prove the fallback; shrink the interval";
+  const CheckpointSite& last = sites.back();
+  // A clean prefix plus part of the final checkpoint's frame (header and a
+  // slice of the snapshot — the write the crash interrupted).
+  const std::string torn =
+      golden.journal_bytes.substr(0, last.begin + (last.end - last.begin) / 2);
+
+  Observability sink;
+  ClusterOptions observed = options;
+  observed.obs.sink = &sink;
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  ResumeOptions resume;
+  resume.store = setup->store.get();
+  std::string final_journal;
+  Result<RunResult> resumed =
+      ResumeRunFromBytes(torn, observed, setup->scheduler.get(),
+                         setup->problem, TestJournalOptions(), &final_journal,
+                         resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(RunResultDigest(*resumed), golden.digest);
+  EXPECT_EQ(final_journal, golden.journal_bytes);
+  MetricsSnapshot metrics = sink.metrics.Snapshot();
+  EXPECT_EQ(metrics.counters["journal.checkpoint_restored"], 1);
+  EXPECT_EQ(metrics.counters["journal.torn_tail_records"], 1);
+}
+
+/// Rewrites the checkpoint at `site` so its embedded snapshot is the empty
+/// string: the frame stays CRC-valid, but Restore() underflows immediately.
+std::string CorruptCheckpointSnapshot(const std::string& journal_bytes,
+                                      const CheckpointSite& site) {
+  RecordScan scan = ScanRecords(journal_bytes);
+  CheckpointRecord rec;
+  EXPECT_TRUE(
+      DecodeCheckpointRecord(scan.records[site.record_index], &rec).ok());
+  WireEncoder payload;
+  payload.PutU8(static_cast<uint8_t>(JournalRecord::kCheckpoint));
+  payload.PutF64(rec.now);
+  payload.PutI64(rec.completions);
+  payload.PutString("");
+  std::string corrupt = journal_bytes.substr(0, site.begin);
+  AppendRecord(payload.Release(), &corrupt);
+  corrupt.append(journal_bytes.substr(site.end));
+  return corrupt;
+}
+
+TEST(JournalRecoveryTest, FastPathEchoesCorruptPrefixCheckpointVerbatim) {
+  // A CRC-valid checkpoint whose snapshot rotted sits *before* the newest
+  // (healthy) one. The fast path never decodes prefix checkpoints — it
+  // echoes their stored bytes back through the verify compare — so resume
+  // succeeds bit-identically. Full replay regenerates the true snapshot at
+  // that record and rightly reports divergence: the fast path strictly
+  // extends the set of journals that remain resumable.
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  const std::vector<CheckpointSite> sites =
+      CheckpointSites(golden.journal_bytes);
+  ASSERT_GE(sites.size(), 2u)
+      << "need two checkpoints; shrink the checkpoint interval";
+  const std::string corrupt =
+      CorruptCheckpointSnapshot(golden.journal_bytes, sites[sites.size() - 2]);
+
+  {
+    Observability sink;
+    ClusterOptions observed = options;
+    observed.obs.sink = &sink;
+    std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+    ResumeOptions resume;
+    resume.store = setup->store.get();
+    std::string final_journal;
+    Result<RunResult> resumed = ResumeRunFromBytes(
+        corrupt, observed, setup->scheduler.get(), setup->problem,
+        TestJournalOptions(), &final_journal, resume);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(RunResultDigest(*resumed), golden.digest);
+    EXPECT_EQ(final_journal, corrupt);  // the echo preserves the stream as-is
+    MetricsSnapshot metrics = sink.metrics.Snapshot();
+    EXPECT_EQ(metrics.counters["journal.checkpoint_restored"], 1);
+  }
+  {
+    std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+    ResumeOptions resume;
+    resume.use_checkpoint_fast_path = false;
+    Result<RunResult> replayed = ResumeRunFromBytes(
+        corrupt, options, setup->scheduler.get(), setup->problem,
+        TestJournalOptions(), nullptr, resume);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_EQ(replayed.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(JournalRecoveryTest, FastPathWalksBackPastCorruptNewestCheckpoint) {
+  // When the *newest* checkpoint is the corrupt one, PlanFastPath's
+  // Restore() attempt fails and it walks back to the previous checkpoint
+  // (observable: the fast path still engages). The corrupt record now lies
+  // in the live suffix, where nothing can regenerate its bytes — so resume
+  // reports DataLoss at exactly that record. Divergence detection is
+  // undiminished by the fast path.
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+  const std::vector<CheckpointSite> sites =
+      CheckpointSites(golden.journal_bytes);
+  ASSERT_GE(sites.size(), 2u);
+  const std::string corrupt =
+      CorruptCheckpointSnapshot(golden.journal_bytes, sites.back());
+
+  Observability sink;
+  ClusterOptions observed = options;
+  observed.obs.sink = &sink;
+  std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+  ResumeOptions resume;
+  resume.store = setup->store.get();
+  Result<RunResult> resumed = ResumeRunFromBytes(
+      corrupt, observed, setup->scheduler.get(), setup->problem,
+      TestJournalOptions(), nullptr, resume);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(resumed.status().message().find("diverged"), std::string::npos);
+  MetricsSnapshot metrics = sink.metrics.Snapshot();
+  EXPECT_EQ(metrics.counters["journal.checkpoint_restored"], 1);
+}
+
+TEST(JournalRecoveryTest, FsyncPolicyCountsBarriersAndSurvivesTruncation) {
+  // Each policy issues its documented number of fsync barriers, and a crash
+  // that tears the on-disk tail still resumes bit-identically under every
+  // policy (the CRC scan truncates whatever suffix the page cache lost).
+  const ClusterOptions options = MatrixCluster(/*with_faults=*/false);
+  const JournaledRun golden = RunToCompletion(Sched::kSync, options);
+
+  for (FsyncPolicy policy :
+       {FsyncPolicy::kNone, FsyncPolicy::kOnCheckpoint,
+        FsyncPolicy::kEveryRecord}) {
+    SCOPED_TRACE(static_cast<int>(policy));
+    JournalOptions journal_options = TestJournalOptions();
+    journal_options.fsync_policy = policy;
+    const std::string path = testing::TempDir() + "/journal_fsync_" +
+                             std::to_string(static_cast<int>(policy)) +
+                             ".journal";
+
+    std::unique_ptr<RunSetup> setup = MakeSetup(Sched::kSync);
+    Result<std::unique_ptr<RunJournal>> created = RunJournal::Create(
+        path, ClusterFingerprint(options), journal_options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    RunJournal* journal = created->get();
+    ClusterOptions journaled = options;
+    journaled.journal = journal;
+    SimulatedCluster cluster(journaled);
+    RunResult result = cluster.Run(setup->scheduler.get(), setup->problem);
+    ASSERT_TRUE(journal->ok()) << journal->status().ToString();
+    EXPECT_EQ(RunResultDigest(result), golden.digest);
+
+    switch (policy) {
+      case FsyncPolicy::kNone:
+        EXPECT_EQ(journal->fsyncs(), 0);
+        break;
+      case FsyncPolicy::kOnCheckpoint:
+        // One barrier per checkpoint plus one for the kRunEnd seal.
+        ASSERT_GT(journal->checkpoints_emitted(), 0);
+        EXPECT_EQ(journal->fsyncs(), journal->checkpoints_emitted() + 1);
+        break;
+      case FsyncPolicy::kEveryRecord:
+        EXPECT_EQ(journal->fsyncs(), journal->records_appended());
+        break;
+    }
+    created->reset();  // close the file
+
+    // Crash: the tail the OS never persisted is gone and the last write is
+    // torn. Resume must truncate and re-execute to the same digest.
+    const std::vector<size_t> ends = RecordBoundaries(golden.journal_bytes);
+    ASSERT_GT(ends.size(), 4u);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(golden.journal_bytes.data(),
+                static_cast<std::streamsize>(ends[ends.size() / 2] + 3));
+    }
+    std::unique_ptr<RunSetup> resumed_setup = MakeSetup(Sched::kSync);
+    Result<RunResult> resumed =
+        ResumeRun(path, options, resumed_setup->scheduler.get(),
+                  resumed_setup->problem, journal_options);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(RunResultDigest(*resumed), golden.digest);
+    std::remove(path.c_str());
   }
 }
 

@@ -18,7 +18,8 @@ class LockdepEnabledGuard {
 
 TEST(LockRankTable, RanksAreStrictlyMonotone) {
   const LockRank order[] = {
-      LockRank::kClusterRunState,   LockRank::kThreadPool,
+      LockRank::kClusterRunState,   LockRank::kProcessInbox,
+      LockRank::kProcessWorkerIo,   LockRank::kThreadPool,
       LockRank::kJournal,           LockRank::kStoreGroups,
       LockRank::kStorePendingShard, LockRank::kTraceRecorder,
       LockRank::kMetricsRegistry,   LockRank::kLogSink,
@@ -35,6 +36,8 @@ TEST(LockRankTable, RanksAreStrictlyMonotone) {
 TEST(LockRankTable, EveryRankHasAStableName) {
   EXPECT_STREQ("unranked", LockRankName(LockRank::kUnranked));
   EXPECT_STREQ("cluster.run_state", LockRankName(LockRank::kClusterRunState));
+  EXPECT_STREQ("process.inbox", LockRankName(LockRank::kProcessInbox));
+  EXPECT_STREQ("process.worker_io", LockRankName(LockRank::kProcessWorkerIo));
   EXPECT_STREQ("thread_pool.queue", LockRankName(LockRank::kThreadPool));
   EXPECT_STREQ("journal.stream", LockRankName(LockRank::kJournal));
   EXPECT_STREQ("store.groups", LockRankName(LockRank::kStoreGroups));

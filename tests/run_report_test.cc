@@ -144,6 +144,38 @@ TEST(RunReportTest, SummaryBreaksFailuresDownByKind) {
   EXPECT_NE(text.find("speculation: 3 launched, 1 won"), std::string::npos);
 }
 
+TEST(RunReportTest, FormatMetricsInterpretsRecoveryCounters) {
+  // A fast-path resume: the recovery line names the path, the suffix
+  // replay count, and what the torn tail cost.
+  MetricsSnapshot fast;
+  fast.counters["journal.checkpoint_restored"] = 1;
+  fast.counters["journal.replayed_suffix_records"] = 12;
+  fast.counters["journal.records_replayed"] = 12;
+  fast.counters["journal.torn_tail_records"] = 1;
+  fast.counters["journal.torn_tail_bytes"] = 34;
+  std::string text = FormatMetrics(fast);
+  EXPECT_NE(
+      text.find("recovery: checkpoint fast path (12 suffix records replayed)"),
+      std::string::npos);
+  EXPECT_NE(text.find("torn tail dropped 1 record / 34 bytes"),
+            std::string::npos);
+  // The raw counters still appear in the generic dump.
+  EXPECT_NE(text.find("journal.checkpoint_restored: 1"), std::string::npos);
+
+  // No checkpoint restored: the same resume is reported as a full replay.
+  MetricsSnapshot full;
+  full.counters["journal.records_replayed"] = 57;
+  text = FormatMetrics(full);
+  EXPECT_NE(text.find("recovery: full replay (57 records)"),
+            std::string::npos);
+  EXPECT_EQ(text.find("torn tail"), std::string::npos);
+
+  // A fresh run has no journal counters and no recovery line.
+  MetricsSnapshot fresh;
+  fresh.counters["jobs.completed"] = 3;
+  EXPECT_EQ(FormatMetrics(fresh).find("recovery:"), std::string::npos);
+}
+
 TEST(RunReportTest, SaveRunArtifactsWritesFiles) {
   CountingOnesOptions options;
   options.num_categorical = 3;

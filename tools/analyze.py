@@ -27,6 +27,12 @@ Enforces project invariants that plain compiler warnings cannot express:
                    WireDecoder::Decode<X> and vice versa, so the wire format
                    cannot grow write-only (or read-only) record types.
 
+  unranked-mutex   Every Mutex variable or member must be constructed with a
+                   LockRank from the registry in src/common/lock_order.h
+                   (Mutex(LockRank, name)). An unranked Mutex is invisible to
+                   the lockdep ordering checker, so deadlock cycles through
+                   it go undetected.
+
 Two engines produce identical finding IDs:
 
   libclang  Drives clang.cindex over compile_commands.json. Used in CI
@@ -165,6 +171,34 @@ def check_raw_sync_text(root, files, findings):
                     Finding("raw-sync", rel, token,
                             "raw %s; use the annotated wrappers from "
                             "src/common/thread_annotations.h" % token))
+
+
+# ---------------------------------------------------------------------------
+# Check: unranked-mutex (text)
+# ---------------------------------------------------------------------------
+
+# A Mutex declaration with its (optional) initializer: `Mutex name;`,
+# `Mutex name{...};`, or `Mutex name(...);`. Pointer/reference declarations
+# (`Mutex* m`, `Mutex& m`) do not match — only owning declarations must
+# carry a rank.
+_MUTEX_DECL_RE = re.compile(
+    r"\bMutex\s+(\w+)\s*(\{[^{}]*\}|\([^()]*\))?\s*;")
+
+
+def check_unranked_mutex_text(root, files, findings):
+    for rel in files:
+        if rel in RAW_SYNC_EXEMPT:
+            continue
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            text = strip_preprocessor(strip_comments(f.read()))
+        for m in _MUTEX_DECL_RE.finditer(text):
+            if "LockRank" in (m.group(2) or ""):
+                continue
+            findings.append(
+                Finding("unranked-mutex", rel, m.group(1),
+                        "Mutex %s constructed without a LockRank from "
+                        "src/common/lock_order.h; lockdep cannot order it"
+                        % m.group(1)))
 
 
 # ---------------------------------------------------------------------------
@@ -455,6 +489,7 @@ def run_libclang_engine(root, compile_commands_dir, findings):
     raw_sync_hits = set()
     guarded_hits = set()
     discard_hits = set()
+    unranked_hits = set()
 
     def class_has_mutex(cursor):
         for child in cursor.get_children():
@@ -471,6 +506,11 @@ def run_libclang_engine(root, compile_commands_dir, findings):
             for token in RAW_SYNC_TOKENS:
                 if token in spelling and rel not in RAW_SYNC_EXEMPT:
                     raw_sync_hits.add((rel, token))
+            if re.search(r"\bMutex\b", spelling) and \
+                    "*" not in spelling and "&" not in spelling and \
+                    rel not in RAW_SYNC_EXEMPT and \
+                    "LockRank" not in _tokens_text(cursor):
+                unranked_hits.add((rel, cursor.spelling))
         if cursor.kind in (CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL) and \
                 rel and cursor.is_definition() and class_has_mutex(cursor):
             for field in cursor.get_children():
@@ -536,6 +576,10 @@ def run_libclang_engine(root, compile_commands_dir, findings):
     for rel, name in sorted(discard_hits):
         findings.append(Finding("discarded-status", rel, name,
                                 "Status/Result of %s() discarded" % name))
+    for rel, name in sorted(unranked_hits):
+        findings.append(Finding("unranked-mutex", rel, name,
+                                "Mutex %s constructed without a LockRank; "
+                                "lockdep cannot order it" % name))
 
 
 # ---------------------------------------------------------------------------
@@ -546,6 +590,7 @@ def run_libclang_engine(root, compile_commands_dir, findings):
 def run_text_engine(root, findings):
     files = list(iter_source_files(root))
     check_raw_sync_text(root, files, findings)
+    check_unranked_mutex_text(root, files, findings)
     check_guarded_member_text(root, files, findings)
     check_discarded_status_text(root, files, findings)
 
@@ -610,9 +655,16 @@ class BadGuarded {
  public:
   int Get();
  private:
-  Mutex mu_;
+  Mutex mu_{LockRank::kLogSink, "log.sink"};
   int guarded_ GUARDED_BY(mu_) = 0;
   int unguarded_counter = 0;
+};
+""",
+    "src/bad_unranked.h": """
+#pragma once
+struct NoRank {
+  Mutex no_rank_mu_;
+  Mutex ranked_mu_{LockRank::kLogSink, "log.sink"};
 };
 """,
     "src/bad_discard.h": """
@@ -648,6 +700,7 @@ _EXPECTED_SELF_TEST = {
     "discarded-status:src/bad_discard.cc:MightFail",
     "encode-decode:src/runtime/wire_format.h:EncodeOrphan",
     "encode-decode:src/runtime/wire_format.h:DecodeWidow",
+    "unranked-mutex:src/bad_unranked.h:no_rank_mu_",
 }
 
 _FORBIDDEN_SELF_TEST_SYMBOLS = (
@@ -656,6 +709,7 @@ _FORBIDDEN_SELF_TEST_SYMBOLS = (
     "BadGuarded::mu_",
     "EncodeJob",
     "DecodeJob",
+    "ranked_mu_",
 )
 
 

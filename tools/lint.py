@@ -8,13 +8,15 @@ banned at lint time, everywhere except the two files whose *job* is to
 touch them:
 
   wallclock    std::chrono clock reads (steady_clock, system_clock,
-               high_resolution_clock) are allowed only in
-               src/runtime/thread_cluster.cc — the real-time backend — and
-               src/obs/clock.cc, the observability layer's single
-               sanctioned monotonic-clock seam (TraceRecorder's default
-               clock; both cluster backends override it with their own).
-               The simulator and every scheduler/sampler must use
-               simulated time and recorded timestamps only.
+               high_resolution_clock) are allowed only in the real-time
+               backends — src/runtime/thread_cluster.cc,
+               src/runtime/process_cluster.cc, and the worker binary
+               src/runtime/worker_main.cc — and src/obs/clock.cc, the
+               observability layer's single sanctioned monotonic-clock
+               seam (TraceRecorder's default clock; the cluster backends
+               override it with their own). The simulator and every
+               scheduler/sampler must use simulated time and recorded
+               timestamps only.
   unseeded-rng std::random_device, rand(), srand(), time() are allowed
                only in src/common/rng.cc. All randomness flows from the
                run seed through hypertune::Rng.
@@ -98,7 +100,9 @@ DETERMINISM_RULES = [
 
 # file-relative path prefixes exempt from a rule (the files whose job it is)
 RULE_EXEMPT = {
-    "wallclock": ("src/runtime/thread_cluster.cc", "src/obs/clock.cc"),
+    "wallclock": ("src/runtime/thread_cluster.cc",
+                  "src/runtime/process_cluster.cc",
+                  "src/runtime/worker_main.cc", "src/obs/clock.cc"),
     "unseeded-rng": ("src/common/rng.cc",),
     "raw-stdout": ("src/report/",),
 }
