@@ -13,9 +13,13 @@ namespace hypertune {
 /// the input is only positive semi-definite (see CholeskyWithJitter).
 class Cholesky {
  public:
-  /// Factorizes A = L L^T. Returns InvalidArgument for non-square input and
-  /// FailedPrecondition when A is not positive definite.
-  [[nodiscard]] Status Factorize(const Matrix& a);
+  /// Factorizes A + jitter*I = L L^T without materializing the jittered
+  /// matrix: the jitter is added to each pivot as it is read, which is
+  /// bit-identical to factorizing a copy with AddDiagonal(jitter) applied
+  /// (one addition from the original value either way). `a` is never
+  /// modified. Returns InvalidArgument for non-square input and
+  /// FailedPrecondition when A + jitter*I is not positive definite.
+  [[nodiscard]] Status Factorize(const Matrix& a, double jitter = 0.0);
 
   /// True once Factorize succeeded.
   bool ok() const { return factored_; }
@@ -32,6 +36,29 @@ class Cholesky {
   /// Solves A x = b via the two triangular solves.
   Vector Solve(const Vector& b) const;
 
+  /// Multi-RHS forward substitution: solves L Y = B column by column, where
+  /// B has one right-hand side per column. Column-blocked so the factor is
+  /// streamed once per block instead of once per RHS; each column's result
+  /// is bit-identical to SolveLower on that column.
+  Matrix SolveLowerMulti(const Matrix& b) const;
+
+  /// SolveLowerMulti overwriting `b` with the solution. Forward
+  /// substitution is safely in-place — row i reads only already-finalized
+  /// rows 0..i-1 and its own untouched input row — and the arithmetic is
+  /// identical, so the result is bit-for-bit SolveLowerMulti's. This is the
+  /// variant the batch predict path uses: it avoids allocating (and
+  /// page-faulting) a second n x m matrix per call.
+  void SolveLowerMultiInPlace(Matrix* b) const;
+
+  /// Rank-1 append update: given the factor of the n x n matrix K, extends
+  /// it in O(n^2) to the factor of [[K, k], [k^T, kss]] — the GP posterior
+  /// update for one new observation under unchanged hyper-parameters. The
+  /// result is bit-identical to refactorizing the extended matrix from
+  /// scratch (the new row is the same forward substitution the full
+  /// factorization performs last). Returns FailedPrecondition, leaving the
+  /// factor unchanged, when the extension is not positive definite.
+  [[nodiscard]] Status UpdateAppend(const Vector& k, double kss);
+
   /// log(det(A)) = 2 * sum(log(L_ii)). Requires ok().
   double LogDeterminant() const;
 
@@ -42,7 +69,9 @@ class Cholesky {
 
 /// Factorizes `a` with escalating diagonal jitter (starting at
 /// `initial_jitter`, multiplied by 10 up to `max_attempts` times) until the
-/// factorization succeeds. Returns the jitter actually used through
+/// factorization succeeds. The retries pass the jitter into Factorize
+/// directly, so `a` is never copied or modified — on failure it is returned
+/// to the caller untouched. Returns the jitter actually used through
 /// `*jitter_used` (may be 0). Fails only if every attempt fails.
 [[nodiscard]]
 Status CholeskyWithJitter(const Matrix& a, Cholesky* chol, double* jitter_used,

@@ -34,6 +34,21 @@ class Matrix {
   double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
   double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Reshapes to rows x cols, reusing the existing allocation when the
+  /// element count allows (growth is geometric, so repeated small grows
+  /// amortize to no allocation). The flat element sequence keeps its
+  /// prefix, but the 2-D view is not preserved across a stride change:
+  /// either write every element the new shape exposes before reading, or
+  /// restride the flat storage explicitly (as Cholesky::UpdateAppend
+  /// does). This exists for hot paths that refill a scratch matrix every
+  /// call — constructing a fresh Matrix re-faults its pages, which costs
+  /// more than the arithmetic.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Identity matrix of size n x n.
   static Matrix Identity(size_t n);
 
@@ -46,6 +61,11 @@ class Matrix {
   /// Matrix-matrix product. Requires cols() == other.rows().
   Matrix MatMul(const Matrix& other) const;
 
+  /// Symmetric rank-k product A A^T (SYRK). Computes the lower triangle
+  /// with the blocked kernel and mirrors it; equivalent to
+  /// MatMul(Transposed()) without forming the transpose.
+  Matrix Syrk() const;
+
   /// Returns the transpose.
   Matrix Transposed() const;
 
@@ -55,11 +75,22 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Pointer to the start of row `r` (contiguous, cols() doubles).
+  const double* row(size_t r) const { return &data_[r * cols_]; }
+  double* row(size_t r) { return &data_[r * cols_]; }
+
  private:
   size_t rows_;
   size_t cols_;
   std::vector<double> data_;
 };
+
+/// Blocked general matrix multiply: C = A B, cache-tiled over all three
+/// loop dimensions. The batch surrogate path is GEMM-shaped — this is the
+/// kernel to reach for when either operand no longer fits in L1; MatMul
+/// keeps the naive loop for the small matrices the tests build by hand.
+/// Requires a.cols() == b.rows().
+Matrix Gemm(const Matrix& a, const Matrix& b);
 
 }  // namespace hypertune
 

@@ -52,15 +52,42 @@ std::optional<Configuration> MaximizeAcquisition(
     }
   }
 
+  // Batched scoring: filter out known candidates, encode the rest into one
+  // design matrix, and run a single PredictBatch pass instead of rebuilding
+  // the model's prediction machinery per candidate. Candidate order is
+  // preserved and the winner is still the first strictly-greater maximum,
+  // so the proposal matches the old per-candidate loop exactly.
+  std::vector<size_t> eligible;
+  eligible.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (known.count(candidates[i].Hash()) == 0) eligible.push_back(i);
+  }
+  if (eligible.empty()) return std::nullopt;
+
+  Observability* obs = options.obs;
+  if (obs != nullptr) obs->trace.BeginSpan("acq encode");
+  Matrix encoded(eligible.size(), space.size(), 0.0);
+  for (size_t e = 0; e < eligible.size(); ++e) {
+    std::vector<double> row = space.Encode(candidates[eligible[e]]);
+    HT_CHECK(row.size() == space.size()) << "encode width != space size";
+    double* dst = encoded.row(e);
+    for (size_t d = 0; d < row.size(); ++d) dst[d] = row[d];
+  }
+  if (obs != nullptr) {
+    obs->trace.EndSpan("acq encode");
+    obs->trace.BeginSpan("acq predict");
+  }
+  std::vector<Prediction> predictions = model.PredictBatch(encoded);
+  if (obs != nullptr) obs->trace.EndSpan("acq predict");
+
   double best_acq = -std::numeric_limits<double>::infinity();
   const Configuration* best = nullptr;
-  for (const Configuration& candidate : candidates) {
-    if (known.count(candidate.Hash()) > 0) continue;
-    Prediction p = model.Predict(space.Encode(candidate));
-    double acq = AcquisitionValue(p, best_objective, options.acquisition);
+  for (size_t e = 0; e < eligible.size(); ++e) {
+    double acq =
+        AcquisitionValue(predictions[e], best_objective, options.acquisition);
     if (acq > best_acq) {
       best_acq = acq;
-      best = &candidate;
+      best = &candidates[eligible[e]];
     }
   }
   if (best == nullptr) return std::nullopt;
@@ -69,7 +96,11 @@ std::optional<Configuration> MaximizeAcquisition(
 
 BoSampler::BoSampler(const ConfigurationSpace* space,
                      const MeasurementStore* store, BoSamplerOptions options)
-    : space_(space), store_(store), options_(options), rng_(options.seed) {
+    : space_(space),
+      store_(store),
+      options_(options),
+      rng_(options.seed),
+      kernel_cache_(std::make_shared<KernelBlockCache>()) {
   HT_CHECK(space_ != nullptr && store_ != nullptr)
       << "BoSampler needs a space and a store";
   if (options_.min_points == 0) {
@@ -103,6 +134,7 @@ std::unique_ptr<Surrogate> BoSampler::MakeSurrogate() const {
   if (options_.surrogate == SurrogateKind::kGaussianProcess) {
     GaussianProcessOptions gp;
     gp.seed = options_.seed;
+    gp.kernel_cache = kernel_cache_;
     return std::make_unique<GaussianProcess>(gp);
   }
   RandomForestOptions rf;
@@ -157,6 +189,7 @@ Configuration BoSampler::ProposeFromModel() {
   opts.num_candidates = options_.num_candidates;
   opts.num_local_seeds = options_.num_local_seeds;
   opts.neighbors_per_seed = options_.neighbors_per_seed;
+  opts.obs = obs_;
   const double acq_start = obs_ != nullptr ? obs_->trace.Now() : 0.0;
   if (obs_ != nullptr) obs_->trace.BeginSpan("acquisition");
   std::optional<Configuration> proposal = MaximizeAcquisition(

@@ -8,6 +8,7 @@
 #include "src/common/rng.h"
 #include "src/optimizer/sampler.h"
 #include "src/surrogate/acquisition.h"
+#include "src/surrogate/kernel.h"
 #include "src/surrogate/surrogate.h"
 
 namespace hypertune {
@@ -46,12 +47,18 @@ struct AcquisitionMaximizerOptions {
   int num_candidates = 300;
   int num_local_seeds = 5;
   int neighbors_per_seed = 6;
+  /// When set, the encode and batched-predict stages are timed as nested
+  /// trace spans ("acq encode", "acq predict") inside the caller's
+  /// acquisition span. Purely observational.
+  Observability* obs = nullptr;
 };
 
 /// Maximizes an acquisition function over a candidate pool of uniform
 /// samples plus neighbors of the best configurations in measurement group
 /// `seed_level` (0 to skip local seeding). Candidates that are already
-/// measured or pending in `store` are excluded; returns nullopt when every
+/// measured or pending in `store` are excluded; the rest are encoded into
+/// one design matrix and scored with a single PredictBatch pass (bit-
+/// identical to the per-candidate loop). Returns nullopt when every
 /// candidate is a duplicate. Shared by BoSampler and MfesSampler.
 std::optional<Configuration> MaximizeAcquisition(
     const ConfigurationSpace& space, const MeasurementStore& store,
@@ -104,6 +111,9 @@ class BoSampler : public Sampler {
   Rng rng_;
 
   std::unique_ptr<Surrogate> model_;
+  /// Shared across refits so GP hyper-parameter searches over an unchanged
+  /// kept set reuse precomputed kernel difference blocks.
+  std::shared_ptr<KernelBlockCache> kernel_cache_;
   uint64_t fitted_version_ = ~uint64_t{0};
   int last_fit_level_ = 0;
   double fit_best_ = 0.0;  // best objective in the fitted group

@@ -17,7 +17,8 @@ MfesSampler::MfesSampler(const ConfigurationSpace* space,
       store_(store),
       options_(options),
       weights_(space, options.weights),
-      rng_(options.bo.seed) {
+      rng_(options.bo.seed),
+      kernel_cache_(std::make_shared<KernelBlockCache>()) {
   HT_CHECK(space_ != nullptr && store_ != nullptr)
       << "MfesSampler needs a space and a store";
   if (options_.bo.min_points == 0) {
@@ -30,6 +31,7 @@ std::unique_ptr<Surrogate> MfesSampler::MakeBaseSurrogate(int level) const {
   if (options_.bo.surrogate == SurrogateKind::kGaussianProcess) {
     GaussianProcessOptions gp;
     gp.seed = seed;
+    gp.kernel_cache = kernel_cache_;
     return std::make_unique<GaussianProcess>(gp);
   }
   RandomForestOptions rf;
@@ -130,6 +132,7 @@ Configuration MfesSampler::Sample(int target_level) {
   opts.num_candidates = options_.bo.num_candidates;
   opts.num_local_seeds = options_.bo.num_local_seeds;
   opts.neighbors_per_seed = options_.bo.neighbors_per_seed;
+  opts.obs = obs_;
   const double acq_start = obs_ != nullptr ? obs_->trace.Now() : 0.0;
   if (obs_ != nullptr) obs_->trace.BeginSpan("acquisition");
   std::optional<Configuration> proposal = MaximizeAcquisition(

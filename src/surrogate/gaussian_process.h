@@ -2,9 +2,11 @@
 #define HYPERTUNE_SURROGATE_GAUSSIAN_PROCESS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/linalg/cholesky.h"
+#include "src/surrogate/kernel.h"
 #include "src/surrogate/surrogate.h"
 
 namespace hypertune {
@@ -23,7 +25,29 @@ struct GaussianProcessOptions {
   size_t max_points = 300;
   /// Seed for the (deterministic) hyper-parameter search.
   uint64_t seed = 0;
+  /// Optional shared cache of pairwise kernel difference blocks. When set,
+  /// the hyper-parameter search reuses one precomputed block set per
+  /// distinct training set instead of recomputing pairwise differences for
+  /// every likelihood evaluation; rungs sharing kept observations also share
+  /// entries. Results are bit-identical with or without the cache.
+  std::shared_ptr<KernelBlockCache> kernel_cache;
 };
+
+/// Kernel parameters decoded from a log-space hyper-parameter vector
+/// phi = [log l_1..d, log s2, log n2].
+struct KernelPhiParams {
+  std::vector<double> lengthscales;
+  double signal_variance = 1.0;
+  double noise_variance = 1e-3;
+};
+
+/// Maps `phi` to kernel parameters, applying the clamps the likelihood
+/// search scores with (log lengthscales and log signal variance to
+/// [-6, 4], log noise variance to [-12, 2]) before exponentiating. Both
+/// Lml scoring and the final install go through this helper so the model
+/// can never install parameters outside the scored region.
+KernelPhiParams ClampedKernelParams(const std::vector<double>& phi,
+                                    size_t dim);
 
 /// Gaussian-process regression surrogate with a Matérn-5/2 ARD kernel,
 /// constant (zero, after standardization) mean, and Gaussian noise.
@@ -40,28 +64,51 @@ class GaussianProcess : public Surrogate {
   [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& x,
              const std::vector<double>& y) override;
   Prediction Predict(const std::vector<double>& x) const override;
+  std::vector<Prediction> PredictBatch(const Matrix& x) const override;
   bool fitted() const override { return fitted_; }
   size_t num_observations() const override { return x_.size(); }
+
+  /// Extends the fitted posterior with one observation in O(n^2) via the
+  /// incremental Cholesky update, keeping the current hyper-parameters.
+  /// Valid only while the model is fitted, the point matches the training
+  /// dimension, and the subsample cap has not been reached (past the cap
+  /// Fit would re-select the kept set, which an append cannot reproduce).
+  /// The result is bit-identical to refitting on the extended data with
+  /// hyper-parameter optimization disabled and the same parameters
+  /// installed. On failure the model is unchanged.
+  [[nodiscard]] Status Append(const std::vector<double>& x, double y);
 
   /// Log marginal likelihood of the fitted model (for tests/diagnostics).
   double log_marginal_likelihood() const { return lml_; }
   const std::vector<double>& lengthscales() const { return lengthscales_; }
   double noise_variance() const { return noise_variance_; }
   double signal_variance() const { return signal_variance_; }
+  /// Seed the last Fit used for its restart RNG (diagnostic: derived from
+  /// the *total* observation count, so capped refits explore new restarts).
+  uint64_t last_restart_seed() const { return last_restart_seed_; }
+  /// Diagonal jitter the last successful factorization needed (0 if none).
+  double jitter_used() const { return jitter_used_; }
 
  private:
   /// Computes the LML for hyper-parameters `phi` = [log l_1..d, log s2,
   /// log n2] on the stored standardized data; returns -inf on failure.
-  double Lml(const std::vector<double>& phi) const;
+  /// `blocks`, when non-null, must describe the stored training set.
+  double Lml(const std::vector<double>& phi,
+             const KernelDiffBlocks* blocks) const;
 
   /// Rebuilds the Cholesky factor and alpha for the current
   /// hyper-parameters. Returns false when factorization fails.
-  bool Refactor();
+  bool Refactor(const KernelDiffBlocks* blocks);
+
+  /// Recomputes standardization, alpha, and the LML from y_raw_ and the
+  /// current factor (shared by Fit's Refactor and Append).
+  void RecomputePosterior();
 
   GaussianProcessOptions options_;
   bool fitted_ = false;
 
   std::vector<std::vector<double>> x_;
+  std::vector<double> y_raw_;  // kept raw targets
   std::vector<double> y_std_;  // standardized targets
   double y_mean_ = 0.0;
   double y_scale_ = 1.0;
@@ -73,6 +120,8 @@ class GaussianProcess : public Surrogate {
   Cholesky chol_;
   Vector alpha_;  // K^{-1} y
   double lml_ = 0.0;
+  double jitter_used_ = 0.0;
+  uint64_t last_restart_seed_ = 0;
 };
 
 }  // namespace hypertune

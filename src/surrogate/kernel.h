@@ -1,11 +1,28 @@
 #ifndef HYPERTUNE_SURROGATE_KERNEL_H_
 #define HYPERTUNE_SURROGATE_KERNEL_H_
 
+#include <cstdint>
+#include <list>
+#include <utility>
 #include <vector>
 
 #include "src/linalg/matrix.h"
 
 namespace hypertune {
+
+/// Precomputed pairwise raw differences (a_d - b_d) for a fixed training set,
+/// independent of kernel hyper-parameters. Rebuilding a Gram matrix during
+/// hyper-parameter search only changes the lengthscales, so the differences
+/// can be computed once and divided by the current lengthscale per
+/// evaluation — bit-identical to computing (a_d - b_d) / l_d from scratch.
+///
+/// Pairs are packed pair-major: entry p covers pair p of the (i < j) row-major
+/// enumeration, with its `dim` differences contiguous at diffs[p * dim].
+struct KernelDiffBlocks {
+  size_t num_points = 0;
+  size_t dim = 0;
+  std::vector<double> diffs;
+};
 
 /// Matérn-5/2 covariance with per-dimension (ARD) lengthscales and a signal
 /// amplitude:
@@ -29,16 +46,72 @@ class Matern52Kernel {
   double operator()(const std::vector<double>& a,
                     const std::vector<double>& b) const;
 
+  /// Covariance from a precomputed difference vector (dim() doubles).
+  double FromDiffs(const double* diffs) const;
+
   /// Gram matrix K with K_ij = k(x_i, x_j).
   Matrix GramMatrix(const std::vector<std::vector<double>>& x) const;
+
+  /// Gram matrix from precomputed pairwise differences; bit-identical to
+  /// GramMatrix(x) for the training set the blocks were built from.
+  Matrix GramMatrix(const KernelDiffBlocks& blocks) const;
 
   /// Cross-covariance vector k(x_*, x_i) for all training points.
   Vector CrossCovariance(const std::vector<std::vector<double>>& x,
                          const std::vector<double>& query) const;
 
+  /// Batch cross-covariance: K_* with K_*(i, j) = k(x_i, q_j) for query row
+  /// j of `queries` (one encoded candidate per row). Column j is
+  /// bit-identical to CrossCovariance(x, queries row j).
+  Matrix CrossCovariance(const std::vector<std::vector<double>>& x,
+                         const Matrix& queries) const;
+
+  /// Batch cross-covariance into a caller-owned buffer: `out` is reshaped
+  /// to |x| rows by queries.rows() columns and every entry is overwritten.
+  /// Identical values to the returning overload; exists so hot callers can
+  /// reuse one scratch matrix across calls instead of re-faulting a fresh
+  /// allocation per sweep.
+  void CrossCovariance(const std::vector<std::vector<double>>& x,
+                       const Matrix& queries, Matrix* out) const;
+
  private:
   std::vector<double> lengthscales_;
   double signal_variance_;
+};
+
+/// Builds the pair-major difference blocks for a training set.
+KernelDiffBlocks BuildKernelDiffBlocks(
+    const std::vector<std::vector<double>>& x);
+
+/// Small LRU cache of KernelDiffBlocks keyed by a fingerprint of the training
+/// set. Rungs of a bracket (and successive refits of one rung) share kept
+/// observation sets, and each GP fit evaluates the Gram matrix dozens of
+/// times during hyper-parameter search — the blocks are built once per
+/// distinct set instead. Entries invalidate naturally: any change to the
+/// kept set changes the fingerprint, so a stale entry can never be returned,
+/// only evicted.
+class KernelBlockCache {
+ public:
+  explicit KernelBlockCache(size_t capacity = 4) : capacity_(capacity) {}
+
+  /// Returns the blocks for `x`, building and caching them on a miss. The
+  /// pointer stays valid until the entry is evicted (at least until
+  /// `capacity` newer distinct sets have been requested).
+  const KernelDiffBlocks* Get(const std::vector<std::vector<double>>& x);
+
+  /// FNV-1a over the raw bytes of every coordinate plus the row lengths, so
+  /// sets differing only in shape hash differently.
+  static uint64_t Fingerprint(const std::vector<std::vector<double>>& x);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  // Front = most recently used. Linear scan is fine at capacity ~4.
+  std::list<std::pair<uint64_t, KernelDiffBlocks>> entries_;
 };
 
 }  // namespace hypertune

@@ -63,6 +63,30 @@ Prediction MfesEnsemble::Predict(const std::vector<double>& x) const {
   return out;
 }
 
+std::vector<Prediction> MfesEnsemble::PredictBatch(const Matrix& x) const {
+  HT_CHECK(fitted()) << "MfesEnsemble::PredictBatch without fitted members";
+  // One batched pass per member, accumulated per candidate in member order
+  // with the same expressions as Predict — bit-identical, and each member's
+  // own batch path (GP multi-RHS solve, RF row sweep) does the heavy
+  // lifting once instead of per candidate.
+  std::vector<Prediction> out(x.rows());
+  std::vector<double> second_moment(x.rows(), 0.0);
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (weights_[i] <= 0.0) continue;
+    std::vector<Prediction> member = members_[i]->PredictBatch(x);
+    for (size_t j = 0; j < out.size(); ++j) {
+      const Prediction& p = member[j];
+      out[j].mean += weights_[i] * p.mean;
+      second_moment[j] += weights_[i] * (p.variance + p.mean * p.mean);
+    }
+  }
+  for (size_t j = 0; j < out.size(); ++j) {
+    out[j].variance = std::max(second_moment[j] - out[j].mean * out[j].mean,
+                               1e-12);
+  }
+  return out;
+}
+
 bool MfesEnsemble::fitted() const {
   for (size_t i = 0; i < members_.size(); ++i) {
     if (weights_[i] > 0.0 && members_[i] != nullptr && members_[i]->fitted()) {

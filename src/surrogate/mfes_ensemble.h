@@ -38,6 +38,7 @@ class MfesEnsemble : public Surrogate {
              const std::vector<double>& y) override;
 
   Prediction Predict(const std::vector<double>& x) const override;
+  std::vector<Prediction> PredictBatch(const Matrix& x) const override;
   bool fitted() const override;
   size_t num_observations() const override;
 

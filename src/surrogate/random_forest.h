@@ -48,6 +48,7 @@ class RandomForest : public Surrogate {
   [[nodiscard]] Status Fit(const std::vector<std::vector<double>>& x,
              const std::vector<double>& y) override;
   Prediction Predict(const std::vector<double>& x) const override;
+  std::vector<Prediction> PredictBatch(const Matrix& x) const override;
   bool fitted() const override { return fitted_; }
   size_t num_observations() const override { return num_observations_; }
 
@@ -76,8 +77,11 @@ class RandomForest : public Surrogate {
                 const std::vector<double>& y, std::vector<size_t>* indices,
                 size_t begin, size_t end, int depth, class Rng* rng) const;
 
-  /// Index of the leaf of `tree` containing `x`.
-  const Node& FindLeaf(const Tree& tree, const std::vector<double>& x) const;
+  /// Index of the leaf of `tree` containing `x` (dim() doubles).
+  const Node& FindLeaf(const Tree& tree, const double* x) const;
+
+  /// Tree-averaged prediction for one point (dim() doubles).
+  Prediction PredictPoint(const double* x) const;
 
   RandomForestOptions options_;
   std::vector<bool> categorical_;

@@ -1,0 +1,17 @@
+#include "src/surrogate/surrogate.h"
+
+namespace hypertune {
+
+std::vector<Prediction> Surrogate::PredictBatch(const Matrix& x) const {
+  std::vector<Prediction> out;
+  out.reserve(x.rows());
+  std::vector<double> row(x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* src = x.row(r);
+    row.assign(src, src + x.cols());
+    out.push_back(Predict(row));
+  }
+  return out;
+}
+
+}  // namespace hypertune

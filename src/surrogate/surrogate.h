@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/linalg/matrix.h"
 
 namespace hypertune {
 
@@ -34,6 +35,13 @@ class Surrogate {
 
   /// Posterior mean/variance at `x`. Requires fitted().
   virtual Prediction Predict(const std::vector<double>& x) const = 0;
+
+  /// Posterior mean/variance for a batch of inputs, one encoded candidate
+  /// per row of `x`. Requires fitted(). Result row i is bit-identical to
+  /// Predict(row i) — implementations override this with a single-pass
+  /// GEMM-shaped evaluation but must preserve per-candidate arithmetic
+  /// order; the base implementation is the per-row loop itself.
+  virtual std::vector<Prediction> PredictBatch(const Matrix& x) const;
 
   /// True once Fit succeeded with at least one observation.
   virtual bool fitted() const = 0;

@@ -1,6 +1,8 @@
 #include "src/surrogate/gaussian_process.h"
 
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -166,6 +168,129 @@ TEST(GaussianProcessTest, ConstantTargetsHandled) {
   GaussianProcess gp;
   ASSERT_TRUE(gp.Fit(x, y).ok());
   EXPECT_NEAR(gp.Predict({0.3}).mean, 2.0, 1e-6);
+}
+
+TEST(GaussianProcessTest, ClampedKernelParamsClampsOutOfBounds) {
+  // Regression: the likelihood search clamps phi before scoring, and the
+  // install path must apply the same clamps — a wildly out-of-bounds phi
+  // may never be installed verbatim.
+  KernelPhiParams p = ClampedKernelParams({10.0, -20.0, 10.0, -20.0}, 2);
+  EXPECT_DOUBLE_EQ(p.lengthscales[0], std::exp(4.0));
+  EXPECT_DOUBLE_EQ(p.lengthscales[1], std::exp(-6.0));
+  EXPECT_DOUBLE_EQ(p.signal_variance, std::exp(4.0));
+  EXPECT_DOUBLE_EQ(p.noise_variance, std::exp(-12.0));
+
+  // In-bounds phi passes through as plain exp().
+  KernelPhiParams q = ClampedKernelParams({0.5, -1.0, 0.0, -4.0}, 2);
+  EXPECT_DOUBLE_EQ(q.lengthscales[0], std::exp(0.5));
+  EXPECT_DOUBLE_EQ(q.lengthscales[1], std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(q.signal_variance, 1.0);
+  EXPECT_DOUBLE_EQ(q.noise_variance, std::exp(-4.0));
+}
+
+TEST(GaussianProcessTest, FitInstallsInBoundsParameters) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v});
+    y.push_back(Objective(v));
+  }
+  GaussianProcess gp;
+  ASSERT_TRUE(gp.Fit(x, y).ok());
+  // Installed parameters always lie in the clamped (scored) region.
+  for (double l : gp.lengthscales()) {
+    EXPECT_GE(l, std::exp(-6.0));
+    EXPECT_LE(l, std::exp(4.0));
+  }
+  EXPECT_GE(gp.signal_variance(), std::exp(-6.0));
+  EXPECT_LE(gp.signal_variance(), std::exp(4.0));
+  EXPECT_GE(gp.noise_variance(), std::exp(-12.0));
+  EXPECT_LE(gp.noise_variance(), std::exp(2.0));
+}
+
+TEST(GaussianProcessTest, RestartSeedDerivedFromTotalCount) {
+  // Regression: the restart RNG used to be seeded with the kept
+  // (post-subsample) count, which is constant (== max_points) for every
+  // capped fit — successive refits re-explored identical restart sequences.
+  GaussianProcessOptions options;
+  options.seed = 11;
+  options.max_points = 50;
+  options.num_restarts = 2;
+  options.refine_sweeps = 0;
+  auto make_data = [](int n) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      double v = rng.Uniform();
+      x.push_back({v});
+      y.push_back(Objective(v));
+    }
+    return std::make_pair(x, y);
+  };
+
+  GaussianProcess a(options), b(options);
+  auto [xa, ya] = make_data(60);
+  auto [xb, yb] = make_data(61);
+  ASSERT_TRUE(a.Fit(xa, ya).ok());
+  ASSERT_TRUE(b.Fit(xb, yb).ok());
+  EXPECT_EQ(a.num_observations(), 50u);
+  EXPECT_EQ(b.num_observations(), 50u);
+  // The seed reflects the total observation count, not the kept count.
+  EXPECT_EQ(a.last_restart_seed(), CombineSeeds(11, 60));
+  EXPECT_EQ(b.last_restart_seed(), CombineSeeds(11, 61));
+  EXPECT_NE(a.last_restart_seed(), b.last_restart_seed());
+}
+
+TEST(GaussianProcessTest, KernelCachePreservesBitsAndCountsHits) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    double v = rng.Uniform();
+    x.push_back({v, v * v});
+    y.push_back(Objective(v));
+  }
+  GaussianProcessOptions plain;
+  plain.seed = 3;
+  GaussianProcessOptions cached = plain;
+  cached.kernel_cache = std::make_shared<KernelBlockCache>();
+
+  GaussianProcess gp_plain(plain), gp_cached(cached);
+  ASSERT_TRUE(gp_plain.Fit(x, y).ok());
+  ASSERT_TRUE(gp_cached.Fit(x, y).ok());
+
+  // One miss builds the blocks; the whole likelihood search shares that one
+  // lookup, so no hits yet.
+  EXPECT_EQ(cached.kernel_cache->misses(), 1u);
+  EXPECT_EQ(cached.kernel_cache->hits(), 0u);
+
+  // The cache must not perturb a single bit of the fit.
+  EXPECT_DOUBLE_EQ(gp_plain.log_marginal_likelihood(),
+                   gp_cached.log_marginal_likelihood());
+  for (double v : {0.1, 0.45, 0.8}) {
+    Prediction pp = gp_plain.Predict({v, v * v});
+    Prediction pc = gp_cached.Predict({v, v * v});
+    EXPECT_DOUBLE_EQ(pp.mean, pc.mean);
+    EXPECT_DOUBLE_EQ(pp.variance, pc.variance);
+  }
+
+  // A second fit on the same data reuses the entry outright.
+  GaussianProcess gp_again(cached);
+  ASSERT_TRUE(gp_again.Fit(x, y).ok());
+  EXPECT_EQ(cached.kernel_cache->misses(), 1u);
+  EXPECT_EQ(cached.kernel_cache->hits(), 1u);
+  EXPECT_DOUBLE_EQ(gp_again.log_marginal_likelihood(),
+                   gp_cached.log_marginal_likelihood());
+}
+
+TEST(KernelTest, FingerprintSensitiveToShapeAndValues) {
+  uint64_t base = KernelBlockCache::Fingerprint({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NE(base, KernelBlockCache::Fingerprint({{1.0, 2.0, 3.0, 4.0}}));
+  EXPECT_NE(base, KernelBlockCache::Fingerprint({{1.0, 2.0}, {3.0, 5.0}}));
+  EXPECT_EQ(base, KernelBlockCache::Fingerprint({{1.0, 2.0}, {3.0, 4.0}}));
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "src/linalg/matrix.h"
 
+#include <array>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -158,6 +159,216 @@ TEST(CholeskyTest, JitterZeroWhenAlreadyPd) {
   double jitter = 123.0;
   ASSERT_TRUE(CholeskyWithJitter(a, &chol, &jitter).ok());
   EXPECT_DOUBLE_EQ(jitter, 0.0);
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(MatrixTest, GemmMatchesMatMul) {
+  // Sizes straddling the 64/256 tile boundaries so partial blocks on every
+  // loop dimension are exercised.
+  for (auto [m, k, n] : {std::array<size_t, 3>{3, 5, 4},
+                         std::array<size_t, 3>{65, 64, 70},
+                         std::array<size_t, 3>{100, 130, 260}}) {
+    Matrix a = RandomMatrix(m, k, 17 + m);
+    Matrix b = RandomMatrix(k, n, 31 + n);
+    Matrix naive = a.MatMul(b);
+    Matrix blocked = Gemm(a, b);
+    ASSERT_EQ(blocked.rows(), naive.rows());
+    ASSERT_EQ(blocked.cols(), naive.cols());
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        EXPECT_NEAR(blocked(r, c), naive(r, c), 1e-9)
+            << "at (" << r << "," << c << ") of " << m << "x" << k << "x" << n;
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, SyrkMatchesMatMulTransposed) {
+  for (size_t cols : {5u, 64u, 100u}) {
+    Matrix a = RandomMatrix(20, cols, cols);
+    Matrix naive = a.MatMul(a.Transposed());
+    Matrix syrk = a.Syrk();
+    ASSERT_EQ(syrk.rows(), 20u);
+    ASSERT_EQ(syrk.cols(), 20u);
+    for (size_t r = 0; r < 20; ++r) {
+      for (size_t c = 0; c < 20; ++c) {
+        EXPECT_NEAR(syrk(r, c), naive(r, c), 1e-9);
+        EXPECT_DOUBLE_EQ(syrk(r, c), syrk(c, r));  // exact mirror
+      }
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveLowerMultiBitIdenticalToPerColumn) {
+  // Width 70 crosses the 64-column tile boundary; per-column results must
+  // match the single-RHS solve bit-for-bit (the GP batch-prediction path
+  // relies on this for golden-history stability).
+  Matrix a = RandomSpd(12, 99);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  Matrix b = RandomMatrix(12, 70, 5);
+  Matrix multi = chol.SolveLowerMulti(b);
+  for (size_t j = 0; j < b.cols(); ++j) {
+    Vector col(b.rows());
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector single = chol.SolveLower(col);
+    for (size_t i = 0; i < b.rows(); ++i) {
+      EXPECT_DOUBLE_EQ(multi(i, j), single[i])
+          << "column " << j << " row " << i;
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveLowerMultiInPlaceBitIdenticalToOutOfPlace) {
+  // Forward substitution in place (the allocation-free batch-predict
+  // variant) must leave exactly the bits the out-of-place solve produces.
+  // Width 150 exercises the wide, 16-column, and ragged-tail strips.
+  Matrix a = RandomSpd(40, 17);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  Matrix b = RandomMatrix(40, 150, 23);
+  Matrix expected = chol.SolveLowerMulti(b);
+  Matrix in_place = b;
+  chol.SolveLowerMultiInPlace(&in_place);
+  for (size_t i = 0; i < b.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(in_place(i, j), expected(i, j))
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(MatrixTest, ResizeReshapesAndExposesWritableElements) {
+  Matrix m(3, 4, 1.5);
+  m.Resize(4, 6);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 6u);
+  // Contents are unspecified after Resize; every element must be writable
+  // and readable at the new shape (this is what the scratch reuse relies
+  // on).
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 6; ++c) m(r, c) = static_cast<double>(r * 6 + c);
+  }
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), static_cast<double>(r * 6 + c));
+    }
+  }
+  // Shrinking reuses the allocation and keeps the view consistent.
+  m.Resize(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 42.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 42.0);
+}
+
+TEST(CholeskyTest, FactorizeWithJitterBitIdenticalToCopyAndAddDiagonal) {
+  // The copy-free jitter path must reproduce the old behavior exactly: the
+  // jitter is one addition onto the original diagonal value either way.
+  Matrix a(3, 3);
+  Vector v = {1.0, 2.0, 3.0};
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = v[r] * v[c];
+  }
+  const Matrix original = a;
+  Cholesky with_jitter;
+  double jitter_used = 0.0;
+  ASSERT_TRUE(CholeskyWithJitter(a, &with_jitter, &jitter_used).ok());
+  EXPECT_GT(jitter_used, 0.0);
+  // Input untouched (the old implementation copied; the new one must not
+  // modify in place either).
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(a(r, c), original(r, c));
+    }
+  }
+  // Old-style reference: materialize the jittered matrix and factorize it.
+  Matrix jittered = a;
+  jittered.AddDiagonal(jitter_used);
+  Cholesky reference;
+  ASSERT_TRUE(reference.Factorize(jittered).ok());
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(with_jitter.lower()(r, c), reference.lower()(r, c));
+    }
+  }
+}
+
+TEST(CholeskyTest, FailedFactorizeLeavesInputUnmodified) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -100.0;
+  const Matrix original = a;
+  Cholesky chol;
+  double jitter = 0.0;
+  EXPECT_FALSE(CholeskyWithJitter(a, &chol, &jitter).ok());
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(a(r, c), original(r, c));
+    }
+  }
+}
+
+TEST(CholeskyTest, UpdateAppendBitIdenticalToRefactorize) {
+  const size_t n = 10;
+  Matrix full = RandomSpd(n + 1, 77);
+  // Leading n x n block, appended column, and corner from the same matrix,
+  // so the incremental and from-scratch factors describe identical data.
+  Matrix head(n, n);
+  Vector k(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) head(r, c) = full(r, c);
+    k[r] = full(r, n);
+  }
+  Cholesky incremental;
+  ASSERT_TRUE(incremental.Factorize(head).ok());
+  ASSERT_TRUE(incremental.UpdateAppend(k, full(n, n)).ok());
+
+  Cholesky scratch;
+  ASSERT_TRUE(scratch.Factorize(full).ok());
+  ASSERT_EQ(incremental.size(), n + 1);
+  for (size_t r = 0; r <= n; ++r) {
+    for (size_t c = 0; c <= n; ++c) {
+      EXPECT_DOUBLE_EQ(incremental.lower()(r, c), scratch.lower()(r, c))
+          << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(CholeskyTest, UpdateAppendRejectsIndefiniteExtensionUnchanged) {
+  Matrix a = RandomSpd(4, 13);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  const Matrix before = chol.lower();
+  // kss far below ||l12||^2 makes the extension indefinite.
+  Vector k(4, 1.0);
+  EXPECT_EQ(chol.UpdateAppend(k, -100.0).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_EQ(chol.size(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(chol.lower()(r, c), before(r, c));
+    }
+  }
+  // The factor is still usable after the rejected update.
+  Vector x = chol.Solve(a.MatVec({1.0, 2.0, 3.0, 4.0}));
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+}
+
+TEST(CholeskyTest, UpdateAppendRejectsSizeMismatch) {
+  Matrix a = RandomSpd(4, 14);
+  Cholesky chol;
+  ASSERT_TRUE(chol.Factorize(a).ok());
+  EXPECT_EQ(chol.UpdateAppend(Vector(3, 0.0), 1.0).code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

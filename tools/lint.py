@@ -60,6 +60,9 @@ only in the baseline are reported but tolerated, so `--quick` subsets
 ratchet the kernels they cover; names only in CURRENT are new benchmarks
 and pass (they join the ratchet when the baseline is regenerated). An
 empty intersection fails: a ratchet that compares nothing guards nothing.
+The baseline must also cover the surrogate hot-path kernels
+(REQUIRED_RATCHET_KERNELS) — a baseline regenerated without them would
+silently stop guarding the batched-prediction speedups.
 
 Usage: python3 tools/lint.py [--root DIR]   (exit 1 on any violation)
        python3 tools/lint.py --validate-trace PATH
@@ -366,6 +369,19 @@ def validate_bench(path):
     return errors
 
 
+# Kernels the committed baseline must cover for the ratchet to mean
+# anything: the surrogate hot path (DESIGN.md §13). A baseline missing one
+# of these (or a parameterized variant, "NAME/64") silently un-guards the
+# batched-prediction speedup claims, so their absence is an error rather
+# than a skip. Checked against the BASELINE only — CI's --quick run
+# intentionally executes a subset, so CURRENT may omit them.
+REQUIRED_RATCHET_KERNELS = (
+    "BM_GpPredictBatch",
+    "BM_CholUpdateAppend",
+    "BM_AcqSweep",
+)
+
+
 def ratchet_bench(current_path, baseline_path, tolerance):
     """Compare two BENCH_*.json reports name-by-name as a perf ratchet.
 
@@ -382,6 +398,16 @@ def ratchet_bench(current_path, baseline_path, tolerance):
 
     current = entries(current_path)
     baseline = entries(baseline_path)
+
+    for kernel in REQUIRED_RATCHET_KERNELS:
+        if not any(name == kernel or name.startswith(kernel + "/")
+                   for name in baseline):
+            errors.append(
+                "%s: required kernel %s missing from the ratchet baseline "
+                "(regenerate BENCH_micro.json with a full bench_micro run)"
+                % (baseline_path, kernel))
+    if errors:
+        return errors
 
     compared = 0
     for name in sorted(baseline):
